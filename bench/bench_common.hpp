@@ -1,0 +1,58 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Every binary regenerates one table or figure of the paper; they print
+// paper-reported values next to simulated ones so the shape comparison is
+// immediate. See EXPERIMENTS.md for the full index.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.hpp"
+
+namespace rocks::bench {
+
+inline constexpr double kMB = 1024.0 * 1024.0;
+
+/// The two Table I calibrations (see EXPERIMENTS.md):
+///  - paper-model: the paper's own stated capacity ("the web server ...
+///    should be able to support 7 concurrent reinstallations at full
+///    speed"), i.e. 7 MB/s aggregate.
+///  - physical: a 100 Mbit NIC at 95% utilization with many streams
+///    (11.875 MB/s aggregate) but a measured 7.5 MB/s single-stream rate.
+struct Calibration {
+  const char* name;
+  double aggregate_Bps;
+  double per_stream_Bps;
+};
+
+inline constexpr Calibration kPaperModel{"paper-model (7 MB/s)", 7.0 * kMB, 7.0 * kMB};
+inline constexpr Calibration kPhysical{"physical (95% of 100Mb)", 11.875 * kMB, 7.5 * kMB};
+
+/// A ready-to-reinstall cluster of `nodes` compute nodes under the given
+/// HTTP calibration. Uses a reduced contrib tail to keep setup quick; the
+/// install payload (225 MB/node) is unaffected by the tail. Returned by
+/// pointer because Cluster is intentionally non-movable.
+inline std::unique_ptr<cluster::Cluster> make_cluster(std::size_t nodes,
+                                                      const Calibration& calibration,
+                                                      std::size_t http_servers = 1) {
+  cluster::ClusterConfig config;
+  config.synth.filler_packages = 60;
+  config.frontend.http_capacity = calibration.aggregate_Bps;
+  config.frontend.http_per_stream_cap = calibration.per_stream_Bps;
+  config.frontend.http_servers = http_servers;
+  auto built = std::make_unique<cluster::Cluster>(std::move(config));
+  // Pre-integration is not part of the measured reinstall pulses.
+  for (std::size_t i = 0; i < nodes; ++i) built->add_node();
+  built->integrate_all();
+  return built;
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n  reproduces: %s\n", experiment, paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace rocks::bench

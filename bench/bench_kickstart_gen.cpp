@@ -1,0 +1,94 @@
+// CGI-path micro-benchmarks (google-benchmark): how fast the frontend can
+// generate kickstart files, answer the SQL queries behind them, and parse
+// the XML configuration. Section 6.1's design only works if on-the-fly
+// generation is cheap enough to serve every installing node — these numbers
+// show it is (thousands of profiles per second on modern hardware; the CGI
+// of 2001 had to serve tens).
+#include <benchmark/benchmark.h>
+
+#include "kickstart/defaults.hpp"
+#include "kickstart/generator.hpp"
+#include "kickstart/server.hpp"
+#include "rpm/synth.hpp"
+#include "xml/parser.hpp"
+
+namespace {
+
+using namespace rocks;
+
+struct Fixture {
+  Fixture() : distro(rpm::make_redhat_release()), config(kickstart::make_default_configuration(distro)) {
+    kickstart::ensure_cluster_schema(db);
+    kickstart::insert_node_row(db, "00:30:c1:d8:ac:80", "frontend-0", 1, 0, 0, "10.1.1.1");
+    for (int i = 0; i < 32; ++i) {
+      kickstart::insert_node_row(
+          db, Mac(0x00508BE00000ULL + static_cast<std::uint64_t>(i)).to_string(),
+          "compute-0-" + std::to_string(i), 2, 0, i,
+          Ipv4(Ipv4(10, 255, 255, 254).value() - static_cast<std::uint32_t>(i)).to_string());
+    }
+    server = std::make_unique<kickstart::KickstartServer>(
+        db, config.files, config.graph, Ipv4(10, 1, 1, 1),
+        "http://10.1.1.1/install/rocks-dist", &distro.repo);
+  }
+
+  rpm::SynthDistro distro;
+  kickstart::DefaultConfiguration config;
+  sqldb::Database db;
+  std::unique_ptr<kickstart::KickstartServer> server;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_GenerateComputeKickstart(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.server->handle_request(Ipv4(10, 255, 255, 254)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GenerateComputeKickstart);
+
+void BM_ResolveNodeByIp(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.server->resolve(Ipv4(10, 255, 255, 240)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ResolveNodeByIp);
+
+void BM_MembershipJoinQuery(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.db.execute("select nodes.name from nodes,memberships where "
+                     "nodes.membership = memberships.id and "
+                     "memberships.name = 'Compute'"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MembershipJoinQuery);
+
+void BM_ParseFigure2NodeFile(benchmark::State& state) {
+  const char* xml = kickstart::figure2_dhcp_server_xml();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kickstart::NodeFile::parse("dhcp-server", xml));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParseFigure2NodeFile);
+
+void BM_GraphTraversal(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.config.graph.traverse("frontend"));
+  }
+}
+BENCHMARK(BM_GraphTraversal);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Section 5: "We have employed one unscalable service, the Network File
+// System (NFS). The frontend node exports all user home directories to
+// compute nodes via NFS. We are searching for an alternative that is
+// scalable..."
+//
+// This ablation quantifies the complaint: the frontend's NFS service is a
+// single fair-shared channel (bounded by disk and NIC); per-node home
+// directory bandwidth collapses as 1/N, while every *scalable* service the
+// paper keeps (HTTP install traffic, DHCP, NIS) either replicates or is
+// touched only at install time.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/flow.hpp"
+#include "support/table.hpp"
+
+using namespace rocks;
+using namespace rocks::bench;
+
+int main() {
+  print_header("bench_nfs_scaling", "Section 5 (the one unscalable service)");
+
+  // The frontend's NFS path: a dual-PIII with one 100 Mbit NIC; sustained
+  // NFS service tops out near the same 7.5 MB/s the HTTP path measured.
+  const double nfs_capacity = 7.5 * kMB;
+  // Each compute job wants ~1.5 MB/s of home-directory I/O (input decks,
+  // checkpoint dribble).
+  const double per_node_demand = 1.5 * kMB;
+
+  AsciiTable table({"Compute nodes", "Per-node NFS rate (MB/s)", "% of demand",
+                    "Job slowdown vs I/O model"});
+  for (std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    netsim::Simulator sim;
+    netsim::FairShareChannel nfs(sim, nfs_capacity);
+    std::vector<netsim::FlowId> flows;
+    for (std::size_t i = 0; i < n; ++i)
+      flows.push_back(nfs.start(1e12, per_node_demand, nullptr));
+    const double rate = nfs.rate_of(flows[0]);
+    const double fraction = rate / per_node_demand;
+    // A job that is 20% I/O-bound stretches by the I/O slowdown share.
+    const double io_share = 0.2;
+    const double slowdown = (1.0 - io_share) + io_share / fraction;
+    table.add_row({std::to_string(n), fixed(rate / kMB, 2),
+                   fixed(fraction * 100.0, 0) + "%", fixed(slowdown, 2) + "x"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nhome-directory bandwidth collapses as 1/N past %d nodes; a job that is\n"
+      "20%% I/O-bound runs ~6x slower at 128 nodes. This is why the paper calls\n"
+      "NFS its one unscalable service and keeps everything else on HTTP, DHCP,\n"
+      "and NIS. (Install traffic avoids the trap: it is pushed once per\n"
+      "reinstall, not on every boot or every job.)\n",
+      static_cast<int>(nfs_capacity / per_node_demand));
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table I: "Reinstallation performance" — total wall time to reinstall
+// 1..32 nodes concurrently from a single HTTP server.
+//
+// Paper setup: dual 733 MHz PIII HTTP server on 100 Mbit Ethernet, compute
+// nodes pull ~225 MB each, times include the Myrinet driver rebuild.
+// Paper numbers: 1 -> 10.3 min, 2 -> 9.8, 4 -> 10.1, 8 -> 10.4,
+//                16 -> 11.1, 32 -> 13.7.
+//
+// We run the same pulse under two calibrations (see EXPERIMENTS.md for the
+// analysis): the paper's own 7 MB/s server model, and the physical upper
+// bound of the stated hardware (100 Mbit at 95% aggregate utilization).
+// The headline claim — install time is FLAT until the server NIC
+// saturates near 7-11 concurrent installs, then grows linearly — holds in
+// both.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace rocks;
+using namespace rocks::bench;
+
+double reinstall_minutes(std::size_t nodes, const Calibration& calibration) {
+  auto cluster = make_cluster(nodes, calibration);
+  return cluster->reinstall_all() / 60.0;
+}
+
+}  // namespace
+
+int main() {
+  print_header("bench_table1_reinstall", "Table I (reinstallation performance)");
+
+  const std::vector<std::size_t> counts{1, 2, 4, 8, 16, 32};
+  const std::vector<double> paper_minutes{10.3, 9.8, 10.1, 10.4, 11.1, 13.7};
+
+  AsciiTable table({"Nodes", "Paper (min)", "paper-model (min)", "physical (min)"});
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double model = reinstall_minutes(counts[i], kPaperModel);
+    const double physical = reinstall_minutes(counts[i], kPhysical);
+    table.add_row({std::to_string(counts[i]), fixed(paper_minutes[i], 1), fixed(model, 1),
+                   fixed(physical, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf(
+      "\nShape check: flat until the server NIC saturates (paper-model knee at 7\n"
+      "concurrent 1 MB/s installs; physical knee at ~11), then linear growth.\n"
+      "The paper's published 32-node time (13.7 min) is below the 100 Mbit\n"
+      "physical bound for 32 x 225 MB + a ~6.6-min non-network tail; see\n"
+      "EXPERIMENTS.md for the discrepancy analysis.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// The Section 5 production-upgrade workflow: "After the updates are
+// validated on a small test cluster, the production system can be upgraded
+// by submitting a 'reinstall cluster' job to Maui ... Once the
+// reinstallation is complete, the next job will have a known, consistent
+// software base."
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "rpm/synth.hpp"
+
+using namespace rocks;
+
+int main() {
+  std::printf("== production upgrade cycle (Section 5) ==\n\n");
+
+  cluster::ClusterConfig config;
+  config.synth.filler_packages = 60;
+  cluster::Cluster production(std::move(config));
+  for (int i = 0; i < 8; ++i) production.add_node();
+  production.integrate_all();
+  std::printf("production cluster: 8 compute nodes, consistent: %s\n\n",
+              production.consistent() ? "yes" : "no");
+
+  // A month of Red Hat errata arrives (the Section 6.2.1 cadence).
+  const auto stream = rpm::make_update_stream(production.distro());
+  rpm::Repository errata("month-1");
+  int security = 0;
+  for (const auto& update : stream) {
+    if (update.day > 30) break;
+    errata.add(update.package);
+    if (update.package.security_fix) ++security;
+  }
+  std::printf("month of errata: %zu updated packages, %d security fixes\n",
+              errata.package_count(), security);
+
+  // Which production nodes are now stale?
+  const auto* node = production.node("compute-0-0");
+  const auto report = production.frontend().apply_updates(errata);
+  std::printf("rocks-dist rebuilt the distribution: %zu packages, %zu stale versions "
+              "dropped, %.1f s\n",
+              report.package_count, report.dropped_stale, report.build_seconds);
+  const auto stale = node->rpmdb().stale_against(production.frontend().distribution());
+  std::printf("compute-0-0 is running %zu stale packages\n\n", stale.size());
+
+  // The Maui "reinstall cluster" job: every node, concurrently, between
+  // user jobs.
+  const double makespan = production.reinstall_all();
+  std::printf("reinstall-cluster job: all 8 nodes back in %.1f minutes\n", makespan / 60.0);
+  std::printf("stale packages on compute-0-0 after upgrade: %zu\n",
+              node->rpmdb().stale_against(production.frontend().distribution()).size());
+  std::printf("cluster consistent: %s -- the next job sees a known software base\n",
+              production.consistent() ? "yes" : "no");
+  return 0;
+}

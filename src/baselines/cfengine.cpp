@@ -1,0 +1,73 @@
+#include "baselines/cfengine.hpp"
+
+#include <set>
+
+#include "support/strings.hpp"
+#include "vfs/path.hpp"
+
+namespace rocks::baselines {
+namespace {
+
+bool managed_path(const std::string& path) {
+  // Policy covers the system partition; /state is user data, and the
+  // rocks-post output is node-specific generated configuration (localized
+  // per host) that a sane policy excludes rather than "repairing" every
+  // node to the gold host's hostname.
+  return !vfs::is_within(path, "/state") &&
+         !vfs::is_within(path, "/etc/rc.d/rocks-post.d");
+}
+
+}  // namespace
+
+ParityReport CfengineAgent::audit(const cluster::Node& node,
+                                  const cluster::Node& reference) const {
+  return run(node, reference, nullptr);
+}
+
+ParityReport CfengineAgent::converge(cluster::Node& node,
+                                     const cluster::Node& reference) const {
+  return run(node, reference, &node);
+}
+
+ParityReport CfengineAgent::run(const cluster::Node& node, const cluster::Node& reference,
+                                cluster::Node* repair_target) const {
+  ParityReport report;
+  report.seconds = costs_.policy_fetch_seconds;
+
+  // Pass 1: every file the policy (reference image) describes.
+  std::set<std::string> managed;
+  reference.fs().walk("/", [&](const std::string& path, const vfs::Stat& st) {
+    if (st.type != vfs::NodeType::kFile || !managed_path(path)) return;
+    managed.insert(path);
+    ++report.files_examined;
+    report.seconds += costs_.seconds_per_file;
+
+    const bool missing = !node.fs().is_file(path);
+    const bool differs =
+        !missing && node.fs().file_hash(path) != reference.fs().file_hash(path);
+    if (!missing && !differs) return;
+    ++report.drifted;
+    if (repair_target != nullptr) {
+      auto& fs = repair_target->fs();
+      if (fs.exists(path)) fs.remove(path);
+      fs.mkdir_p(vfs::dirname(path));
+      fs.copy_tree(reference.fs(), path, path);
+      ++report.repaired;
+      report.bytes_repaired += st.size;
+      report.seconds += static_cast<double>(st.size) / costs_.repair_rate;
+    }
+  });
+
+  // Pass 2: what the node carries that policy does not mention. cfengine
+  // walks these directories anyway (that is where the examination cost of
+  // "exhaustive examination" comes from) but has no rule to fix them.
+  node.fs().walk("/", [&](const std::string& path, const vfs::Stat& st) {
+    if (st.type != vfs::NodeType::kFile || !managed_path(path)) return;
+    ++report.files_examined;
+    report.seconds += costs_.seconds_per_file;
+    if (!managed.contains(path)) ++report.unmanaged_extra;
+  });
+  return report;
+}
+
+}  // namespace rocks::baselines

@@ -1,0 +1,60 @@
+// Baseline 2: cfengine-style policy convergence (paper Sections 1 and 2).
+//
+// "configuration management tools like Cfengine ... perform exhaustive
+// examination and parity checking of an installed OS." This agent audits a
+// node's root partition against a reference node, optionally repairing
+// drift, with a cost model (per-file stat+checksum, per-byte repair copy,
+// per-node policy fetch over the frontend's NFS). The reinstall-vs-verify
+// bench measures what the paper argues: parity checking scales with the
+// number of files examined every time, repairs only what policy covers,
+// and silently misses drift outside the managed set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+
+namespace rocks::baselines {
+
+struct ParityCosts {
+  /// stat + md5 of one managed file (disk-bound on a PIII).
+  double seconds_per_file = 0.02;
+  /// repair copy rate, bytes/s (pull from the central server).
+  double repair_rate = 2.0 * 1024 * 1024;
+  /// fetching the central policy over NFS before any check (Section 2:
+  /// "a central policy file (accessed through NFS)").
+  double policy_fetch_seconds = 3.0;
+};
+
+struct ParityReport {
+  std::size_t files_examined = 0;
+  std::size_t drifted = 0;        // managed files differing from reference
+  std::size_t repaired = 0;
+  std::size_t unmanaged_extra = 0;  // files on the node policy knows nothing about
+  std::uint64_t bytes_repaired = 0;
+  double seconds = 0.0;
+};
+
+class CfengineAgent {
+ public:
+  explicit CfengineAgent(ParityCosts costs = {}) : costs_(costs) {}
+
+  /// Examine only: compares every reference file against the node.
+  [[nodiscard]] ParityReport audit(const cluster::Node& node,
+                                   const cluster::Node& reference) const;
+
+  /// Examine and repair: drifted or missing managed files are restored from
+  /// the reference. Files the node has that the policy does not describe
+  /// are counted but NOT removed — cfengine only converges what its policy
+  /// names, which is the residual-risk the paper's reinstall avoids.
+  ParityReport converge(cluster::Node& node, const cluster::Node& reference) const;
+
+ private:
+  ParityReport run(const cluster::Node& node, const cluster::Node& reference,
+                   cluster::Node* repair_target) const;
+  ParityCosts costs_;
+};
+
+}  // namespace rocks::baselines

@@ -1,0 +1,37 @@
+#include "baselines/disk_cloning.hpp"
+
+#include "support/strings.hpp"
+
+namespace rocks::baselines {
+
+CloneImage DiskCloner::capture(const cluster::Node& model) const {
+  CloneImage image;
+  image.source_host = model.hostname();
+  image.arch = model.arch();
+  // A bit image copies partition blocks, not packages: size is the disk
+  // usage of everything outside the preserved /state partition.
+  std::uint64_t state_bytes = 0;
+  if (model.fs().exists("/state")) state_bytes = model.fs().disk_usage("/state");
+  image.bytes = model.fs().disk_usage("/") - state_bytes;
+  image.model = &model;
+  return image;
+}
+
+CloneReport DiskCloner::apply(const CloneImage& image, cluster::Node& target) const {
+  CloneReport report;
+  if (target.arch() != image.arch) {
+    report.failure = strings::cat("image built for ", image.arch, " cannot boot on ",
+                                  target.arch(), " hardware");
+    return report;
+  }
+  if (!target.is_running()) {
+    report.failure = "target must be up to receive a clone stream";
+    return report;
+  }
+  target.clone_software_from(*image.model);
+  report.applied = true;
+  report.seconds = static_cast<double>(image.bytes) / image_rate_ + reboot_seconds_;
+  return report;
+}
+
+}  // namespace rocks::baselines

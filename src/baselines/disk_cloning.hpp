@@ -1,0 +1,53 @@
+// Baseline 1: disk cloning (paper Section 3.1).
+//
+// "a model node is hand-configured with desired software and then a
+// bit-image of the system partition is made. Commercial software (ImageCast
+// in this case) is then used to clone this image on homogeneous hardware."
+// The pitfall the paper calls out: clusters drift heterogeneous, and a
+// bit-image neither fits foreign hardware nor carries per-node
+// configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+
+namespace rocks::baselines {
+
+struct CloneImage {
+  std::string source_host;
+  std::string arch;             // images are architecture-specific
+  std::uint64_t bytes = 0;      // bit-image size (system partition blocks)
+  const cluster::Node* model = nullptr;
+};
+
+struct CloneReport {
+  bool applied = false;
+  std::string failure;          // non-empty when the clone was refused
+  double seconds = 0.0;         // image transfer + reboot
+};
+
+class DiskCloner {
+ public:
+  /// `image_rate` = unicast image streaming rate in bytes/s (ImageCast over
+  /// Fast Ethernet), `reboot_seconds` = post-clone reboot.
+  explicit DiskCloner(double image_rate = 8.0 * 1024 * 1024, double reboot_seconds = 120.0)
+      : image_rate_(image_rate), reboot_seconds_(reboot_seconds) {}
+
+  /// Snapshots the model node's system partition.
+  [[nodiscard]] CloneImage capture(const cluster::Node& model) const;
+
+  /// Streams the image onto `target`. Refuses architecture mismatches (the
+  /// heterogeneity pitfall); on success the target becomes a bit-copy of
+  /// the model — including the model's hostname-specific configuration,
+  /// which is exactly the bug the paper's XML+SQL generation avoids.
+  CloneReport apply(const CloneImage& image, cluster::Node& target) const;
+
+ private:
+  double image_rate_;
+  double reboot_seconds_;
+};
+
+}  // namespace rocks::baselines

@@ -1,0 +1,30 @@
+#include "baselines/hand_admin.hpp"
+
+#include "support/strings.hpp"
+
+namespace rocks::baselines {
+
+HandAdminReport HandAdministrator::push_change(const std::vector<cluster::Node*>& nodes,
+                                               const std::string& path,
+                                               const std::string& content) {
+  HandAdminReport report;
+  for (cluster::Node* node : nodes) {
+    if (!node->is_running()) continue;
+    ++report.attempted;
+    report.operator_seconds += options_.seconds_per_node;
+    if (rng_.chance(options_.skip_probability)) {
+      ++report.skipped;
+      continue;  // "was node X offline?"
+    }
+    if (rng_.chance(options_.typo_probability)) {
+      ++report.typos;
+      node->corrupt_file(path, strings::cat(content, " --typo-on-", node->hostname()));
+      continue;
+    }
+    node->corrupt_file(path, content);
+    ++report.clean;
+  }
+  return report;
+}
+
+}  // namespace rocks::baselines

@@ -1,0 +1,53 @@
+// Baseline 3: installing and maintaining each system by hand (paper
+// Section 3.2).
+//
+// "Even savvy computer professionals will occasionally enter incorrect
+// command line sequences" — this administrator pushes a change to nodes one
+// at a time, occasionally fat-fingering it or silently skipping a node that
+// was down, producing exactly the configuration drift whose detection the
+// paper's four questions revolve around.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "support/rng.hpp"
+
+namespace rocks::baselines {
+
+struct HandAdminOptions {
+  std::uint64_t seed = 42;
+  /// Probability a command is mistyped on a node (wrong content lands).
+  double typo_probability = 0.02;
+  /// Probability a node is skipped (offline / missed in the loop).
+  double skip_probability = 0.03;
+  /// Seconds of operator time per node per change.
+  double seconds_per_node = 45.0;
+};
+
+struct HandAdminReport {
+  int attempted = 0;
+  int clean = 0;
+  int typos = 0;    // wrong content written
+  int skipped = 0;  // node never touched
+  double operator_seconds = 0.0;
+};
+
+class HandAdministrator {
+ public:
+  explicit HandAdministrator(HandAdminOptions options = {})
+      : options_(options), rng_(options.seed) {}
+
+  /// Applies "write `content` to `path`" across the nodes, with error
+  /// injection. Errors are *silent* — the report's totals are only known to
+  /// the simulation, not to the administrator, which is the point.
+  HandAdminReport push_change(const std::vector<cluster::Node*>& nodes,
+                              const std::string& path, const std::string& content);
+
+ private:
+  HandAdminOptions options_;
+  Rng rng_;
+};
+
+}  // namespace rocks::baselines

@@ -1,0 +1,49 @@
+// Batch jobs.
+//
+// "To support job launching in production environments, we've packaged the
+// Portable Batch System (PBS) and the Maui scheduler. PBS is used for its
+// workload management system (starting and monitoring jobs) and Maui is
+// used for its rich scheduling functionality" (paper Section 4.1).
+//
+// Two job kinds matter to the reproduction: ordinary parallel user jobs,
+// and the Section 5 "reinstall cluster" job that upgrades production nodes
+// between user jobs without disturbing anything running.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rocks::batch {
+
+using JobId = std::uint64_t;
+
+enum class JobKind {
+  kUser,       // occupies its nodes for walltime seconds
+  kReinstall,  // shoots each assigned node; completes when all are back
+};
+
+enum class JobState { kQueued, kRunning, kComplete };
+
+[[nodiscard]] std::string_view job_state_name(JobState state);
+
+struct JobSpec {
+  std::string name;
+  JobKind kind = JobKind::kUser;
+  /// How many nodes the job needs (reinstall jobs: 0 = every compute node).
+  std::size_t nodes = 1;
+  /// User jobs: execution time once started.
+  double walltime_seconds = 60.0;
+};
+
+struct JobRecord {
+  JobId id = 0;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  double submitted_at = 0.0;
+  double started_at = -1.0;
+  double completed_at = -1.0;
+  std::vector<std::string> assigned_nodes;
+};
+
+}  // namespace rocks::batch

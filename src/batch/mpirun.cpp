@@ -1,0 +1,35 @@
+#include "batch/mpirun.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::batch {
+
+std::vector<std::string> Mpirun::machinefile(int slots_per_node) const {
+  std::vector<std::string> slots;
+  for (cluster::Node* node : cluster_.nodes()) {
+    if (!node->is_running()) continue;
+    if (!strings::starts_with(node->hostname(), "compute-")) continue;
+    for (int s = 0; s < slots_per_node; ++s) slots.push_back(node->hostname());
+  }
+  return slots;
+}
+
+MpirunLaunch Mpirun::run(int np, const std::string& program, double duration_seconds,
+                         int slots_per_node, RexecContext context) {
+  require_state(np > 0, "mpirun: -np must be positive");
+  auto slots = machinefile(slots_per_node);
+  require_state(static_cast<std::size_t>(np) <= slots.size(),
+                strings::cat("mpirun: need ", np, " slots but only ", slots.size(),
+                             " are up"));
+  slots.resize(static_cast<std::size_t>(np));
+
+  MpirunLaunch launch;
+  launch.machinefile = slots;
+  context.env["MPIRUN_NPROCS"] = std::to_string(np);
+  launch.run = rexec_.launch(slots, strings::cat(program, " (rank launch)"),
+                             duration_seconds, std::move(context));
+  return launch;
+}
+
+}  // namespace rocks::batch

@@ -1,0 +1,40 @@
+// mpirun — interactive parallel launch (paper Section 4.1: "For interactive
+// and development environments, Rocks includes mpirun from the MPICH
+// distribution and REXEC").
+//
+// mpirun builds its machinefile from the running compute nodes (the same
+// set the PBS nodes file lists) and starts one rank per slot through REXEC,
+// inheriting REXEC's environment propagation and signal forwarding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "batch/rexec.hpp"
+
+namespace rocks::batch {
+
+struct MpirunLaunch {
+  RunId run = 0;
+  std::vector<std::string> machinefile;  // rank i runs on machinefile[i]
+};
+
+class Mpirun {
+ public:
+  Mpirun(cluster::Cluster& cluster, Rexec& rexec) : cluster_(cluster), rexec_(rexec) {}
+
+  /// `mpirun -np <np> <program>`: selects np slots round-robin over the
+  /// running compute nodes (`slots_per_node` ranks fit one node, like np=2
+  /// dual-PIIIs). Throws StateError when the cluster cannot seat np ranks.
+  MpirunLaunch run(int np, const std::string& program, double duration_seconds,
+                   int slots_per_node = 2, RexecContext context = {});
+
+  /// The machinefile mpirun would use right now.
+  [[nodiscard]] std::vector<std::string> machinefile(int slots_per_node = 2) const;
+
+ private:
+  cluster::Cluster& cluster_;
+  Rexec& rexec_;
+};
+
+}  // namespace rocks::batch

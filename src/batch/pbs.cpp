@@ -1,0 +1,210 @@
+#include "batch/pbs.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace rocks::batch {
+
+using cluster::Node;
+using strings::cat;
+
+std::string_view job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "Q";
+    case JobState::kRunning: return "R";
+    case JobState::kComplete: return "C";
+  }
+  return "?";
+}
+
+PbsServer::PbsServer(cluster::Cluster& cluster) : cluster_(cluster) {}
+
+JobId PbsServer::submit(JobSpec spec) {
+  const JobId id = next_id_++;
+  JobRecord record;
+  record.id = id;
+  record.spec = std::move(spec);
+  record.submitted_at = cluster_.sim().now();
+  jobs_.emplace(id, std::move(record));
+  queue_.push_back(id);
+  return id;
+}
+
+bool PbsServer::cancel(JobId id) {
+  const auto it = std::find(queue_.begin(), queue_.end(), id);
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  jobs_.at(id).state = JobState::kComplete;
+  jobs_.at(id).completed_at = cluster_.sim().now();
+  return true;
+}
+
+bool PbsServer::node_busy(const std::string& hostname) const {
+  return busy_nodes_.contains(hostname);
+}
+
+std::vector<Node*> PbsServer::free_nodes() const {
+  std::vector<Node*> out;
+  for (Node* node : cluster_.nodes()) {
+    if (!node->is_running()) continue;
+    if (!strings::starts_with(node->hostname(), "compute-")) continue;
+    if (node_busy(node->hostname())) continue;
+    out.push_back(node);
+  }
+  return out;
+}
+
+void PbsServer::start_user_job(JobRecord& record, std::vector<Node*> nodes) {
+  record.state = JobState::kRunning;
+  record.started_at = cluster_.sim().now();
+  for (Node* node : nodes) {
+    record.assigned_nodes.push_back(node->hostname());
+    busy_nodes_.insert(node->hostname());
+    node->launch_process(cat("job:", record.id));
+  }
+  const JobId id = record.id;
+  cluster_.sim().schedule(record.spec.walltime_seconds, [this, id] {
+    JobRecord& job = jobs_.at(id);
+    for (const auto& hostname : job.assigned_nodes) {
+      Node* node = cluster_.node(hostname);
+      if (node != nullptr && node->is_running()) node->kill_processes(cat("job:", id));
+      busy_nodes_.erase(hostname);
+    }
+    finish_job(job);
+  });
+}
+
+void PbsServer::start_reinstall_on(JobRecord& record, Node* node) {
+  const JobId id = record.id;
+  const std::string hostname = node->hostname();
+  busy_nodes_.insert(hostname);
+  reinstall_pending_.at(id).erase(hostname);
+  node->on_running([this, id, hostname] {
+    Node* done = cluster_.node(hostname);
+    if (done != nullptr) done->on_running(nullptr);
+    busy_nodes_.erase(hostname);
+    JobRecord& job = jobs_.at(id);
+    if (--reinstall_remaining_.at(id) == 0) {
+      finish_job(job);
+    } else {
+      schedule();
+    }
+  });
+  node->shoot();
+}
+
+void PbsServer::finish_job(JobRecord& record) {
+  record.state = JobState::kComplete;
+  record.completed_at = cluster_.sim().now();
+  reinstall_remaining_.erase(record.id);
+  reinstall_pending_.erase(record.id);
+  schedule();
+}
+
+void PbsServer::schedule() {
+  // Walk the queue FIFO; a job that cannot start is skipped (simple
+  // backfill — later jobs may run on nodes the head job cannot use yet).
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      JobRecord& record = jobs_.at(*it);
+      if (record.spec.kind == JobKind::kUser) {
+        auto free = free_nodes();
+        if (free.size() >= record.spec.nodes) {
+          free.resize(record.spec.nodes);
+          start_user_job(record, std::move(free));
+          it = queue_.erase(it);
+          progressed = true;
+          continue;
+        }
+        ++it;
+        continue;
+      }
+      // Reinstall job: claim its target set on first touch, then shoot
+      // whatever is currently free; it leaves the queue immediately and
+      // drains the rest as user jobs release nodes.
+      std::set<std::string> targets;
+      for (Node* node : cluster_.nodes()) {
+        if (!strings::starts_with(node->hostname(), "compute-")) continue;
+        targets.insert(node->hostname());
+        if (record.spec.nodes != 0 && targets.size() == record.spec.nodes) break;
+      }
+      record.state = JobState::kRunning;
+      record.started_at = cluster_.sim().now();
+      record.assigned_nodes.assign(targets.begin(), targets.end());
+      reinstall_remaining_[record.id] = targets.size();
+      reinstall_pending_[record.id] = std::move(targets);
+      it = queue_.erase(it);
+      progressed = true;
+    }
+    // Shoot pending reinstall targets that are now free.
+    for (auto& [id, pending] : reinstall_pending_) {
+      JobRecord& record = jobs_.at(id);
+      const auto snapshot = pending;  // start_reinstall_on mutates pending
+      for (const auto& hostname : snapshot) {
+        Node* node = cluster_.node(hostname);
+        if (node == nullptr) continue;
+        if (!node->is_running() || node_busy(hostname)) continue;
+        start_reinstall_on(record, node);
+        progressed = true;
+      }
+    }
+  }
+}
+
+void PbsServer::drain() {
+  schedule();
+  while (true) {
+    bool outstanding = false;
+    for (const auto& [id, record] : jobs_)
+      if (record.state != JobState::kComplete) outstanding = true;
+    if (!outstanding) return;
+    if (!cluster_.sim().step())
+      throw StateError("PBS drain: jobs outstanding but no pending events");
+  }
+}
+
+const JobRecord& PbsServer::job(JobId id) const {
+  const auto it = jobs_.find(id);
+  require_found(it != jobs_.end(), cat("no such job: ", id));
+  return it->second;
+}
+
+std::vector<const JobRecord*> PbsServer::jobs() const {
+  std::vector<const JobRecord*> out;
+  for (const auto& [id, record] : jobs_) out.push_back(&record);
+  return out;
+}
+
+std::size_t PbsServer::queued_count() const { return queue_.size(); }
+
+std::size_t PbsServer::running_count() const {
+  std::size_t count = 0;
+  for (const auto& [id, record] : jobs_)
+    if (record.state == JobState::kRunning) ++count;
+  return count;
+}
+
+std::string PbsServer::qstat() const {
+  AsciiTable table({"Job", "Name", "Kind", "State", "Nodes", "Submitted", "Runtime"});
+  for (const auto& [id, record] : jobs_) {
+    const double runtime = record.state == JobState::kComplete
+                               ? record.completed_at - record.started_at
+                               : (record.started_at >= 0
+                                      ? cluster_.sim().now() - record.started_at
+                                      : 0.0);
+    table.add_row({std::to_string(id), record.spec.name,
+                   record.spec.kind == JobKind::kUser ? "user" : "reinstall",
+                   std::string(job_state_name(record.state)),
+                   std::to_string(record.assigned_nodes.empty() ? record.spec.nodes
+                                                                : record.assigned_nodes.size()),
+                   fixed(record.submitted_at, 0), fixed(runtime, 0)});
+  }
+  return table.render();
+}
+
+}  // namespace rocks::batch

@@ -1,0 +1,66 @@
+// The PBS + Maui pair, wired to a live cluster.
+//
+// PbsServer owns the queue and job records (workload management); the Maui
+// policy inside schedule() assigns queued jobs to free compute nodes in
+// FIFO order with backfill (a smaller job may jump ahead if it fits in the
+// idle nodes the head-of-queue job cannot use yet). Reinstall jobs take
+// nodes one at a time as they drain — the Section 5 rolling-upgrade
+// behaviour: "as not to disturb any running applications".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "batch/job.hpp"
+#include "cluster/cluster.hpp"
+
+namespace rocks::batch {
+
+class PbsServer {
+ public:
+  explicit PbsServer(cluster::Cluster& cluster);
+
+  /// qsub. Returns the job id; scheduling happens on the next cycle.
+  JobId submit(JobSpec spec);
+
+  /// qdel for queued jobs (running jobs cannot be deleted in this model).
+  bool cancel(JobId id);
+
+  /// One Maui scheduling cycle: starts every job that fits. Called
+  /// automatically when jobs complete; call manually after submits.
+  void schedule();
+
+  /// Runs the simulator until every submitted job completes.
+  void drain();
+
+  [[nodiscard]] const JobRecord& job(JobId id) const;
+  [[nodiscard]] std::vector<const JobRecord*> jobs() const;
+  [[nodiscard]] std::size_t queued_count() const;
+  [[nodiscard]] std::size_t running_count() const;
+
+  /// Nodes currently free for scheduling (running, no job, compute
+  /// membership).
+  [[nodiscard]] std::vector<cluster::Node*> free_nodes() const;
+
+  /// qstat-style report.
+  [[nodiscard]] std::string qstat() const;
+
+ private:
+  void start_user_job(JobRecord& record, std::vector<cluster::Node*> nodes);
+  void start_reinstall_on(JobRecord& record, cluster::Node* node);
+  void finish_job(JobRecord& record);
+  [[nodiscard]] bool node_busy(const std::string& hostname) const;
+
+  cluster::Cluster& cluster_;
+  std::map<JobId, JobRecord> jobs_;
+  std::vector<JobId> queue_;           // FIFO of queued job ids
+  std::set<std::string> busy_nodes_;   // hostnames owned by running jobs
+  std::map<JobId, std::size_t> reinstall_remaining_;  // nodes still to do
+  std::map<JobId, std::set<std::string>> reinstall_pending_;  // not yet shot
+  JobId next_id_ = 1;
+};
+
+}  // namespace rocks::batch

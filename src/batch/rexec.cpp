@@ -1,0 +1,89 @@
+#include "batch/rexec.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::batch {
+
+using cluster::Node;
+using strings::cat;
+
+std::string Rexec::process_tag(RunId id) { return cat("rexec:", id); }
+
+RunId Rexec::launch(const std::vector<std::string>& hosts, const std::string& command,
+                    double duration_seconds, RexecContext context) {
+  const RunId id = next_id_++;
+  Run run;
+  run.command = command;
+  run.context = std::move(context);
+
+  for (const auto& hostname : hosts) {
+    RexecProcess process;
+    process.node = hostname;
+    Node* node = cluster_.node(hostname);
+    if (node == nullptr || !node->is_running()) {
+      // Unreachable: recorded, never started (exit_code stays -1).
+      run.processes.push_back(std::move(process));
+      continue;
+    }
+    process.running = true;
+    // Stdio redirection: the remote process's first output line reflects
+    // the propagated context, exactly what rexec's demo programs print.
+    process.stdout_lines.push_back(cat(hostname, ": $ ", command, " (uid=", run.context.uid,
+                                       " gid=", run.context.gid, " cwd=", run.context.cwd,
+                                       ")"));
+    for (const auto& [key, value] : run.context.env)
+      process.stdout_lines.push_back(cat(hostname, ": env ", key, "=", value));
+    node->launch_process(process_tag(id));
+    run.processes.push_back(std::move(process));
+  }
+  runs_.emplace(id, std::move(run));
+
+  // Natural completion after the workload's duration.
+  cluster_.sim().schedule(duration_seconds, [this, id] {
+    Run& run = runs_.at(id);
+    for (auto& process : run.processes) {
+      if (!process.running) continue;
+      process.running = false;
+      process.exit_code = 0;
+      process.stdout_lines.push_back(cat(process.node, ": exited 0"));
+      Node* node = cluster_.node(process.node);
+      if (node != nullptr) node->kill_processes(process_tag(id));
+    }
+  });
+  return id;
+}
+
+std::size_t Rexec::forward_signal(RunId id, int signo) {
+  const auto it = runs_.find(id);
+  require_found(it != runs_.end(), cat("rexec: no such run ", id));
+  std::size_t delivered = 0;
+  for (auto& process : it->second.processes) {
+    if (!process.running) continue;
+    process.running = false;
+    process.exit_code = 128 + signo;
+    process.stdout_lines.push_back(
+        cat(process.node, ": terminated by forwarded signal ", signo));
+    Node* node = cluster_.node(process.node);
+    if (node != nullptr) node->kill_processes(process_tag(id));
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t Rexec::running_count(RunId id) const {
+  const auto it = runs_.find(id);
+  require_found(it != runs_.end(), cat("rexec: no such run ", id));
+  std::size_t count = 0;
+  for (const auto& process : it->second.processes)
+    if (process.running) ++count;
+  return count;
+}
+
+const std::vector<RexecProcess>& Rexec::processes(RunId id) const {
+  const auto it = runs_.find(id);
+  require_found(it != runs_.end(), cat("rexec: no such run ", id));
+  return it->second.processes;
+}
+
+}  // namespace rocks::batch

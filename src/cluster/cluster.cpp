@@ -1,0 +1,128 @@
+#include "cluster/cluster.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::cluster {
+
+using strings::cat;
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)), distro_(rpm::make_redhat_release(config_.synth)) {
+  frontend_ = std::make_unique<Frontend>(sim_, syslog_, distro_, config_.frontend);
+  insert_ethers_ = std::make_unique<InsertEthers>(*frontend_, syslog_);
+}
+
+Node& Cluster::add_node(std::string arch) {
+  // Locally administered MACs, deterministic per node index.
+  const Mac mac(0x0250'8BE0'0000ULL + static_cast<std::uint64_t>(next_mac_suffix_++));
+  nodes_.push_back(
+      std::make_unique<Node>(frontend_->environment(), mac, std::move(arch), config_.timings));
+  return *nodes_.back();
+}
+
+void Cluster::integrate_all() {
+  insert_ethers_->start();
+  std::vector<Node*> pending;
+  double at = 0.0;
+  for (auto& node : nodes_) {
+    if (node->state() != NodeState::kOff || node->install_count() > 0) continue;
+    Node* raw = node.get();
+    pending.push_back(raw);
+    sim_.schedule(at, [raw] { raw->power_on(); });
+    at += config_.integration_stagger;
+  }
+  // Run until every node being integrated reaches kRunning (the generic
+  // stability check would return immediately: a not-yet-powered node looks
+  // "stable").
+  const double deadline = sim_.now() + 36000.0 + at;
+  while (true) {
+    bool all_running = true;
+    for (Node* node : pending)
+      if (!node->is_running()) all_running = false;
+    if (all_running) break;
+    require_state(sim_.now() < deadline, "integration did not complete within the time cap");
+    require_state(sim_.step(), "integration deadlocked: nodes pending but no events queued");
+  }
+  insert_ethers_->stop();
+
+  // Give every integrated node a PDU outlet named after its hostname.
+  for (auto& node : nodes_) {
+    if (node->hostname().empty()) continue;
+    Node* raw = node.get();
+    pdu_.attach(node->hostname(), [raw] { raw->hard_power_cycle(); });
+  }
+}
+
+std::vector<Node*> Cluster::nodes() {
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (auto& node : nodes_) out.push_back(node.get());
+  return out;
+}
+
+Node* Cluster::node(std::string_view hostname) {
+  for (auto& node : nodes_)
+    if (node->hostname() == hostname) return node.get();
+  return nullptr;
+}
+
+void Cluster::shoot_node(std::string_view hostname, bool watch_ekv) {
+  Node* target = node(hostname);
+  require_found(target != nullptr, cat("shoot-node: unknown host ", std::string(hostname)));
+  target->shoot();
+  if (watch_ekv) {
+    // The xterm shoot-node pops up: capture the node's screen when it next
+    // finishes (simplified to a final snapshot).
+    Node* raw = target;
+    raw->on_running([this, raw] { ekv_captures_.push_back(raw->ekv().screen()); });
+  }
+}
+
+double Cluster::reinstall_all() {
+  const double start = sim_.now();
+  for (auto& node : nodes_) {
+    if (node->state() == NodeState::kRunning) node->shoot();
+  }
+  run_until_stable();
+  return sim_.now() - start;
+}
+
+void Cluster::run_until_stable(double max_seconds) {
+  const double deadline = sim_.now() + max_seconds;
+  while (sim_.now() < deadline) {
+    bool all_stable = true;
+    for (auto& node : nodes_) {
+      if (node->state() != NodeState::kRunning && node->state() != NodeState::kOff) {
+        all_stable = false;
+        break;
+      }
+    }
+    if (all_stable) return;
+    if (!sim_.step()) {
+      // No pending events but nodes not running: a node is stuck waiting on
+      // something that will never come (e.g. unknown DHCP with insert-ethers
+      // stopped). Surface it rather than spin.
+      throw StateError("cluster deadlocked: nodes pending but no events queued");
+    }
+  }
+  throw StateError("cluster did not stabilize within the time cap");
+}
+
+bool Cluster::consistent() {
+  std::uint64_t fingerprint = 0;
+  bool first = true;
+  for (auto& node : nodes_) {
+    if (!node->is_running()) continue;
+    if (!strings::starts_with(node->hostname(), "compute-")) continue;
+    if (first) {
+      fingerprint = node->software_fingerprint();
+      first = false;
+    } else if (node->software_fingerprint() != fingerprint) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rocks::cluster

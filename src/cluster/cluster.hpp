@@ -1,0 +1,86 @@
+// The whole machine: frontend + compute nodes + power + the integration and
+// reinstallation workflows. This is the top-level facade benches and
+// examples drive.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/frontend.hpp"
+#include "cluster/insert_ethers.hpp"
+#include "cluster/node.hpp"
+#include "netsim/power.hpp"
+#include "rpm/synth.hpp"
+
+namespace rocks::cluster {
+
+struct ClusterConfig {
+  rpm::SynthOptions synth;
+  FrontendConfig frontend;
+  NodeTimings timings;
+  /// Seconds between sequential node power-ons during integration
+  /// (insert-ethers requires serial booting to bind rack/rank positions).
+  double integration_stagger = 20.0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+  // Frontend and the nodes hold references into this object: not movable.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] netsim::Simulator& sim() { return sim_; }
+  [[nodiscard]] netsim::SyslogBus& syslog() { return syslog_; }
+  [[nodiscard]] Frontend& frontend() { return *frontend_; }
+  [[nodiscard]] netsim::PowerDistributionUnit& pdu() { return pdu_; }
+  [[nodiscard]] const rpm::SynthDistro& distro() const { return distro_; }
+  [[nodiscard]] InsertEthers& insert_ethers() { return *insert_ethers_; }
+
+  /// Adds a bare node (a machine racked and cabled, never booted).
+  Node& add_node(std::string arch = "i386");
+
+  /// The full integration workflow: run insert-ethers, power nodes on
+  /// sequentially, and simulate until every node reaches kRunning. Each
+  /// integrated node gets a PDU outlet named after its hostname.
+  void integrate_all();
+
+  [[nodiscard]] std::vector<Node*> nodes();
+  /// Node by hostname; nullptr when unknown.
+  [[nodiscard]] Node* node(std::string_view hostname);
+
+  /// shoot-node for one host: sends the reinstall message and (optionally)
+  /// attaches an eKV watcher that mirrors install output.
+  void shoot_node(std::string_view hostname, bool watch_ekv = false);
+  /// Reinstall every compute node concurrently (the "reinstall cluster"
+  /// job of Section 5) and run until all are back. Returns the makespan in
+  /// seconds.
+  double reinstall_all();
+
+  /// Runs the simulator until every node is kRunning (with a safety cap).
+  void run_until_stable(double max_seconds = 36000.0);
+
+  /// True when all running nodes of the Compute membership report the same
+  /// software fingerprint — the question Section 3.2's pitfalls revolve
+  /// around, answered here in O(nodes) instead of an audit.
+  [[nodiscard]] bool consistent();
+
+  /// Latest eKV screens captured by shoot_node watchers.
+  [[nodiscard]] const std::vector<std::string>& ekv_captures() const { return ekv_captures_; }
+
+ private:
+  ClusterConfig config_;
+  netsim::Simulator sim_;
+  netsim::SyslogBus syslog_;
+  rpm::SynthDistro distro_;
+  std::unique_ptr<Frontend> frontend_;
+  std::unique_ptr<InsertEthers> insert_ethers_;
+  netsim::PowerDistributionUnit pdu_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::string> ekv_captures_;
+  int next_mac_suffix_ = 1;
+};
+
+}  // namespace rocks::cluster

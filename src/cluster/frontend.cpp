@@ -1,0 +1,102 @@
+#include "cluster/frontend.hpp"
+
+#include "cluster/node.hpp"
+#include "services/generators.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::cluster {
+
+using strings::cat;
+
+Frontend::Frontend(netsim::Simulator& sim, netsim::SyslogBus& syslog,
+                   const rpm::SynthDistro& distro, FrontendConfig config)
+    : sim_(sim),
+      syslog_(syslog),
+      config_(std::move(config)),
+      configuration_(kickstart::make_default_configuration(distro)),
+      rocksdist_(fs_, rocksdist::DistConfig{"/home/install", config_.dist_version, "i386",
+                                            32 * 1024}),
+      http_(sim, config_.http_capacity, config_.http_servers),
+      dhcp_(sim, syslog, config_.name, config_.ip) {
+  http_.set_per_stream_cap(config_.http_per_stream_cap);
+  // Database bootstrap: schema plus our own row (the first thing the CD
+  // install does, Section 6.4).
+  kickstart::ensure_cluster_schema(db_);
+  kickstart::insert_node_row(db_, config_.mac.to_string(), config_.name, /*membership=*/1,
+                             /*rack=*/0, /*rank=*/0, config_.ip.to_string(), "i386",
+                             "Gateway machine");
+
+  // rocks-dist: mirror the stock release, build the distribution tree.
+  rocksdist_.mirror(distro.repo, cat("redhat/", config_.dist_version));
+  rocksdist_.dist(configuration_.files, configuration_.graph);
+
+  kickstart_server_ = std::make_unique<kickstart::KickstartServer>(
+      db_, configuration_.files, configuration_.graph, config_.ip,
+      cat("http://", config_.ip.to_string(), "/install/rocks-dist"),
+      &rocksdist_.distribution());
+
+  // The generated-configuration services (Section 6.4).
+  services_.register_service("dhcpd", "/etc/dhcpd.conf", [this](sqldb::Database& db) {
+    return services::generate_dhcpd_conf(db, config_.ip);
+  });
+  services_.register_service("hosts", "/etc/hosts", services::generate_hosts);
+  services_.register_service("pbs", "/var/spool/pbs/server_priv/nodes",
+                             [](sqldb::Database& db) {
+                               return services::generate_pbs_nodes(db);
+                             });
+  services_.register_service("nis", "/var/yp/passwd", services::generate_nis_passwd);
+  services_.register_service("nfs", "/etc/exports", services::generate_nfs_exports);
+  regenerate_services();
+}
+
+std::vector<std::string> Frontend::regenerate_services() {
+  const auto restarted = services_.regenerate(db_, fs_);
+
+  // Push static bindings to the DHCP daemon (its restart re-reads the conf).
+  std::map<Mac, netsim::DhcpLease> bindings;
+  const auto rows = db_.execute("SELECT mac, name, ip FROM nodes ORDER BY id");
+  for (const auto& row : rows.rows) {
+    const auto mac = Mac::parse(row[0].to_string());
+    const auto ip = Ipv4::parse(row[2].to_string());
+    if (!mac || !ip) continue;
+    bindings.emplace(*mac, netsim::DhcpLease{*ip, row[1].to_string(), config_.ip});
+  }
+  dhcp_.configure(std::move(bindings));
+  return restarted;
+}
+
+void Frontend::add_user(std::string_view name, int uid, std::string_view shell) {
+  services::ensure_users_table(db_);
+  db_.execute(cat("INSERT INTO users VALUES ('", name, "', ", uid, ", '/export/home/", name,
+                  "', '", shell, "')"));
+  fs_.mkdir_p(cat("/export/home/", name));
+  regenerate_services();  // pushes the fresh NIS map
+}
+
+std::string Frontend::nis_passwd_map() {
+  services::ensure_users_table(db_);
+  return fs_.is_file("/var/yp/passwd") ? fs_.read_file("/var/yp/passwd")
+                                       : services::generate_nis_passwd(db_);
+}
+
+rocksdist::DistReport Frontend::rebuild_distribution() {
+  return rocksdist_.dist(configuration_.files, configuration_.graph);
+}
+
+rocksdist::DistReport Frontend::apply_updates(const rpm::Repository& updates) {
+  rocksdist_.mirror(updates, cat("updates/", config_.dist_version));
+  return rebuild_distribution();
+}
+
+NodeEnvironment Frontend::environment() {
+  NodeEnvironment env;
+  env.sim = &sim_;
+  env.syslog = &syslog_;
+  env.dhcp = &dhcp_;
+  env.kickstart = kickstart_server_.get();
+  env.http = &http_;
+  env.distribution = &rocksdist_.distribution();
+  return env;
+}
+
+}  // namespace rocks::cluster

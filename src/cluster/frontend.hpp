@@ -1,0 +1,106 @@
+// The frontend node: every service the cluster depends on.
+//
+// "The frontend node requires the skills of a savvy UNIX user, as this is a
+// machine which runs many of the services found on any robust server"
+// (paper Section 5). One Frontend owns the SQL database, the kickstart CGI
+// service, DHCP, the HTTP distribution servers, rocks-dist, and the service
+// manager that regenerates /etc configuration from database reports.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kickstart/defaults.hpp"
+#include "kickstart/server.hpp"
+#include "netsim/dhcp.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/http.hpp"
+#include "netsim/syslog.hpp"
+#include "rocksdist/rocksdist.hpp"
+#include "services/manager.hpp"
+#include "sqldb/engine.hpp"
+#include "vfs/filesystem.hpp"
+
+// Forward declaration: nodes receive their environment from the frontend.
+namespace rocks::cluster {
+struct NodeEnvironment;
+}
+
+namespace rocks::cluster {
+
+struct FrontendConfig {
+  std::string name = "frontend-0";
+  Ipv4 ip{10, 1, 1, 1};
+  Mac mac{0x0030C1D8AC80ULL};  // the paper's Table II frontend MAC
+  /// Sustained HTTP source rate per server in bytes/s (paper micro-benchmark:
+  /// the dual-PIII on Fast Ethernet sourced 7-8 MB/s).
+  double http_capacity = 7.5 * 1024 * 1024;
+  /// Per-download stream cap in bytes/s; 0 = uncapped. Lets benches model
+  /// "one TCP stream sources 7.5 MB/s, many streams fill the NIC".
+  double http_per_stream_cap = 0.0;
+  std::size_t http_servers = 1;
+  std::string dist_version = "7.2";
+};
+
+class Frontend {
+ public:
+  /// Boots the frontend: creates the database schema, registers its own
+  /// nodes-table row, mirrors `distro` with rocks-dist, builds the
+  /// distribution tree, and starts all services.
+  Frontend(netsim::Simulator& sim, netsim::SyslogBus& syslog, const rpm::SynthDistro& distro,
+           FrontendConfig config = {});
+
+  [[nodiscard]] const FrontendConfig& config() const { return config_; }
+  [[nodiscard]] sqldb::Database& db() { return db_; }
+  [[nodiscard]] vfs::FileSystem& fs() { return fs_; }
+  [[nodiscard]] netsim::DhcpServer& dhcp() { return dhcp_; }
+  [[nodiscard]] netsim::HttpServerGroup& http() { return http_; }
+  [[nodiscard]] kickstart::KickstartServer& kickstart_server() { return *kickstart_server_; }
+  [[nodiscard]] rocksdist::RocksDist& rocksdist() { return rocksdist_; }
+  [[nodiscard]] services::ServiceManager& services() { return services_; }
+  [[nodiscard]] kickstart::NodeFileSet& node_files() { return configuration_.files; }
+  [[nodiscard]] kickstart::Graph& graph() { return configuration_.graph; }
+  [[nodiscard]] const rpm::Repository& distribution() const {
+    return rocksdist_.distribution();
+  }
+
+  /// Regenerates every /etc config file from the database, restarts changed
+  /// services, and pushes fresh static bindings into the DHCP server.
+  /// Returns the restarted service names.
+  std::vector<std::string> regenerate_services();
+
+  /// useradd: adds an account row and pushes the NIS maps ("User account
+  /// configuration ... synchronized from the frontend node to compute nodes
+  /// with the Network Information Service", Section 5). Home directories
+  /// live under the NFS-exported /export/home.
+  void add_user(std::string_view name, int uid, std::string_view shell = "/bin/bash");
+
+  /// What a compute node's ypbind resolves: the current NIS passwd map.
+  [[nodiscard]] std::string nis_passwd_map();
+
+  /// Re-runs rocks-dist (after mirroring updates or editing the XML infra).
+  rocksdist::DistReport rebuild_distribution();
+
+  /// Mirrors an errata repository, then rebuilds ("If Red Hat ships it, so
+  /// do we", Section 6.2.1).
+  rocksdist::DistReport apply_updates(const rpm::Repository& updates);
+
+  /// The wiring a Node needs to boot and install.
+  [[nodiscard]] NodeEnvironment environment();
+
+ private:
+  netsim::Simulator& sim_;
+  netsim::SyslogBus& syslog_;
+  FrontendConfig config_;
+  vfs::FileSystem fs_;
+  sqldb::Database db_;
+  kickstart::DefaultConfiguration configuration_;
+  rocksdist::RocksDist rocksdist_;
+  netsim::HttpServerGroup http_;
+  netsim::DhcpServer dhcp_;
+  std::unique_ptr<kickstart::KickstartServer> kickstart_server_;
+  services::ServiceManager services_;
+};
+
+}  // namespace rocks::cluster

@@ -1,0 +1,88 @@
+#include "cluster/insert_ethers.hpp"
+
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace rocks::cluster {
+
+using strings::cat;
+
+InsertEthers::InsertEthers(Frontend& frontend, netsim::SyslogBus& syslog,
+                           InsertEthersOptions options)
+    : frontend_(frontend), syslog_(syslog), options_(std::move(options)) {}
+
+InsertEthers::~InsertEthers() { stop(); }
+
+void InsertEthers::start() {
+  if (active_) return;
+  active_ = true;
+  subscription_ =
+      syslog_.subscribe([this](const netsim::SyslogMessage& m) { on_syslog(m); });
+}
+
+void InsertEthers::stop() {
+  if (!active_) return;
+  syslog_.unsubscribe(subscription_);
+  active_ = false;
+}
+
+void InsertEthers::set_membership(int membership, std::string basename) {
+  options_.membership = membership;
+  options_.basename = std::move(basename);
+}
+
+Ipv4 InsertEthers::next_free_ip() const {
+  std::set<std::string> taken;
+  for (const auto& ip : frontend_.db().query_column("SELECT ip FROM nodes"))
+    taken.insert(ip);
+  Ipv4 candidate = options_.ip_ceiling;
+  while (taken.contains(candidate.to_string())) candidate = candidate.prev();
+  return candidate;
+}
+
+int InsertEthers::next_rank() const {
+  const auto rows = frontend_.db().execute(
+      cat("SELECT rank FROM nodes WHERE membership = ", options_.membership,
+          " AND rack = ", options_.rack, " ORDER BY rank DESC LIMIT 1"));
+  if (rows.row_count() == 0) return 0;
+  return static_cast<int>(rows.rows[0][0].as_int()) + 1;
+}
+
+void InsertEthers::on_syslog(const netsim::SyslogMessage& message) {
+  // The discovery signature: dhcpd logging a request it could not answer.
+  if (message.facility != "dhcpd") return;
+  if (!strings::contains(message.text, "DHCPDISCOVER")) return;
+  if (!strings::contains(message.text, "no free leases")) return;
+
+  // "DHCPDISCOVER from <mac> via eth0: ..."
+  const auto words = strings::split_ws(message.text);
+  std::string mac_text;
+  for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+    if (words[i] == "from") {
+      mac_text = words[i + 1];
+      break;
+    }
+  }
+  const auto mac = Mac::parse(mac_text);
+  if (!mac) return;
+
+  // Already known? (Several retries can race one insertion.)
+  const auto existing = frontend_.db().execute(
+      cat("SELECT name FROM nodes WHERE mac = '", mac->to_string(), "'"));
+  if (existing.row_count() != 0) return;
+
+  const int rank = next_rank();
+  const std::string name = cat(options_.basename, "-", options_.rack, "-", rank);
+  const Ipv4 ip = next_free_ip();
+  kickstart::insert_node_row(frontend_.db(), mac->to_string(), name, options_.membership,
+                             options_.rack, rank, ip.to_string(), options_.arch,
+                             "Compute node");
+  ++inserted_;
+  log_.push_back(cat("inserted ", name, " (", mac->to_string(), " -> ", ip.to_string(), ")"));
+
+  // Rebuild configs + restart services so the node's DHCP retry succeeds.
+  frontend_.regenerate_services();
+}
+
+}  // namespace rocks::cluster

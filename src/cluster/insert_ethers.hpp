@@ -1,0 +1,69 @@
+// insert-ethers: automatic node integration.
+//
+// "Insert-ethers monitors syslog messages for DHCP requests from new hosts
+// and when found, generates a hostname, determines the next free IP
+// address, binds the hostname and IP address to its Ethernet MAC address,
+// and inserts this information into the database. Insert-ethers then
+// rebuilds service-specific configuration files ... and restarting the
+// respective services" (paper Section 6.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/frontend.hpp"
+#include "support/ip.hpp"
+
+namespace rocks::cluster {
+
+struct InsertEthersOptions {
+  /// Which membership new nodes join (2 = Compute, per Table III).
+  int membership = 2;
+  /// Hostname prefix; full names are "<basename>-<rack>-<rank>".
+  std::string basename = "compute";
+  /// Current cabinet; ranks count up within it. Sequential booting binds
+  /// hostnames to physical positions (the paper's footnote on seriality).
+  int rack = 0;
+  /// Architecture recorded for new nodes.
+  std::string arch = "i386";
+  /// IPs are handed out downward from here, skipping taken addresses.
+  Ipv4 ip_ceiling{10, 255, 255, 254};
+};
+
+class InsertEthers {
+ public:
+  InsertEthers(Frontend& frontend, netsim::SyslogBus& syslog, InsertEthersOptions options = {});
+  ~InsertEthers();
+  InsertEthers(const InsertEthers&) = delete;
+  InsertEthers& operator=(const InsertEthers&) = delete;
+
+  /// Begin/stop watching syslog. (The real tool runs only while the
+  /// administrator integrates nodes.)
+  void start();
+  void stop();
+
+  /// Moving the crash cart to the next cabinet.
+  void set_rack(int rack) { options_.rack = rack; }
+  void set_membership(int membership, std::string basename);
+  /// The administrator selects the hardware architecture of the nodes being
+  /// integrated (recorded in the nodes table; the kickstart CGI reads it).
+  void set_arch(std::string arch) { options_.arch = std::move(arch); }
+
+  [[nodiscard]] int nodes_inserted() const { return inserted_; }
+  [[nodiscard]] const std::vector<std::string>& insertion_log() const { return log_; }
+
+ private:
+  void on_syslog(const netsim::SyslogMessage& message);
+  [[nodiscard]] Ipv4 next_free_ip() const;
+  [[nodiscard]] int next_rank() const;
+
+  Frontend& frontend_;
+  netsim::SyslogBus& syslog_;
+  InsertEthersOptions options_;
+  std::size_t subscription_ = 0;
+  bool active_ = false;
+  int inserted_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace rocks::cluster

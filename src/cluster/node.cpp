@@ -1,0 +1,259 @@
+#include "cluster/node.hpp"
+
+#include <cstdio>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "vfs/path.hpp"
+
+namespace rocks::cluster {
+
+using strings::cat;
+
+std::string_view node_state_name(NodeState state) {
+  switch (state) {
+    case NodeState::kOff: return "off";
+    case NodeState::kInstallWait: return "install-wait";
+    case NodeState::kInstalling: return "installing";
+    case NodeState::kPostConfig: return "post-config";
+    case NodeState::kRebooting: return "rebooting";
+    case NodeState::kRunning: return "running";
+  }
+  return "?";
+}
+
+Node::Node(NodeEnvironment env, Mac mac, std::string arch, NodeTimings timings)
+    : env_(env),
+      mac_(mac),
+      arch_(std::move(arch)),
+      timings_(timings),
+      ekv_(cat("node-", mac.to_string())) {
+  require_state(env_.sim != nullptr && env_.syslog != nullptr,
+                "Node needs at least a simulator and a syslog bus");
+  fs_.add_partition("/state/partition1");
+}
+
+void Node::log(std::string text) {
+  ekv_.write_line(env_.sim->now(), text);
+  env_.syslog->publish({env_.sim->now(), "ekv",
+                        hostname_.empty() ? mac_.to_string() : hostname_, std::move(text)});
+}
+
+void Node::power_on() {
+  require_state(state_ == NodeState::kOff, "power_on: node is already powered");
+  ++epoch_;
+  if (hardware_failed_) {
+    // Power flows but the machine never reaches the network: from the
+    // frontend it is simply dark (Section 4: "an administrator is 'in the
+    // dark' from the moment the node is powered on").
+    return;
+  }
+  if (reinstall_on_boot_) {
+    enter_install();
+  } else {
+    state_ = NodeState::kRebooting;
+    const std::uint64_t epoch = epoch_;
+    env_.sim->schedule(timings_.final_boot, [this, epoch] {
+      if (!epoch_valid(epoch)) return;
+      state_ = NodeState::kRunning;
+      log("boot complete");
+      if (auto callback = on_running_) callback();  // copy: callback may reset itself
+    });
+  }
+}
+
+void Node::power_off() {
+  ++epoch_;  // cancels every in-flight phase
+  if (download_ && download_->server != nullptr) {
+    download_->server->abort(download_->flow);
+    download_.reset();
+  }
+  processes_.clear();
+  state_ = NodeState::kOff;
+}
+
+void Node::hard_power_cycle() {
+  power_off();
+  reinstall_on_boot_ = true;  // the paper's footnote: hard cycle => reinstall
+  power_on();
+}
+
+void Node::shoot() {
+  require_state(state_ == NodeState::kRunning,
+                cat("shoot: node ", hostname_, " is not running (state: ",
+                    node_state_name(state_), ")"));
+  log("shoot-node: rebooting into installation mode");
+  power_off();
+  reinstall_on_boot_ = true;
+  power_on();
+}
+
+void Node::enter_install() {
+  state_ = NodeState::kInstallWait;
+  install_started_ = env_.sim->now();
+  log("entering installation mode");
+  const std::uint64_t epoch = epoch_;
+  env_.sim->schedule(timings_.installer_boot, [this, epoch] {
+    if (!epoch_valid(epoch)) return;
+    request_dhcp();
+  });
+}
+
+void Node::request_dhcp() {
+  require_state(env_.dhcp != nullptr, "node has no DHCP server wired");
+  const std::uint64_t epoch = epoch_;
+  const auto lease = env_.dhcp->discover(mac_);
+  if (!lease) {
+    // Unknown to the cluster yet: insert-ethers will add us; keep retrying.
+    env_.sim->schedule(timings_.dhcp_retry, [this, epoch] {
+      if (!epoch_valid(epoch)) return;
+      request_dhcp();
+    });
+    return;
+  }
+  hostname_ = lease->hostname;
+  ip_ = lease->ip;
+  log(cat("dhcp: bound to ", ip_.to_string(), " as ", hostname_));
+
+  env_.sim->schedule(timings_.dhcp_and_kickstart, [this, epoch] {
+    if (!epoch_valid(epoch)) return;
+    require_state(env_.kickstart != nullptr, "node has no kickstart server wired");
+    const kickstart::KickstartFile profile = env_.kickstart->handle_request_file(ip_);
+    log(cat("kickstart: received profile with ", profile.packages().size(), " packages"));
+    env_.sim->schedule(timings_.disk_format, [this, epoch, profile] {
+      if (!epoch_valid(epoch)) return;
+      begin_download(profile);
+    });
+  });
+}
+
+void Node::begin_download(const kickstart::KickstartFile& profile) {
+  require_state(env_.http != nullptr && env_.distribution != nullptr,
+                "node has no HTTP distribution wired");
+  state_ = NodeState::kInstalling;
+
+  const rpm::Resolution resolution =
+      rpm::resolve(*env_.distribution, profile.packages(), arch_);
+  if (!resolution.complete())
+    log(cat("WARNING: ", resolution.missing.size(),
+            " requirements missing from the distribution (first: ", resolution.missing[0],
+            ")"));
+
+  double driver_build = 0.0;
+  for (const rpm::Package* pkg : resolution.install_order)
+    if (pkg->is_source) driver_build += pkg->build_seconds;
+
+  const auto bytes = static_cast<double>(resolution.total_bytes());
+  EkvProgress progress;
+  progress.total_packages = resolution.install_order.size();
+  progress.total_bytes = resolution.total_bytes();
+  ekv_.set_progress(progress);
+  log(cat("downloading ", resolution.install_order.size(), " packages, ",
+          fixed(bytes / (1024.0 * 1024.0), 0), " MB over HTTP"));
+
+  const std::uint64_t epoch = epoch_;
+  download_ = env_.http->serve(bytes, timings_.install_demand,
+                               [this, epoch, profile, resolution, driver_build] {
+                                 if (!epoch_valid(epoch)) return;
+                                 download_.reset();
+                                 finish_install(profile, resolution, driver_build);
+                               });
+}
+
+void Node::finish_install(const kickstart::KickstartFile& profile,
+                          const rpm::Resolution& resolution, double driver_build_seconds) {
+  bytes_downloaded_ += resolution.total_bytes();
+
+  // The root partition is rebuilt from scratch; /state/partition1 survives.
+  fs_.wipe_root_partition();
+  rpmdb_.clear();
+  for (const rpm::Package* pkg : resolution.install_order) rpmdb_.install(*pkg, fs_);
+
+  // Materialize the %post sections: each runs as a script, and its already
+  // localized body lands under /etc/rc.d/rocks-post.d (node-specific
+  // generated configuration — intentionally distinct per host).
+  fs_.mkdir_p("/etc/rc.d/rocks-post.d");
+  int post_index = 0;
+  for (const auto& post : profile.posts()) {
+    char prefix[8];
+    std::snprintf(prefix, sizeof prefix, "%02d", post_index++);
+    fs_.write_file(strings::cat("/etc/rc.d/rocks-post.d/", prefix, "-", post.origin),
+                   post.body);
+  }
+
+  EkvProgress progress = ekv_.progress();
+  progress.completed_packages = progress.total_packages;
+  progress.completed_bytes = progress.total_bytes;
+  ekv_.set_progress(progress);
+  log("package installation complete, running %post");
+
+  state_ = NodeState::kPostConfig;
+  const std::uint64_t epoch = epoch_;
+  env_.sim->schedule(
+      timings_.post_config + driver_build_seconds, [this, epoch, driver_build_seconds] {
+        if (!epoch_valid(epoch)) return;
+        if (driver_build_seconds > 0.0)
+          log(cat("rebuilt Myrinet driver from source in ", fixed(driver_build_seconds, 0),
+                  " s"));
+        state_ = NodeState::kRebooting;
+        env_.sim->schedule(timings_.final_boot, [this, epoch] {
+          if (!epoch_valid(epoch)) return;
+          state_ = NodeState::kRunning;
+          reinstall_on_boot_ = false;
+          ++install_count_;
+          last_install_duration_ = env_.sim->now() - install_started_;
+          log(cat("reinstall #", install_count_, " complete in ",
+                  fixed(last_install_duration_, 0), " s"));
+          if (auto callback = on_running_) callback();  // copy: callback may reset itself
+        });
+      });
+}
+
+void Node::inject_hardware_fault() {
+  hardware_failed_ = true;
+  power_off();
+}
+
+void Node::repair_hardware() {
+  hardware_failed_ = false;
+  power_off();
+  reinstall_on_boot_ = true;  // replacement hardware boots into an install
+}
+
+void Node::corrupt_file(std::string_view path, std::string_view content) {
+  require_state(state_ == NodeState::kRunning, "corrupt_file: node is not running");
+  if (fs_.exists(path)) fs_.remove(path);
+  fs_.mkdir_p(vfs::dirname(std::string(path)));
+  fs_.write_file(path, std::string(content));
+}
+
+void Node::install_rogue_package(const rpm::Package& package) {
+  require_state(state_ == NodeState::kRunning, "install_rogue_package: node is not running");
+  rpmdb_.install(package, fs_);
+}
+
+void Node::clone_software_from(const Node& model) {
+  require_state(state_ == NodeState::kRunning, "clone_software_from: node is not running");
+  fs_.wipe_root_partition();
+  for (const auto& entry : model.fs_.list("/")) {
+    if (entry == "state") continue;  // cloning targets the system partition
+    fs_.copy_tree(model.fs_, "/" + entry, "/" + entry);
+  }
+  rpmdb_ = model.rpmdb_;
+}
+
+void Node::launch_process(std::string name) {
+  require_state(state_ == NodeState::kRunning, "launch_process: node is not running");
+  processes_.insert(std::move(name));
+}
+
+std::size_t Node::kill_processes(std::string_view name) {
+  return processes_.erase(std::string(name));
+}
+
+std::size_t Node::process_count(std::string_view name) const {
+  return processes_.count(std::string(name));
+}
+
+}  // namespace rocks::cluster

@@ -1,0 +1,181 @@
+// A cluster node and its installer state machine.
+//
+// "Reinstallation is the primary mechanism for forcing the base OS on the
+// root partition of compute nodes to a known state" (paper Section 6.3).
+// A node's life is a loop through:
+//
+//   kOff -> (power_on, blank disk or install flag) kInstallWait
+//        -> DHCP + kickstart request over HTTP      kInstalling
+//        -> RPM download via the shared channel     (fluid flow, 1 MB/s cap)
+//        -> post-configuration + driver rebuild     kPostConfig
+//        -> final boot                               kRunning
+//
+// A hard power cycle at any point forces a fresh reinstall (the paper's
+// footnote: "A hard power cycle on a Rocks compute node forces the node to
+// reinstall itself"); shoot-node does the same gracefully. Non-root
+// partitions survive; the root partition is always rebuilt from the
+// distribution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "cluster/ekv.hpp"
+#include "kickstart/server.hpp"
+#include "netsim/dhcp.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/http.hpp"
+#include "netsim/syslog.hpp"
+#include "rpm/rpmdb.hpp"
+#include "rpm/solver.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace rocks::cluster {
+
+enum class NodeState {
+  kOff,
+  kInstallWait,  // booted into the installer, waiting for DHCP + kickstart
+  kInstalling,   // pulling and installing RPMs
+  kPostConfig,   // %post scripts, driver rebuild
+  kRebooting,    // final boot into the installed system
+  kRunning,
+};
+
+[[nodiscard]] std::string_view node_state_name(NodeState state);
+
+/// Phase durations (seconds). The defaults calibrate a single-node Myrinet
+/// reinstall to the paper's Table I row: 60 (boot into installer) + 10
+/// (DHCP/kickstart) + 40 (disk format) + 223 (download+install at the 1 MB/s
+/// install-pipeline demand) + 75 (%post) + 120 (driver rebuild, from the
+/// gm-driver package) + 90 (final boot) = 618 s = 10.3 min.
+struct NodeTimings {
+  double installer_boot = 60.0;
+  double dhcp_and_kickstart = 10.0;
+  double disk_format = 40.0;
+  double post_config = 75.0;
+  double final_boot = 90.0;
+  /// Client-side consume rate of the install pipeline in bytes/s: the node
+  /// can only install as fast as rpm writes to disk (~1 MB/s on the PIIIs).
+  double install_demand = 1.0 * 1024 * 1024;
+  /// DHCP retry interval while unanswered (insert-ethers integration loop).
+  double dhcp_retry = 10.0;
+};
+
+/// The services a booting node talks to; owned by the frontend.
+struct NodeEnvironment {
+  netsim::Simulator* sim = nullptr;
+  netsim::SyslogBus* syslog = nullptr;
+  netsim::DhcpServer* dhcp = nullptr;
+  kickstart::KickstartServer* kickstart = nullptr;
+  netsim::HttpServerGroup* http = nullptr;
+  const rpm::Repository* distribution = nullptr;  // what HTTP serves
+};
+
+class Node {
+ public:
+  Node(NodeEnvironment env, Mac mac, std::string arch = "i386", NodeTimings timings = {});
+
+  // --- identity ------------------------------------------------------------
+  [[nodiscard]] const Mac& mac() const { return mac_; }
+  [[nodiscard]] const std::string& arch() const { return arch_; }
+  /// Hostname/IP are learned from DHCP; empty/0 before first integration.
+  [[nodiscard]] const std::string& hostname() const { return hostname_; }
+  [[nodiscard]] Ipv4 ip() const { return ip_; }
+
+  // --- control ---------------------------------------------------------------
+  /// Applies power. A node with no installed OS — or one whose reinstall
+  /// flag is set — boots into the installer; otherwise boots normally.
+  void power_on();
+  void power_off();
+  /// Hard power cycle: off, then on with the reinstall flag forced.
+  void hard_power_cycle();
+  /// shoot-node's message: reboot into installation mode gracefully.
+  void shoot();
+
+  // --- state -------------------------------------------------------------------
+  [[nodiscard]] NodeState state() const { return state_; }
+  [[nodiscard]] bool is_running() const { return state_ == NodeState::kRunning; }
+  [[nodiscard]] int install_count() const { return install_count_; }
+  /// Wall-clock seconds of the most recent completed reinstall.
+  [[nodiscard]] double last_install_duration() const { return last_install_duration_; }
+  [[nodiscard]] std::uint64_t bytes_downloaded_total() const { return bytes_downloaded_; }
+
+  // --- the machine ------------------------------------------------------------
+  [[nodiscard]] vfs::FileSystem& fs() { return fs_; }
+  [[nodiscard]] const vfs::FileSystem& fs() const { return fs_; }
+  [[nodiscard]] const rpm::RpmDatabase& rpmdb() const { return rpmdb_; }
+  [[nodiscard]] EkvConsole& ekv() { return ekv_; }
+
+  /// Equal fingerprints <=> identical installed package sets.
+  [[nodiscard]] std::uint64_t software_fingerprint() const { return rpmdb_.fingerprint(); }
+
+  // --- experiment hooks ---------------------------------------------------------
+  /// Simulates configuration drift: overwrite a file by hand.
+  void corrupt_file(std::string_view path, std::string_view content);
+  /// Simulates a user building unpackaged software on the node.
+  void install_rogue_package(const rpm::Package& package);
+  /// Replaces this node's software state with a bit-copy of `model`'s root
+  /// partition and package database — the disk-cloning baseline's apply
+  /// step. Only meaningful while running.
+  void clone_software_from(const Node& model);
+
+  // --- processes (the cluster-kill substrate) --------------------------------
+  /// Starts a named process; only running nodes accept jobs.
+  void launch_process(std::string name);
+  /// Kills every process with the given name; returns how many died.
+  std::size_t kill_processes(std::string_view name);
+  [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
+  [[nodiscard]] std::size_t process_count(std::string_view name) const;
+
+  /// Fires whenever the node reaches kRunning.
+  void on_running(std::function<void()> callback) { on_running_ = std::move(callback); }
+
+  // --- hardware failures (Section 4: the crash-cart workflow) ---------------
+  /// The node's Ethernet/motherboard dies: it drops off the network and no
+  /// amount of remote power cycling brings it back ("physical intervention
+  /// is required").
+  void inject_hardware_fault();
+  [[nodiscard]] bool hardware_failed() const { return hardware_failed_; }
+  /// The crash cart arrives: hardware is swapped; the node is left powered
+  /// off with a blank disk (next power-on reinstalls).
+  void repair_hardware();
+
+ private:
+  void enter_install();
+  void request_dhcp();
+  void begin_download(const kickstart::KickstartFile& profile);
+  void finish_install(const kickstart::KickstartFile& profile,
+                      const rpm::Resolution& resolution, double driver_build_seconds);
+  void log(std::string text);
+  [[nodiscard]] bool epoch_valid(std::uint64_t epoch) const { return epoch == epoch_; }
+
+  NodeEnvironment env_;
+  Mac mac_;
+  std::string arch_;
+  NodeTimings timings_;
+
+  NodeState state_ = NodeState::kOff;
+  bool reinstall_on_boot_ = true;  // blank disk: first boot always installs
+  bool hardware_failed_ = false;
+  std::string hostname_;
+  Ipv4 ip_;
+  std::uint64_t epoch_ = 0;  // bumped on power events; stale callbacks no-op
+
+  vfs::FileSystem fs_;
+  rpm::RpmDatabase rpmdb_;
+  EkvConsole ekv_;
+
+  int install_count_ = 0;
+  double install_started_ = 0.0;
+  double last_install_duration_ = 0.0;
+  std::uint64_t bytes_downloaded_ = 0;
+  std::optional<netsim::HttpServerGroup::Ticket> download_;
+  std::function<void()> on_running_;
+  std::multiset<std::string> processes_;
+};
+
+}  // namespace rocks::cluster

@@ -1,0 +1,190 @@
+#include "kickstart/defaults.hpp"
+
+#include "support/strings.hpp"
+
+namespace rocks::kickstart {
+namespace {
+
+/// Adds every name that exists in the repository; names the synthetic
+/// release does not carry are skipped so the default graph always generates
+/// installable kickstart files.
+void add_available(NodeFile& file, const rpm::Repository& repo,
+                   std::initializer_list<const char*> names) {
+  for (const char* name : names)
+    if (repo.contains(name)) file.add_package(name);
+}
+
+}  // namespace
+
+const char* figure2_dhcp_server_xml() {
+  return R"(<?XML VERSION="1.0" STANDALONE="no"?>
+<KICKSTART>
+        <DESCRIPTION>Setup the DHCP server for the cluster</DESCRIPTION>
+        <PACKAGE>dhcp</PACKAGE>
+        <POST>
+                <!-- tell dhcp just to listen to eth0 -->
+                awk ' \
+                        /^DHCPD_INTERFACES/ {
+                                printf("DHCPD_INTERFACES=\"eth0\"\n");
+                                next;
+                        }
+                        {
+                                print $0;
+                        } ' /etc/sysconfig/dhcpd > /tmp/dhcpd
+                mv /tmp/dhcpd /etc/sysconfig/dhcpd
+        </POST>
+</KICKSTART>
+)";
+}
+
+DefaultConfiguration make_default_configuration(const rpm::SynthDistro& distro) {
+  DefaultConfiguration out;
+  const rpm::Repository& repo = distro.repo;
+
+  // --- base: the minimal server every appliance shares --------------------
+  NodeFile base("base");
+  base.set_description("Minimal Red Hat server plus Rocks glue");
+  for (const auto& name : distro.base) {
+    // Bootloaders are architecture-conditional (added below with ARCH
+    // attributes) — the Section 6.1 "one framework, three processor types"
+    // mechanism in action.
+    if (name == "grub" || name == "elilo") continue;
+    if (repo.contains(name)) base.add_package(name);
+  }
+  if (repo.contains("grub")) base.add_package("grub", "i386");
+  if (repo.contains("elilo")) base.add_package("elilo", "ia64");
+  base.add_post(
+      "# point syslog at the frontend\n"
+      "echo '*.info @@FRONTEND@' >> /etc/syslog.conf\n"
+      "# NIS client binds to the frontend (paper section 5)\n"
+      "echo 'domain rocks server @FRONTEND@' > /etc/yp.conf\n"
+      "echo '@HOSTNAME@' > /etc/hostname\n");
+
+  // --- c-development -------------------------------------------------------
+  NodeFile cdev("c-development");
+  cdev.set_description("Compilers and kernel sources for on-node builds");
+  add_available(cdev, repo,
+                {"gcc", "gcc-g77", "cpp", "binutils", "glibc-devel", "make", "kernel-source"});
+
+  // --- mpi -------------------------------------------------------------------
+  NodeFile mpi("mpi");
+  mpi.set_description("Message passing libraries (MPICH, PVM, ATLAS)");
+  add_available(mpi, repo, {"mpich", "mpich-gm", "pvm", "atlas", "rexec"});
+  mpi.add_package("intel-mkl", /*arch=*/"", /*optional=*/true);
+
+  // --- myrinet: driver is rebuilt from source on first boot ----------------
+  NodeFile myrinet("myrinet");
+  myrinet.set_description("Myrinet GM support; driver compiled on-node");
+  add_available(myrinet, repo, {"gm", "gm-driver"});
+  myrinet.add_post(
+      "# rebuild the GM driver against the running kernel (section 6.3)\n"
+      "cd /usr/src/gm && make && insmod gm.o\n");
+
+  // --- scheduling -------------------------------------------------------------
+  NodeFile pbs_mom("pbs-mom");
+  pbs_mom.set_description("PBS execution daemon");
+  add_available(pbs_mom, repo, {"pbs-mom"});
+  pbs_mom.add_post("echo '$clienthost @FRONTEND@' > /var/spool/pbs/mom_priv/config\n");
+
+  NodeFile pbs_server("pbs-server");
+  pbs_server.set_description("PBS server plus the Maui scheduler, started with a default queue");
+  add_available(pbs_server, repo, {"pbs-server", "maui"});
+  pbs_server.add_post(
+      "qmgr -c 'create queue default'\n"
+      "qmgr -c 'set server scheduling = true'\n");
+
+  // --- ekv: the install-console shim ----------------------------------------
+  NodeFile ekv("ekv");
+  ekv.set_description("Ethernet keyboard and video: install console on a telnet port");
+  add_available(ekv, repo, {"rocks-ekv", "telnet"});
+  ekv.add_post("chkconfig ekv on\n");
+
+  // --- frontend services -------------------------------------------------------
+  NodeFile dhcp_server =
+      NodeFile::parse("dhcp-server", figure2_dhcp_server_xml());
+
+  NodeFile mysql("mysql");
+  mysql.set_description("Cluster configuration database");
+  add_available(mysql, repo, {"mysql", "mysql-server"});
+  mysql.add_post("mysqladmin create cluster\n");
+
+  NodeFile nis_server("nis-server");
+  nis_server.set_description("NIS master for account synchronization");
+  add_available(nis_server, repo, {"ypserv", "yp-tools"});
+  nis_server.add_post("echo rocks > /etc/domainname && make -C /var/yp\n");
+
+  NodeFile nfs_server("nfs-server");
+  nfs_server.set_description("Exports /export/home to the cluster");
+  add_available(nfs_server, repo, {"nfs-utils", "portmap", "quota", "raidtools"});
+  nfs_server.add_post("echo '/export/home 10.0.0.0/255.0.0.0(rw)' >> /etc/exports\n");
+
+  NodeFile web_server("web-server");
+  web_server.set_description("HTTP service for kickstart and RPM distribution");
+  add_available(web_server, repo, {"apache", "php", "mod_ssl"});
+  web_server.add_post("chkconfig httpd on\n");
+
+  NodeFile installation_server("installation-server");
+  installation_server.set_description("rocks-dist, insert-ethers, shoot-node");
+  add_available(installation_server, repo,
+                {"rocks-dist", "rocks-tools", "rocks-kickstart-profiles", "insert-ethers",
+                 "shoot-node", "wget"});
+  installation_server.add_post("rocks-dist mirror && rocks-dist dist\n");
+
+  NodeFile x11("x11");
+  x11.set_description("X libraries for the console and shoot-node xterms");
+  add_available(x11, repo, {"XFree86-libs", "xterm"});
+
+  NodeFile compilers("compilers");
+  compilers.set_description("Commercial compilers on the frontend (section 4.1)");
+  for (const char* name : {"intel-cc", "intel-fortran", "pgi-hpf"})
+    compilers.add_package(name, /*arch=*/"", /*optional=*/true);
+
+  // --- appliance roots -----------------------------------------------------
+  NodeFile compute("compute");
+  compute.set_description("Compute appliance: a container for parallel jobs");
+  compute.add_post("# report readiness to the frontend\n"
+                   "echo ready | telnet @FRONTEND@ 8649\n");
+
+  NodeFile frontend("frontend");
+  frontend.set_description("Frontend appliance: every service the cluster needs");
+
+  NodeFile nfs("nfs");
+  nfs.set_description("Dedicated NFS server appliance");
+
+  NodeFile web("web");
+  web.set_description("Dedicated web server appliance");
+
+  for (NodeFile* file : {&base, &cdev, &mpi, &myrinet, &pbs_mom, &pbs_server, &ekv,
+                         &dhcp_server, &mysql, &nis_server, &nfs_server, &web_server,
+                         &installation_server, &x11, &compilers, &compute, &frontend, &nfs,
+                         &web})
+    out.files.add(*file);
+
+  // --- the graph -------------------------------------------------------------
+  Graph& g = out.graph;
+  g.set_description("Default NPACI Rocks appliance graph");
+  g.add_edge("compute", "base");
+  g.add_edge("compute", "mpi");
+  g.add_edge("compute", "pbs-mom");
+  g.add_edge("compute", "myrinet");
+  g.add_edge("compute", "ekv");
+  g.add_edge("mpi", "c-development");
+  g.add_edge("frontend", "base");
+  g.add_edge("frontend", "mpi");
+  g.add_edge("frontend", "compilers");
+  g.add_edge("frontend", "dhcp-server");
+  g.add_edge("frontend", "mysql");
+  g.add_edge("frontend", "installation-server");
+  g.add_edge("frontend", "nis-server");
+  g.add_edge("frontend", "nfs-server");
+  g.add_edge("frontend", "pbs-server");
+  g.add_edge("frontend", "web-server");
+  g.add_edge("frontend", "x11");
+  g.add_edge("nfs", "base");
+  g.add_edge("nfs", "nfs-server");
+  g.add_edge("web", "base");
+  g.add_edge("web", "web-server");
+  return out;
+}
+
+}  // namespace rocks::kickstart

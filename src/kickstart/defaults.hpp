@@ -1,0 +1,36 @@
+// The default Rocks configuration: the node files and graph that ship on
+// the CD ("We develop and distribute the default set of node and graph
+// files that are automatically installed when a user creates a frontend
+// node", paper Section 6.1 footnote).
+//
+// Package names are drawn from the synthetic Red Hat release so the graph,
+// the distribution, and the installer agree.
+#pragma once
+
+#include "kickstart/graph.hpp"
+#include "kickstart/nodefile.hpp"
+#include "rpm/synth.hpp"
+
+namespace rocks::kickstart {
+
+struct DefaultConfiguration {
+  NodeFileSet files;
+  Graph graph;
+};
+
+/// Builds the default appliance graph:
+///
+///   frontend -> base, mpi, dhcp-server, mysql, installation-server,
+///               nis-server, nfs-server, pbs-server, web-server, x11
+///   compute  -> base, mpi, pbs-mom, myrinet, ekv
+///   nfs      -> base, nfs-server
+///   web      -> base, web-server
+///   mpi      -> c-development        (the paper's Figure 4 walk:
+///                                     compute, mpi, c-development, ...)
+[[nodiscard]] DefaultConfiguration make_default_configuration(const rpm::SynthDistro& distro);
+
+/// The paper's Figure 2 node file text (DHCP server), used verbatim as the
+/// dhcp-server module.
+[[nodiscard]] const char* figure2_dhcp_server_xml();
+
+}  // namespace rocks::kickstart

@@ -1,0 +1,70 @@
+#include "kickstart/frontend_form.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::kickstart {
+
+using strings::cat;
+
+void FormAnswers::validate() const {
+  if (strings::trim(frontend_hostname).empty())
+    throw ParseError("frontend form: hostname must not be empty");
+  if (public_ip == private_ip)
+    throw ParseError("frontend form: public and private addresses must differ");
+  if (root_password_crypted.empty())
+    throw ParseError("frontend form: a root password is required");
+  if (strings::trim(cluster_name).empty())
+    throw ParseError("frontend form: cluster name must not be empty");
+}
+
+KickstartFile build_frontend_kickstart(const FormAnswers& answers, const NodeFileSet& files,
+                                       const Graph& graph, const rpm::Repository* distro) {
+  answers.validate();
+
+  NodeConfig config;
+  config.hostname = answers.frontend_hostname;
+  config.appliance = "frontend";
+  config.ip = answers.private_ip;
+  config.frontend_ip = answers.private_ip;
+  config.distribution_url =
+      cat("http://", answers.private_ip.to_string(), "/install/rocks-dist");
+
+  const Generator generator(files, graph, distro);
+  KickstartFile base = generator.generate(config);
+
+  // Rebuild the header with the site's answers: the frontend is dual-homed
+  // (eth0 private cluster network, eth1 public) and statically addressed —
+  // the one machine DHCP cannot configure.
+  KickstartFile out;
+  out.add_command("install", "");
+  out.add_command("url", cat("--url ", config.distribution_url));
+  out.add_command("lang", "en_US");
+  out.add_command("keyboard", "us");
+  out.add_command("network",
+                  cat("--device eth0 --bootproto static --ip ",
+                      answers.private_ip.to_string(), " --netmask ",
+                      answers.netmask.to_string()));
+  out.add_command("network",
+                  cat("--device eth1 --bootproto static --ip ",
+                      answers.public_ip.to_string(), " --gateway ",
+                      answers.gateway.to_string(), " --nameserver ",
+                      answers.dns_server.to_string()));
+  out.add_command("rootpw", cat("--iscrypted ", answers.root_password_crypted));
+  out.add_command("timezone", cat("--utc ", answers.timezone));
+  out.add_command("zerombr", "yes");
+  out.add_command("clearpart", "--all");
+  out.add_command("part", "/ --size 4096 --ondisk auto");
+  out.add_command("part", "/export --size 1 --grow");
+  out.add_command("auth", "--useshadow --enablenis --nisdomain rocks");
+  out.add_command("reboot", "");
+
+  for (const auto& pkg : base.packages()) out.add_package(pkg);
+  out.add_post("frontend-form",
+               cat("echo '", answers.cluster_name, "' > /etc/rocks-release\n",
+                   "hostname ", answers.frontend_hostname, "\n"));
+  for (const auto& post : base.posts()) out.add_post(post.origin, post.body);
+  return out;
+}
+
+}  // namespace rocks::kickstart

@@ -1,0 +1,41 @@
+// The frontend installation web form.
+//
+// "Rocks is installed with a floppy and a CD and the frontend Kickstart
+// file is built from a simple web form" (paper Section 7). FormAnswers is
+// the form's field set; build_frontend_kickstart turns it into the
+// frontend's kickstart file by expanding the frontend appliance subgraph
+// with the site's localization applied.
+#pragma once
+
+#include <string>
+
+#include "kickstart/generator.hpp"
+
+namespace rocks::kickstart {
+
+struct FormAnswers {
+  std::string cluster_name = "rocks-cluster";
+  std::string frontend_hostname = "frontend-0";
+  Ipv4 public_ip{198, 202, 75, 1};
+  Ipv4 private_ip{10, 1, 1, 1};
+  Ipv4 netmask{255, 0, 0, 0};
+  Ipv4 gateway{198, 202, 75, 254};
+  Ipv4 dns_server{198, 202, 75, 26};
+  std::string root_password_crypted = "$1$rocks$form";
+  std::string timezone = "America/Los_Angeles";
+  std::string distribution_version = "7.2";
+
+  /// Rejects obviously broken forms (empty hostname, public == private
+  /// address, empty password). Throws ParseError with the reason.
+  void validate() const;
+};
+
+/// Builds the frontend kickstart file: the frontend appliance expansion
+/// plus the site-specific header the form answers provide (dual-homed
+/// network configuration, cluster name, passwords).
+[[nodiscard]] KickstartFile build_frontend_kickstart(const FormAnswers& answers,
+                                                     const NodeFileSet& files,
+                                                     const Graph& graph,
+                                                     const rpm::Repository* distro = nullptr);
+
+}  // namespace rocks::kickstart

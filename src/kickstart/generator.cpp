@@ -1,0 +1,72 @@
+#include "kickstart/generator.hpp"
+
+#include <set>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::kickstart {
+
+std::string localize(std::string_view text, const NodeConfig& config) {
+  std::string out(text);
+  out = strings::replace_all(out, "@HOSTNAME@", config.hostname);
+  out = strings::replace_all(out, "@IP@", config.ip.to_string());
+  out = strings::replace_all(out, "@FRONTEND@", config.frontend_ip.to_string());
+  out = strings::replace_all(out, "@DISTRIBUTION@", config.distribution_url);
+  out = strings::replace_all(out, "@ARCH@", config.arch);
+  return out;
+}
+
+Generator::Generator(const NodeFileSet& files, const Graph& graph,
+                     const rpm::Repository* distro)
+    : files_(files), graph_(graph), distro_(distro) {}
+
+KickstartFile Generator::generate(const NodeConfig& config) const {
+  KickstartFile out;
+  // Header: the answers to every interactive-install question (Section 5),
+  // identical across nodes except for the localized pieces.
+  out.add_command("install", "");
+  out.add_command("url", strings::cat("--url ", config.distribution_url));
+  out.add_command("lang", "en_US");
+  out.add_command("keyboard", "us");
+  out.add_command("network", "--bootproto dhcp");
+  out.add_command("rootpw", "--iscrypted $1$rocks$kickstart");
+  out.add_command("timezone", "--utc America/Los_Angeles");
+  out.add_command("zerombr", "yes");
+  // Only the root partition is reformatted; /state/partition1 persists
+  // across reinstalls (paper Section 6.3).
+  out.add_command("clearpart", "--linux");
+  out.add_command("part", "/ --size 4096 --ondisk auto");
+  out.add_command("part", "/state/partition1 --size 1 --grow --noformat");
+  out.add_command("auth", "--useshadow --enablenis --nisdomain rocks");
+  out.add_command("reboot", "");
+
+  const auto order = graph_.traverse(config.appliance, config.arch);
+  std::set<std::string> seen_packages;
+  for (const auto& module : order) {
+    require_found(files_.contains(module),
+                  strings::cat("graph references module '", module,
+                               "' but no node file defines it"));
+    const NodeFile& file = files_.get(module);
+    for (const PackageEntry* entry : file.packages_for(config.arch)) {
+      if (entry->optional && distro_ != nullptr && !distro_->contains(entry->name)) continue;
+      if (seen_packages.insert(entry->name).second) out.add_package(entry->name);
+    }
+  }
+  // Post sections run in traversal order, after all packages are installed.
+  for (const auto& module : order) {
+    const NodeFile& file = files_.get(module);
+    for (const PostScript* post : file.posts_for(config.arch)) {
+      const std::string body = localize(post->body, config);
+      if (!strings::trim(body).empty())
+        out.add_post(module, std::string(strings::trim(body)));
+    }
+  }
+  return out;
+}
+
+std::string Generator::generate_text(const NodeConfig& config) const {
+  return generate(config).render();
+}
+
+}  // namespace rocks::kickstart

@@ -1,0 +1,53 @@
+// Kickstart file generation: graph traversal -> merged package list and
+// %post sections -> Red Hat-compliant text (paper Section 6.1).
+#pragma once
+
+#include <string>
+
+#include "kickstart/graph.hpp"
+#include "kickstart/nodefile.hpp"
+#include "kickstart/profile.hpp"
+#include "rpm/repository.hpp"
+#include "support/ip.hpp"
+
+namespace rocks::kickstart {
+
+/// Node-specific parameters — what the CGI script learns from its SQL
+/// queries before expanding the graph.
+struct NodeConfig {
+  std::string hostname;
+  std::string appliance;  // graph root to traverse from
+  std::string arch = "i386";
+  Ipv4 ip;
+  Ipv4 frontend_ip;
+  std::string distribution_url;  // e.g. "http://10.1.1.1/install/rocks-dist"
+};
+
+/// Localization markers usable inside POST bodies; the generator replaces
+/// them with the requesting node's values:
+///   @HOSTNAME@  @IP@  @FRONTEND@  @DISTRIBUTION@  @ARCH@
+[[nodiscard]] std::string localize(std::string_view text, const NodeConfig& config);
+
+class Generator {
+ public:
+  /// `distro` (optional) prunes TYPE="optional" packages that the
+  /// distribution does not carry; required packages are never pruned (a
+  /// missing one surfaces at install time, as on a real cluster).
+  Generator(const NodeFileSet& files, const Graph& graph,
+            const rpm::Repository* distro = nullptr);
+
+  /// Expands the graph from `config.appliance` and assembles the kickstart
+  /// file. Throws LookupError when the appliance or any traversed module
+  /// has no node file.
+  [[nodiscard]] KickstartFile generate(const NodeConfig& config) const;
+
+  /// generate() + render() in one step — the CGI script's output.
+  [[nodiscard]] std::string generate_text(const NodeConfig& config) const;
+
+ private:
+  const NodeFileSet& files_;
+  const Graph& graph_;
+  const rpm::Repository* distro_;
+};
+
+}  // namespace rocks::kickstart

@@ -1,0 +1,169 @@
+#include "kickstart/graph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace rocks::kickstart {
+namespace {
+
+bool tag_is(const xml::Element& element, std::string_view name) {
+  return strings::to_lower(element.name()) == strings::to_lower(name);
+}
+
+std::string attr_ci(const xml::Element& element, std::string_view name) {
+  for (const auto& attr : element.attributes())
+    if (strings::to_lower(attr.name) == strings::to_lower(name)) return attr.value;
+  return "";
+}
+
+}  // namespace
+
+Graph Graph::parse(std::string_view xml_text) {
+  return from_element(xml::parse(xml_text).root);
+}
+
+Graph Graph::from_element(const xml::Element& root) {
+  if (!tag_is(root, "GRAPH"))
+    throw ParseError(strings::cat("graph file: root element must be <GRAPH>, got <",
+                                  root.name(), ">"));
+  Graph out;
+  for (const auto& child : root.children()) {
+    if (!child.is_element()) continue;
+    const xml::Element& element = child.element_value();
+    if (tag_is(element, "DESCRIPTION")) {
+      out.description_ = std::string(strings::trim(element.text()));
+    } else if (tag_is(element, "EDGE")) {
+      const std::string from = attr_ci(element, "FROM");
+      const std::string to = attr_ci(element, "TO");
+      if (from.empty() || to.empty())
+        throw ParseError("graph file: <EDGE> needs FROM and TO attributes");
+      out.add_edge(from, to, attr_ci(element, "ARCH"));
+    } else {
+      throw ParseError(strings::cat("graph file: unknown element <", element.name(), ">"));
+    }
+  }
+  return out;
+}
+
+void Graph::add_edge(std::string from, std::string to, std::string arch) {
+  edges_.push_back({std::move(from), std::move(to), std::move(arch)});
+}
+
+std::size_t Graph::remove_edge(std::string_view from, std::string_view to) {
+  const std::size_t before = edges_.size();
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [&](const Edge& edge) {
+                                return edge.from == from && edge.to == to;
+                              }),
+               edges_.end());
+  return before - edges_.size();
+}
+
+std::set<std::string> Graph::nodes() const {
+  std::set<std::string> out;
+  for (const auto& edge : edges_) {
+    out.insert(edge.from);
+    out.insert(edge.to);
+  }
+  return out;
+}
+
+std::vector<std::string> Graph::appliances() const {
+  std::set<std::string> has_incoming;
+  for (const auto& edge : edges_) has_incoming.insert(edge.to);
+  std::vector<std::string> out;
+  for (const auto& node : nodes())
+    if (!has_incoming.contains(node)) out.push_back(node);
+  return out;
+}
+
+std::vector<std::string> Graph::traverse(std::string_view root, std::string_view arch) const {
+  std::vector<std::string> order;
+  std::set<std::string, std::less<>> visited;
+  const std::function<void(const std::string&)> visit = [&](const std::string& node) {
+    if (!visited.insert(node).second) return;
+    order.push_back(node);
+    for (const auto& edge : edges_) {
+      if (edge.from != node) continue;
+      if (!edge.arch.empty() && !arch.empty() && edge.arch != arch) continue;
+      visit(edge.to);
+    }
+  };
+  visit(std::string(root));
+  return order;
+}
+
+std::vector<std::string> Graph::undefined_modules(const NodeFileSet& files) const {
+  std::set<std::string> missing;
+  for (const auto& node : nodes())
+    if (!files.contains(node)) missing.insert(node);
+  return {missing.begin(), missing.end()};
+}
+
+bool Graph::has_cycle() const {
+  // Colour-marking DFS over the full edge set.
+  std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black
+  std::map<std::string, std::vector<const Edge*>> out_edges;
+  for (const auto& edge : edges_) out_edges[edge.from].push_back(&edge);
+  bool cyclic = false;
+  const std::function<void(const std::string&)> visit = [&](const std::string& node) {
+    colour[node] = 1;
+    for (const Edge* edge : out_edges[node]) {
+      const int c = colour[edge->to];
+      if (c == 1) {
+        cyclic = true;
+      } else if (c == 0) {
+        visit(edge->to);
+      }
+      if (cyclic) return;
+    }
+    colour[node] = 2;
+  };
+  for (const auto& node : nodes()) {
+    if (colour[node] == 0) visit(node);
+    if (cyclic) return true;
+  }
+  return false;
+}
+
+std::string Graph::to_dot() const {
+  std::string out = "digraph rocks {\n  rankdir=TB;\n";
+  // Appliances (roots) drawn as boxes, modules as ellipses — matching the
+  // paper's Figure 4 visual language.
+  const auto roots = appliances();
+  for (const auto& root : roots)
+    out += strings::cat("  \"", root, "\" [shape=box, style=bold];\n");
+  for (const auto& edge : edges_) {
+    out += strings::cat("  \"", edge.from, "\" -> \"", edge.to, "\"");
+    if (!edge.arch.empty()) out += strings::cat(" [label=\"", edge.arch, "\"]");
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string Graph::to_xml() const {
+  xml::Document doc;
+  doc.declaration = R"(XML VERSION="1.0" STANDALONE="no")";
+  doc.root = xml::Element("GRAPH");
+  if (!description_.empty()) {
+    xml::Element desc("DESCRIPTION");
+    desc.add_text(description_);
+    doc.root.add_child(std::move(desc));
+  }
+  for (const auto& edge : edges_) {
+    xml::Element elem("EDGE");
+    elem.set_attribute("FROM", edge.from);
+    elem.set_attribute("TO", edge.to);
+    if (!edge.arch.empty()) elem.set_attribute("ARCH", edge.arch);
+    doc.root.add_child(std::move(elem));
+  }
+  return xml::write(doc);
+}
+
+}  // namespace rocks::kickstart

@@ -1,0 +1,78 @@
+// The XML graph file.
+//
+// "An XML-based graph file links all the defined modules together with
+// directed edges... The roots of the graph represent appliances, such as
+// compute and frontend" (paper Section 6.1, Figures 3-4). Dialect:
+//
+//   <GRAPH>
+//     <DESCRIPTION>...</DESCRIPTION>
+//     <EDGE FROM="compute" TO="mpi" [ARCH="ia64"]/>
+//     ...
+//   </GRAPH>
+//
+// Traversal from an appliance root yields the module list whose node files
+// are merged into that appliance's kickstart file.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kickstart/nodefile.hpp"
+#include "xml/dom.hpp"
+
+namespace rocks::kickstart {
+
+struct Edge {
+  std::string from;
+  std::string to;
+  std::string arch;  // empty = all architectures
+};
+
+class Graph {
+ public:
+  [[nodiscard]] static Graph parse(std::string_view xml_text);
+  [[nodiscard]] static Graph from_element(const xml::Element& root);
+
+  void add_edge(std::string from, std::string to, std::string arch = "");
+  /// Removes every from->to edge; returns how many were removed. This is
+  /// the "edit the graph to customize a distribution" workflow of §6.2.3.
+  std::size_t remove_edge(std::string_view from, std::string_view to);
+
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const std::string& description() const { return description_; }
+  void set_description(std::string text) { description_ = std::move(text); }
+
+  /// All node names mentioned by any edge.
+  [[nodiscard]] std::set<std::string> nodes() const;
+
+  /// Roots: nodes with outgoing edges but no incoming ones — the appliances.
+  [[nodiscard]] std::vector<std::string> appliances() const;
+
+  /// Depth-first preorder from `root`, following edges whose arch matches,
+  /// visiting each module once. The root itself is first — exactly the
+  /// "compute, mpi, c-development" order of the paper's Figure 4 walk.
+  [[nodiscard]] std::vector<std::string> traverse(std::string_view root,
+                                                  std::string_view arch = "") const;
+
+  /// Edges that reference a module with no node file in `files` (lint).
+  [[nodiscard]] std::vector<std::string> undefined_modules(const NodeFileSet& files) const;
+
+  /// True when the subgraph reachable from `root` contains a cycle.
+  /// Traversal tolerates cycles (visited-set), but lint reports them.
+  [[nodiscard]] bool has_cycle() const;
+
+  /// Graphviz DOT rendering of the whole graph — the paper's Figure 4.
+  [[nodiscard]] std::string to_dot() const;
+
+  /// Serializes back to the XML dialect.
+  [[nodiscard]] std::string to_xml() const;
+
+ private:
+  std::string description_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rocks::kickstart

@@ -1,0 +1,128 @@
+#include "kickstart/nodefile.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace rocks::kickstart {
+namespace {
+
+bool tag_is(const xml::Element& element, std::string_view name) {
+  return strings::to_lower(element.name()) == strings::to_lower(name);
+}
+
+std::string attr_ci(const xml::Element& element, std::string_view name) {
+  for (const auto& attr : element.attributes())
+    if (strings::to_lower(attr.name) == strings::to_lower(name)) return attr.value;
+  return "";
+}
+
+}  // namespace
+
+NodeFile NodeFile::parse(std::string name, std::string_view xml_text) {
+  return from_element(std::move(name), xml::parse(xml_text).root);
+}
+
+NodeFile NodeFile::from_element(std::string name, const xml::Element& root) {
+  if (!tag_is(root, "KICKSTART"))
+    throw ParseError(strings::cat("node file '", name, "': root element must be <KICKSTART>, got <",
+                                  root.name(), ">"));
+  NodeFile out(std::move(name));
+  for (const auto& child : root.children()) {
+    if (!child.is_element()) continue;
+    const xml::Element& element = child.element_value();
+    if (tag_is(element, "DESCRIPTION")) {
+      out.description_ = std::string(strings::trim(element.text()));
+    } else if (tag_is(element, "PACKAGE")) {
+      const std::string pkg = std::string(strings::trim(element.text()));
+      if (pkg.empty())
+        throw ParseError(strings::cat("node file '", out.name_, "': empty <PACKAGE>"));
+      out.add_package(pkg, attr_ci(element, "ARCH"),
+                      strings::to_lower(attr_ci(element, "TYPE")) == "optional");
+    } else if (tag_is(element, "POST")) {
+      out.add_post(element.text(), attr_ci(element, "ARCH"));
+    } else {
+      throw ParseError(strings::cat("node file '", out.name_, "': unknown element <",
+                                    element.name(), ">"));
+    }
+  }
+  return out;
+}
+
+void NodeFile::add_package(std::string package, std::string arch, bool optional) {
+  packages_.push_back({std::move(package), std::move(arch), optional});
+}
+
+void NodeFile::add_post(std::string body, std::string arch) {
+  posts_.push_back({std::move(arch), std::move(body)});
+}
+
+std::vector<const PackageEntry*> NodeFile::packages_for(std::string_view arch) const {
+  std::vector<const PackageEntry*> out;
+  for (const auto& entry : packages_)
+    if (entry.arch.empty() || entry.arch == arch) out.push_back(&entry);
+  return out;
+}
+
+std::vector<const PostScript*> NodeFile::posts_for(std::string_view arch) const {
+  std::vector<const PostScript*> out;
+  for (const auto& post : posts_)
+    if (post.arch.empty() || post.arch == arch) out.push_back(&post);
+  return out;
+}
+
+std::string NodeFile::to_xml() const {
+  xml::Document doc;
+  doc.declaration = R"(XML VERSION="1.0" STANDALONE="no")";
+  doc.root = xml::Element("KICKSTART");
+  if (!description_.empty()) {
+    xml::Element desc("DESCRIPTION");
+    desc.add_text(description_);
+    doc.root.add_child(std::move(desc));
+  }
+  for (const auto& entry : packages_) {
+    xml::Element pkg("PACKAGE");
+    if (!entry.arch.empty()) pkg.set_attribute("ARCH", entry.arch);
+    if (entry.optional) pkg.set_attribute("TYPE", "optional");
+    pkg.add_text(entry.name);
+    doc.root.add_child(std::move(pkg));
+  }
+  for (const auto& post : posts_) {
+    xml::Element elem("POST");
+    if (!post.arch.empty()) elem.set_attribute("ARCH", post.arch);
+    elem.add_text(post.body);
+    doc.root.add_child(std::move(elem));
+  }
+  return xml::write(doc);
+}
+
+void NodeFileSet::add(NodeFile file) {
+  const std::string key = file.name();
+  files_.insert_or_assign(key, std::move(file));
+}
+
+bool NodeFileSet::contains(std::string_view name) const { return files_.contains(name); }
+
+const NodeFile& NodeFileSet::get(std::string_view name) const {
+  const auto it = files_.find(name);
+  require_found(it != files_.end(),
+                strings::cat("no node file named '", std::string(name), "'"));
+  return it->second;
+}
+
+NodeFile& NodeFileSet::get_mutable(std::string_view name) {
+  const auto it = files_.find(name);
+  require_found(it != files_.end(),
+                strings::cat("no node file named '", std::string(name), "'"));
+  return it->second;
+}
+
+std::vector<std::string> NodeFileSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [name, file] : files_) out.push_back(name);
+  return out;
+}
+
+}  // namespace rocks::kickstart

@@ -1,0 +1,87 @@
+// XML node files.
+//
+// "A node file is a small single-purpose module that specifies the packages
+// and per-package post configuration commands for a specific service"
+// (paper Section 6.1, Figure 2). Tags follow the paper's dialect:
+//
+//   <KICKSTART>
+//     <DESCRIPTION>...</DESCRIPTION>
+//     <PACKAGE [ARCH="ia64"] [TYPE="optional"]>dhcp</PACKAGE>   (0..n)
+//     <POST [ARCH="..."]> shell commands </POST>                 (0..n)
+//   </KICKSTART>
+//
+// Tag and attribute names are matched case-insensitively, since real Rocks
+// files migrated from upper- to lower-case over time.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace rocks::kickstart {
+
+struct PackageEntry {
+  std::string name;
+  std::string arch;      // empty = all architectures
+  bool optional = false; // TYPE="optional": skipped when not in the distro
+};
+
+struct PostScript {
+  std::string arch;  // empty = all architectures
+  std::string body;  // verbatim shell text
+};
+
+class NodeFile {
+ public:
+  NodeFile() = default;
+  explicit NodeFile(std::string name) : name_(std::move(name)) {}
+
+  /// Parses the paper's XML dialect. `name` is the module name (the file's
+  /// basename in a real distribution's build directory).
+  [[nodiscard]] static NodeFile parse(std::string name, std::string_view xml_text);
+  [[nodiscard]] static NodeFile from_element(std::string name, const xml::Element& root);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& description() const { return description_; }
+  void set_description(std::string text) { description_ = std::move(text); }
+
+  [[nodiscard]] const std::vector<PackageEntry>& packages() const { return packages_; }
+  [[nodiscard]] const std::vector<PostScript>& posts() const { return posts_; }
+
+  void add_package(std::string package, std::string arch = "", bool optional = false);
+  void add_post(std::string body, std::string arch = "");
+
+  /// Package names applicable to `arch`.
+  [[nodiscard]] std::vector<const PackageEntry*> packages_for(std::string_view arch) const;
+  [[nodiscard]] std::vector<const PostScript*> posts_for(std::string_view arch) const;
+
+  /// Serializes back to the XML dialect (used when rocks-dist copies the
+  /// configuration infrastructure into a derived distribution).
+  [[nodiscard]] std::string to_xml() const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::vector<PackageEntry> packages_;
+  std::vector<PostScript> posts_;
+};
+
+/// The set of node files of one distribution, keyed by module name.
+class NodeFileSet {
+ public:
+  void add(NodeFile file);
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] const NodeFile& get(std::string_view name) const;
+  [[nodiscard]] NodeFile& get_mutable(std::string_view name);
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const { return files_.size(); }
+
+ private:
+  std::map<std::string, NodeFile, std::less<>> files_;
+};
+
+}  // namespace rocks::kickstart

@@ -1,0 +1,115 @@
+#include "kickstart/profile.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::kickstart {
+
+void KickstartFile::add_command(std::string name, std::string arguments) {
+  commands_.push_back({std::move(name), std::move(arguments)});
+}
+
+std::string KickstartFile::command_arguments(std::string_view name) const {
+  for (const auto& cmd : commands_)
+    if (cmd.name == name) return cmd.arguments;
+  return "";
+}
+
+bool KickstartFile::has_command(std::string_view name) const {
+  for (const auto& cmd : commands_)
+    if (cmd.name == name) return true;
+  return false;
+}
+
+void KickstartFile::add_package(std::string name) { packages_.push_back(std::move(name)); }
+
+void KickstartFile::add_post(std::string origin, std::string body) {
+  posts_.push_back({std::move(origin), std::move(body)});
+}
+
+std::string KickstartFile::render() const {
+  std::string out;
+  for (const auto& cmd : commands_) {
+    out += cmd.name;
+    if (!cmd.arguments.empty()) {
+      out += ' ';
+      out += cmd.arguments;
+    }
+    out += '\n';
+  }
+  out += "\n%packages\n";
+  for (const auto& pkg : packages_) {
+    out += pkg;
+    out += '\n';
+  }
+  for (const auto& post : posts_) {
+    out += "\n%post\n";
+    if (!post.origin.empty()) out += strings::cat("# from node file: ", post.origin, "\n");
+    out += post.body;
+    if (post.body.empty() || post.body.back() != '\n') out += '\n';
+  }
+  return out;
+}
+
+KickstartFile KickstartFile::parse(std::string_view text) {
+  KickstartFile out;
+  enum class Section { kHeader, kPackages, kPost };
+  Section section = Section::kHeader;
+  std::string post_origin;
+  std::string post_body;
+  const auto flush_post = [&] {
+    if (section == Section::kPost) {
+      out.add_post(post_origin, post_body);
+      post_origin.clear();
+      post_body.clear();
+    }
+  };
+
+  for (const auto& raw_line : strings::split(text, '\n')) {
+    const std::string_view line = raw_line;
+    const std::string_view trimmed = strings::trim(line);
+    if (trimmed == "%packages") {
+      flush_post();
+      section = Section::kPackages;
+      continue;
+    }
+    if (trimmed == "%post") {
+      flush_post();
+      section = Section::kPost;
+      continue;
+    }
+    if (!trimmed.empty() && trimmed[0] == '%')
+      throw ParseError(strings::cat("unknown kickstart section '", std::string(trimmed), "'"));
+
+    switch (section) {
+      case Section::kHeader: {
+        if (trimmed.empty()) break;
+        if (trimmed[0] == '#') break;
+        const std::size_t space = trimmed.find(' ');
+        if (space == std::string_view::npos) {
+          out.add_command(std::string(trimmed), "");
+        } else {
+          out.add_command(std::string(trimmed.substr(0, space)),
+                          std::string(strings::trim(trimmed.substr(space + 1))));
+        }
+        break;
+      }
+      case Section::kPackages:
+        if (!trimmed.empty() && trimmed[0] != '#') out.add_package(std::string(trimmed));
+        break;
+      case Section::kPost:
+        if (strings::starts_with(trimmed, "# from node file: ") && post_body.empty() &&
+            post_origin.empty()) {
+          post_origin = std::string(trimmed.substr(std::string_view("# from node file: ").size()));
+          break;
+        }
+        post_body += line;
+        post_body += '\n';
+        break;
+    }
+  }
+  flush_post();
+  return out;
+}
+
+}  // namespace rocks::kickstart

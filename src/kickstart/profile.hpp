@@ -1,0 +1,58 @@
+// The Red Hat-compliant kickstart file.
+//
+// "the end result for node installation is a Red Hat compliant text-based
+// Kickstart file" (paper Section 3.1). This models the three parts the
+// toolkit manipulates: header commands, the %packages manifest, and %post
+// scripts — and can render to and parse from the text format, because the
+// simulated installer consumes the *text*, exactly as anaconda does.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rocks::kickstart {
+
+struct HeaderCommand {
+  std::string name;       // "lang", "rootpw", "url", "part", ...
+  std::string arguments;  // raw remainder of the line
+};
+
+struct PostSection {
+  std::string origin;  // node file the section came from (emitted as comment)
+  std::string body;
+};
+
+class KickstartFile {
+ public:
+  // --- header -------------------------------------------------------------
+  void add_command(std::string name, std::string arguments);
+  [[nodiscard]] const std::vector<HeaderCommand>& commands() const { return commands_; }
+  /// First argument string of the named command, or empty.
+  [[nodiscard]] std::string command_arguments(std::string_view name) const;
+  [[nodiscard]] bool has_command(std::string_view name) const;
+
+  // --- %packages ------------------------------------------------------------
+  void add_package(std::string name);
+  [[nodiscard]] const std::vector<std::string>& packages() const { return packages_; }
+
+  // --- %post ------------------------------------------------------------------
+  void add_post(std::string origin, std::string body);
+  [[nodiscard]] const std::vector<PostSection>& posts() const { return posts_; }
+
+  /// Renders the Red Hat text format:
+  ///   command lines, blank, "%packages", one name per line,
+  ///   then one "%post" block per section.
+  [[nodiscard]] std::string render() const;
+
+  /// Parses text produced by render() (or written by hand in the same
+  /// format). Throws ParseError on structural problems.
+  [[nodiscard]] static KickstartFile parse(std::string_view text);
+
+ private:
+  std::vector<HeaderCommand> commands_;
+  std::vector<std::string> packages_;
+  std::vector<PostSection> posts_;
+};
+
+}  // namespace rocks::kickstart

@@ -1,0 +1,94 @@
+#include "kickstart/server.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::kickstart {
+
+void ensure_cluster_schema(sqldb::Database& db) {
+  if (db.has_table("nodes")) return;
+  db.execute(
+      "CREATE TABLE nodes (id INT PRIMARY KEY AUTO_INCREMENT, mac TEXT, name TEXT, "
+      "membership INT, rack INT, rank INT, ip TEXT, arch TEXT, comment TEXT)");
+  db.execute(
+      "CREATE TABLE memberships (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, "
+      "appliance INT, compute TEXT)");
+  db.execute(
+      "CREATE TABLE appliances (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, "
+      "graph_root TEXT)");
+  db.execute("CREATE TABLE site (name TEXT, value TEXT)");
+
+  // Appliances: which graph root a membership kickstarts from. Switches and
+  // power units are real appliances without an OS (empty graph_root).
+  db.execute(
+      "INSERT INTO appliances (name, graph_root) VALUES "
+      "('frontend', 'frontend'), ('compute', 'compute'), ('nfs', 'nfs'), "
+      "('network', ''), ('power', ''), ('web', 'web')");
+  // The paper's Table III, verbatim.
+  db.execute(
+      "INSERT INTO memberships (name, appliance, compute) VALUES "
+      "('Frontend', 1, 'no'), ('Compute', 2, 'yes'), ('External', 1, 'no'), "
+      "('Ethernet Switches', 4, 'no'), ('Myrinet Switches', 4, 'no'), "
+      "('Power Units', 5, 'no')");
+  // Memberships 7/8 appear in the paper's Table II (NFS and web servers).
+  db.execute(
+      "INSERT INTO memberships (id, name, appliance, compute) VALUES "
+      "(7, 'NFS Servers', 3, 'no'), (8, 'Web Servers', 6, 'no')");
+}
+
+void insert_node_row(sqldb::Database& db, std::string_view mac, std::string_view name,
+                     int membership, int rack, int rank, std::string_view ip,
+                     std::string_view arch, std::string_view comment) {
+  db.execute(strings::cat(
+      "INSERT INTO nodes (mac, name, membership, rack, rank, ip, arch, comment) VALUES ('",
+      mac, "', '", name, "', ", membership, ", ", rack, ", ", rank, ", '", ip, "', '", arch,
+      "', '", comment, "')"));
+}
+
+KickstartServer::KickstartServer(sqldb::Database& db, const NodeFileSet& files,
+                                 const Graph& graph, Ipv4 frontend_ip,
+                                 std::string distribution_url, const rpm::Repository* distro)
+    : db_(db),
+      generator_(files, graph, distro),
+      frontend_ip_(frontend_ip),
+      distribution_url_(std::move(distribution_url)) {}
+
+NodeConfig KickstartServer::resolve(Ipv4 requester) const {
+  const auto node = db_.execute(strings::cat(
+      "SELECT name, membership, arch FROM nodes WHERE ip = '", requester.to_string(), "'"));
+  require_found(node.row_count() == 1,
+                strings::cat("kickstart request from unknown address ", requester.to_string()));
+
+  const auto membership = node.at(0, "membership");
+  const auto appliance = db_.execute(strings::cat(
+      "SELECT appliances.graph_root FROM appliances, memberships WHERE "
+      "memberships.appliance = appliances.id AND memberships.id = ",
+      membership.to_string()));
+  require_found(appliance.row_count() == 1,
+                strings::cat("node ", node.at(0, "name").to_string(),
+                             " has membership with no appliance"));
+  const std::string graph_root = appliance.rows[0][0].to_string();
+  require_found(!graph_root.empty(),
+                strings::cat("appliance for ", node.at(0, "name").to_string(),
+                             " is not kickstartable (no graph root)"));
+
+  NodeConfig config;
+  config.hostname = node.at(0, "name").to_string();
+  config.appliance = graph_root;
+  config.arch = node.at(0, "arch").is_null() ? "i386" : node.at(0, "arch").to_string();
+  config.ip = requester;
+  config.frontend_ip = frontend_ip_;
+  config.distribution_url = distribution_url_;
+  return config;
+}
+
+std::string KickstartServer::handle_request(Ipv4 requester) {
+  return handle_request_file(requester).render();
+}
+
+KickstartFile KickstartServer::handle_request_file(Ipv4 requester) {
+  ++requests_;
+  return generator_.generate(resolve(requester));
+}
+
+}  // namespace rocks::kickstart

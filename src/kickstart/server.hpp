@@ -1,0 +1,60 @@
+// The kickstart CGI service.
+//
+// "At installation time, a machine requests its kickstart file via HTTP
+// from a CGI script on the frontend server. This script uses the requesting
+// node's IP address to drive a series of SQL queries that determine the
+// appliance type, software distribution, and localization of the node"
+// (paper Section 6.1). KickstartServer is that script: sqldb in, kickstart
+// text out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "kickstart/generator.hpp"
+#include "sqldb/engine.hpp"
+
+namespace rocks::kickstart {
+
+/// Creates the cluster's configuration tables when absent:
+///   nodes(id, mac, name, membership, rack, rank, ip, arch, comment)
+///   memberships(id, name, appliance, compute)
+///   appliances(id, name, graph_root)
+///   site(name, value)                        -- site-wide key/value config
+/// and seeds memberships/appliances with the paper's Table III rows.
+void ensure_cluster_schema(sqldb::Database& db);
+
+/// Convenience: inserts one row into nodes (mac/name/membership/rack/rank/
+/// ip/arch/comment), returning nothing; reads happen through SQL.
+void insert_node_row(sqldb::Database& db, std::string_view mac, std::string_view name,
+                     int membership, int rack, int rank, std::string_view ip,
+                     std::string_view arch = "i386", std::string_view comment = "");
+
+class KickstartServer {
+ public:
+  /// `distribution_url` is the HTTP base installing nodes pull RPMs from.
+  KickstartServer(sqldb::Database& db, const NodeFileSet& files, const Graph& graph,
+                  Ipv4 frontend_ip, std::string distribution_url,
+                  const rpm::Repository* distro = nullptr);
+
+  /// Resolves the requesting IP to a NodeConfig via SQL. Throws LookupError
+  /// when the IP is not in the nodes table or its membership has no
+  /// kickstartable appliance.
+  [[nodiscard]] NodeConfig resolve(Ipv4 requester) const;
+
+  /// The CGI entry point: IP in, kickstart text out.
+  [[nodiscard]] std::string handle_request(Ipv4 requester);
+  [[nodiscard]] KickstartFile handle_request_file(Ipv4 requester);
+
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  sqldb::Database& db_;
+  Generator generator_;
+  Ipv4 frontend_ip_;
+  std::string distribution_url_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace rocks::kickstart

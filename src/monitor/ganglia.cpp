@@ -1,0 +1,94 @@
+#include "monitor/ganglia.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace rocks::monitor {
+
+using cluster::Node;
+
+GangliaMonitor::GangliaMonitor(cluster::Cluster& cluster, MonitorConfig config)
+    : cluster_(cluster), config_(config) {}
+
+void GangliaMonitor::start() {
+  if (active_) return;
+  active_ = true;
+  ++generation_;
+  double phase = 0.0;
+  const double step = config_.heartbeat_interval /
+                      std::max<std::size_t>(cluster_.nodes().size(), 1);
+  for (Node* node : cluster_.nodes()) {
+    if (node->hostname().empty()) continue;
+    views_.emplace(node->hostname(), NodeView{node->hostname(), false, -1.0, {}});
+    arm(node, phase);
+    phase += step;
+  }
+}
+
+void GangliaMonitor::stop() {
+  active_ = false;
+  ++generation_;
+}
+
+void GangliaMonitor::arm(Node* node, double phase) {
+  const std::uint64_t generation = generation_;
+  cluster_.sim().schedule(phase, [this, node, generation] {
+    if (generation != generation_) return;
+    beat(node);
+  });
+}
+
+void GangliaMonitor::beat(Node* node) {
+  // A powered, running node emits; anything else is silent — the monitor
+  // learns about deaths only through the silence.
+  if (node->is_running()) {
+    ++heartbeats_;
+    NodeView& view = views_[node->hostname()];
+    view.host = node->hostname();
+    view.alive = true;
+    view.last_heartbeat = cluster_.sim().now();
+    view.metrics.processes = node->process_count();
+    view.metrics.load_one = static_cast<double>(node->process_count());
+    view.metrics.packages = node->rpmdb().package_count();
+    std::uint64_t state_bytes = 0;
+    if (node->fs().exists("/state")) state_bytes = node->fs().disk_usage("/state");
+    view.metrics.disk_used = node->fs().disk_usage("/") - state_bytes;
+  }
+  arm(node, config_.heartbeat_interval);
+}
+
+std::vector<NodeView> GangliaMonitor::cluster_view() const {
+  std::vector<NodeView> out;
+  const double now = cluster_.sim().now();
+  for (const auto& [host, view] : views_) {
+    NodeView copy = view;
+    copy.alive = view.last_heartbeat >= 0.0 &&
+                 now - view.last_heartbeat <= config_.dead_after;
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+std::vector<std::string> GangliaMonitor::dead_nodes() const {
+  std::vector<std::string> out;
+  for (const auto& view : cluster_view())
+    if (!view.alive) out.push_back(view.host);
+  return out;
+}
+
+std::string GangliaMonitor::report() const {
+  AsciiTable table({"Host", "Status", "Last seen (s)", "Load", "Procs", "Packages",
+                    "Disk (MB)"});
+  for (const auto& view : cluster_view()) {
+    table.add_row({view.host, view.alive ? "up" : "DEAD",
+                   view.last_heartbeat < 0 ? "never" : fixed(view.last_heartbeat, 1),
+                   fixed(view.metrics.load_one, 2), std::to_string(view.metrics.processes),
+                   std::to_string(view.metrics.packages),
+                   fixed(static_cast<double>(view.metrics.disk_used) / (1024.0 * 1024.0), 0)});
+  }
+  return table.render();
+}
+
+}  // namespace rocks::monitor

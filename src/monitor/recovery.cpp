@@ -1,0 +1,41 @@
+#include "monitor/recovery.hpp"
+
+namespace rocks::monitor {
+
+RecoveryReport RecoveryManager::recover(const std::vector<std::string>& dead) {
+  RecoveryReport report;
+  for (const auto& hostname : dead) {
+    cluster_.pdu().power_cycle(hostname);
+    report.power_cycled.push_back(hostname);
+  }
+  cluster_.run_until_stable();
+  for (const auto& hostname : dead) {
+    cluster::Node* node = cluster_.node(hostname);
+    if (node != nullptr && node->is_running()) {
+      report.recovered.push_back(hostname);
+    } else {
+      report.needs_crash_cart.push_back(hostname);
+    }
+  }
+  return report;
+}
+
+std::vector<std::string> RecoveryManager::crash_cart_visit(
+    const std::vector<std::string>& hosts) {
+  std::vector<std::string> revived;
+  for (const auto& hostname : hosts) {
+    ++crash_cart_trips_;
+    cluster::Node* node = cluster_.node(hostname);
+    if (node == nullptr) continue;
+    node->repair_hardware();
+    node->power_on();
+  }
+  cluster_.run_until_stable();
+  for (const auto& hostname : hosts) {
+    cluster::Node* node = cluster_.node(hostname);
+    if (node != nullptr && node->is_running()) revived.push_back(hostname);
+  }
+  return revived;
+}
+
+}  // namespace rocks::monitor

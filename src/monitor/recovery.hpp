@@ -1,0 +1,47 @@
+// The Section 4 recovery ladder, automated:
+//
+//   "If a compute node doesn't respond over the network, it can be remotely
+//    power cycled by executing a hard power cycle command for its outlet on
+//    a network-enabled power distribution unit. If the compute node is
+//    still unresponsive, physical intervention is required. For this case,
+//    we have a crash cart."
+//
+// RecoveryManager takes the monitor's dead list, power-cycles each outlet
+// (which on a Rocks node means a full reinstall), and reports which nodes
+// came back versus which need the crash cart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monitor/ganglia.hpp"
+
+namespace rocks::monitor {
+
+struct RecoveryReport {
+  std::vector<std::string> power_cycled;
+  std::vector<std::string> recovered;        // back to kRunning after the cycle
+  std::vector<std::string> needs_crash_cart;  // still dark: hardware repair
+};
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(cluster::Cluster& cluster) : cluster_(cluster) {}
+
+  /// Power-cycles every host in `dead`, waits for the cluster to settle,
+  /// and classifies the outcomes.
+  RecoveryReport recover(const std::vector<std::string>& dead);
+
+  /// Physical intervention: wheel the crash cart to each host, swap the
+  /// hardware, and power it back on (it reinstalls itself from scratch).
+  /// Returns hosts successfully revived.
+  std::vector<std::string> crash_cart_visit(const std::vector<std::string>& hosts);
+
+  [[nodiscard]] std::size_t crash_cart_trips() const { return crash_cart_trips_; }
+
+ private:
+  cluster::Cluster& cluster_;
+  std::size_t crash_cart_trips_ = 0;
+};
+
+}  // namespace rocks::monitor

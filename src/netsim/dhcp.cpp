@@ -1,0 +1,34 @@
+#include "netsim/dhcp.hpp"
+
+#include "support/strings.hpp"
+
+namespace rocks::netsim {
+
+DhcpServer::DhcpServer(Simulator& sim, SyslogBus& syslog, std::string host_name, Ipv4 server_ip)
+    : sim_(sim), syslog_(syslog), host_name_(std::move(host_name)), server_ip_(server_ip) {}
+
+void DhcpServer::configure(std::map<Mac, DhcpLease> bindings) {
+  bindings_ = std::move(bindings);
+}
+
+void DhcpServer::add_binding(Mac mac, DhcpLease lease) {
+  bindings_.insert_or_assign(mac, std::move(lease));
+}
+
+std::optional<DhcpLease> DhcpServer::discover(Mac mac) {
+  ++discovers_;
+  const auto it = bindings_.find(mac);
+  if (it == bindings_.end()) {
+    ++unanswered_;
+    syslog_.publish({sim_.now(), "dhcpd", host_name_,
+                     strings::cat("DHCPDISCOVER from ", mac.to_string(),
+                                  " via eth0: network 10.0.0.0/8: no free leases")});
+    return std::nullopt;
+  }
+  syslog_.publish({sim_.now(), "dhcpd", host_name_,
+                   strings::cat("DHCPOFFER on ", it->second.ip.to_string(), " to ",
+                                mac.to_string(), " via eth0")});
+  return it->second;
+}
+
+}  // namespace rocks::netsim

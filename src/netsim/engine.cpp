@@ -1,0 +1,73 @@
+#include "netsim/engine.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace rocks::netsim {
+
+EventId Simulator::schedule(double delay, std::function<void()> fn) {
+  require_state(delay >= 0.0, "Simulator::schedule: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(double time, std::function<void()> fn) {
+  require_state(time >= now_, "Simulator::schedule_at: time in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{time, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  cancelled_.push_back(id);
+  cancelled_dirty_ = true;
+}
+
+bool Simulator::is_cancelled(EventId id) {
+  if (cancelled_dirty_) {
+    std::sort(cancelled_.begin(), cancelled_.end());
+    cancelled_dirty_ = false;
+  }
+  return std::binary_search(cancelled_.begin(), cancelled_.end(), id);
+}
+
+void Simulator::fire(Event& event) {
+  now_ = event.time;
+  ++fired_;
+  // Move out so the callback may schedule/cancel freely.
+  auto fn = std::move(event.fn);
+  fn();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (is_cancelled(event.id)) continue;
+    fire(event);
+    return true;
+  }
+  return false;
+}
+
+double Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+void Simulator::run_until(double deadline) {
+  require_state(deadline >= now_, "Simulator::run_until: deadline in the past");
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    if (event.time > deadline) break;
+    queue_.pop();
+    if (is_cancelled(event.id)) continue;
+    fire(event);
+  }
+  now_ = deadline;
+}
+
+std::size_t Simulator::pending_events() const { return queue_.size(); }
+
+}  // namespace rocks::netsim

@@ -1,0 +1,64 @@
+// Discrete-event simulation engine.
+//
+// Everything time-dependent in the reproduction — reboots, kickstart
+// requests, RPM downloads sharing the frontend's Ethernet, driver rebuilds,
+// DHCP exchanges — runs as events on one of these simulators. Determinism:
+// events at equal times fire in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace rocks::netsim {
+
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  /// Current simulation time in seconds.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule(double delay, std::function<void()> fn);
+  /// Schedules at an absolute time (>= now()).
+  EventId schedule_at(double time, std::function<void()> fn);
+
+  /// Cancels a pending event; cancelling an already-fired or unknown id is
+  /// a harmless no-op (events are removed lazily).
+  void cancel(EventId id);
+
+  /// Runs until the event queue is empty. Returns the final time.
+  double run();
+  /// Runs events with time <= `deadline`, then sets now() to `deadline`.
+  void run_until(double deadline);
+  /// Fires exactly one event if any is pending; returns false when idle.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const;
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Event {
+    double time;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;  // FIFO among simultaneous events
+    }
+  };
+
+  void fire(Event& event);
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<EventId> cancelled_;  // lazy-deletion set (sorted on demand)
+  bool cancelled_dirty_ = false;
+  [[nodiscard]] bool is_cancelled(EventId id);
+};
+
+}  // namespace rocks::netsim

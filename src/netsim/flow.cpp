@@ -1,0 +1,160 @@
+#include "netsim/flow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace rocks::netsim {
+namespace {
+
+/// Completion epsilon. Completions are scheduled at the full
+/// remaining/rate interval, so at the event `remaining` is zero up to
+/// floating-point error (absolute error stays far below a byte for MB-scale
+/// transfers); 1e-3 bytes absorbs that error with room to spare while being
+/// negligible against any real payload. A smaller epsilon (or scheduling at
+/// remaining-eps) risks a zero-length-event livelock.
+constexpr double kEpsilonBytes = 1e-3;
+
+}  // namespace
+
+FairShareChannel::FairShareChannel(Simulator& sim, double capacity)
+    : sim_(sim), capacity_(capacity) {
+  require_state(capacity > 0.0, "FairShareChannel: capacity must be positive");
+}
+
+FlowId FairShareChannel::start(double bytes, double demand_cap,
+                               std::function<void()> on_complete) {
+  require_state(bytes >= 0.0, "FairShareChannel::start: negative size");
+  advance_to_now();
+  const FlowId id = next_id_++;
+  Flow flow;
+  flow.total = bytes;
+  flow.remaining = bytes;
+  flow.cap = demand_cap > 0.0 ? demand_cap : std::numeric_limits<double>::infinity();
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+  rebalance();
+  return id;
+}
+
+double FairShareChannel::abort(FlowId id) {
+  advance_to_now();
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  const double delivered_bytes = it->second.total - it->second.remaining;
+  flows_.erase(it);
+  rebalance();
+  return delivered_bytes;
+}
+
+double FairShareChannel::rate_of(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double FairShareChannel::delivered(FlowId id) {
+  advance_to_now();
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  return it->second.total - it->second.remaining;
+}
+
+double FairShareChannel::remaining(FlowId id) {
+  advance_to_now();
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.remaining;
+}
+
+double FairShareChannel::total_delivered() const { return total_delivered_; }
+
+void FairShareChannel::set_capacity(double capacity) {
+  require_state(capacity > 0.0, "FairShareChannel: capacity must be positive");
+  advance_to_now();
+  capacity_ = capacity;
+  rebalance();
+}
+
+void FairShareChannel::advance_to_now() {
+  const double dt = sim_.now() - last_update_;
+  if (dt > 0.0) {
+    for (auto& [id, flow] : flows_) {
+      const double moved = std::min(flow.remaining, flow.rate * dt);
+      flow.remaining -= moved;
+      total_delivered_ += moved;
+    }
+  }
+  last_update_ = sim_.now();
+}
+
+void FairShareChannel::rebalance() {
+  // Progressive filling: repeatedly grant every unfrozen flow an equal share
+  // of the residual capacity; freeze flows whose cap binds.
+  for (auto& [id, flow] : flows_) flow.rate = 0.0;
+  double residual = capacity_;
+  std::vector<Flow*> open;
+  open.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) open.push_back(&flow);
+  while (!open.empty() && residual > 1e-12) {
+    const double share = residual / static_cast<double>(open.size());
+    bool froze_any = false;
+    std::vector<Flow*> still_open;
+    for (Flow* flow : open) {
+      if (flow->cap <= share + 1e-12) {
+        flow->rate = flow->cap;
+        residual -= flow->cap;
+        froze_any = true;
+      } else {
+        still_open.push_back(flow);
+      }
+    }
+    if (!froze_any) {
+      for (Flow* flow : still_open) flow->rate = share;
+      residual = 0.0;
+      still_open.clear();
+    }
+    open = std::move(still_open);
+  }
+
+  // Schedule the next completion.
+  if (event_scheduled_) {
+    sim_.cancel(pending_event_);
+    event_scheduled_ = false;
+  }
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.remaining <= kEpsilonBytes) {
+      next = 0.0;
+      continue;
+    }
+    if (flow.rate <= 0.0) continue;  // starved: waits for a membership change
+    next = std::min(next, flow.remaining / flow.rate);
+  }
+  if (next != std::numeric_limits<double>::infinity()) {
+    pending_event_ = sim_.schedule(next, [this] { on_next_completion(); });
+    event_scheduled_ = true;
+  }
+}
+
+void FairShareChannel::on_next_completion() {
+  event_scheduled_ = false;
+  advance_to_now();
+  // Collect all flows that are done (several can finish at the same instant).
+  std::vector<std::function<void()>> callbacks;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kEpsilonBytes) {
+      total_delivered_ += it->second.remaining;
+      callbacks.push_back(std::move(it->second.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  rebalance();
+  for (auto& callback : callbacks) {
+    if (callback) callback();
+  }
+}
+
+}  // namespace rocks::netsim

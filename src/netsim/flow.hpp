@@ -1,0 +1,74 @@
+// Fluid max-min fair bandwidth sharing.
+//
+// The Table I experiment is a bandwidth-contention phenomenon: N installing
+// nodes pull RPMs from one HTTP server whose NIC can source ~7 MB/s, while
+// each node's install pipeline only consumes ~1 MB/s. This models such a
+// shared resource as a fluid: each flow has a demand cap (the client-side
+// rate limit), the server has a total capacity, and instantaneous rates are
+// the max-min fair allocation (progressive filling). Completions are exact:
+// on every membership change rates are recomputed and the next completion
+// event is rescheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "netsim/engine.hpp"
+
+namespace rocks::netsim {
+
+using FlowId = std::uint64_t;
+
+class FairShareChannel {
+ public:
+  /// `capacity` in bytes/second; must be > 0.
+  FairShareChannel(Simulator& sim, double capacity);
+
+  /// Starts a flow of `bytes` capped at `demand_cap` bytes/s (<=0 means
+  /// uncapped). `on_complete` fires exactly when the last byte arrives.
+  FlowId start(double bytes, double demand_cap, std::function<void()> on_complete);
+
+  /// Aborts a flow (e.g. a node is power cycled mid-download). Returns the
+  /// bytes that had been delivered; the completion callback never fires.
+  double abort(FlowId id);
+
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  /// Instantaneous max-min rate of one flow (bytes/s).
+  [[nodiscard]] double rate_of(FlowId id) const;
+  /// Bytes delivered so far on one flow.
+  [[nodiscard]] double delivered(FlowId id);
+  /// Bytes still to deliver on one flow (0 for unknown/finished flows).
+  [[nodiscard]] double remaining(FlowId id);
+  /// Total bytes delivered over all flows, completed ones included.
+  [[nodiscard]] double total_delivered() const;
+  [[nodiscard]] double capacity() const { return capacity_; }
+  void set_capacity(double capacity);
+
+ private:
+  struct Flow {
+    double total;
+    double remaining;
+    double cap;
+    double rate = 0.0;
+    std::function<void()> on_complete;
+  };
+
+  /// Advances all flows to now(), recomputes max-min rates, and schedules
+  /// the next completion.
+  void rebalance();
+  void advance_to_now();
+  void on_next_completion();
+
+  Simulator& sim_;
+  double capacity_;
+  std::map<FlowId, Flow> flows_;
+  FlowId next_id_ = 1;
+  double last_update_ = 0.0;
+  double total_delivered_ = 0.0;
+  EventId pending_event_ = 0;
+  bool event_scheduled_ = false;
+};
+
+}  // namespace rocks::netsim

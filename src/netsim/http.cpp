@@ -1,0 +1,63 @@
+#include "netsim/http.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::netsim {
+
+HttpServer::HttpServer(Simulator& sim, std::string name, double capacity)
+    : name_(std::move(name)), channel_(sim, capacity) {}
+
+FlowId HttpServer::serve(double bytes, double client_cap, std::function<void()> on_complete) {
+  ++stats_.requests;
+  stats_.bytes_served += bytes;  // accounted at request time; aborts subtract
+  double cap = client_cap;
+  if (per_stream_cap_ > 0.0) cap = cap > 0.0 ? std::min(cap, per_stream_cap_) : per_stream_cap_;
+  return channel_.start(bytes, cap, std::move(on_complete));
+}
+
+double HttpServer::abort(FlowId id) {
+  // bytes_served counted the full request up front; give back what was
+  // never delivered.
+  stats_.bytes_served -= channel_.remaining(id);
+  return channel_.abort(id);
+}
+
+HttpServerGroup::HttpServerGroup(Simulator& sim, double capacity_each, std::size_t count) {
+  require_state(count >= 1, "HttpServerGroup needs at least one server");
+  for (std::size_t i = 0; i < count; ++i)
+    servers_.push_back(
+        std::make_unique<HttpServer>(sim, strings::cat("web-", i), capacity_each));
+}
+
+HttpServerGroup::Ticket HttpServerGroup::serve(double bytes, double client_cap,
+                                               std::function<void()> on_complete) {
+  // Least connections (what an L4 load balancer of the era would do).
+  HttpServer* best = servers_[0].get();
+  for (const auto& server : servers_)
+    if (server->active_downloads() < best->active_downloads()) best = server.get();
+  Ticket ticket;
+  ticket.server = best;
+  ticket.flow = best->serve(bytes, client_cap, std::move(on_complete));
+  return ticket;
+}
+
+void HttpServerGroup::set_per_stream_cap(double cap) {
+  for (const auto& server : servers_) server->set_per_stream_cap(cap);
+}
+
+std::size_t HttpServerGroup::active_downloads() const {
+  std::size_t total = 0;
+  for (const auto& server : servers_) total += server->active_downloads();
+  return total;
+}
+
+double HttpServerGroup::total_bytes_served() const {
+  double total = 0.0;
+  for (const auto& server : servers_) total += server->stats().bytes_served;
+  return total;
+}
+
+}  // namespace rocks::netsim

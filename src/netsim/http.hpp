@@ -1,0 +1,82 @@
+// HTTP distribution service.
+//
+// Rocks installs pull everything over HTTP because it is trivially scalable:
+// "Replicating an installation web server is straightforward - downloading
+// RPMs is strictly read only" (paper Section 6.3). HttpServer models one
+// server NIC as a fair-shared channel; HttpServerGroup adds the paper's
+// load-balancing replication strategy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/flow.hpp"
+
+namespace rocks::netsim {
+
+struct HttpStats {
+  std::uint64_t requests = 0;
+  double bytes_served = 0.0;
+};
+
+class HttpServer {
+ public:
+  /// `capacity` = sustained source rate of the server NIC in bytes/s (the
+  /// paper measured 7-8 MB/s for the dual-PIII on Fast Ethernet).
+  HttpServer(Simulator& sim, std::string name, double capacity);
+
+  /// Serves a download of `bytes`; `client_cap` is the client-side consume
+  /// rate (<= 0 for uncapped). Fires `on_complete` when done.
+  FlowId serve(double bytes, double client_cap, std::function<void()> on_complete);
+  /// Aborts an in-flight download; returns delivered bytes.
+  double abort(FlowId id);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t active_downloads() const { return channel_.active_flows(); }
+  [[nodiscard]] double rate_of(FlowId id) const { return channel_.rate_of(id); }
+  [[nodiscard]] const HttpStats& stats() const { return stats_; }
+  [[nodiscard]] double capacity() const { return channel_.capacity(); }
+  void set_capacity(double capacity) { channel_.set_capacity(capacity); }
+
+  /// Caps every individual download at `cap` bytes/s regardless of the
+  /// client's own demand (a single TCP stream on Fast Ethernet tops out
+  /// near 7.5 MB/s even when the NIC can source more in aggregate).
+  /// 0 disables the cap. Applies to subsequently started downloads.
+  void set_per_stream_cap(double cap) { per_stream_cap_ = cap; }
+  [[nodiscard]] double per_stream_cap() const { return per_stream_cap_; }
+
+ private:
+  std::string name_;
+  FairShareChannel channel_;
+  HttpStats stats_;
+  double per_stream_cap_ = 0.0;
+};
+
+/// N replicated servers behind a least-connections load balancer; with N=1
+/// this degrades to a single server, so the cluster module always talks to a
+/// group.
+class HttpServerGroup {
+ public:
+  HttpServerGroup(Simulator& sim, double capacity_each, std::size_t count = 1);
+
+  struct Ticket {
+    HttpServer* server = nullptr;
+    FlowId flow = 0;
+  };
+  Ticket serve(double bytes, double client_cap, std::function<void()> on_complete);
+
+  [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
+  [[nodiscard]] HttpServer& server(std::size_t i) { return *servers_[i]; }
+  /// Applies a per-stream cap to every replica (see HttpServer).
+  void set_per_stream_cap(double cap);
+  [[nodiscard]] std::size_t active_downloads() const;
+  [[nodiscard]] double total_bytes_served() const;
+
+ private:
+  std::vector<std::unique_ptr<HttpServer>> servers_;
+};
+
+}  // namespace rocks::netsim

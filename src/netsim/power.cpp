@@ -1,0 +1,25 @@
+#include "netsim/power.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::netsim {
+
+void PowerDistributionUnit::attach(std::string outlet, OutletAction on_power_cycle) {
+  outlets_.insert_or_assign(std::move(outlet), std::move(on_power_cycle));
+}
+
+void PowerDistributionUnit::detach(std::string_view outlet) {
+  const auto it = outlets_.find(outlet);
+  if (it != outlets_.end()) outlets_.erase(it);
+}
+
+void PowerDistributionUnit::power_cycle(std::string_view outlet) {
+  const auto it = outlets_.find(outlet);
+  require_found(it != outlets_.end(),
+                strings::cat("PDU has no outlet named '", std::string(outlet), "'"));
+  ++cycles_;
+  it->second();
+}
+
+}  // namespace rocks::netsim

@@ -1,0 +1,37 @@
+// Network-enabled power distribution unit.
+//
+// "If a compute node doesn't respond over the network, it can be remotely
+// power cycled by executing a hard power cycle command for its outlet"
+// (paper Section 4) — and a hard power cycle on a Rocks node forces a
+// reinstall. The PDU knows outlets; what a power cycle *does* is supplied by
+// the attached callback (the cluster module wires it to the node's
+// boot-into-install path).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace rocks::netsim {
+
+class PowerDistributionUnit {
+ public:
+  using OutletAction = std::function<void()>;
+
+  /// Wires `on_power_cycle` to the named outlet.
+  void attach(std::string outlet, OutletAction on_power_cycle);
+  void detach(std::string_view outlet);
+
+  /// Executes a hard power cycle; throws LookupError for unknown outlets.
+  void power_cycle(std::string_view outlet);
+
+  [[nodiscard]] std::size_t outlet_count() const { return outlets_.size(); }
+  [[nodiscard]] std::size_t cycles_executed() const { return cycles_; }
+
+ private:
+  std::map<std::string, OutletAction, std::less<>> outlets_;
+  std::size_t cycles_ = 0;
+};
+
+}  // namespace rocks::netsim

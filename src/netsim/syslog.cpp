@@ -1,0 +1,29 @@
+#include "netsim/syslog.hpp"
+
+#include <algorithm>
+
+namespace rocks::netsim {
+
+std::size_t SyslogBus::subscribe(Listener listener) {
+  const std::size_t id = next_id_++;
+  listeners_.push_back({id, std::move(listener)});
+  return id;
+}
+
+void SyslogBus::unsubscribe(std::size_t id) {
+  listeners_.erase(std::remove_if(listeners_.begin(), listeners_.end(),
+                                  [id](const Slot& slot) { return slot.id == id; }),
+                   listeners_.end());
+}
+
+void SyslogBus::publish(SyslogMessage message) {
+  ++published_;
+  log_.push_back(message);
+  if (log_.size() > kLogCap) log_.pop_front();
+  // Copy the listener list: a listener may subscribe/unsubscribe reentrantly
+  // (insert-ethers installs a node, which emits more syslog traffic).
+  const auto snapshot = listeners_;
+  for (const auto& slot : snapshot) slot.listener(message);
+}
+
+}  // namespace rocks::netsim

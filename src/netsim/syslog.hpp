@@ -1,0 +1,48 @@
+// A cluster-wide syslog bus.
+//
+// insert-ethers works by "monitoring syslog messages for DHCP requests from
+// new hosts" (paper Section 6.4); this bus is what it subscribes to. All
+// simulated services publish here.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rocks::netsim {
+
+struct SyslogMessage {
+  double time = 0.0;
+  std::string facility;  // "dhcpd", "kickstart", "ekv", ...
+  std::string host;      // reporting host
+  std::string text;
+};
+
+class SyslogBus {
+ public:
+  using Listener = std::function<void(const SyslogMessage&)>;
+
+  /// Subscribes a listener; returns an id usable with unsubscribe.
+  std::size_t subscribe(Listener listener);
+  void unsubscribe(std::size_t id);
+
+  void publish(SyslogMessage message);
+
+  /// The retained log (bounded; oldest entries dropped beyond the cap).
+  [[nodiscard]] const std::deque<SyslogMessage>& log() const { return log_; }
+  [[nodiscard]] std::size_t total_published() const { return published_; }
+
+ private:
+  struct Slot {
+    std::size_t id;
+    Listener listener;
+  };
+  std::vector<Slot> listeners_;
+  std::deque<SyslogMessage> log_;
+  std::size_t next_id_ = 1;
+  std::size_t published_ = 0;
+  static constexpr std::size_t kLogCap = 100000;
+};
+
+}  // namespace rocks::netsim

@@ -1,0 +1,47 @@
+#include "rpm/package.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::rpm {
+
+std::string_view origin_name(Origin origin) {
+  switch (origin) {
+    case Origin::kVendor: return "vendor";
+    case Origin::kUpdate: return "update";
+    case Origin::kThirdParty: return "third-party";
+    case Origin::kLocal: return "local";
+  }
+  return "?";
+}
+
+std::string Package::nvr() const { return strings::cat(name, "-", evr.to_string()); }
+
+std::string Package::nevra() const { return strings::cat(nvr(), ".", arch); }
+
+std::string Package::filename() const { return strings::cat(nevra(), ".rpm"); }
+
+bool Package::upgrades(const Package& other) const {
+  return name == other.name && arch == other.arch && other.evr < evr;
+}
+
+NvrParts parse_nvr(std::string_view label) {
+  // Find the release dash (last dash), then the version dash (the last dash
+  // before it whose following character is a digit).
+  const std::size_t release_dash = label.rfind('-');
+  if (release_dash == std::string_view::npos || release_dash + 1 >= label.size())
+    throw ParseError(strings::cat("not a name-version-release label: '", std::string(label), "'"));
+  const std::size_t version_dash = label.rfind('-', release_dash - 1);
+  if (version_dash == std::string_view::npos || version_dash + 1 >= label.size())
+    throw ParseError(strings::cat("not a name-version-release label: '", std::string(label), "'"));
+  NvrParts out;
+  out.name = std::string(label.substr(0, version_dash));
+  out.evr = Evr::parse(label.substr(version_dash + 1));
+  if (out.name.empty())
+    throw ParseError(strings::cat("empty package name in '", std::string(label), "'"));
+  return out;
+}
+
+}  // namespace rocks::rpm

@@ -1,0 +1,70 @@
+// The package model.
+//
+// "All software deployed on Rocks clusters are in RPMs" (paper Section 5) —
+// every artifact the toolkit moves around, from glibc to the Myrinet driver
+// source, is one of these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpm/version.hpp"
+
+namespace rocks::rpm {
+
+/// Origin of a package within a distribution, mirroring the three sources
+/// rocks-dist gathers (Section 6.2.1).
+enum class Origin {
+  kVendor,      // the stock Red Hat release
+  kUpdate,      // a Red Hat updates/errata package
+  kThirdParty,  // community software (MPICH, PVM, ATLAS...)
+  kLocal,       // RPMs built on site (Rocks tools, kickstart profiles, eKV)
+};
+
+[[nodiscard]] std::string_view origin_name(Origin origin);
+
+struct Package {
+  std::string name;
+  Evr evr;
+  std::string arch = "i386";  // "i386", "ia64", "athlon", "noarch", "src"
+  std::uint64_t size_bytes = 0;
+  Origin origin = Origin::kVendor;
+  std::string group;    // RPM group ("System Environment/Daemons", ...)
+  std::string summary;
+
+  std::vector<std::string> requires_names;  // names of required packages
+  std::vector<std::string> provides;        // extra provided capabilities
+  std::vector<std::string> files;           // installed file paths
+
+  /// Source packages are compiled on the node at install time (the Myrinet
+  /// driver pattern, Section 6.3); `build_seconds` models that compile.
+  bool is_source = false;
+  double build_seconds = 0.0;
+
+  /// True when this update closes a security hole (Section 6.2.1 counts 74
+  /// advisories against Red Hat 6.2 in under a year).
+  bool security_fix = false;
+
+  /// "name-version-release" (label form used in kickstart %packages).
+  [[nodiscard]] std::string nvr() const;
+  /// "name-version-release.arch" (full identity).
+  [[nodiscard]] std::string nevra() const;
+  /// On-disk file name inside a distribution tree: "<nevra>.rpm".
+  [[nodiscard]] std::string filename() const;
+
+  /// True when `this` is the same name/arch at a strictly newer EVR.
+  [[nodiscard]] bool upgrades(const Package& other) const;
+};
+
+/// Parses "name-version-release" where the name itself may contain dashes
+/// (the split point is the last dash before a segment starting with a
+/// digit, matching RPM's label convention). Throws ParseError.
+struct NvrParts {
+  std::string name;
+  Evr evr;
+};
+[[nodiscard]] NvrParts parse_nvr(std::string_view label);
+
+}  // namespace rocks::rpm

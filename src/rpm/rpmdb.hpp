@@ -1,0 +1,53 @@
+// Per-node installed-package database (the /var/lib/rpm of a simulated
+// machine). Installing a package materializes its files into the node's
+// virtual filesystem; the manifest fingerprint is how the toolkit decides
+// whether two nodes run identical software (the consistency question the
+// paper's reinstall philosophy is designed to eliminate, Section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpm/package.hpp"
+#include "rpm/repository.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace rocks::rpm {
+
+class RpmDatabase {
+ public:
+  /// Installs (or upgrades, when an older version is present) into `fs`.
+  /// Files are written with the package's bytes spread across them.
+  void install(const Package& package, vfs::FileSystem& fs);
+
+  /// Removes the package and its files. Returns false when not installed.
+  bool erase(std::string_view name, vfs::FileSystem& fs);
+
+  [[nodiscard]] bool installed(std::string_view name) const;
+  [[nodiscard]] const Package* find(std::string_view name) const;
+  [[nodiscard]] std::size_t package_count() const { return installed_.size(); }
+
+  /// Sorted "name-version-release.arch" list — `rpm -qa` output.
+  [[nodiscard]] std::vector<std::string> manifest() const;
+
+  /// Order-independent hash of the manifest; equal fingerprints mean equal
+  /// installed software sets.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Packages in `this` that are older than the newest version in `repo`
+  /// (the "is my node stale?" question from Section 6.2.1).
+  [[nodiscard]] std::vector<const Package*> stale_against(const Repository& repo) const;
+
+  /// Drops all records without touching the filesystem — used when a node's
+  /// disk is wiped wholesale at reinstall time.
+  void clear() { installed_.clear(); }
+
+ private:
+  std::map<std::string, Package, std::less<>> installed_;  // by name
+};
+
+}  // namespace rocks::rpm

@@ -1,0 +1,95 @@
+#include "rpm/solver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rocks::rpm {
+
+std::uint64_t Resolution::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const Package* pkg : install_order) total += pkg->size_bytes;
+  return total;
+}
+
+Resolution resolve(const Repository& repo, const std::vector<std::string>& requested,
+                   std::string_view arch) {
+  Resolution result;
+  std::map<std::string, const Package*> selected;  // by package name
+  std::set<std::string> missing;
+
+  // Breadth-first closure over requirements.
+  std::vector<const Package*> frontier;
+  for (const auto& name : requested) {
+    const Package* pkg = repo.provider(name, arch);
+    if (pkg == nullptr) {
+      missing.insert(name);
+      continue;
+    }
+    if (selected.emplace(pkg->name, pkg).second) frontier.push_back(pkg);
+  }
+  while (!frontier.empty()) {
+    const Package* current = frontier.back();
+    frontier.pop_back();
+    for (const auto& req : current->requires_names) {
+      const Package* dep = repo.provider(req, arch);
+      if (dep == nullptr) {
+        missing.insert(req);
+        continue;
+      }
+      if (selected.emplace(dep->name, dep).second) frontier.push_back(dep);
+    }
+  }
+
+  // Topological order (dependencies first); Kahn's algorithm with a sorted
+  // ready set for determinism. Cycles (glibc <-> bash style) are broken by
+  // emitting the lexicographically smallest remaining node.
+  std::map<const Package*, int> in_degree;
+  std::map<const Package*, std::vector<const Package*>> dependents;
+  for (const auto& [name, pkg] : selected) in_degree[pkg] = 0;
+  for (const auto& [name, pkg] : selected) {
+    for (const auto& req : pkg->requires_names) {
+      const Package* dep = repo.provider(req, arch);
+      if (dep == nullptr || dep == pkg) continue;
+      const auto it = selected.find(dep->name);
+      if (it == selected.end() || it->second != dep) continue;
+      dependents[dep].push_back(pkg);
+      ++in_degree[pkg];
+    }
+  }
+
+  auto by_name = [](const Package* a, const Package* b) { return a->name < b->name; };
+  std::vector<const Package*> ready;
+  for (const auto& [pkg, degree] : in_degree)
+    if (degree == 0) ready.push_back(pkg);
+  std::sort(ready.begin(), ready.end(), by_name);
+
+  std::set<const Package*> emitted;
+  while (result.install_order.size() < selected.size()) {
+    if (ready.empty()) {
+      // Cycle: emit the smallest remaining package to break it.
+      const Package* fallback = nullptr;
+      for (const auto& [pkg, degree] : in_degree) {
+        if (emitted.contains(pkg)) continue;
+        if (fallback == nullptr || pkg->name < fallback->name) fallback = pkg;
+      }
+      ready.push_back(fallback);
+    }
+    const Package* next = ready.front();
+    ready.erase(ready.begin());
+    if (emitted.contains(next)) continue;
+    emitted.insert(next);
+    result.install_order.push_back(next);
+    for (const Package* dependent : dependents[next]) {
+      if (--in_degree[dependent] == 0 && !emitted.contains(dependent)) {
+        ready.insert(std::upper_bound(ready.begin(), ready.end(), dependent, by_name),
+                     dependent);
+      }
+    }
+  }
+
+  result.missing.assign(missing.begin(), missing.end());
+  return result;
+}
+
+}  // namespace rocks::rpm

@@ -1,0 +1,33 @@
+// Dependency closure and install ordering.
+//
+// Kickstart hands anaconda a package list; anaconda pulls in dependencies
+// and installs in dependency order. This solver reproduces that step for
+// the simulated installer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpm/repository.hpp"
+
+namespace rocks::rpm {
+
+struct Resolution {
+  /// Packages to install, dependencies before dependents (cycles broken in
+  /// deterministic name order, as rpm does within a transaction).
+  std::vector<const Package*> install_order;
+  /// Requirements no package in the repository provides.
+  std::vector<std::string> missing;
+
+  [[nodiscard]] bool complete() const { return missing.empty(); }
+  [[nodiscard]] std::uint64_t total_bytes() const;
+};
+
+/// Resolves `requested` package names (newest versions for `arch`) plus the
+/// transitive closure of their requirements against `repo`.
+[[nodiscard]] Resolution resolve(const Repository& repo,
+                                 const std::vector<std::string>& requested,
+                                 std::string_view arch = "i386");
+
+}  // namespace rocks::rpm

@@ -1,0 +1,394 @@
+#include "rpm/synth.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "rpm/solver.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::rpm {
+namespace {
+
+struct Seed {
+  const char* name;
+  const char* group;
+  double size_mb;  // pre-calibration weight
+  const char* requires_csv;
+};
+
+// The curated core: names, groups, and dependency skeleton modeled on the
+// actual Red Hat 7.2 package set the paper deployed.
+constexpr Seed kBaseSeeds[] = {
+    {"setup", "System Environment/Base", 0.1, ""},
+    {"filesystem", "System Environment/Base", 0.1, "setup"},
+    {"basesystem", "System Environment/Base", 0.1, "filesystem"},
+    {"glibc", "System Environment/Libraries", 24.0, "basesystem,bash"},  // deliberate cycle
+    {"bash", "System Environment/Shells", 1.8, "glibc"},
+    {"libtermcap", "System Environment/Libraries", 0.2, "glibc"},
+    {"termcap", "System Environment/Base", 0.3, ""},
+    {"ncurses", "System Environment/Libraries", 2.1, "glibc"},
+    {"readline", "System Environment/Libraries", 0.5, "ncurses"},
+    {"zlib", "System Environment/Libraries", 0.3, "glibc"},
+    {"info", "System Environment/Base", 0.7, "glibc"},
+    {"fileutils", "System Environment/Base", 1.9, "glibc"},
+    {"textutils", "System Environment/Base", 1.2, "glibc"},
+    {"sh-utils", "System Environment/Base", 1.0, "glibc"},
+    {"grep", "Applications/Text", 0.5, "glibc"},
+    {"sed", "Applications/Text", 0.3, "glibc"},
+    {"gawk", "Applications/Text", 1.6, "glibc"},
+    {"tar", "Applications/Archiving", 0.9, "glibc"},
+    {"gzip", "Applications/Archiving", 0.4, "glibc"},
+    {"bzip2", "Applications/Archiving", 0.3, "glibc"},
+    {"cpio", "Applications/Archiving", 0.3, "glibc"},
+    {"findutils", "Applications/File", 0.4, "glibc"},
+    {"which", "Applications/System", 0.1, "bash"},
+    {"diffutils", "Applications/Text", 0.5, "glibc"},
+    {"less", "Applications/Text", 0.3, "ncurses"},
+    {"file", "Applications/File", 0.5, "glibc"},
+    {"popt", "System Environment/Libraries", 0.2, "glibc"},
+    {"db3", "System Environment/Libraries", 1.1, "glibc"},
+    {"gdbm", "System Environment/Libraries", 0.2, "glibc"},
+    {"rpm", "System Environment/Base", 3.5, "popt,db3,bzip2,zlib"},
+    {"dev", "System Environment/Base", 0.4, "filesystem"},
+    {"e2fsprogs", "System Environment/Base", 1.5, "glibc"},
+    {"modutils", "System Environment/Kernel", 1.0, "glibc"},
+    {"kernel", "System Environment/Kernel", 19.0, "modutils,dev"},
+    {"kernel-headers", "Development/System", 2.5, ""},
+    {"SysVinit", "System Environment/Base", 0.3, "glibc"},
+    {"initscripts", "System Environment/Base", 1.2, "SysVinit,bash,sed,gawk"},
+    {"chkconfig", "System Environment/Base", 0.3, "glibc"},
+    {"mingetty", "System Environment/Base", 0.1, "glibc"},
+    {"kbd", "System Environment/Base", 1.1, "glibc"},
+    {"console-tools", "System Environment/Base", 2.2, "glibc"},
+    {"sysklogd", "System Environment/Daemons", 0.3, "initscripts"},
+    {"net-tools", "System Environment/Base", 0.9, "glibc"},
+    {"iputils", "System Environment/Base", 0.3, "glibc"},
+    {"procps", "Applications/System", 0.5, "ncurses"},
+    {"psmisc", "Applications/System", 0.2, "glibc"},
+    {"util-linux", "System Environment/Base", 2.3, "ncurses,pam"},
+    {"pam", "System Environment/Base", 1.4, "cracklib,initscripts"},  // 2nd cycle via initscripts->bash
+    {"cracklib", "System Environment/Libraries", 0.2, "glibc"},
+    {"cracklib-dicts", "System Environment/Libraries", 3.0, "cracklib"},
+    {"shadow-utils", "System Environment/Base", 1.1, "pam"},
+    {"glib", "System Environment/Libraries", 0.4, "glibc"},
+    {"slang", "System Environment/Libraries", 0.6, "glibc"},
+    {"newt", "System Environment/Libraries", 0.4, "slang"},
+    {"groff", "Applications/Publishing", 2.8, "glibc"},
+    {"man", "System Environment/Base", 0.6, "groff,less"},
+    {"crontabs", "System Environment/Base", 0.1, ""},
+    {"vixie-cron", "System Environment/Base", 0.2, "initscripts"},
+    {"anacron", "System Environment/Base", 0.2, "initscripts"},
+    {"logrotate", "System Environment/Base", 0.2, "glibc"},
+    {"mktemp", "System Environment/Base", 0.1, "glibc"},
+    {"vim-minimal", "Applications/Editors", 1.3, "glibc"},
+    {"openssl", "System Environment/Libraries", 3.2, "glibc"},
+    {"krb5-libs", "System Environment/Libraries", 1.9, "glibc"},
+    {"cyrus-sasl", "System Environment/Libraries", 0.8, "openssl,db3"},
+    {"openldap", "System Environment/Daemons", 1.6, "cyrus-sasl,openssl"},
+    {"nss_ldap", "System Environment/Base", 0.7, "openldap"},
+    {"openssh", "Applications/Internet", 0.6, "openssl"},
+    {"openssh-clients", "Applications/Internet", 0.8, "openssh"},
+    {"openssh-server", "System Environment/Daemons", 0.5, "openssh"},
+    {"pump", "System Environment/Base", 0.2, "glibc"},
+    {"dhcpcd", "System Environment/Base", 0.2, "glibc"},
+    {"portmap", "System Environment/Daemons", 0.2, "initscripts"},
+    {"ypbind", "System Environment/Daemons", 0.3, "portmap,yp-tools"},
+    {"yp-tools", "System Environment/Base", 0.3, "glibc"},
+    {"nfs-utils", "System Environment/Daemons", 0.7, "portmap"},
+    {"wget", "Applications/Internet", 0.7, "openssl"},
+    {"telnet", "Applications/Internet", 0.2, "glibc"},
+    {"rsh", "Applications/Internet", 0.2, "glibc"},
+    {"rdate", "System Environment/Base", 0.1, "glibc"},
+    {"ntp", "System Environment/Daemons", 1.4, "glibc"},
+    {"tcpdump", "Applications/Internet", 0.9, "glibc"},
+    {"perl", "Development/Languages", 11.5, "glibc"},
+    {"python", "Development/Languages", 7.9, "glibc"},
+    {"syslinux", "Applications/System", 0.3, "glibc"},
+    {"rocks-ekv", "NPACI Rocks/Base", 0.2, "python"},  // eKV install console (local RPM)
+};
+
+constexpr Seed kComputeSeeds[] = {
+    {"gcc", "Development/Languages", 9.8, "binutils,cpp,glibc-devel"},
+    {"gcc-g77", "Development/Languages", 3.8, "gcc"},
+    {"cpp", "Development/Languages", 1.2, "glibc"},
+    {"binutils", "Development/Tools", 5.3, "glibc"},
+    {"glibc-devel", "Development/Libraries", 8.9, "glibc,kernel-headers"},
+    {"make", "Development/Tools", 0.8, "glibc"},
+    {"kernel-source", "Development/System", 38.0, ""},
+    {"mpich", "NPACI Rocks/Libraries", 14.0, "gcc,rsh"},
+    {"mpich-gm", "NPACI Rocks/Libraries", 15.0, "gm,gcc"},
+    {"pvm", "NPACI Rocks/Libraries", 5.5, "gcc,rsh"},
+    {"atlas", "NPACI Rocks/Libraries", 16.0, "gcc-g77"},
+    {"gm", "NPACI Rocks/Myrinet", 3.0, "kernel"},
+    {"rexec", "NPACI Rocks/Base", 0.5, "openssl,python"},
+    {"pbs-mom", "NPACI Rocks/Scheduling", 1.1, "initscripts"},
+    {"ganglia-monitor-core", "NPACI Rocks/Monitoring", 0.6, "python"},
+    {"intel-mkl", "NPACI Rocks/Libraries", 24.0, "glibc"},
+};
+
+constexpr Seed kFrontendSeeds[] = {
+    {"mysql", "Applications/Databases", 6.5, "glibc"},
+    {"mysql-server", "System Environment/Daemons", 9.0, "mysql,initscripts"},
+    {"apache", "System Environment/Daemons", 2.5, "initscripts"},
+    {"dhcp", "System Environment/Daemons", 0.8, "initscripts"},
+    {"ypserv", "System Environment/Daemons", 0.5, "portmap"},
+    {"pbs-server", "NPACI Rocks/Scheduling", 2.2, "initscripts"},
+    {"maui", "NPACI Rocks/Scheduling", 3.1, "pbs-server"},
+    {"rocks-dist", "NPACI Rocks/Base", 0.6, "python,wget"},
+    {"rocks-tools", "NPACI Rocks/Base", 0.8, "python,mysql"},
+    {"rocks-kickstart-profiles", "NPACI Rocks/Base", 0.3, "rocks-dist"},
+    {"insert-ethers", "NPACI Rocks/Base", 0.2, "rocks-tools"},
+    {"shoot-node", "NPACI Rocks/Base", 0.2, "rocks-tools"},
+    {"intel-cc", "Development/Languages", 42.0, "glibc"},
+    {"intel-fortran", "Development/Languages", 38.0, "glibc"},
+    {"pgi-hpf", "Development/Languages", 31.0, "glibc"},
+    {"XFree86-libs", "System Environment/Libraries", 7.5, "glibc"},
+    {"xterm", "User Interface/X", 0.7, "XFree86-libs"},
+};
+
+constexpr Seed kNfsSeeds[] = {
+    {"raidtools", "System Environment/Base", 0.4, "glibc"},
+    {"quota", "System Environment/Base", 0.4, "glibc"},
+};
+
+// Architecture-independent packages (scripts, data, configuration).
+constexpr const char* kNoarchNames[] = {
+    "setup",        "filesystem", "basesystem",  "crontabs",    "termcap",
+    "cracklib-dicts", "rocks-dist", "rocks-tools", "rocks-kickstart-profiles",
+    "insert-ethers", "shoot-node", "rocks-ekv",
+};
+
+// Bootloaders exist only on their own architecture.
+constexpr Seed kArchOnlySeeds[] = {
+    {"grub", "System Environment/Base", 0.8, "glibc"},    // i386 only
+    {"elilo", "System Environment/Base", 0.4, "glibc"},   // ia64 only
+};
+
+bool is_noarch(std::string_view name) {
+  for (const char* candidate : kNoarchNames)
+    if (name == candidate) return true;
+  return false;
+}
+
+constexpr Seed kWebSeeds[] = {
+    {"php", "Development/Languages", 3.8, "apache"},
+    {"mod_ssl", "System Environment/Daemons", 0.9, "apache,openssl"},
+};
+
+constexpr const char* kFillerStems[] = {
+    "lib",  "perl", "python", "gnome", "kde",  "x11",  "tex",  "emacs",
+    "font", "doc",  "games",  "sound", "print", "mail", "news", "irc",
+};
+
+std::vector<std::string> make_files(const std::string& name, const Evr& evr, Rng& rng) {
+  std::vector<std::string> files;
+  files.push_back(strings::cat("/usr/bin/", name));
+  files.push_back(strings::cat("/usr/lib/", name, ".so.", evr.version));
+  files.push_back(strings::cat("/usr/share/doc/", name, "-", evr.version, "/README"));
+  const int extra = static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < extra; ++i)
+    files.push_back(strings::cat("/usr/share/", name, "/data", i));
+  if (rng.chance(0.3)) files.push_back(strings::cat("/etc/", name, ".conf"));
+  return files;
+}
+
+Package make_package(const Seed& seed, const std::string& version, Rng& rng, Origin origin) {
+  Package pkg;
+  pkg.name = seed.name;
+  pkg.evr.version = version;
+  pkg.evr.release = std::to_string(1 + rng.next_below(9));
+  pkg.size_bytes = static_cast<std::uint64_t>(seed.size_mb * 1024.0 * 1024.0);
+  pkg.origin = origin;
+  pkg.group = seed.group;
+  pkg.summary = strings::cat("The ", seed.name, " package");
+  if (*seed.requires_csv != '\0') {
+    for (auto& dep : strings::split(seed.requires_csv, ',')) pkg.requires_names.push_back(dep);
+  }
+  pkg.files = make_files(pkg.name, pkg.evr, rng);
+  return pkg;
+}
+
+std::string seed_version(Rng& rng) {
+  return strings::cat(1 + rng.next_below(7), ".", rng.next_below(10), ".",
+                      rng.next_below(30));
+}
+
+}  // namespace
+
+std::vector<std::string> SynthDistro::compute_set() const {
+  std::vector<std::string> out = base;
+  out.insert(out.end(), compute_extras.begin(), compute_extras.end());
+  return out;
+}
+
+std::vector<std::string> SynthDistro::frontend_set() const {
+  std::vector<std::string> out = base;
+  out.insert(out.end(), frontend_extras.begin(), frontend_extras.end());
+  // The frontend also carries the development stack so users can build
+  // applications there (paper Section 4.1).
+  out.insert(out.end(), compute_extras.begin(), compute_extras.end());
+  return out;
+}
+
+SynthDistro make_redhat_release(const SynthOptions& options) {
+  Rng rng(options.seed);
+  SynthDistro distro;
+  distro.repo = Repository(strings::cat("redhat-", options.release_version));
+  distro.release_version = options.release_version;
+
+  // One package per seed per architecture (noarch packages once, with
+  // identical EVR across arches, as a real multi-arch release does).
+  const auto add_one = [&](const Seed& seed, std::vector<std::string>* names) {
+    Package prototype = make_package(seed, seed_version(rng), rng, Origin::kVendor);
+    if (strings::starts_with(prototype.group, "NPACI Rocks"))
+      prototype.origin = strings::contains(prototype.group, "Libraries")
+                             ? Origin::kThirdParty
+                             : Origin::kLocal;
+    if (names != nullptr) names->push_back(prototype.name);
+    if (is_noarch(prototype.name)) {
+      prototype.arch = "noarch";
+      distro.repo.add(std::move(prototype));
+      return;
+    }
+    for (const auto& arch : options.arches) {
+      Package copy = prototype;
+      copy.arch = arch;
+      distro.repo.add(std::move(copy));
+    }
+  };
+  const auto add_seeds = [&](const Seed* seeds, std::size_t count,
+                             std::vector<std::string>& names) {
+    for (std::size_t i = 0; i < count; ++i) add_one(seeds[i], &names);
+  };
+  add_seeds(kBaseSeeds, std::size(kBaseSeeds), distro.base);
+  add_seeds(kComputeSeeds, std::size(kComputeSeeds), distro.compute_extras);
+  add_seeds(kFrontendSeeds, std::size(kFrontendSeeds), distro.frontend_extras);
+  add_seeds(kNfsSeeds, std::size(kNfsSeeds), distro.nfs_extras);
+  add_seeds(kWebSeeds, std::size(kWebSeeds), distro.web_extras);
+
+  // Bootloaders: grub only exists for IA-32-family arches, elilo for IA-64.
+  for (const Seed& seed : kArchOnlySeeds) {
+    const bool is_grub = std::string_view(seed.name) == "grub";
+    const char* wanted = is_grub ? "i386" : "ia64";
+    bool have_arch = false;
+    for (const auto& arch : options.arches)
+      if (arch == wanted) have_arch = true;
+    if (!have_arch && is_grub) have_arch = true;  // default release keeps grub
+    if (!have_arch) continue;
+    Package pkg = make_package(seed, seed_version(rng), rng, Origin::kVendor);
+    pkg.arch = wanted;
+    distro.base.push_back(pkg.name);
+    distro.repo.add(std::move(pkg));
+  }
+
+  // The Myrinet driver source package (compute appliances rebuild it).
+  const Package* kernel = distro.repo.newest("kernel");
+  distro.repo.add(make_myrinet_driver_source(kernel->evr));
+  distro.compute_extras.push_back("gm-driver");
+
+  // Filler: the long tail of a real distribution (never installed on
+  // cluster appliances, but carried by every mirror and symlink tree).
+  std::set<std::string> taken;
+  for (const Package* pkg : distro.repo.all()) taken.insert(pkg->name);
+  std::size_t made = 0;
+  while (made < options.filler_packages) {
+    const char* stem = kFillerStems[rng.next_below(std::size(kFillerStems))];
+    const std::string name = strings::cat(stem, "-extra", made);
+    if (!taken.insert(name).second) continue;
+    Package pkg;
+    pkg.name = name;
+    pkg.evr.version = seed_version(rng);
+    pkg.evr.release = std::to_string(1 + rng.next_below(9));
+    // Log-ish size distribution: mostly small, a few multi-MB.
+    const double mb = rng.chance(0.15) ? rng.next_double_range(2.0, 14.0)
+                                       : rng.next_double_range(0.05, 1.5);
+    pkg.size_bytes = static_cast<std::uint64_t>(mb * 1024.0 * 1024.0);
+    pkg.group = "Applications/Contrib";
+    pkg.summary = strings::cat("Contrib package ", name);
+    pkg.requires_names.push_back("glibc");
+    pkg.files = make_files(pkg.name, pkg.evr, rng);
+    distro.repo.add(std::move(pkg));
+    ++made;
+  }
+
+  // Calibrate: scale the curated packages so the compute closure hits the
+  // configured payload (225 MB by default), keeping relative sizes.
+  const Resolution compute = resolve(distro.repo, distro.compute_set());
+  const double actual_mb =
+      static_cast<double>(compute.total_bytes()) / (1024.0 * 1024.0);
+  if (actual_mb > 0) {
+    const double scale = options.compute_payload_mb / actual_mb;
+    Repository scaled(distro.repo.name());
+    for (const Package* pkg : distro.repo.all()) {
+      Package copy = *pkg;
+      if (copy.group != "Applications/Contrib")
+        copy.size_bytes = static_cast<std::uint64_t>(static_cast<double>(copy.size_bytes) * scale);
+      scaled.add(std::move(copy));
+    }
+    distro.repo = std::move(scaled);
+  }
+  return distro;
+}
+
+std::vector<TimedUpdate> make_update_stream(const SynthDistro& distro,
+                                            const UpdateStreamOptions& options) {
+  Rng rng(options.seed);
+  std::vector<TimedUpdate> stream;
+  const auto all = distro.repo.all();
+
+  // Candidate packages for errata: the curated (non-contrib) set.
+  std::vector<const Package*> candidates;
+  for (const Package* pkg : all)
+    if (pkg->group != "Applications/Contrib" && !pkg->is_source) candidates.push_back(pkg);
+
+  for (int i = 0; i < options.update_count; ++i) {
+    const Package* victim = candidates[rng.next_below(candidates.size())];
+    TimedUpdate update;
+    // Roughly even spacing ("one update every three days") with jitter.
+    update.day = static_cast<int>((static_cast<double>(i) + rng.next_double()) *
+                                  static_cast<double>(options.days) /
+                                  static_cast<double>(options.update_count));
+    update.package = *victim;
+    update.package.origin = Origin::kUpdate;
+    // Bump the release; repeated errata against the same package stack.
+    int prior = 0;
+    for (const auto& existing : stream)
+      if (existing.package.name == victim->name) ++prior;
+    update.package.evr.release =
+        strings::cat(victim->evr.release, ".", prior + 1);
+    update.package.security_fix = i < options.security_count;
+    update.package.summary = strings::cat(victim->name, " errata #", i + 1);
+    stream.push_back(std::move(update));
+  }
+  // Shuffle which updates are security fixes, then order by day.
+  for (std::size_t i = stream.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(stream[i - 1].package.security_fix, stream[j].package.security_fix);
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const TimedUpdate& a, const TimedUpdate& b) { return a.day < b.day; });
+  return stream;
+}
+
+Package make_myrinet_driver_source(const Evr& kernel_evr) {
+  Package pkg;
+  pkg.name = "gm-driver";
+  pkg.evr.version = "1.5.1";
+  pkg.evr.release = "1";
+  pkg.arch = "src";
+  pkg.size_bytes = 6 * 1024 * 1024;
+  pkg.origin = Origin::kLocal;
+  pkg.group = "NPACI Rocks/Myrinet";
+  pkg.summary = "Myrinet GM driver, compiled on-node against the running kernel";
+  pkg.requires_names = {"kernel-source", "gcc", "make"};
+  pkg.provides = {strings::cat("gm-driver-for-kernel-", kernel_evr.to_string())};
+  pkg.files = {"/usr/src/gm/Makefile", "/usr/src/gm/gm.c"};
+  pkg.is_source = true;
+  // The paper reports driver rebuilds adding a 20-30% penalty on a 5-10
+  // minute reinstall; 120 s of compile+insmod lands in that band.
+  pkg.build_seconds = 120.0;
+  return pkg;
+}
+
+}  // namespace rocks::rpm

@@ -1,0 +1,117 @@
+#include "rpm/version.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::rpm {
+namespace {
+
+bool is_sep(char c) {
+  return !std::isalnum(static_cast<unsigned char>(c)) && c != '~';
+}
+
+}  // namespace
+
+int rpmvercmp(std::string_view a, std::string_view b) {
+  if (a == b) return 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    // Skip separators.
+    while (i < a.size() && is_sep(a[i])) ++i;
+    while (j < b.size() && is_sep(b[j])) ++j;
+
+    // Tilde: sorts before everything, including the empty string.
+    const bool ta = i < a.size() && a[i] == '~';
+    const bool tb = j < b.size() && b[j] == '~';
+    if (ta || tb) {
+      if (ta && tb) {
+        ++i;
+        ++j;
+        continue;
+      }
+      return ta ? -1 : 1;
+    }
+
+    if (i >= a.size() || j >= b.size()) break;
+
+    // Grab the next segment: a run of digits or a run of letters.
+    const bool numeric = std::isdigit(static_cast<unsigned char>(a[i])) != 0;
+    std::size_t si = i, sj = j;
+    if (numeric) {
+      while (si < a.size() && std::isdigit(static_cast<unsigned char>(a[si]))) ++si;
+      while (sj < b.size() && std::isdigit(static_cast<unsigned char>(b[sj]))) ++sj;
+    } else {
+      while (si < a.size() && std::isalpha(static_cast<unsigned char>(a[si]))) ++si;
+      while (sj < b.size() && std::isalpha(static_cast<unsigned char>(b[sj]))) ++sj;
+    }
+    std::string_view sa = a.substr(i, si - i);
+    std::string_view sb = b.substr(j, sj - j);
+
+    // b's segment is of the other type: numeric segments always win.
+    if (sb.empty()) return numeric ? 1 : -1;
+
+    if (numeric) {
+      // Strip leading zeros, then longer number wins, then lexicographic.
+      while (!sa.empty() && sa.front() == '0') sa.remove_prefix(1);
+      while (!sb.empty() && sb.front() == '0') sb.remove_prefix(1);
+      if (sa.size() != sb.size()) return sa.size() < sb.size() ? -1 : 1;
+    }
+    const int cmp = sa.compare(sb);
+    if (cmp != 0) return cmp < 0 ? -1 : 1;
+
+    i = si;
+    j = sj;
+  }
+  // One string exhausted: the one with a remaining segment is newer.
+  const bool a_left = i < a.size();
+  const bool b_left = j < b.size();
+  if (a_left == b_left) return 0;
+  return a_left ? 1 : -1;
+}
+
+Evr Evr::parse(std::string_view text) {
+  Evr out;
+  const std::size_t colon = text.find(':');
+  if (colon != std::string_view::npos) {
+    int epoch = 0;
+    for (char c : text.substr(0, colon)) {
+      if (!std::isdigit(static_cast<unsigned char>(c)))
+        throw ParseError(strings::cat("bad epoch in '", std::string(text), "'"));
+      epoch = epoch * 10 + (c - '0');
+    }
+    out.epoch = epoch;
+    text.remove_prefix(colon + 1);
+  }
+  const std::size_t dash = text.rfind('-');
+  if (dash != std::string_view::npos) {
+    out.version = std::string(text.substr(0, dash));
+    out.release = std::string(text.substr(dash + 1));
+  } else {
+    out.version = std::string(text);
+  }
+  if (out.version.empty())
+    throw ParseError(strings::cat("empty version in '", std::string(text), "'"));
+  return out;
+}
+
+int Evr::compare(const Evr& other) const {
+  if (epoch != other.epoch) return epoch < other.epoch ? -1 : 1;
+  const int v = rpmvercmp(version, other.version);
+  if (v != 0) return v;
+  return rpmvercmp(release, other.release);
+}
+
+std::string Evr::to_string() const {
+  std::string out;
+  if (epoch != 0) out = strings::cat(epoch, ":");
+  out += version;
+  if (!release.empty()) {
+    out += '-';
+    out += release;
+  }
+  return out;
+}
+
+}  // namespace rocks::rpm

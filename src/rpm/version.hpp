@@ -1,0 +1,41 @@
+// RPM version semantics.
+//
+// rocks-dist "resolves version numbers of RPMs and only includes the most
+// recent software" (paper Section 6.2.1). That resolution is exactly Red
+// Hat's rpmvercmp ordering over (epoch, version, release) triples, which is
+// reimplemented here, including the segment-wise digit/alpha rules and
+// tilde pre-release handling.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rocks::rpm {
+
+/// Red Hat's rpmvercmp: returns -1, 0, or 1 as `a` is older than, equal to,
+/// or newer than `b`. Segments are runs of digits or letters; separators are
+/// skipped; numeric segments beat alphabetic ones; '~' sorts before
+/// everything including end-of-string.
+[[nodiscard]] int rpmvercmp(std::string_view a, std::string_view b);
+
+/// An (epoch, version, release) triple.
+struct Evr {
+  int epoch = 0;
+  std::string version;
+  std::string release;
+
+  /// Parses "epoch:version-release", "version-release", or "version".
+  /// Throws ParseError on an empty version.
+  [[nodiscard]] static Evr parse(std::string_view text);
+
+  /// Full ordering: epoch numerically, then version and release by rpmvercmp.
+  [[nodiscard]] int compare(const Evr& other) const;
+
+  [[nodiscard]] bool operator==(const Evr& other) const { return compare(other) == 0; }
+  [[nodiscard]] bool operator<(const Evr& other) const { return compare(other) < 0; }
+
+  /// "version-release" (epoch prefixed only when nonzero).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace rocks::rpm

@@ -1,0 +1,39 @@
+// Service-specific configuration files generated from the SQL database.
+//
+// "Rocks uses a MySQL database to define these global configurations and
+// then generates database reports to create service-specific configuration
+// files (e.g., DHCP configuration file, /etc/hosts, and PBS nodes file)"
+// (paper Section 1). Each generator is a pure function: database in,
+// file text out — regenerating after every insert-ethers change is how the
+// cluster's "global knowledge" stays consistent.
+#pragma once
+
+#include <string>
+
+#include "sqldb/engine.hpp"
+#include "support/ip.hpp"
+
+namespace rocks::services {
+
+/// /etc/hosts: localhost plus every row of the nodes table.
+[[nodiscard]] std::string generate_hosts(sqldb::Database& db);
+
+/// /etc/dhcpd.conf: one static host stanza per node with a MAC binding;
+/// `frontend_ip` becomes each stanza's next-server (kickstart source).
+[[nodiscard]] std::string generate_dhcpd_conf(sqldb::Database& db, Ipv4 frontend_ip);
+
+/// PBS server nodes file: one line per node whose membership is marked
+/// compute = 'yes' (the memberships-join report from Section 6.4).
+[[nodiscard]] std::string generate_pbs_nodes(sqldb::Database& db, int np = 2);
+
+/// NIS passwd map from the users table (created on demand by
+/// ensure_users_table); the frontend pushes this map to compute nodes.
+[[nodiscard]] std::string generate_nis_passwd(sqldb::Database& db);
+
+/// /etc/exports for the frontend's NFS home-directory service.
+[[nodiscard]] std::string generate_nfs_exports(sqldb::Database& db);
+
+/// Creates users(name, uid, home, shell) with a root row when missing.
+void ensure_users_table(sqldb::Database& db);
+
+}  // namespace rocks::services

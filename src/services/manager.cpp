@@ -1,0 +1,47 @@
+#include "services/manager.hpp"
+
+#include "vfs/path.hpp"
+
+namespace rocks::services {
+
+void ServiceManager::register_service(std::string name, std::string config_path,
+                                      Generator generator) {
+  services_.insert_or_assign(std::move(name),
+                             Service{std::move(config_path), std::move(generator), 0});
+}
+
+std::vector<std::string> ServiceManager::regenerate(sqldb::Database& db, vfs::FileSystem& fs) {
+  std::vector<std::string> restarted;
+  for (auto& [name, service] : services_) {
+    const std::string fresh = service.generator(db);
+    const bool changed =
+        !fs.is_file(service.config_path) || fs.read_file(service.config_path) != fresh;
+    if (!changed) continue;
+    fs.mkdir_p(vfs::dirname(service.config_path));
+    if (fs.exists(service.config_path)) fs.remove(service.config_path);
+    fs.write_file(service.config_path, fresh);
+    ++service.restarts;
+    restarted.push_back(name);
+  }
+  return restarted;
+}
+
+std::uint64_t ServiceManager::restarts(std::string_view service) const {
+  const auto it = services_.find(service);
+  return it == services_.end() ? 0 : it->second.restarts;
+}
+
+std::uint64_t ServiceManager::total_restarts() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, service] : services_) total += service.restarts;
+  return total;
+}
+
+std::vector<std::string> ServiceManager::service_names() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [name, service] : services_) out.push_back(name);
+  return out;
+}
+
+}  // namespace rocks::services

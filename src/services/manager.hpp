@@ -1,0 +1,46 @@
+// The service manager: regenerates configuration files from the database
+// and restarts exactly the services whose files changed — what
+// insert-ethers does after each new node registration ("rebuilds
+// service-specific configuration files by running queries against the
+// database, and restarting the respective services", paper Section 6.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqldb/engine.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace rocks::services {
+
+class ServiceManager {
+ public:
+  using Generator = std::function<std::string(sqldb::Database&)>;
+
+  /// Registers a service: its config file path and the generator that
+  /// produces the file's content from the database.
+  void register_service(std::string name, std::string config_path, Generator generator);
+
+  /// Regenerates every registered config file into `fs`; a service whose
+  /// file content changed is restarted. Returns the restarted names.
+  std::vector<std::string> regenerate(sqldb::Database& db, vfs::FileSystem& fs);
+
+  /// Per-service restart counters (for asserting restart minimality).
+  [[nodiscard]] std::uint64_t restarts(std::string_view service) const;
+  [[nodiscard]] std::uint64_t total_restarts() const;
+  [[nodiscard]] std::vector<std::string> service_names() const;
+
+ private:
+  struct Service {
+    std::string config_path;
+    Generator generator;
+    std::uint64_t restarts = 0;
+  };
+  std::map<std::string, Service, std::less<>> services_;
+};
+
+}  // namespace rocks::services

@@ -1,0 +1,362 @@
+#include "sqldb/engine.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace rocks::sqldb {
+namespace {
+
+/// Evaluation context with no columns in scope (INSERT value lists).
+class EmptyContext final : public RowContext {
+ public:
+  [[nodiscard]] Value lookup(const std::string& table, const std::string& column) const override {
+    throw LookupError(strings::cat("no column '", table.empty() ? column : table + "." + column,
+                                   "' in scope here"));
+  }
+};
+
+/// Context over one row of one table (UPDATE/DELETE WHERE clauses).
+class SingleTableContext final : public RowContext {
+ public:
+  SingleTableContext(const Table& table, const Row& row) : table_(table), row_(row) {}
+
+  [[nodiscard]] Value lookup(const std::string& table, const std::string& column) const override {
+    if (!table.empty() && strings::to_lower(table) != strings::to_lower(table_.name()))
+      throw LookupError(strings::cat("unknown table '", table, "' in expression"));
+    const auto index = table_.column_index(column);
+    if (!index) throw LookupError(strings::cat("unknown column '", column, "'"));
+    return row_[*index];
+  }
+
+ private:
+  const Table& table_;
+  const Row& row_;
+};
+
+/// Context over the cartesian combination of several FROM tables.
+class JoinContext final : public RowContext {
+ public:
+  JoinContext(const std::vector<const Table*>& tables, const std::vector<std::string>& aliases)
+      : tables_(tables), aliases_(aliases), rows_(tables.size(), nullptr) {}
+
+  void set_row(std::size_t table_idx, const Row* row) { rows_[table_idx] = row; }
+
+  [[nodiscard]] Value lookup(const std::string& table, const std::string& column) const override {
+    if (!table.empty()) {
+      const std::string lowered = strings::to_lower(table);
+      for (std::size_t i = 0; i < tables_.size(); ++i) {
+        if (strings::to_lower(aliases_[i]) == lowered) {
+          const auto index = tables_[i]->column_index(column);
+          if (!index)
+            throw LookupError(strings::cat("unknown column '", table, ".", column, "'"));
+          return (*rows_[i])[*index];
+        }
+      }
+      throw LookupError(strings::cat("unknown table '", table, "' in expression"));
+    }
+    // Unqualified: must be unique across all tables in scope.
+    std::optional<Value> found;
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      const auto index = tables_[i]->column_index(column);
+      if (index) {
+        if (found)
+          throw LookupError(strings::cat("ambiguous column '", column, "'"));
+        found = (*rows_[i])[*index];
+      }
+    }
+    if (!found) throw LookupError(strings::cat("unknown column '", column, "'"));
+    return *found;
+  }
+
+ private:
+  const std::vector<const Table*>& tables_;
+  const std::vector<std::string>& aliases_;
+  std::vector<const Row*> rows_;
+};
+
+}  // namespace
+
+std::size_t ResultSet::column_index(std::string_view name) const {
+  const std::string lowered = strings::to_lower(name);
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    if (strings::to_lower(columns[i]) == lowered) return i;
+  throw LookupError(strings::cat("result has no column '", std::string(name), "'"));
+}
+
+const Value& ResultSet::at(std::size_t row, std::string_view column) const {
+  require_found(row < rows.size(), "result row index out of range");
+  return rows[row][column_index(column)];
+}
+
+std::string ResultSet::render() const {
+  AsciiTable out(columns);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& value : row) cells.push_back(value.to_string());
+    out.add_row(std::move(cells));
+  }
+  return out.render();
+}
+
+ResultSet Database::execute(std::string_view sql) { return execute(parse_statement(sql)); }
+
+ResultSet Database::execute(const Statement& statement) {
+  return std::visit(
+      [this](const auto& stmt) -> ResultSet {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, SelectStmt>) return run_select(stmt);
+        else if constexpr (std::is_same_v<T, InsertStmt>) return run_insert(stmt);
+        else if constexpr (std::is_same_v<T, UpdateStmt>) return run_update(stmt);
+        else if constexpr (std::is_same_v<T, DeleteStmt>) return run_delete(stmt);
+        else if constexpr (std::is_same_v<T, CreateTableStmt>) return run_create(stmt);
+        else return run_drop(stmt);
+      },
+      statement);
+}
+
+std::vector<std::string> Database::query_column(std::string_view sql) {
+  const ResultSet result = execute(sql);
+  require_state(result.columns.size() == 1,
+                strings::cat("query_column expects exactly one output column, got ",
+                             result.columns.size()));
+  std::vector<std::string> out;
+  out.reserve(result.rows.size());
+  for (const auto& row : result.rows) out.push_back(row[0].to_string());
+  return out;
+}
+
+bool Database::has_table(std::string_view name) const {
+  return tables_.contains(strings::to_lower(name));
+}
+
+const Table& Database::table(std::string_view name) const {
+  const auto it = tables_.find(strings::to_lower(name));
+  require_found(it != tables_.end(), strings::cat("no such table: ", std::string(name)));
+  return it->second;
+}
+
+Table& Database::table_mutable(std::string_view name) {
+  const auto it = tables_.find(strings::to_lower(name));
+  require_found(it != tables_.end(), strings::cat("no such table: ", std::string(name)));
+  return it->second;
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) out.push_back(table.name());
+  return out;
+}
+
+ResultSet Database::run_select(const SelectStmt& stmt) {
+  // Resolve FROM tables.
+  std::vector<const Table*> tables;
+  std::vector<std::string> aliases;
+  for (const auto& ref : stmt.from) {
+    tables.push_back(&table(ref.table));
+    aliases.push_back(ref.alias);
+  }
+
+  // Expand the select list (stars become column references).
+  struct OutputItem {
+    const Expr* expr = nullptr;
+    ExprPtr owned;
+    std::string name;
+  };
+  std::vector<OutputItem> outputs;
+  for (const auto& item : stmt.items) {
+    if (item.star) {
+      for (std::size_t i = 0; i < tables.size(); ++i) {
+        if (!item.star_table.empty() &&
+            strings::to_lower(item.star_table) != strings::to_lower(aliases[i]))
+          continue;
+        for (const auto& col : tables[i]->columns()) {
+          OutputItem out;
+          out.owned = Expr::column(aliases[i], col.name);
+          out.expr = out.owned.get();
+          out.name = tables.size() > 1 ? strings::cat(aliases[i], ".", col.name) : col.name;
+          outputs.push_back(std::move(out));
+        }
+      }
+      if (!item.star_table.empty() && outputs.empty())
+        throw LookupError(strings::cat("unknown table '", item.star_table, "' in select list"));
+    } else {
+      OutputItem out;
+      out.expr = item.expr.get();
+      out.name = !item.alias.empty() ? item.alias : item.expr->display_name();
+      outputs.push_back(std::move(out));
+    }
+  }
+
+  ResultSet result;
+  for (const auto& out : outputs) result.columns.push_back(out.name);
+
+  // Nested-loop cartesian product with WHERE filtering; fine for config-size
+  // tables (a few thousand nodes at most).
+  JoinContext ctx(tables, aliases);
+
+  // Validate every column reference up front against a row of NULLs so that
+  // unknown names are rejected even when a table is empty (expressions over
+  // NULL are total: they yield NULL rather than throwing).
+  {
+    std::vector<Row> null_rows;
+    null_rows.reserve(tables.size());
+    for (const auto* t : tables) null_rows.emplace_back(t->columns().size(), Value::null());
+    for (std::size_t i = 0; i < tables.size(); ++i) ctx.set_row(i, &null_rows[i]);
+    for (const auto& out : outputs) (void)out.expr->evaluate(ctx);
+    if (stmt.where) (void)stmt.where->evaluate(ctx);
+    for (const auto& key : stmt.order_by) (void)key.expr->evaluate(ctx);
+  }
+  struct Keyed {
+    Row projected;
+    Row keys;
+  };
+  std::vector<Keyed> collected;
+
+  std::vector<std::size_t> cursor(tables.size(), 0);
+  const auto emit_current = [&] {
+    if (stmt.where) {
+      const Value keep = stmt.where->evaluate(ctx);
+      if (keep.is_null() || !keep.truthy()) return;
+    }
+    Keyed keyed;
+    keyed.projected.reserve(outputs.size());
+    for (const auto& out : outputs) keyed.projected.push_back(out.expr->evaluate(ctx));
+    keyed.keys.reserve(stmt.order_by.size());
+    for (const auto& key : stmt.order_by) keyed.keys.push_back(key.expr->evaluate(ctx));
+    collected.push_back(std::move(keyed));
+  };
+
+  // Iterative odometer over all table row combinations.
+  if (!tables.empty()) {
+    bool any_empty = false;
+    for (const auto* t : tables)
+      if (t->rows().empty()) any_empty = true;
+    if (!any_empty) {
+      while (true) {
+        for (std::size_t i = 0; i < tables.size(); ++i)
+          ctx.set_row(i, &tables[i]->rows()[cursor[i]]);
+        emit_current();
+        std::size_t level = tables.size();
+        while (level > 0) {
+          --level;
+          if (++cursor[level] < tables[level]->rows().size()) break;
+          cursor[level] = 0;
+          if (level == 0) goto done;
+        }
+      }
+    }
+  }
+done:
+
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(collected.begin(), collected.end(), [&](const Keyed& a, const Keyed& b) {
+      for (std::size_t i = 0; i < stmt.order_by.size(); ++i) {
+        const int cmp = a.keys[i].compare(b.keys[i]);
+        if (cmp != 0) return stmt.order_by[i].descending ? cmp > 0 : cmp < 0;
+      }
+      return false;
+    });
+  }
+
+  const std::size_t limit = stmt.limit.value_or(collected.size());
+  for (std::size_t i = 0; i < collected.size() && i < limit; ++i)
+    result.rows.push_back(std::move(collected[i].projected));
+  return result;
+}
+
+ResultSet Database::run_insert(const InsertStmt& stmt) {
+  Table& target = table_mutable(stmt.table);
+  const EmptyContext ctx;
+  ResultSet result;
+  for (const auto& exprs : stmt.rows) {
+    Row row(target.columns().size(), Value::null());
+    if (stmt.columns.empty()) {
+      require_state(exprs.size() == target.columns().size(),
+                    strings::cat("INSERT into ", stmt.table, ": expected ",
+                                 target.columns().size(), " values, got ", exprs.size()));
+      for (std::size_t i = 0; i < exprs.size(); ++i) row[i] = exprs[i]->evaluate(ctx);
+    } else {
+      require_state(exprs.size() == stmt.columns.size(),
+                    strings::cat("INSERT into ", stmt.table, ": column/value count mismatch"));
+      for (std::size_t i = 0; i < stmt.columns.size(); ++i) {
+        const auto index = target.column_index(stmt.columns[i]);
+        require_found(index.has_value(),
+                      strings::cat("unknown column '", stmt.columns[i], "' in INSERT"));
+        row[*index] = exprs[i]->evaluate(ctx);
+      }
+    }
+    target.insert(std::move(row));
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+ResultSet Database::run_update(const UpdateStmt& stmt) {
+  Table& target = table_mutable(stmt.table);
+  // Resolve assignment columns once.
+  std::vector<std::pair<std::size_t, const Expr*>> assignments;
+  for (const auto& [column, expr] : stmt.assignments) {
+    const auto index = target.column_index(column);
+    require_found(index.has_value(), strings::cat("unknown column '", column, "' in UPDATE"));
+    assignments.emplace_back(*index, expr.get());
+  }
+  ResultSet result;
+  for (auto& row : target.rows()) {
+    const SingleTableContext ctx(target, row);
+    if (stmt.where) {
+      const Value keep = stmt.where->evaluate(ctx);
+      if (keep.is_null() || !keep.truthy()) continue;
+    }
+    // Evaluate all RHS against the pre-update row, then assign.
+    Row updates;
+    updates.reserve(assignments.size());
+    for (const auto& [index, expr] : assignments) updates.push_back(expr->evaluate(ctx));
+    for (std::size_t i = 0; i < assignments.size(); ++i) row[assignments[i].first] = updates[i];
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+ResultSet Database::run_delete(const DeleteStmt& stmt) {
+  Table& target = table_mutable(stmt.table);
+  std::vector<std::size_t> doomed;
+  for (std::size_t i = 0; i < target.rows().size(); ++i) {
+    const SingleTableContext ctx(target, target.rows()[i]);
+    if (stmt.where) {
+      const Value keep = stmt.where->evaluate(ctx);
+      if (keep.is_null() || !keep.truthy()) continue;
+    }
+    doomed.push_back(i);
+  }
+  target.erase_rows(doomed);
+  ResultSet result;
+  result.affected_rows = doomed.size();
+  return result;
+}
+
+ResultSet Database::run_create(const CreateTableStmt& stmt) {
+  const std::string key = strings::to_lower(stmt.table);
+  if (tables_.contains(key)) {
+    if (stmt.if_not_exists) return {};
+    throw StateError(strings::cat("table already exists: ", stmt.table));
+  }
+  tables_.emplace(key, Table(stmt.table, stmt.columns));
+  return {};
+}
+
+ResultSet Database::run_drop(const DropTableStmt& stmt) {
+  const std::string key = strings::to_lower(stmt.table);
+  if (!tables_.contains(key)) {
+    if (stmt.if_exists) return {};
+    throw LookupError(strings::cat("no such table: ", stmt.table));
+  }
+  tables_.erase(key);
+  return {};
+}
+
+}  // namespace rocks::sqldb

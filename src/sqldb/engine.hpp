@@ -1,0 +1,64 @@
+// The mini SQL database engine (the toolkit's MySQL stand-in).
+//
+// Rocks keeps all "global knowledge" of the cluster — the nodes and
+// memberships tables, site configuration — in a SQL database and derives
+// every service-specific configuration file from query reports (paper
+// Sections 1 and 6.4). This engine executes the SQL those components issue.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqldb/parser.hpp"
+#include "sqldb/table.hpp"
+
+namespace rocks::sqldb {
+
+/// The outcome of a statement: SELECTs fill columns/rows; writes fill
+/// affected_rows.
+class ResultSet {
+ public:
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  std::size_t affected_rows = 0;
+
+  [[nodiscard]] std::size_t row_count() const { return rows.size(); }
+  /// Index of the named output column; throws LookupError when absent.
+  [[nodiscard]] std::size_t column_index(std::string_view name) const;
+  /// Value at (row, named column).
+  [[nodiscard]] const Value& at(std::size_t row, std::string_view column) const;
+  /// Renders as an ASCII table (used by benches to print Tables II/III).
+  [[nodiscard]] std::string render() const;
+};
+
+class Database {
+ public:
+  /// Parses and executes one SQL statement. Throws ParseError / LookupError.
+  ResultSet execute(std::string_view sql);
+  /// Executes a pre-parsed statement.
+  ResultSet execute(const Statement& statement);
+
+  /// Convenience: run a SELECT and return the single-column results as text.
+  [[nodiscard]] std::vector<std::string> query_column(std::string_view sql);
+
+  [[nodiscard]] bool has_table(std::string_view name) const;
+  [[nodiscard]] const Table& table(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> table_names() const;
+
+ private:
+  ResultSet run_select(const SelectStmt& stmt);
+  ResultSet run_insert(const InsertStmt& stmt);
+  ResultSet run_update(const UpdateStmt& stmt);
+  ResultSet run_delete(const DeleteStmt& stmt);
+  ResultSet run_create(const CreateTableStmt& stmt);
+  ResultSet run_drop(const DropTableStmt& stmt);
+
+  [[nodiscard]] Table& table_mutable(std::string_view name);
+
+  std::map<std::string, Table> tables_;  // keyed by lower-cased name
+};
+
+}  // namespace rocks::sqldb

@@ -1,0 +1,214 @@
+#include "sqldb/expr.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::sqldb {
+
+ExprPtr Expr::literal(Value value) {
+  auto e = std::make_unique<Expr>();
+  e->kind_ = Kind::kLiteral;
+  e->value_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::column(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind_ = Kind::kColumn;
+  e->table_ = std::move(table);
+  e->column_ = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind_ = Kind::kUnary;
+  e->unary_op_ = op;
+  e->lhs_ = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind_ = Kind::kBinary;
+  e->binary_op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::in(ExprPtr needle, std::vector<ExprPtr> haystack, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind_ = Kind::kIn;
+  e->lhs_ = std::move(needle);
+  e->list_ = std::move(haystack);
+  e->negated_ = negated;
+  return e;
+}
+
+ExprPtr Expr::is_null(ExprPtr operand, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind_ = Kind::kIsNull;
+  e->lhs_ = std::move(operand);
+  e->negated_ = negated;
+  return e;
+}
+
+namespace {
+
+Value compare_result(const Value& lhs, const Value& rhs, BinaryOp op) {
+  if (lhs.is_null() || rhs.is_null()) return Value::null();
+  const int cmp = lhs.compare(rhs);
+  bool result = false;
+  switch (op) {
+    case BinaryOp::kEq: result = cmp == 0; break;
+    case BinaryOp::kNe: result = cmp != 0; break;
+    case BinaryOp::kLt: result = cmp < 0; break;
+    case BinaryOp::kLe: result = cmp <= 0; break;
+    case BinaryOp::kGt: result = cmp > 0; break;
+    case BinaryOp::kGe: result = cmp >= 0; break;
+    default: throw StateError("compare_result: not a comparison op");
+  }
+  return Value(std::int64_t{result});
+}
+
+Value arithmetic_result(const Value& lhs, const Value& rhs, BinaryOp op) {
+  if (lhs.is_null() || rhs.is_null()) return Value::null();
+  const bool integral = lhs.type() == Type::kInt && rhs.type() == Type::kInt;
+  if (integral) {
+    const std::int64_t a = lhs.as_int();
+    const std::int64_t b = rhs.as_int();
+    switch (op) {
+      case BinaryOp::kAdd: return Value(a + b);
+      case BinaryOp::kSub: return Value(a - b);
+      case BinaryOp::kMul: return Value(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0) return Value::null();
+        return Value(a / b);
+      case BinaryOp::kMod:
+        if (b == 0) return Value::null();
+        return Value(a % b);
+      default: break;
+    }
+  } else {
+    const double a = lhs.as_real();
+    const double b = rhs.as_real();
+    switch (op) {
+      case BinaryOp::kAdd: return Value(a + b);
+      case BinaryOp::kSub: return Value(a - b);
+      case BinaryOp::kMul: return Value(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0.0) return Value::null();
+        return Value(a / b);
+      case BinaryOp::kMod: return Value::null();
+      default: break;
+    }
+  }
+  throw StateError("arithmetic_result: not an arithmetic op");
+}
+
+}  // namespace
+
+Value Expr::evaluate(const RowContext& row) const {
+  switch (kind_) {
+    case Kind::kLiteral: return value_;
+    case Kind::kColumn: return row.lookup(table_, column_);
+    case Kind::kUnary: {
+      const Value v = lhs_->evaluate(row);
+      if (unary_op_ == UnaryOp::kNot) {
+        if (v.is_null()) return Value::null();
+        return Value(std::int64_t{!v.truthy()});
+      }
+      if (v.is_null()) return Value::null();
+      if (v.type() == Type::kReal) return Value(-v.as_real());
+      return Value(-v.as_int());
+    }
+    case Kind::kBinary: {
+      switch (binary_op_) {
+        case BinaryOp::kAnd: {
+          // Short-circuit with NULL handling: false AND x == false.
+          const Value a = lhs_->evaluate(row);
+          if (!a.is_null() && !a.truthy()) return Value(std::int64_t{0});
+          const Value b = rhs_->evaluate(row);
+          if (!b.is_null() && !b.truthy()) return Value(std::int64_t{0});
+          if (a.is_null() || b.is_null()) return Value::null();
+          return Value(std::int64_t{1});
+        }
+        case BinaryOp::kOr: {
+          const Value a = lhs_->evaluate(row);
+          if (!a.is_null() && a.truthy()) return Value(std::int64_t{1});
+          const Value b = rhs_->evaluate(row);
+          if (!b.is_null() && b.truthy()) return Value(std::int64_t{1});
+          if (a.is_null() || b.is_null()) return Value::null();
+          return Value(std::int64_t{0});
+        }
+        case BinaryOp::kLike: {
+          const Value a = lhs_->evaluate(row);
+          const Value b = rhs_->evaluate(row);
+          if (a.is_null() || b.is_null()) return Value::null();
+          return Value(std::int64_t{like_match(b.to_string(), a.to_string())});
+        }
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return compare_result(lhs_->evaluate(row), rhs_->evaluate(row), binary_op_);
+        default: return arithmetic_result(lhs_->evaluate(row), rhs_->evaluate(row), binary_op_);
+      }
+    }
+    case Kind::kIn: {
+      const Value needle = lhs_->evaluate(row);
+      if (needle.is_null()) return Value::null();
+      bool found = false;
+      for (const auto& candidate : list_) {
+        const Value v = candidate->evaluate(row);
+        if (!v.is_null() && needle.compare(v) == 0) {
+          found = true;
+          break;
+        }
+      }
+      return Value(std::int64_t{negated_ ? !found : found});
+    }
+    case Kind::kIsNull: {
+      const bool null = lhs_->evaluate(row).is_null();
+      return Value(std::int64_t{negated_ ? !null : null});
+    }
+  }
+  return Value::null();
+}
+
+std::string Expr::display_name() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return table_.empty() ? column_ : strings::cat(table_, ".", column_);
+    case Kind::kLiteral: return value_.to_string();
+    default: return "expr";
+  }
+}
+
+bool like_match(const std::string& pattern, const std::string& text) {
+  // Translate SQL wildcards into the glob matcher's alphabet. Literal '*'
+  // or '?' in the pattern must not act as glob wildcards, so match directly.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace rocks::sqldb

@@ -1,0 +1,74 @@
+// Expression AST and evaluator for the mini SQL engine.
+//
+// Supports everything the paper's queries use — qualified column references
+// ("nodes.membership = memberships.id"), comparisons, AND/OR/NOT — plus
+// arithmetic, LIKE, IN, and IS [NOT] NULL for general use by the cluster
+// tools (Section 6.4: "Any SQL query, including joins, can be fed to
+// cluster-kill").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sqldb/value.hpp"
+
+namespace rocks::sqldb {
+
+/// Resolves column references while a row (or joined row) is in scope.
+class RowContext {
+ public:
+  virtual ~RowContext() = default;
+  /// `table` is empty for an unqualified reference. Throws LookupError for
+  /// unknown or ambiguous names.
+  [[nodiscard]] virtual Value lookup(const std::string& table, const std::string& column)
+      const = 0;
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kLike,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+class Expr {
+ public:
+  enum class Kind { kLiteral, kColumn, kUnary, kBinary, kIn, kIsNull };
+
+  static ExprPtr literal(Value value);
+  static ExprPtr column(std::string table, std::string column);
+  static ExprPtr unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr in(ExprPtr needle, std::vector<ExprPtr> haystack, bool negated);
+  static ExprPtr is_null(ExprPtr operand, bool negated);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  /// Evaluates against the row in scope. SQL three-valued logic is
+  /// approximated: comparisons involving NULL yield NULL (which is falsy).
+  [[nodiscard]] Value evaluate(const RowContext& row) const;
+
+  /// Column name heuristics used for SELECT output headers.
+  [[nodiscard]] std::string display_name() const;
+
+ private:
+  Kind kind_ = Kind::kLiteral;
+  Value value_;                    // kLiteral
+  std::string table_, column_;     // kColumn
+  UnaryOp unary_op_ = UnaryOp::kNot;
+  BinaryOp binary_op_ = BinaryOp::kEq;
+  ExprPtr lhs_, rhs_;              // kUnary uses lhs_ only
+  std::vector<ExprPtr> list_;      // kIn
+  bool negated_ = false;           // kIn / kIsNull
+};
+
+/// SQL LIKE with % and _ wildcards (case sensitive, MySQL-binary style).
+[[nodiscard]] bool like_match(const std::string& pattern, const std::string& text);
+
+}  // namespace rocks::sqldb

@@ -1,0 +1,90 @@
+// SQL statement AST and recursive-descent parser.
+//
+// Grammar subset (sufficient for every query in the paper plus the cluster
+// tools' needs):
+//
+//   SELECT item[, item...] FROM table [alias][, table [alias]...]
+//       [JOIN table [alias] ON expr]... [WHERE expr]
+//       [ORDER BY expr [ASC|DESC][, ...]] [LIMIT n]
+//   INSERT INTO table [(cols)] VALUES (exprs)[, (exprs)...]
+//   UPDATE table SET col = expr[, ...] [WHERE expr]
+//   DELETE FROM table [WHERE expr]
+//   CREATE TABLE [IF NOT EXISTS] table (col TYPE [PRIMARY KEY]
+//       [AUTO_INCREMENT], ...)
+//   DROP TABLE [IF EXISTS] table
+//
+// JOIN ... ON is desugared into the FROM list plus a WHERE conjunct, which
+// matches how the paper writes its joins (comma-style FROM with WHERE).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "sqldb/expr.hpp"
+#include "sqldb/table.hpp"
+
+namespace rocks::sqldb {
+
+struct SelectItem {
+  ExprPtr expr;        // null when star is set
+  std::string alias;   // from AS, may be empty
+  bool star = false;   // "*" or "table.*"
+  std::string star_table;  // qualifier for "table.*", empty for bare "*"
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty means the table name itself
+};
+
+struct OrderKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::vector<OrderKey> order_by;
+  std::optional<std::size_t> limit;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty: positional full-width rows
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // may be null
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnDef> columns;
+  bool if_not_exists = false;
+};
+
+struct DropTableStmt {
+  std::string table;
+  bool if_exists = false;
+};
+
+using Statement =
+    std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt, CreateTableStmt, DropTableStmt>;
+
+/// Parses one statement (a trailing ';' is allowed). Throws ParseError.
+[[nodiscard]] Statement parse_statement(std::string_view sql);
+
+}  // namespace rocks::sqldb

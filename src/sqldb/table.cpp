@@ -1,0 +1,70 @@
+#include "sqldb/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::sqldb {
+
+Table::Table(std::string name, std::vector<ColumnDef> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  require_state(!columns_.empty(), "a table needs at least one column");
+}
+
+std::optional<std::size_t> Table::column_index(std::string_view name) const {
+  const std::string lowered = strings::to_lower(name);
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    if (strings::to_lower(columns_[i].name) == lowered) return i;
+  return std::nullopt;
+}
+
+Value Table::coerce(const Value& value, Type type) {
+  if (value.is_null()) return value;
+  switch (type) {
+    case Type::kInt:
+      if (value.type() == Type::kText) {
+        char* end = nullptr;
+        const std::string& text = value.as_text();
+        const long long parsed = std::strtoll(text.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0') return Value(static_cast<std::int64_t>(parsed));
+        return value;  // keep text if not numeric (lenient, like MySQL would warn)
+      }
+      return Value(value.as_int());
+    case Type::kReal:
+      if (value.type() == Type::kText) return value;
+      return Value(value.as_real());
+    case Type::kText:
+      if (value.type() == Type::kText) return value;
+      return Value(value.to_string());
+    case Type::kNull: return value;
+  }
+  return value;
+}
+
+std::size_t Table::insert(Row row) {
+  require_state(row.size() == columns_.size(),
+                strings::cat("insert into ", name_, ": row width ", row.size(),
+                             " != column count ", columns_.size()));
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (columns_[i].auto_increment && row[i].is_null()) {
+      row[i] = Value(next_auto_++);
+    } else {
+      row[i] = coerce(row[i], columns_[i].type);
+      if (columns_[i].auto_increment && !row[i].is_null())
+        next_auto_ = std::max(next_auto_, row[i].as_int() + 1);
+    }
+  }
+  rows_.push_back(std::move(row));
+  return rows_.size() - 1;
+}
+
+void Table::erase_rows(const std::vector<std::size_t>& sorted_indexes) {
+  for (auto it = sorted_indexes.rbegin(); it != sorted_indexes.rend(); ++it) {
+    require_state(*it < rows_.size(), "erase_rows: index out of range");
+    rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+}
+
+}  // namespace rocks::sqldb

@@ -1,0 +1,54 @@
+// Table storage for the mini SQL engine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqldb/value.hpp"
+
+namespace rocks::sqldb {
+
+struct ColumnDef {
+  std::string name;
+  Type type = Type::kText;
+  bool primary_key = false;
+  bool auto_increment = false;
+};
+
+using Row = std::vector<Value>;
+
+class Table {
+ public:
+  Table(std::string name, std::vector<ColumnDef> columns);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of a column by (case-insensitive) name; nullopt when unknown.
+  [[nodiscard]] std::optional<std::size_t> column_index(std::string_view name) const;
+
+  /// Inserts a full-width row; AUTO_INCREMENT columns left NULL are
+  /// assigned the next sequence value. Values are coerced to column types
+  /// (int text -> int, etc.). Returns the row's index.
+  std::size_t insert(Row row);
+
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+  [[nodiscard]] std::vector<Row>& rows() { return rows_; }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Removes rows whose indexes appear in `sorted_indexes` (ascending).
+  void erase_rows(const std::vector<std::size_t>& sorted_indexes);
+
+ private:
+  static Value coerce(const Value& value, Type type);
+
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<Row> rows_;
+  std::int64_t next_auto_ = 1;
+};
+
+}  // namespace rocks::sqldb

@@ -1,0 +1,84 @@
+#include "sqldb/value.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace rocks::sqldb {
+
+Type Value::type() const {
+  switch (data_.index()) {
+    case 0: return Type::kNull;
+    case 1: return Type::kInt;
+    case 2: return Type::kReal;
+    default: return Type::kText;
+  }
+}
+
+std::int64_t Value::as_int() const {
+  if (auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (auto* d = std::get_if<double>(&data_)) return static_cast<std::int64_t>(*d);
+  throw StateError("Value::as_int on non-numeric value");
+}
+
+double Value::as_real() const {
+  if (auto* i = std::get_if<std::int64_t>(&data_)) return static_cast<double>(*i);
+  if (auto* d = std::get_if<double>(&data_)) return *d;
+  throw StateError("Value::as_real on non-numeric value");
+}
+
+const std::string& Value::as_text() const {
+  if (auto* s = std::get_if<std::string>(&data_)) return *s;
+  throw StateError("Value::as_text on non-text value");
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case Type::kNull: return "NULL";
+    case Type::kInt: return std::to_string(std::get<std::int64_t>(data_));
+    case Type::kReal: {
+      // Trim trailing zeros for stable display.
+      std::string s = fixed(std::get<double>(data_), 6);
+      while (!s.empty() && s.back() == '0') s.pop_back();
+      if (!s.empty() && s.back() == '.') s.pop_back();
+      return s;
+    }
+    case Type::kText: return std::get<std::string>(data_);
+  }
+  return "NULL";
+}
+
+bool Value::truthy() const {
+  switch (type()) {
+    case Type::kNull: return false;
+    case Type::kInt: return std::get<std::int64_t>(data_) != 0;
+    case Type::kReal: return std::get<double>(data_) != 0.0;
+    case Type::kText: return !std::get<std::string>(data_).empty();
+  }
+  return false;
+}
+
+int Value::compare(const Value& other) const {
+  const Type a = type();
+  const Type b = other.type();
+  const bool a_num = a == Type::kInt || a == Type::kReal;
+  const bool b_num = b == Type::kInt || b == Type::kReal;
+  if (a == Type::kNull || b == Type::kNull) {
+    if (a == b) return 0;
+    return a == Type::kNull ? -1 : 1;
+  }
+  if (a_num && b_num) {
+    const double x = as_real();
+    const double y = other.as_real();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a_num != b_num) return a_num ? -1 : 1;  // numbers before text
+  return as_text().compare(other.as_text()) < 0   ? -1
+         : as_text().compare(other.as_text()) > 0 ? 1
+                                                  : 0;
+}
+
+}  // namespace rocks::sqldb

@@ -1,0 +1,13 @@
+#include "support/error.hpp"
+
+namespace rocks {
+
+void require_found(bool condition, const std::string& message) {
+  if (!condition) throw LookupError(message);
+}
+
+void require_state(bool condition, const std::string& message) {
+  if (!condition) throw StateError(message);
+}
+
+}  // namespace rocks

@@ -1,0 +1,51 @@
+// Error types shared by all rocks++ libraries.
+//
+// Policy (per C++ Core Guidelines E.2/E.14): errors that a caller cannot
+// reasonably recover from locally are reported by throwing a subclass of
+// rocks::Error carrying a formatted message; recoverable "not found" style
+// lookups return std::optional instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rocks {
+
+/// Root of the rocks++ exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// A malformed input document (XML, SQL, kickstart, spec string...).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A reference to an entity that does not exist (package, node, table...).
+class LookupError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An operation invoked in a state that cannot honour it
+/// (e.g. shooting a node that is powered off).
+class StateError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Virtual-filesystem failures (missing path, not-a-directory...).
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws LookupError with `message` when `condition` is false.
+void require_found(bool condition, const std::string& message);
+
+/// Throws StateError with `message` when `condition` is false.
+void require_state(bool condition, const std::string& message);
+
+}  // namespace rocks

@@ -1,0 +1,72 @@
+#include "support/ip.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace rocks {
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  const auto parts = strings::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    for (char c : part) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+      octet = octet * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return Ipv4(value);
+}
+
+std::string Ipv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xFF, (value_ >> 16) & 0xFF,
+                (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+std::optional<Mac> Mac::parse(std::string_view text) {
+  const auto parts = strings::split(text, ':');
+  if (parts.size() != 6) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 2) return std::nullopt;
+    unsigned byte = 0;
+    for (char c : part) {
+      const unsigned char uc = static_cast<unsigned char>(c);
+      unsigned digit;
+      if (std::isdigit(uc)) {
+        digit = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return std::nullopt;
+      }
+      byte = byte * 16 + digit;
+    }
+    value = (value << 8) | byte;
+  }
+  return Mac(value);
+}
+
+std::string Mac::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((value_ >> 40) & 0xFF),
+                static_cast<unsigned>((value_ >> 32) & 0xFF),
+                static_cast<unsigned>((value_ >> 24) & 0xFF),
+                static_cast<unsigned>((value_ >> 16) & 0xFF),
+                static_cast<unsigned>((value_ >> 8) & 0xFF),
+                static_cast<unsigned>(value_ & 0xFF));
+  return buf;
+}
+
+}  // namespace rocks

@@ -1,0 +1,68 @@
+// IPv4 and Ethernet MAC address value types.
+//
+// insert-ethers (Section 6.4 of the paper) allocates IP addresses downward
+// from 10.255.255.254 and binds them to the MAC addresses it observes in
+// DHCP discover messages; these types make those bindings strongly typed
+// throughout netsim, sqldb rows, and the services generators.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rocks {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) |
+               std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// The next lower address (insert-ethers allocates top-down).
+  [[nodiscard]] constexpr Ipv4 prev() const { return Ipv4(value_ - 1); }
+  [[nodiscard]] constexpr Ipv4 next() const { return Ipv4(value_ + 1); }
+
+  /// True when this address lies inside `network/prefix_len`.
+  [[nodiscard]] constexpr bool in_subnet(Ipv4 network, int prefix_len) const {
+    if (prefix_len <= 0) return true;
+    const std::uint32_t mask = prefix_len >= 32 ? ~std::uint32_t{0}
+                                                : ~((std::uint32_t{1} << (32 - prefix_len)) - 1);
+    return (value_ & mask) == (network.value_ & mask);
+  }
+
+  auto operator<=>(const Ipv4&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A 48-bit Ethernet MAC address.
+class Mac {
+ public:
+  constexpr Mac() = default;
+  constexpr explicit Mac(std::uint64_t value) : value_(value & 0xFFFFFFFFFFFFULL) {}
+
+  /// Parses colon-separated hex ("00:50:8b:e0:3a:a7"); nullopt on error.
+  [[nodiscard]] static std::optional<Mac> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  auto operator<=>(const Mac&) const = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace rocks

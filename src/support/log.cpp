@@ -1,0 +1,33 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace rocks::log {
+namespace {
+
+Level g_level = Level::kOff;
+std::ostream* g_sink = &std::clog;
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level = level; }
+Level level() { return g_level; }
+void set_sink(std::ostream* sink) { g_sink = sink != nullptr ? sink : &std::clog; }
+
+void write(Level level, std::string_view component, std::string_view message) {
+  if (level < g_level || g_level == Level::kOff) return;
+  (*g_sink) << '[' << level_name(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace rocks::log

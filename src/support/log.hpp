@@ -1,0 +1,34 @@
+// Minimal leveled logger. Quiet by default so tests and benches stay clean;
+// examples raise the level to narrate what the toolkit is doing.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+namespace rocks::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that will be emitted (default: kOff).
+void set_level(Level level);
+[[nodiscard]] Level level();
+
+/// Redirects output (default: std::clog). The stream must outlive all logging.
+void set_sink(std::ostream* sink);
+
+void write(Level level, std::string_view component, std::string_view message);
+
+inline void debug(std::string_view component, std::string_view message) {
+  write(Level::kDebug, component, message);
+}
+inline void info(std::string_view component, std::string_view message) {
+  write(Level::kInfo, component, message);
+}
+inline void warn(std::string_view component, std::string_view message) {
+  write(Level::kWarn, component, message);
+}
+inline void error(std::string_view component, std::string_view message) {
+  write(Level::kError, component, message);
+}
+
+}  // namespace rocks::log

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic elements of the simulation (operator-error injection in the
+// hand-administration baseline, update-stream arrival jitter, install-time
+// variance) draw from this splitmix64-based generator so every benchmark and
+// test is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rocks {
+
+class Rng {
+ public:
+  constexpr explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping is fine for simulation purposes.
+    return next_u64() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  constexpr bool chance(double p) { return next_double() < p; }
+
+  /// Uniform double in [lo, hi).
+  constexpr double next_double_range(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rocks

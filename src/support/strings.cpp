@@ -1,0 +1,108 @@
+#include "support/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rocks::strings {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  std::size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      return out;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer algorithm with star backtracking.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace rocks::strings

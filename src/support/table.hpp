@@ -1,0 +1,31 @@
+// ASCII table rendering, used by the bench binaries to print the paper's
+// tables (Table I reinstall times, Table II nodes, Table III memberships)
+// in a layout directly comparable with the published ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rocks {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends one row; it must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule, one space of padding, columns sized to fit.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places ("10.3").
+[[nodiscard]] std::string fixed(double value, int digits);
+
+}  // namespace rocks

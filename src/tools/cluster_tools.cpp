@@ -1,0 +1,71 @@
+#include "tools/cluster_tools.hpp"
+
+#include <cstdio>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace rocks::tools {
+
+using cluster::Node;
+using strings::cat;
+
+ForkResult ClusterTools::fork_glob(std::string_view pattern,
+                                   const std::function<void(Node&)>& action) {
+  ForkResult result;
+  for (Node* node : cluster_.nodes()) {
+    if (node->hostname().empty() || !strings::glob_match(pattern, node->hostname())) continue;
+    if (!node->is_running()) {
+      result.unreachable.push_back(node->hostname());
+      continue;
+    }
+    action(*node);
+    result.reached.push_back(node->hostname());
+  }
+  return result;
+}
+
+ForkResult ClusterTools::fork_query(std::string_view sql,
+                                    const std::function<void(Node&)>& action) {
+  ForkResult result;
+  for (const auto& name : cluster_.frontend().db().query_column(sql)) {
+    Node* node = cluster_.node(name);
+    if (node == nullptr) {
+      // The frontend itself, switches, and power units live in the nodes
+      // table but are not shootable compute hosts.
+      result.unknown.push_back(name);
+      continue;
+    }
+    if (!node->is_running()) {
+      result.unreachable.push_back(name);
+      continue;
+    }
+    action(*node);
+    result.reached.push_back(name);
+  }
+  return result;
+}
+
+ForkResult ClusterTools::kill(std::string_view process, std::string_view sql) {
+  std::size_t killed = 0;
+  ForkResult result = fork_query(
+      sql, [&killed, process](Node& node) { killed += node.kill_processes(process); });
+  result.total_killed = killed;
+  return result;
+}
+
+std::string ClusterTools::status_report() {
+  AsciiTable table({"Host", "State", "Installs", "Packages", "Fingerprint"});
+  for (Node* node : cluster_.nodes()) {
+    char fingerprint[20];
+    std::snprintf(fingerprint, sizeof fingerprint, "%016llx",
+                  static_cast<unsigned long long>(node->software_fingerprint()));
+    table.add_row({node->hostname().empty() ? node->mac().to_string() : node->hostname(),
+                   std::string(cluster::node_state_name(node->state())),
+                   std::to_string(node->install_count()),
+                   std::to_string(node->rpmdb().package_count()), fingerprint});
+  }
+  return table.render();
+}
+
+}  // namespace rocks::tools

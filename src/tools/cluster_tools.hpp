@@ -1,0 +1,54 @@
+// Cluster command-line tools: cluster-fork, cluster-kill, cluster-status.
+//
+// "By simply adding an SQL interface to the script makes it more powerful
+// as the user can intelligently direct the script to a subset of the nodes"
+// (paper Section 6.4). cluster-kill takes any SELECT producing hostnames —
+// including multi-table joins — and applies the action to exactly that set.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace rocks::tools {
+
+struct ForkResult {
+  std::vector<std::string> reached;      // action ran
+  std::vector<std::string> unreachable;  // node known but not running
+  std::vector<std::string> unknown;      // name had no node behind it
+  std::size_t total_killed = 0;          // for cluster-kill
+};
+
+class ClusterTools {
+ public:
+  explicit ClusterTools(cluster::Cluster& cluster) : cluster_(cluster) {}
+
+  /// cluster-fork: run `action` on every node whose hostname matches the
+  /// glob pattern (e.g. "compute-1-*").
+  ForkResult fork_glob(std::string_view pattern,
+                       const std::function<void(cluster::Node&)>& action);
+
+  /// cluster-fork over an explicit SQL query producing hostnames.
+  ForkResult fork_query(std::string_view sql,
+                        const std::function<void(cluster::Node&)>& action);
+
+  /// cluster-kill --query="...": kill `process` on the queried nodes. The
+  /// default query is the paper's memberships join (all compute nodes).
+  ForkResult kill(std::string_view process,
+                  std::string_view sql =
+                      "select nodes.name from nodes,memberships where "
+                      "nodes.membership = memberships.id and "
+                      "memberships.name = 'Compute'");
+
+  /// One-line-per-node status table (hostname, state, installs, packages,
+  /// software fingerprint).
+  [[nodiscard]] std::string status_report();
+
+ private:
+  cluster::Cluster& cluster_;
+};
+
+}  // namespace rocks::tools

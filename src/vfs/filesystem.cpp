@@ -1,0 +1,352 @@
+#include "vfs/filesystem.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "vfs/path.hpp"
+
+namespace rocks::vfs {
+namespace {
+
+constexpr int kMaxSymlinkHops = 40;
+
+std::uint64_t blocks_for(std::uint64_t bytes) {
+  const std::uint64_t blocks = (bytes + kBlockSize - 1) / kBlockSize;
+  return std::max<std::uint64_t>(blocks, 1) * kBlockSize;
+}
+
+}  // namespace
+
+FileSystem::FileSystem() : root_(std::make_unique<Node>()) {
+  root_->type = NodeType::kDirectory;
+}
+
+const FileSystem::Node* FileSystem::find(std::string_view path, bool follow_final) const {
+  std::string current = normalize(path);
+  int hops = 0;
+  while (true) {
+    const Node* node = root_.get();
+    std::string resolved = "/";
+    const auto parts = components(current);
+    bool restart = false;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (node->type != NodeType::kDirectory) return nullptr;
+      const auto it = node->entries.find(parts[i]);
+      if (it == node->entries.end()) return nullptr;
+      const Node* next = it->second.get();
+      const bool is_final = (i + 1 == parts.size());
+      if (next->type == NodeType::kSymlink && (!is_final || follow_final)) {
+        if (++hops > kMaxSymlinkHops) return nullptr;
+        // Re-root: target relative to the symlink's directory, plus the
+        // remaining unconsumed components.
+        std::string rebased = join(resolved, next->link_target);
+        for (std::size_t j = i + 1; j < parts.size(); ++j) rebased = join(rebased, parts[j]);
+        current = rebased;
+        restart = true;
+        break;
+      }
+      resolved = join(resolved, parts[i]);
+      node = next;
+    }
+    if (!restart) return node;
+  }
+}
+
+FileSystem::Node* FileSystem::find_mutable(std::string_view path, bool follow_final) {
+  return const_cast<Node*>(std::as_const(*this).find(path, follow_final));
+}
+
+FileSystem::Node* FileSystem::parent_of(std::string_view path, std::string& leaf_name) {
+  const std::string norm = normalize(path);
+  if (norm == "/") throw IoError("operation on '/' is not permitted");
+  leaf_name = basename(norm);
+  Node* parent = find_mutable(dirname(norm), /*follow_final=*/true);
+  if (parent == nullptr || parent->type != NodeType::kDirectory)
+    throw IoError(strings::cat("parent directory missing: ", dirname(norm)));
+  return parent;
+}
+
+void FileSystem::mkdir(std::string_view path) {
+  std::string leaf;
+  Node* parent = parent_of(path, leaf);
+  if (parent->entries.contains(leaf))
+    throw IoError(strings::cat("mkdir: path exists: ", normalize(path)));
+  auto node = std::make_unique<Node>();
+  node->type = NodeType::kDirectory;
+  parent->entries.emplace(leaf, std::move(node));
+}
+
+void FileSystem::mkdir_p(std::string_view path) {
+  std::string built = "/";
+  for (const auto& part : components(path)) {
+    built = join(built, part);
+    const Node* existing = find(built, /*follow_final=*/true);
+    if (existing == nullptr) {
+      mkdir(built);
+    } else if (existing->type != NodeType::kDirectory) {
+      throw IoError(strings::cat("mkdir_p: not a directory: ", built));
+    }
+  }
+}
+
+std::vector<std::string> FileSystem::list(std::string_view path) const {
+  const Node* node = find(path, /*follow_final=*/true);
+  if (node == nullptr || node->type != NodeType::kDirectory)
+    throw IoError(strings::cat("list: not a directory: ", normalize(path)));
+  std::vector<std::string> names;
+  names.reserve(node->entries.size());
+  for (const auto& [name, child] : node->entries) names.push_back(name);
+  return names;
+}
+
+void FileSystem::write_file(std::string_view path, std::string content,
+                            std::uint64_t payload_size) {
+  std::string leaf;
+  Node* parent = parent_of(path, leaf);
+  auto& slot = parent->entries[leaf];
+  if (slot != nullptr && slot->type == NodeType::kDirectory)
+    throw IoError(strings::cat("write_file: is a directory: ", normalize(path)));
+  if (slot == nullptr) slot = std::make_unique<Node>();
+  slot->type = NodeType::kFile;
+  slot->content = std::move(content);
+  slot->payload = payload_size;
+  slot->link_target.clear();
+  slot->entries.clear();
+}
+
+void FileSystem::append_file(std::string_view path, std::string_view content) {
+  Node* node = find_mutable(path, /*follow_final=*/true);
+  if (node == nullptr) {
+    write_file(path, std::string(content));
+    return;
+  }
+  if (node->type != NodeType::kFile)
+    throw IoError(strings::cat("append_file: not a file: ", normalize(path)));
+  node->content += content;
+}
+
+const std::string& FileSystem::read_file(std::string_view path) const {
+  const Node* node = find(path, /*follow_final=*/true);
+  if (node == nullptr || node->type != NodeType::kFile)
+    throw IoError(strings::cat("read_file: no such file: ", normalize(path)));
+  return node->content;
+}
+
+void FileSystem::symlink(std::string_view target, std::string_view path) {
+  std::string leaf;
+  Node* parent = parent_of(path, leaf);
+  if (parent->entries.contains(leaf))
+    throw IoError(strings::cat("symlink: path exists: ", normalize(path)));
+  auto node = std::make_unique<Node>();
+  node->type = NodeType::kSymlink;
+  node->link_target = std::string(target);
+  parent->entries.emplace(leaf, std::move(node));
+}
+
+std::string FileSystem::readlink(std::string_view path) const {
+  const Node* node = find(path, /*follow_final=*/false);
+  if (node == nullptr || node->type != NodeType::kSymlink)
+    throw IoError(strings::cat("readlink: not a symlink: ", normalize(path)));
+  return node->link_target;
+}
+
+bool FileSystem::exists(std::string_view path) const {
+  return find(path, /*follow_final=*/true) != nullptr;
+}
+
+bool FileSystem::is_file(std::string_view path) const {
+  const Node* node = find(path, /*follow_final=*/true);
+  return node != nullptr && node->type == NodeType::kFile;
+}
+
+bool FileSystem::is_directory(std::string_view path) const {
+  const Node* node = find(path, /*follow_final=*/true);
+  return node != nullptr && node->type == NodeType::kDirectory;
+}
+
+bool FileSystem::is_symlink(std::string_view path) const {
+  const Node* node = find(path, /*follow_final=*/false);
+  return node != nullptr && node->type == NodeType::kSymlink;
+}
+
+std::optional<Stat> FileSystem::lstat(std::string_view path) const {
+  const Node* node = find(path, /*follow_final=*/false);
+  if (node == nullptr) return std::nullopt;
+  return Stat{node->type, node->content.size() + node->payload, node->link_target};
+}
+
+std::optional<std::string> FileSystem::resolve(std::string_view path) const {
+  // Walk component by component, following symlinks, recording the real path.
+  std::string current = normalize(path);
+  int hops = 0;
+  std::string resolved = "/";
+  auto parts = components(current);
+  const Node* node = root_.get();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (node->type != NodeType::kDirectory) return std::nullopt;
+    const auto it = node->entries.find(parts[i]);
+    if (it == node->entries.end()) return std::nullopt;
+    const Node* next = it->second.get();
+    if (next->type == NodeType::kSymlink) {
+      if (++hops > kMaxSymlinkHops) return std::nullopt;
+      std::string rebased = join(resolved, next->link_target);
+      for (std::size_t j = i + 1; j < parts.size(); ++j) rebased = join(rebased, parts[j]);
+      parts = components(rebased);
+      resolved = "/";
+      node = root_.get();
+      i = static_cast<std::size_t>(-1);
+      continue;
+    }
+    resolved = join(resolved, parts[i]);
+    node = next;
+  }
+  return resolved;
+}
+
+bool FileSystem::remove(std::string_view path) {
+  std::string leaf;
+  const std::string norm = normalize(path);
+  if (norm == "/") throw IoError("remove: cannot remove '/'");
+  Node* parent = find_mutable(dirname(norm), /*follow_final=*/true);
+  if (parent == nullptr || parent->type != NodeType::kDirectory) return false;
+  return parent->entries.erase(basename(norm)) > 0;
+}
+
+void FileSystem::walk_node(const std::string& path, const Node& node,
+                           const std::function<void(const std::string&, const Stat&)>& visit)
+    const {
+  visit(path, Stat{node.type, node.content.size() + node.payload, node.link_target});
+  if (node.type == NodeType::kDirectory) {
+    for (const auto& [name, child] : node.entries) {
+      walk_node(path == "/" ? "/" + name : path + "/" + name, *child, visit);
+    }
+  }
+}
+
+void FileSystem::walk(std::string_view root,
+                      const std::function<void(const std::string&, const Stat&)>& visit) const {
+  const Node* node = find(root, /*follow_final=*/true);
+  if (node == nullptr) throw IoError(strings::cat("walk: no such path: ", normalize(root)));
+  walk_node(normalize(root), *node, visit);
+}
+
+std::uint64_t FileSystem::disk_usage(std::string_view root) const {
+  std::uint64_t total = 0;
+  walk(root, [&](const std::string&, const Stat& st) {
+    switch (st.type) {
+      case NodeType::kFile: total += blocks_for(st.size); break;
+      case NodeType::kDirectory: total += kBlockSize; break;
+      case NodeType::kSymlink: total += kBlockSize; break;
+    }
+  });
+  return total;
+}
+
+std::uint64_t FileSystem::logical_size(std::string_view root) const {
+  std::uint64_t total = 0;
+  walk(root, [&](const std::string&, const Stat& st) {
+    if (st.type == NodeType::kFile) total += st.size;
+  });
+  return total;
+}
+
+std::size_t FileSystem::count(std::string_view root, NodeType type) const {
+  std::size_t total = 0;
+  walk(root, [&](const std::string&, const Stat& st) {
+    if (st.type == type) ++total;
+  });
+  return total;
+}
+
+std::uint64_t FileSystem::file_hash(std::string_view path) const {
+  const Node* node = find(path, /*follow_final=*/true);
+  if (node == nullptr || node->type != NodeType::kFile)
+    throw IoError(strings::cat("file_hash: no such file: ", normalize(path)));
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (char c : node->content) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  // Synthetic payload contributes its size so same-name packages with
+  // different payloads hash differently.
+  for (std::uint64_t v = node->payload; v != 0; v >>= 8) {
+    hash ^= v & 0xFF;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void FileSystem::add_partition(std::string_view mount_point) {
+  const std::string norm = normalize(mount_point);
+  require_state(norm != "/", "add_partition: '/' is the implicit root partition");
+  if (std::find(partitions_.begin(), partitions_.end(), norm) == partitions_.end())
+    partitions_.push_back(norm);
+  mkdir_p(norm);
+}
+
+void FileSystem::wipe_root_partition() {
+  // Detach preserved subtrees, clear the root, reattach.
+  std::vector<std::pair<std::string, std::unique_ptr<Node>>> preserved;
+  for (const auto& mount : partitions_) {
+    Node* node = find_mutable(mount, /*follow_final=*/false);
+    if (node == nullptr) continue;
+    std::string leaf;
+    Node* parent = parent_of(mount, leaf);
+    auto it = parent->entries.find(leaf);
+    preserved.emplace_back(mount, std::move(it->second));
+    parent->entries.erase(it);
+  }
+  root_->entries.clear();
+  for (auto& [mount, node] : preserved) {
+    mkdir_p(dirname(mount));
+    std::string leaf;
+    Node* parent = parent_of(mount, leaf);
+    parent->entries.emplace(leaf, std::move(node));
+  }
+}
+
+void FileSystem::copy_node(const Node& src, Node& dst) {
+  dst.type = src.type;
+  dst.content = src.content;
+  dst.payload = src.payload;
+  dst.link_target = src.link_target;
+  dst.entries.clear();
+  for (const auto& [name, child] : src.entries) {
+    auto copy = std::make_unique<Node>();
+    copy_node(*child, *copy);
+    dst.entries.emplace(name, std::move(copy));
+  }
+}
+
+void FileSystem::copy_tree(const FileSystem& from, std::string_view src, std::string_view dst) {
+  const Node* src_node = from.find(src, /*follow_final=*/true);
+  if (src_node == nullptr) throw IoError(strings::cat("copy_tree: no such path: ", src));
+  mkdir_p(dirname(normalize(dst)));
+  std::string leaf;
+  Node* parent = parent_of(dst, leaf);
+  auto copy = std::make_unique<Node>();
+  copy_node(*src_node, *copy);
+  parent->entries[leaf] = std::move(copy);
+}
+
+void FileSystem::link_tree(const FileSystem& from, std::string_view src, std::string_view dst,
+                           std::string_view link_prefix) {
+  const Node* src_node = from.find(src, /*follow_final=*/true);
+  if (src_node == nullptr || src_node->type != NodeType::kDirectory)
+    throw IoError(strings::cat("link_tree: no such directory: ", src));
+  mkdir_p(dst);
+  for (const auto& [name, child] : src_node->entries) {
+    const std::string child_dst = join(dst, name);
+    const std::string child_link = join(link_prefix, name);
+    if (child->type == NodeType::kDirectory) {
+      link_tree(from, join(src, name), child_dst, child_link);
+    } else {
+      if (exists(child_dst)) remove(child_dst);
+      symlink(child_link, child_dst);
+    }
+  }
+}
+
+}  // namespace rocks::vfs

@@ -1,0 +1,153 @@
+// In-memory filesystem.
+//
+// Every machine in the simulation (the frontend, each compute node, each
+// distribution host) owns one FileSystem. It supports the operations the
+// Rocks toolchain exercises:
+//   - rocks-dist builds distribution trees made mostly of symbolic links and
+//     measures their on-disk footprint (paper: "on the order of 25MB", §6.2.3)
+//   - the installer wipes the root partition but preserves all other
+//     partitions across reinstalls (§6.3)
+//   - the services generators write /etc configuration files whose content
+//     hashes feed the consistency/drift model.
+//
+// Files may carry literal content, a synthetic payload size, or both: RPM
+// payloads are hundreds of megabytes in aggregate and are represented by
+// size only, while config files carry real bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rocks::vfs {
+
+/// Disk block size used for usage accounting; every file, directory, and
+/// symlink occupies at least one block, matching ext2's behaviour closely
+/// enough for the paper's size claims.
+inline constexpr std::uint64_t kBlockSize = 4096;
+
+enum class NodeType { kFile, kDirectory, kSymlink };
+
+struct Stat {
+  NodeType type;
+  std::uint64_t size;       // content bytes + synthetic payload bytes
+  std::string link_target;  // only for symlinks
+};
+
+class FileSystem {
+ public:
+  FileSystem();
+
+  // --- directories -------------------------------------------------------
+  /// Creates one directory; parent must exist. Throws IoError otherwise.
+  void mkdir(std::string_view path);
+  /// Creates the directory and any missing ancestors (no-op if present).
+  void mkdir_p(std::string_view path);
+  /// Names of the entries directly inside `path`, sorted.
+  [[nodiscard]] std::vector<std::string> list(std::string_view path) const;
+
+  // --- files --------------------------------------------------------------
+  /// Creates or replaces a regular file. `payload_size` adds synthetic bytes
+  /// on top of content.size() for usage accounting. Parent must exist.
+  void write_file(std::string_view path, std::string content, std::uint64_t payload_size = 0);
+  /// Appends to an existing file (creates it when absent).
+  void append_file(std::string_view path, std::string_view content);
+  /// Content of a regular file, following symlinks. Throws IoError if absent.
+  [[nodiscard]] const std::string& read_file(std::string_view path) const;
+
+  // --- symlinks -----------------------------------------------------------
+  /// Creates a symlink at `path` pointing at `target` (target may dangle).
+  void symlink(std::string_view target, std::string_view path);
+  /// The stored target of a symlink (no resolution). Throws if not a symlink.
+  [[nodiscard]] std::string readlink(std::string_view path) const;
+
+  // --- queries -------------------------------------------------------------
+  [[nodiscard]] bool exists(std::string_view path) const;
+  [[nodiscard]] bool is_file(std::string_view path) const;
+  [[nodiscard]] bool is_directory(std::string_view path) const;
+  [[nodiscard]] bool is_symlink(std::string_view path) const;  // no follow
+  /// Stat without following a final symlink; nullopt when absent.
+  [[nodiscard]] std::optional<Stat> lstat(std::string_view path) const;
+
+  /// Resolves symlinks in every component; returns the final real path, or
+  /// nullopt when any component is missing or a symlink loop is detected.
+  [[nodiscard]] std::optional<std::string> resolve(std::string_view path) const;
+
+  // --- removal -------------------------------------------------------------
+  /// Removes a file or symlink, or a directory recursively. Returns false
+  /// when the path does not exist.
+  bool remove(std::string_view path);
+
+  // --- traversal & accounting ----------------------------------------------
+  /// Depth-first visit of every node under `root` (inclusive), lexicographic
+  /// within each directory. Symlinks are reported, not followed.
+  void walk(std::string_view root,
+            const std::function<void(const std::string& path, const Stat&)>& visit) const;
+
+  /// Disk usage of the subtree in bytes, block-rounded per node (symlinks
+  /// are not followed: a symlink costs one block, like an on-disk dirent
+  /// plus inode). This is the number rocks-dist reports for a distribution.
+  [[nodiscard]] std::uint64_t disk_usage(std::string_view root) const;
+
+  /// Logical bytes (content + synthetic payload) of the subtree following
+  /// nothing; used for transfer-size computations.
+  [[nodiscard]] std::uint64_t logical_size(std::string_view root) const;
+
+  /// Total number of nodes under `root` of the given type.
+  [[nodiscard]] std::size_t count(std::string_view root, NodeType type) const;
+
+  /// FNV-1a hash of a file's content (synthetic payload contributes its
+  /// size). Basis of the drift detector and the cfengine-style baseline.
+  [[nodiscard]] std::uint64_t file_hash(std::string_view path) const;
+
+  // --- partitions ----------------------------------------------------------
+  /// Declares `mount_point` a separate partition (e.g. "/state").
+  void add_partition(std::string_view mount_point);
+  [[nodiscard]] const std::vector<std::string>& partitions() const { return partitions_; }
+
+  /// Reformats the root partition: removes everything except the contents of
+  /// non-root partitions, which survive exactly (paper §6.3: "all non-root
+  /// partitions are preserved over reinstalls"). Mount-point directories are
+  /// recreated.
+  void wipe_root_partition();
+
+  // --- whole-tree copies -----------------------------------------------------
+  /// Recursively copies `src` (in `from`) to `dst` in this filesystem.
+  /// Symlinks are copied as symlinks with unchanged targets.
+  void copy_tree(const FileSystem& from, std::string_view src, std::string_view dst);
+
+  /// Mirrors `src` (in `from`) into `dst` as a tree of directories whose
+  /// files become symlinks pointing into `link_prefix` — the structure
+  /// rocks-dist builds for derived distributions (§6.2.3, Figure 6).
+  void link_tree(const FileSystem& from, std::string_view src, std::string_view dst,
+                 std::string_view link_prefix);
+
+ private:
+  struct Node;
+  using Dir = std::map<std::string, std::unique_ptr<Node>>;
+
+  struct Node {
+    NodeType type = NodeType::kFile;
+    std::string content;          // file content (real bytes)
+    std::uint64_t payload = 0;    // synthetic extra bytes
+    std::string link_target;      // symlink target
+    Dir entries;                  // directory children
+  };
+
+  [[nodiscard]] const Node* find(std::string_view path, bool follow_final) const;
+  [[nodiscard]] Node* find_mutable(std::string_view path, bool follow_final);
+  [[nodiscard]] Node* parent_of(std::string_view path, std::string& leaf_name);
+  void walk_node(const std::string& path, const Node& node,
+                 const std::function<void(const std::string&, const Stat&)>& visit) const;
+  static void copy_node(const Node& src, Node& dst);
+
+  std::unique_ptr<Node> root_;
+  std::vector<std::string> partitions_;  // non-root mount points
+};
+
+}  // namespace rocks::vfs

@@ -1,0 +1,60 @@
+#include "vfs/path.hpp"
+
+#include "support/strings.hpp"
+
+namespace rocks::vfs {
+
+std::string normalize(std::string_view path) {
+  std::vector<std::string> stack;
+  for (const auto& part : strings::split(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    stack.push_back(part);
+  }
+  if (stack.empty()) return "/";
+  std::string out;
+  for (const auto& part : stack) {
+    out += '/';
+    out += part;
+  }
+  return out;
+}
+
+std::string join(std::string_view base, std::string_view tail) {
+  if (!tail.empty() && tail.front() == '/') return normalize(tail);
+  return normalize(strings::cat(base, "/", tail));
+}
+
+std::string dirname(std::string_view path) {
+  const std::string norm = normalize(path);
+  const std::size_t slash = norm.find_last_of('/');
+  if (slash == 0) return "/";
+  return norm.substr(0, slash);
+}
+
+std::string basename(std::string_view path) {
+  const std::string norm = normalize(path);
+  if (norm == "/") return "";
+  return norm.substr(norm.find_last_of('/') + 1);
+}
+
+std::vector<std::string> components(std::string_view path) {
+  const std::string norm = normalize(path);
+  std::vector<std::string> out;
+  if (norm == "/") return out;
+  for (const auto& part : strings::split(norm.substr(1), '/')) out.push_back(part);
+  return out;
+}
+
+bool is_within(std::string_view path, std::string_view ancestor) {
+  const std::string p = normalize(path);
+  const std::string a = normalize(ancestor);
+  if (a == "/") return true;
+  if (p == a) return true;
+  return strings::starts_with(p, a) && p.size() > a.size() && p[a.size()] == '/';
+}
+
+}  // namespace rocks::vfs

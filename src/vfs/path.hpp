@@ -1,0 +1,32 @@
+// Absolute-path string utilities for the virtual filesystem.
+//
+// All vfs paths are absolute, '/'-separated, and normalized (no ".", "..",
+// duplicate slashes, or trailing slash except for the root itself).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rocks::vfs {
+
+/// Normalizes `path` ("/a//b/./c/.." -> "/a/b"). A relative input is
+/// interpreted against "/". ".." at the root is clamped to the root.
+[[nodiscard]] std::string normalize(std::string_view path);
+
+/// Joins and normalizes; an absolute `tail` replaces `base` entirely.
+[[nodiscard]] std::string join(std::string_view base, std::string_view tail);
+
+/// Parent directory ("/a/b" -> "/a"; "/" -> "/").
+[[nodiscard]] std::string dirname(std::string_view path);
+
+/// Final component ("/a/b" -> "b"; "/" -> "").
+[[nodiscard]] std::string basename(std::string_view path);
+
+/// Path components of a normalized path ("/a/b" -> {"a","b"}; "/" -> {}).
+[[nodiscard]] std::vector<std::string> components(std::string_view path);
+
+/// True when `path` equals `ancestor` or lies beneath it.
+[[nodiscard]] bool is_within(std::string_view path, std::string_view ancestor);
+
+}  // namespace rocks::vfs

@@ -1,0 +1,98 @@
+#include "xml/dom.hpp"
+
+#include "support/error.hpp"
+
+namespace rocks::xml {
+
+Node Node::text(std::string value) {
+  Node node;
+  node.kind_ = Kind::kText;
+  node.text_ = std::move(value);
+  return node;
+}
+
+Node Node::element(Element value) {
+  Node node;
+  node.kind_ = Kind::kElement;
+  node.element_ = std::make_unique<Element>(std::move(value));
+  return node;
+}
+
+const std::string& Node::text_value() const {
+  require_state(is_text(), "Node::text_value called on an element node");
+  return text_;
+}
+
+const Element& Node::element_value() const {
+  require_state(is_element(), "Node::element_value called on a text node");
+  return *element_;
+}
+
+Element& Node::element_value() {
+  require_state(is_element(), "Node::element_value called on a text node");
+  return *element_;
+}
+
+Node::Node(const Node& other) : kind_(other.kind_), text_(other.text_) {
+  if (other.element_) element_ = std::make_unique<Element>(*other.element_);
+}
+
+Node& Node::operator=(const Node& other) {
+  if (this == &other) return *this;
+  kind_ = other.kind_;
+  text_ = other.text_;
+  element_ = other.element_ ? std::make_unique<Element>(*other.element_) : nullptr;
+  return *this;
+}
+
+std::optional<std::string> Element::attribute(std::string_view name) const {
+  for (const auto& attr : attributes_)
+    if (attr.name == name) return attr.value;
+  return std::nullopt;
+}
+
+std::string Element::attribute_or(std::string_view name, std::string_view fallback) const {
+  auto value = attribute(name);
+  return value ? *value : std::string(fallback);
+}
+
+void Element::set_attribute(std::string name, std::string value) {
+  for (auto& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value = std::move(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::move(name), std::move(value)});
+}
+
+void Element::add_text(std::string text) { children_.push_back(Node::text(std::move(text))); }
+
+Element& Element::add_child(Element child) {
+  children_.push_back(Node::element(std::move(child)));
+  return children_.back().element_value();
+}
+
+std::vector<const Element*> Element::children_named(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& child : children_)
+    if (child.is_element() && child.element_value().name() == name)
+      out.push_back(&child.element_value());
+  return out;
+}
+
+const Element* Element::first_child(std::string_view name) const {
+  for (const auto& child : children_)
+    if (child.is_element() && child.element_value().name() == name)
+      return &child.element_value();
+  return nullptr;
+}
+
+std::string Element::text() const {
+  std::string out;
+  for (const auto& child : children_)
+    if (child.is_text()) out += child.text_value();
+  return out;
+}
+
+}  // namespace rocks::xml

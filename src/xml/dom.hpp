@@ -1,0 +1,100 @@
+// Document object model for the from-scratch XML engine.
+//
+// Rocks describes every node behaviour with XML "node files" and one XML
+// "graph file" (paper Section 6.1, Figures 2-4). This DOM supports exactly
+// the constructs those documents need: elements with attributes, mixed
+// text/element content, comments, the five predefined entities, and an
+// optional declaration. Namespaces and DTDs are out of scope.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rocks::xml {
+
+class Element;
+
+/// One child of an element: either a nested element or a run of text.
+/// Comments are discarded at parse time (they never affect rocks semantics).
+class Node {
+ public:
+  enum class Kind { kElement, kText };
+
+  static Node text(std::string value);
+  static Node element(Element value);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_element() const { return kind_ == Kind::kElement; }
+  [[nodiscard]] bool is_text() const { return kind_ == Kind::kText; }
+
+  /// Valid only when is_text().
+  [[nodiscard]] const std::string& text_value() const;
+  /// Valid only when is_element().
+  [[nodiscard]] const Element& element_value() const;
+  [[nodiscard]] Element& element_value();
+
+ private:
+  Node() = default;
+  Kind kind_ = Kind::kText;
+  std::string text_;
+  std::unique_ptr<Element> element_;
+
+ public:
+  Node(const Node& other);
+  Node& operator=(const Node& other);
+  Node(Node&&) noexcept = default;
+  Node& operator=(Node&&) noexcept = default;
+  ~Node() = default;
+};
+
+/// An attribute; order of appearance is preserved.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+class Element {
+ public:
+  Element() = default;
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const std::vector<Attribute>& attributes() const { return attributes_; }
+  /// Value of the named attribute, or nullopt. Names are case sensitive.
+  [[nodiscard]] std::optional<std::string> attribute(std::string_view name) const;
+  /// Value of the named attribute, or `fallback` when absent.
+  [[nodiscard]] std::string attribute_or(std::string_view name, std::string_view fallback) const;
+  void set_attribute(std::string name, std::string value);
+
+  [[nodiscard]] const std::vector<Node>& children() const { return children_; }
+  [[nodiscard]] std::vector<Node>& children() { return children_; }
+  void add_text(std::string text);
+  Element& add_child(Element child);
+
+  /// All direct child elements with the given tag name.
+  [[nodiscard]] std::vector<const Element*> children_named(std::string_view name) const;
+  /// First direct child element with the given tag name, or nullptr.
+  [[nodiscard]] const Element* first_child(std::string_view name) const;
+
+  /// Concatenation of all directly contained text runs (element children are
+  /// skipped, not recursed into).
+  [[nodiscard]] std::string text() const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<Node> children_;
+};
+
+/// A parsed document: an optional XML declaration plus one root element.
+struct Document {
+  std::string declaration;  // raw contents between "<?" and "?>", may be empty
+  Element root;
+};
+
+}  // namespace rocks::xml

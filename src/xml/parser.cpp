@@ -1,0 +1,242 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::xml {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Document parse_document() {
+    Document doc;
+    skip_whitespace_and_comments();
+    if (peek_is("<?")) {
+      pos_ += 2;
+      const std::size_t end = input_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated XML declaration");
+      doc.declaration = std::string(input_.substr(pos_, end - pos_));
+      advance_to(end + 2);
+    }
+    skip_whitespace_and_comments();
+    if (pos_ >= input_.size() || input_[pos_] != '<') fail("expected root element");
+    doc.root = parse_element();
+    skip_whitespace_and_comments();
+    if (pos_ != input_.size()) fail("trailing content after root element");
+    return doc;
+  }
+
+ private:
+  [[nodiscard]] bool peek_is(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(strings::cat("XML parse error at line ", line_, ", column ", column_, ": ",
+                                  what));
+  }
+
+  void advance(std::size_t n = 1) {
+    for (std::size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+      if (input_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+      ++pos_;
+    }
+  }
+
+  void advance_to(std::size_t target) {
+    while (pos_ < target && pos_ < input_.size()) advance();
+  }
+
+  void skip_whitespace() {
+    while (pos_ < input_.size() && std::isspace(static_cast<unsigned char>(input_[pos_])))
+      advance();
+  }
+
+  void skip_whitespace_and_comments() {
+    while (true) {
+      skip_whitespace();
+      if (!peek_is("<!--")) return;
+      const std::size_t end = input_.find("-->", pos_ + 4);
+      if (end == std::string_view::npos) fail("unterminated comment");
+      advance_to(end + 3);
+    }
+  }
+
+  [[nodiscard]] static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' || c == '.' ||
+           c == ':';
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (pos_ < input_.size() && is_name_char(input_[pos_])) advance();
+    if (pos_ == start) fail("expected a name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  std::string parse_quoted_value() {
+    if (pos_ >= input_.size() || (input_[pos_] != '"' && input_[pos_] != '\''))
+      fail("expected quoted attribute value");
+    const char quote = input_[pos_];
+    advance();
+    const std::size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != quote) advance();
+    if (pos_ >= input_.size()) fail("unterminated attribute value");
+    std::string value = decode_entities(input_.substr(start, pos_ - start));
+    advance();  // closing quote
+    return value;
+  }
+
+  Element parse_element() {
+    // Caller guarantees input_[pos_] == '<'.
+    advance();
+    Element element(parse_name());
+    while (true) {
+      skip_whitespace();
+      if (pos_ >= input_.size()) fail("unterminated start tag");
+      if (input_[pos_] == '/') {
+        advance();
+        if (pos_ >= input_.size() || input_[pos_] != '>') fail("malformed self-closing tag");
+        advance();
+        return element;
+      }
+      if (input_[pos_] == '>') {
+        advance();
+        break;
+      }
+      std::string attr_name = parse_name();
+      skip_whitespace();
+      if (pos_ >= input_.size() || input_[pos_] != '=') fail("expected '=' after attribute name");
+      advance();
+      skip_whitespace();
+      element.set_attribute(std::move(attr_name), parse_quoted_value());
+    }
+
+    // Content until the matching end tag.
+    std::string pending_text;
+    auto flush_text = [&] {
+      if (!pending_text.empty()) {
+        element.add_text(decode_entities(pending_text));
+        pending_text.clear();
+      }
+    };
+    while (true) {
+      if (pos_ >= input_.size())
+        fail(strings::cat("unterminated element <", element.name(), ">"));
+      if (input_[pos_] != '<') {
+        pending_text += input_[pos_];
+        advance();
+        continue;
+      }
+      if (peek_is("<!--")) {
+        const std::size_t end = input_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        advance_to(end + 3);
+        continue;
+      }
+      if (peek_is("<![CDATA[")) {
+        const std::size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) fail("unterminated CDATA section");
+        pending_text += input_.substr(pos_ + 9, end - (pos_ + 9));
+        advance_to(end + 3);
+        continue;
+      }
+      if (peek_is("</")) {
+        flush_text();
+        advance(2);
+        const std::string closing = parse_name();
+        if (closing != element.name())
+          fail(strings::cat("mismatched end tag </", closing, "> for <", element.name(), ">"));
+        skip_whitespace();
+        if (pos_ >= input_.size() || input_[pos_] != '>') fail("malformed end tag");
+        advance();
+        return element;
+      }
+      flush_text();
+      element.add_child(parse_element());
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Document parse(std::string_view input) { return Parser(input).parse_document(); }
+
+Element parse_root(std::string_view input) { return parse(input).root; }
+
+std::string decode_entities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out += text[i++];
+      continue;
+    }
+    const std::size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      out += text[i++];  // bare '&': keep it (lenient, matches real rocks files)
+      continue;
+    }
+    const std::string_view name = text.substr(i + 1, semi - i - 1);
+    if (name == "lt") {
+      out += '<';
+    } else if (name == "gt") {
+      out += '>';
+    } else if (name == "amp") {
+      out += '&';
+    } else if (name == "quot") {
+      out += '"';
+    } else if (name == "apos") {
+      out += '\'';
+    } else if (!name.empty() && name[0] == '#') {
+      unsigned code = 0;
+      bool valid = name.size() > 1;
+      if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
+        for (std::size_t k = 2; k < name.size() && valid; ++k) {
+          const char c = name[k];
+          if (std::isdigit(static_cast<unsigned char>(c)))
+            code = code * 16 + static_cast<unsigned>(c - '0');
+          else if (c >= 'a' && c <= 'f')
+            code = code * 16 + static_cast<unsigned>(c - 'a' + 10);
+          else if (c >= 'A' && c <= 'F')
+            code = code * 16 + static_cast<unsigned>(c - 'A' + 10);
+          else
+            valid = false;
+        }
+      } else {
+        for (std::size_t k = 1; k < name.size() && valid; ++k) {
+          if (std::isdigit(static_cast<unsigned char>(name[k])))
+            code = code * 10 + static_cast<unsigned>(name[k] - '0');
+          else
+            valid = false;
+        }
+      }
+      if (valid && code > 0 && code < 128) {
+        out += static_cast<char>(code);
+      } else {
+        out.append(text.substr(i, semi - i + 1));
+      }
+    } else {
+      out.append(text.substr(i, semi - i + 1));  // unknown entity: keep verbatim
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace rocks::xml

@@ -1,0 +1,31 @@
+// Recursive-descent XML parser.
+//
+// Accepts the dialect used by the Rocks configuration infrastructure:
+//   - an optional declaration:  <?XML VERSION="1.0" STANDALONE="no"?>
+//   - elements with single- or double-quoted attributes
+//   - self-closing tags
+//   - comments (discarded)
+//   - CDATA sections (kept verbatim as text)
+//   - the five predefined entities in text and attribute values
+//
+// Errors carry 1-based line/column positions. Tag names are matched case
+// sensitively, as the paper's files consistently use upper-case tags.
+#pragma once
+
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace rocks::xml {
+
+/// Parses a complete document; throws rocks::ParseError on malformed input.
+[[nodiscard]] Document parse(std::string_view input);
+
+/// Convenience wrapper returning just the root element.
+[[nodiscard]] Element parse_root(std::string_view input);
+
+/// Expands the five predefined entities (&lt; &gt; &amp; &quot; &apos;) and
+/// numeric character references (&#NN; / &#xNN;) in `text`.
+[[nodiscard]] std::string decode_entities(std::string_view text);
+
+}  // namespace rocks::xml

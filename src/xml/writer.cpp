@@ -1,0 +1,112 @@
+#include "xml/writer.hpp"
+
+#include "support/strings.hpp"
+
+namespace rocks::xml {
+namespace {
+
+bool has_element_children(const Element& element) {
+  for (const auto& child : element.children())
+    if (child.is_element()) return true;
+  return false;
+}
+
+bool all_text_is_whitespace(const Element& element) {
+  for (const auto& child : element.children())
+    if (child.is_text() && !strings::trim(child.text_value()).empty()) return false;
+  return true;
+}
+
+void write_element(const Element& element, const WriteOptions& options, int depth,
+                   std::string& out) {
+  const std::string pad(static_cast<std::size_t>(depth * options.indent), ' ');
+  out += pad;
+  out += '<';
+  out += element.name();
+  for (const auto& attr : element.attributes()) {
+    out += ' ';
+    out += attr.name;
+    out += "=\"";
+    out += escape_attribute(attr.value);
+    out += '"';
+  }
+  if (element.children().empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += '>';
+
+  // Pretty-print only element-only content; mixed content is emitted verbatim
+  // so post-install scripts survive byte-for-byte.
+  if (has_element_children(element) && all_text_is_whitespace(element)) {
+    out += '\n';
+    for (const auto& child : element.children()) {
+      if (child.is_element()) write_element(child.element_value(), options, depth + 1, out);
+    }
+    out += pad;
+  } else {
+    for (const auto& child : element.children()) {
+      if (child.is_text()) {
+        out += escape_text(child.text_value());
+      } else {
+        std::string nested;
+        write_element(child.element_value(), options, 0, nested);
+        if (!nested.empty() && nested.back() == '\n') nested.pop_back();
+        out += nested;
+      }
+    }
+  }
+  out += "</";
+  out += element.name();
+  out += ">\n";
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_attribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string write(const Element& element, const WriteOptions& options) {
+  std::string out;
+  write_element(element, options, 0, out);
+  return out;
+}
+
+std::string write(const Document& document, const WriteOptions& options) {
+  std::string out;
+  if (options.include_declaration && !document.declaration.empty()) {
+    out += "<?";
+    out += document.declaration;
+    out += "?>\n";
+  }
+  out += write(document.root, options);
+  return out;
+}
+
+}  // namespace rocks::xml

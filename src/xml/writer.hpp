@@ -1,0 +1,27 @@
+// XML serialization: round-trips documents produced by the parser and is
+// used by rocks-dist when it copies the XML configuration infrastructure
+// into a derived distribution's build directory (paper Section 6.2.3).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace rocks::xml {
+
+struct WriteOptions {
+  /// Spaces per nesting level for element-only content.
+  int indent = 2;
+  /// Emit "<?XML ...?>" when the document has a declaration.
+  bool include_declaration = true;
+};
+
+/// Escapes &, <, > (and in attribute context, quotes) for safe embedding.
+[[nodiscard]] std::string escape_text(std::string_view text);
+[[nodiscard]] std::string escape_attribute(std::string_view text);
+
+[[nodiscard]] std::string write(const Element& element, const WriteOptions& options = {});
+[[nodiscard]] std::string write(const Document& document, const WriteOptions& options = {});
+
+}  // namespace rocks::xml

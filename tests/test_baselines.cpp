@@ -1,0 +1,141 @@
+// Tests for the three baselines the paper argues against: disk cloning
+// (Section 3.1), cfengine-style parity checking (Sections 1-2), and hand
+// administration (Section 3.2).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/cfengine.hpp"
+#include "baselines/disk_cloning.hpp"
+#include "baselines/hand_admin.hpp"
+#include "cluster/cluster.hpp"
+
+namespace rocks::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster::ClusterConfig config;
+    config.synth.filler_packages = 50;
+    cluster_ = std::make_unique<cluster::Cluster>(config);
+    for (int i = 0; i < 2; ++i) cluster_->add_node();
+    cluster_->integrate_all();
+    model_ = cluster_->node("compute-0-0");
+    target_ = cluster_->node("compute-0-1");
+  }
+
+  std::unique_ptr<cluster::Cluster> cluster_;
+  cluster::Node* model_ = nullptr;
+  cluster::Node* target_ = nullptr;
+};
+
+TEST_F(BaselinesTest, CloneReplicatesHomogeneousHardware) {
+  // Make the target drift first.
+  target_->corrupt_file("/etc/drift.conf", "junk");
+  DiskCloner cloner;
+  const CloneImage image = cloner.capture(*model_);
+  EXPECT_GT(image.bytes, 1024u * 1024u);
+  const CloneReport report = cloner.apply(image, *target_);
+  ASSERT_TRUE(report.applied) << report.failure;
+  EXPECT_GT(report.seconds, 0.0);
+  EXPECT_EQ(target_->software_fingerprint(), model_->software_fingerprint());
+  EXPECT_FALSE(target_->fs().exists("/etc/drift.conf"));
+}
+
+TEST_F(BaselinesTest, CloneCopiesModelIdentityVerbatim) {
+  // The pitfall: a bit image carries the model's per-node configuration.
+  model_->corrupt_file("/etc/hostname-file", model_->hostname());
+  DiskCloner cloner;
+  cloner.apply(cloner.capture(*model_), *target_);
+  // The clone now believes it is compute-0-0.
+  EXPECT_EQ(target_->fs().read_file("/etc/hostname-file"), "compute-0-0");
+}
+
+TEST_F(BaselinesTest, CloneRefusesForeignArchitecture) {
+  cluster::Node& ia64 = cluster_->add_node("ia64");
+  DiskCloner cloner;
+  const CloneReport report = cloner.apply(cloner.capture(*model_), ia64);
+  EXPECT_FALSE(report.applied);
+  EXPECT_NE(report.failure.find("ia64"), std::string::npos);
+}
+
+TEST_F(BaselinesTest, CloneSparesStatePartition) {
+  target_->fs().write_file("/state/partition1/data", "keep");
+  DiskCloner cloner;
+  cloner.apply(cloner.capture(*model_), *target_);
+  EXPECT_EQ(target_->fs().read_file("/state/partition1/data"), "keep");
+}
+
+TEST_F(BaselinesTest, CfengineAuditFindsManagedDrift) {
+  // Trash a package-owned file; policy (the gold image) manages it.
+  target_->corrupt_file("/usr/bin/grep", "wrong bytes");
+  CfengineAgent agent;
+  const ParityReport report = agent.audit(*target_, *model_);
+  EXPECT_GT(report.files_examined, 100u);
+  EXPECT_GE(report.drifted, 1u);
+  EXPECT_EQ(report.repaired, 0u);  // audit only
+  EXPECT_GT(report.seconds, 0.0);
+}
+
+TEST_F(BaselinesTest, CfengineConvergeRepairsManagedFiles) {
+  // Overwrite a file both nodes have (owned by a package).
+  const std::string victim = "/usr/bin/bash";
+  ASSERT_TRUE(model_->fs().is_file(victim));
+  target_->corrupt_file(victim, "trashed binary");
+  CfengineAgent agent;
+  const ParityReport report = agent.converge(*target_, *model_);
+  EXPECT_GE(report.repaired, 1u);
+  EXPECT_EQ(target_->fs().file_hash(victim), model_->fs().file_hash(victim));
+}
+
+TEST_F(BaselinesTest, CfengineCannotSeeUnmanagedDrift) {
+  // A user hand-installs software: no policy rule covers it.
+  target_->corrupt_file("/usr/local/bin/rogue", "hand-built");
+  CfengineAgent agent;
+  const ParityReport report = agent.converge(*target_, *model_);
+  EXPECT_GE(report.unmanaged_extra, 1u);
+  EXPECT_TRUE(target_->fs().exists("/usr/local/bin/rogue"))
+      << "cfengine only converges what policy names";
+  // Reinstall, the Rocks answer, removes it.
+  cluster_->shoot_node("compute-0-1");
+  cluster_->run_until_stable();
+  EXPECT_FALSE(target_->fs().exists("/usr/local/bin/rogue"));
+}
+
+TEST_F(BaselinesTest, CfengineCleanNodesHaveNoDrift) {
+  CfengineAgent agent;
+  const ParityReport report = agent.audit(*target_, *model_);
+  EXPECT_EQ(report.drifted, 0u);
+  EXPECT_EQ(report.unmanaged_extra, 0u);
+}
+
+TEST_F(BaselinesTest, HandAdminInjectsSilentDrift) {
+  // Push many changes; with error injection some nodes end up different.
+  HandAdminOptions options;
+  options.seed = 7;
+  options.typo_probability = 0.2;
+  options.skip_probability = 0.2;
+  HandAdministrator admin(options);
+  auto nodes = cluster_->nodes();
+  int drift_events = 0;
+  for (int change = 0; change < 20; ++change) {
+    const auto report = admin.push_change(nodes, "/etc/tuning.conf",
+                                          "vm.overcommit=" + std::to_string(change));
+    drift_events += report.typos + report.skipped;
+    EXPECT_EQ(report.attempted, 2);
+  }
+  EXPECT_GT(drift_events, 0);
+  // The two nodes disagree on at least one /etc file now.
+  EXPECT_NE(model_->fs().file_hash("/etc/tuning.conf"),
+            target_->fs().file_hash("/etc/tuning.conf"));
+}
+
+TEST_F(BaselinesTest, HandAdminAccountsOperatorTime) {
+  HandAdministrator admin;
+  const auto report = admin.push_change(cluster_->nodes(), "/etc/x", "y");
+  EXPECT_DOUBLE_EQ(report.operator_seconds, 2 * 45.0);
+}
+
+}  // namespace
+}  // namespace rocks::baselines

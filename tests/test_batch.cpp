@@ -1,0 +1,194 @@
+// Tests for the batch substrate: PBS/Maui scheduling, the Section 5
+// "reinstall cluster" job, and REXEC remote execution.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "batch/mpirun.hpp"
+#include "batch/pbs.hpp"
+#include "batch/rexec.hpp"
+#include "support/error.hpp"
+
+namespace rocks::batch {
+namespace {
+
+class BatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster::ClusterConfig config;
+    config.synth.filler_packages = 50;
+    cluster_ = std::make_unique<cluster::Cluster>(std::move(config));
+    for (int i = 0; i < 4; ++i) cluster_->add_node();
+    cluster_->integrate_all();
+    pbs_ = std::make_unique<PbsServer>(*cluster_);
+  }
+
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<PbsServer> pbs_;
+};
+
+TEST_F(BatchTest, UserJobRunsForWalltime) {
+  const JobId id = pbs_->submit({"mdrun", JobKind::kUser, 2, 300.0});
+  pbs_->schedule();
+  EXPECT_EQ(pbs_->job(id).state, JobState::kRunning);
+  EXPECT_EQ(pbs_->job(id).assigned_nodes.size(), 2u);
+  // The job's processes are visible on the nodes.
+  EXPECT_EQ(cluster_->node(pbs_->job(id).assigned_nodes[0])->process_count(), 1u);
+  pbs_->drain();
+  EXPECT_EQ(pbs_->job(id).state, JobState::kComplete);
+  EXPECT_NEAR(pbs_->job(id).completed_at - pbs_->job(id).started_at, 300.0, 0.01);
+  EXPECT_EQ(cluster_->node("compute-0-0")->process_count(), 0u);
+}
+
+TEST_F(BatchTest, JobsQueueWhenClusterFull) {
+  const JobId big = pbs_->submit({"big", JobKind::kUser, 4, 100.0});
+  const JobId next = pbs_->submit({"next", JobKind::kUser, 4, 100.0});
+  pbs_->schedule();
+  EXPECT_EQ(pbs_->job(big).state, JobState::kRunning);
+  EXPECT_EQ(pbs_->job(next).state, JobState::kQueued);
+  pbs_->drain();
+  EXPECT_EQ(pbs_->job(next).state, JobState::kComplete);
+  // FIFO: next started when big finished.
+  EXPECT_NEAR(pbs_->job(next).started_at, pbs_->job(big).completed_at, 0.01);
+}
+
+TEST_F(BatchTest, BackfillLetsSmallJobsJumpAhead) {
+  pbs_->submit({"wide", JobKind::kUser, 3, 500.0});
+  const JobId blocked = pbs_->submit({"wide2", JobKind::kUser, 3, 100.0});
+  const JobId small = pbs_->submit({"small", JobKind::kUser, 1, 50.0});
+  pbs_->schedule();
+  // wide runs on 3 of 4 nodes; wide2 cannot start; small backfills the
+  // remaining node.
+  EXPECT_EQ(pbs_->job(small).state, JobState::kRunning);
+  EXPECT_EQ(pbs_->job(blocked).state, JobState::kQueued);
+  pbs_->drain();
+}
+
+TEST_F(BatchTest, CancelQueuedJob) {
+  pbs_->submit({"hog", JobKind::kUser, 4, 100.0});
+  const JobId waiting = pbs_->submit({"waiting", JobKind::kUser, 1, 10.0});
+  pbs_->schedule();
+  EXPECT_TRUE(pbs_->cancel(waiting));
+  EXPECT_FALSE(pbs_->cancel(waiting));  // no longer queued
+  pbs_->drain();
+  EXPECT_EQ(pbs_->job(waiting).state, JobState::kComplete);
+  EXPECT_LT(pbs_->job(waiting).started_at, 0.0);  // never ran
+}
+
+TEST_F(BatchTest, ReinstallClusterJobTouchesEveryComputeNode) {
+  const JobId id = pbs_->submit({"reinstall-cluster", JobKind::kReinstall, 0, 0.0});
+  pbs_->drain();
+  EXPECT_EQ(pbs_->job(id).state, JobState::kComplete);
+  for (auto* node : cluster_->nodes()) EXPECT_EQ(node->install_count(), 2);
+  EXPECT_TRUE(cluster_->consistent());
+}
+
+TEST_F(BatchTest, ReinstallWaitsForRunningJobs) {
+  // Section 5: the upgrade "does not disturb any running applications".
+  const JobId user = pbs_->submit({"simulation", JobKind::kUser, 2, 400.0});
+  const JobId reinstall = pbs_->submit({"reinstall-cluster", JobKind::kReinstall, 0, 0.0});
+  pbs_->drain();
+
+  // The user job ran its full walltime, uninterrupted.
+  EXPECT_NEAR(pbs_->job(user).completed_at - pbs_->job(user).started_at, 400.0, 0.01);
+  // The reinstall completed only after the user job's nodes became free.
+  EXPECT_GT(pbs_->job(reinstall).completed_at, pbs_->job(user).completed_at);
+  for (auto* node : cluster_->nodes()) EXPECT_EQ(node->install_count(), 2);
+}
+
+TEST_F(BatchTest, UserJobsResumeOnReinstalledNodes) {
+  pbs_->submit({"reinstall-cluster", JobKind::kReinstall, 0, 0.0});
+  const JobId after = pbs_->submit({"post-upgrade", JobKind::kUser, 4, 60.0});
+  pbs_->drain();
+  EXPECT_EQ(pbs_->job(after).state, JobState::kComplete);
+  // It ran on freshly reinstalled nodes: started after at least one node's
+  // second install finished.
+  EXPECT_GT(pbs_->job(after).started_at, 600.0);
+}
+
+TEST_F(BatchTest, QstatRendersJobTable) {
+  pbs_->submit({"mdrun", JobKind::kUser, 1, 10.0});
+  pbs_->schedule();
+  const std::string report = pbs_->qstat();
+  EXPECT_NE(report.find("mdrun"), std::string::npos);
+  EXPECT_NE(report.find("user"), std::string::npos);
+  EXPECT_THROW(pbs_->job(999), LookupError);
+}
+
+TEST_F(BatchTest, RexecPropagatesContextAndRedirectsStdout) {
+  Rexec rexec(*cluster_);
+  RexecContext context;
+  context.uid = 1042;
+  context.cwd = "/export/home/bruno";
+  context.env["MPI_ROOT"] = "/opt/mpich";
+  const RunId id = rexec.launch({"compute-0-0", "compute-0-1"}, "hostname", 30.0, context);
+  EXPECT_EQ(rexec.running_count(id), 2u);
+  cluster_->sim().run_until(cluster_->sim().now() + 60.0);
+  EXPECT_EQ(rexec.running_count(id), 0u);
+  const auto& procs = rexec.processes(id);
+  ASSERT_EQ(procs.size(), 2u);
+  for (const auto& proc : procs) {
+    EXPECT_EQ(proc.exit_code, 0);
+    EXPECT_NE(proc.stdout_lines[0].find("uid=1042"), std::string::npos);
+    EXPECT_NE(proc.stdout_lines[0].find("cwd=/export/home/bruno"), std::string::npos);
+    bool env_seen = false;
+    for (const auto& line : proc.stdout_lines)
+      if (line.find("MPI_ROOT=/opt/mpich") != std::string::npos) env_seen = true;
+    EXPECT_TRUE(env_seen);
+  }
+}
+
+TEST_F(BatchTest, RexecForwardsSignals) {
+  Rexec rexec(*cluster_);
+  const RunId id = rexec.launch({"compute-0-0", "compute-0-1", "compute-0-2"},
+                                "mpirun -np 3 a.out", 1000.0);
+  EXPECT_EQ(rexec.running_count(id), 3u);
+  const std::size_t delivered = rexec.forward_signal(id, 15);
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(rexec.running_count(id), 0u);
+  for (const auto& proc : rexec.processes(id)) EXPECT_EQ(proc.exit_code, 128 + 15);
+  EXPECT_EQ(cluster_->node("compute-0-0")->process_count(), 0u);
+}
+
+TEST_F(BatchTest, MpirunFillsSlotsRoundRobin) {
+  Rexec rexec(*cluster_);
+  Mpirun mpirun(*cluster_, rexec);
+  // 4 nodes x 2 slots = 8 slots.
+  EXPECT_EQ(mpirun.machinefile().size(), 8u);
+  const auto launch = mpirun.run(6, "cpi", 100.0);
+  EXPECT_EQ(launch.machinefile.size(), 6u);
+  EXPECT_EQ(launch.machinefile[0], launch.machinefile[1]);  // 2 slots per node
+  EXPECT_NE(launch.machinefile[0], launch.machinefile[2]);
+  EXPECT_EQ(rexec.running_count(launch.run), 6u);
+  // MPI rank count is propagated through the environment.
+  bool saw_nprocs = false;
+  for (const auto& line : rexec.processes(launch.run)[0].stdout_lines)
+    if (line.find("MPIRUN_NPROCS=6") != std::string::npos) saw_nprocs = true;
+  EXPECT_TRUE(saw_nprocs);
+  cluster_->sim().run_until(cluster_->sim().now() + 150.0);
+  EXPECT_EQ(rexec.running_count(launch.run), 0u);
+}
+
+TEST_F(BatchTest, MpirunRejectsOversubscription) {
+  Rexec rexec(*cluster_);
+  Mpirun mpirun(*cluster_, rexec);
+  EXPECT_THROW(mpirun.run(9, "cpi", 10.0), StateError);
+  EXPECT_THROW(mpirun.run(0, "cpi", 10.0), StateError);
+  cluster_->node("compute-0-0")->power_off();
+  EXPECT_EQ(mpirun.machinefile().size(), 6u);  // 3 nodes remain
+}
+
+TEST_F(BatchTest, RexecReportsUnreachableHosts) {
+  cluster_->node("compute-0-3")->power_off();
+  Rexec rexec(*cluster_);
+  const RunId id = rexec.launch({"compute-0-2", "compute-0-3", "ghost"}, "uptime", 5.0);
+  EXPECT_EQ(rexec.running_count(id), 1u);
+  cluster_->sim().run_until(cluster_->sim().now() + 10.0);
+  const auto& procs = rexec.processes(id);
+  EXPECT_EQ(procs[0].exit_code, 0);
+  EXPECT_EQ(procs[1].exit_code, -1);  // powered off
+  EXPECT_EQ(procs[2].exit_code, -1);  // unknown host
+}
+
+}  // namespace
+}  // namespace rocks::batch

@@ -1,0 +1,407 @@
+// Integration-level tests of the cluster facade: insert-ethers node
+// integration, the installer state machine, reinstallation semantics, eKV,
+// and the update workflow.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::cluster {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  static ClusterConfig small_config() {
+    ClusterConfig config;
+    config.synth.filler_packages = 50;  // keep tests fast; benches use full size
+    return config;
+  }
+};
+
+TEST_F(ClusterTest, IntegrationNamesNodesSequentially) {
+  Cluster cluster(small_config());
+  for (int i = 0; i < 4; ++i) cluster.add_node();
+  cluster.integrate_all();
+
+  for (int i = 0; i < 4; ++i) {
+    Node* node = cluster.node(strings::cat("compute-0-", i));
+    ASSERT_NE(node, nullptr) << "compute-0-" << i;
+    EXPECT_TRUE(node->is_running());
+    EXPECT_EQ(node->install_count(), 1);
+  }
+  EXPECT_EQ(cluster.insert_ethers().nodes_inserted(), 4);
+
+  // The database has frontend + 4 compute rows.
+  const auto rows = cluster.frontend().db().execute("SELECT name FROM nodes ORDER BY id");
+  EXPECT_EQ(rows.row_count(), 5u);
+  EXPECT_EQ(rows.rows[0][0].as_text(), "frontend-0");
+  EXPECT_EQ(rows.rows[1][0].as_text(), "compute-0-0");
+}
+
+TEST_F(ClusterTest, IpAddressesAllocatedDownward) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.add_node();
+  cluster.integrate_all();
+  EXPECT_EQ(cluster.node("compute-0-0")->ip().to_string(), "10.255.255.254");
+  EXPECT_EQ(cluster.node("compute-0-1")->ip().to_string(), "10.255.255.253");
+}
+
+TEST_F(ClusterTest, GeneratedConfigsCoverNewNodes) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  auto& fe = cluster.frontend();
+  EXPECT_NE(fe.fs().read_file("/etc/hosts").find("compute-0-0"), std::string::npos);
+  EXPECT_NE(fe.fs().read_file("/etc/dhcpd.conf").find("compute-0-0"), std::string::npos);
+  EXPECT_NE(fe.fs().read_file("/var/spool/pbs/server_priv/nodes").find("compute-0-0 np=2"),
+            std::string::npos);
+}
+
+TEST_F(ClusterTest, SingleNodeReinstallMatchesTableICalibration) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  Node* node = cluster.node("compute-0-0");
+  node->shoot();
+  cluster.run_until_stable();
+  // 60 boot + 10 dhcp/ks + 40 format + 223 download + 75 post + 120 driver
+  // rebuild + 90 final boot = 618 s = 10.3 minutes (Table I, 1 node).
+  EXPECT_NEAR(node->last_install_duration(), 618.0, 5.0);
+  EXPECT_EQ(node->install_count(), 2);
+}
+
+TEST_F(ClusterTest, NodesAreConsistentAfterInstall) {
+  Cluster cluster(small_config());
+  for (int i = 0; i < 3; ++i) cluster.add_node();
+  cluster.integrate_all();
+  EXPECT_TRUE(cluster.consistent());
+  // Drift one node; consistency is lost; a reinstall restores it.
+  cluster.node("compute-0-1")->install_rogue_package([] {
+    rpm::Package pkg;
+    pkg.name = "hand-built-tool";
+    pkg.evr = rpm::Evr::parse("0.1-1");
+    pkg.files = {"/usr/local/bin/tool"};
+    return pkg;
+  }());
+  EXPECT_FALSE(cluster.consistent());
+  cluster.shoot_node("compute-0-1");
+  cluster.run_until_stable();
+  EXPECT_TRUE(cluster.consistent());
+}
+
+TEST_F(ClusterTest, PostScriptsMaterializedAndLocalized) {
+  Cluster cluster(small_config());
+  for (int i = 0; i < 2; ++i) cluster.add_node();
+  cluster.integrate_all();
+  Node* node = cluster.node("compute-0-1");
+  // The base module's post landed, localized with this node's identity.
+  ASSERT_TRUE(node->fs().is_directory("/etc/rc.d/rocks-post.d"));
+  bool saw_hostname = false;
+  bool saw_frontend_ip = false;
+  node->fs().walk("/etc/rc.d/rocks-post.d", [&](const std::string& path, const vfs::Stat& st) {
+    if (st.type != vfs::NodeType::kFile) return;
+    const std::string& body = node->fs().read_file(path);
+    if (body.find("compute-0-1") != std::string::npos) saw_hostname = true;
+    if (body.find("10.1.1.1") != std::string::npos) saw_frontend_ip = true;
+  });
+  EXPECT_TRUE(saw_hostname);
+  EXPECT_TRUE(saw_frontend_ip);
+  // Localization makes these files intentionally node-specific.
+  EXPECT_NE(node->fs().file_hash("/etc/rc.d/rocks-post.d/01-base"),
+            cluster.node("compute-0-0")->fs().file_hash("/etc/rc.d/rocks-post.d/01-base"));
+}
+
+TEST_F(ClusterTest, NonRootPartitionSurvivesReinstall) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  Node* node = cluster.node("compute-0-0");
+  node->fs().write_file("/state/partition1/experiment.dat", "precious results");
+  const std::string etc_marker = "/etc/rogue.conf";
+  node->corrupt_file(etc_marker, "drift");
+  cluster.shoot_node("compute-0-0");
+  cluster.run_until_stable();
+  EXPECT_EQ(node->fs().read_file("/state/partition1/experiment.dat"), "precious results");
+  EXPECT_FALSE(node->fs().exists(etc_marker)) << "root partition must be rebuilt";
+}
+
+TEST_F(ClusterTest, HardPowerCycleForcesReinstall) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  Node* node = cluster.node("compute-0-0");
+  cluster.pdu().power_cycle("compute-0-0");
+  EXPECT_FALSE(node->is_running());
+  cluster.run_until_stable();
+  EXPECT_EQ(node->install_count(), 2);
+}
+
+TEST_F(ClusterTest, PowerOffMidInstallThenRecover) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  Node* node = cluster.node("compute-0-0");
+  node->shoot();
+  // Yank power in the middle of the download phase.
+  cluster.sim().run_until(cluster.sim().now() + 200.0);
+  EXPECT_EQ(node->state(), NodeState::kInstalling);
+  node->power_off();
+  EXPECT_EQ(node->state(), NodeState::kOff);
+  EXPECT_EQ(cluster.frontend().http().active_downloads(), 0u) << "download must be aborted";
+  node->power_on();
+  cluster.run_until_stable();
+  EXPECT_TRUE(node->is_running());
+  EXPECT_EQ(node->install_count(), 2);
+}
+
+TEST_F(ClusterTest, ShootRequiresRunningNode) {
+  Cluster cluster(small_config());
+  Node& node = cluster.add_node();
+  EXPECT_THROW(node.shoot(), StateError);
+  EXPECT_THROW(cluster.shoot_node("ghost"), LookupError);
+}
+
+TEST_F(ClusterTest, EkvShowsInstallProgress) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  Node* node = cluster.node("compute-0-0");
+  const auto& progress = node->ekv().progress();
+  EXPECT_GT(progress.total_packages, 50u);
+  EXPECT_EQ(progress.completed_packages, progress.total_packages);
+  const std::string screen = node->ekv().screen();
+  EXPECT_NE(screen.find("eKV on"), std::string::npos);
+  EXPECT_NE(screen.find("Package Installation"), std::string::npos);
+  EXPECT_NE(screen.find("reinstall #1 complete"), std::string::npos);
+}
+
+TEST_F(ClusterTest, EkvAcceptsInteractiveInput) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  Node* node = cluster.node("compute-0-0");
+  std::vector<std::string> seen;
+  node->ekv().attach([&](const EkvLine& line) { seen.push_back(line.text); });
+  node->ekv().send_input(cluster.sim().now(), "F12");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "<< F12");
+  EXPECT_EQ(node->ekv().inputs_received(), 1u);
+  EXPECT_NE(node->ekv().screen().find("<< F12"), std::string::npos);
+}
+
+TEST_F(ClusterTest, ShootNodeCapturesEkvScreen) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  cluster.shoot_node("compute-0-0", /*watch_ekv=*/true);
+  cluster.run_until_stable();
+  ASSERT_EQ(cluster.ekv_captures().size(), 1u);
+  EXPECT_NE(cluster.ekv_captures()[0].find("reinstall #2 complete"), std::string::npos);
+}
+
+TEST_F(ClusterTest, UpdateCycleRefreshesNodes) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  Node* node = cluster.node("compute-0-0");
+
+  // Build an errata repo containing a newer openssl.
+  const rpm::Package* base_ssl = cluster.distro().repo.newest("openssl");
+  ASSERT_NE(base_ssl, nullptr);
+  rpm::Package update = *base_ssl;
+  update.evr.release += ".6";
+  update.origin = rpm::Origin::kUpdate;
+  update.security_fix = true;
+  rpm::Repository errata("errata");
+  errata.add(update);
+
+  const std::string old_version = node->rpmdb().find("openssl")->evr.to_string();
+  cluster.frontend().apply_updates(errata);
+  cluster.shoot_node("compute-0-0");
+  cluster.run_until_stable();
+  EXPECT_EQ(node->rpmdb().find("openssl")->evr.to_string(), update.evr.to_string());
+  EXPECT_NE(node->rpmdb().find("openssl")->evr.to_string(), old_version);
+}
+
+TEST_F(ClusterTest, SecondRackGetsOwnNames) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  cluster.insert_ethers().set_rack(1);
+  cluster.add_node();
+  cluster.integrate_all();
+  EXPECT_NE(cluster.node("compute-1-0"), nullptr);
+  EXPECT_EQ(cluster.node("compute-1-0")->ip().to_string(), "10.255.255.253");
+}
+
+TEST_F(ClusterTest, HeterogeneousAppliancesFromOneGraph) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();  // compute-0-0
+  cluster.insert_ethers().set_membership(7, "nfs");
+  cluster.add_node();
+  cluster.integrate_all();  // nfs-0-0
+
+  Node* nfs = cluster.node("nfs-0-0");
+  ASSERT_NE(nfs, nullptr);
+  EXPECT_TRUE(nfs->is_running());
+  // The NFS appliance installs fewer packages than a compute node (no MPI,
+  // no compilers) and carries the NFS server bits.
+  Node* compute = cluster.node("compute-0-0");
+  EXPECT_LT(nfs->rpmdb().package_count(), compute->rpmdb().package_count());
+  EXPECT_TRUE(nfs->rpmdb().installed("nfs-utils"));
+  EXPECT_FALSE(nfs->rpmdb().installed("mpich"));
+  // And without a Myrinet driver rebuild it reinstalls faster.
+  EXPECT_LT(nfs->last_install_duration(), compute->last_install_duration());
+}
+
+TEST_F(ClusterTest, UserAccountsSyncOverNis) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  auto& fe = cluster.frontend();
+  const auto before = fe.services().restarts("nis");
+
+  fe.add_user("bruno", 501, "/bin/tcsh");
+  // The NIS map was regenerated and the service restarted exactly once.
+  EXPECT_EQ(fe.services().restarts("nis"), before + 1);
+  const std::string map = fe.nis_passwd_map();
+  EXPECT_NE(map.find("bruno:x:501:501::/export/home/bruno:/bin/tcsh"), std::string::npos);
+  // The home directory exists on the NFS-exported filesystem.
+  EXPECT_TRUE(fe.fs().is_directory("/export/home/bruno"));
+  // Adding a user does not churn unrelated services.
+  const auto pbs_before = fe.services().restarts("pbs");
+  fe.add_user("mjk", 502);
+  EXPECT_EQ(fe.services().restarts("pbs"), pbs_before);
+}
+
+TEST_F(ClusterTest, MultiArchClusterFromOneGraph) {
+  // Section 6.1: "one XML graph file supports the dynamic kickstart file
+  // generation for three processor types (IA-32, Athlon and IA-64)".
+  ClusterConfig config = small_config();
+  config.synth.arches = {"i386", "ia64"};
+  Cluster cluster(std::move(config));
+  cluster.add_node("i386");
+  cluster.integrate_all();
+  cluster.insert_ethers().set_arch("ia64");
+  cluster.add_node("ia64");
+  cluster.integrate_all();
+
+  Node* ia32 = cluster.node("compute-0-0");
+  Node* ia64 = cluster.node("compute-0-1");
+  ASSERT_NE(ia64, nullptr);
+  EXPECT_TRUE(ia64->is_running());
+
+  // Same modules, per-arch binaries, per-arch bootloader.
+  EXPECT_TRUE(ia32->rpmdb().installed("grub"));
+  EXPECT_FALSE(ia32->rpmdb().installed("elilo"));
+  EXPECT_TRUE(ia64->rpmdb().installed("elilo"));
+  EXPECT_FALSE(ia64->rpmdb().installed("grub"));
+  EXPECT_EQ(ia32->rpmdb().find("glibc")->arch, "i386");
+  EXPECT_EQ(ia64->rpmdb().find("glibc")->arch, "ia64");
+  // noarch packages are shared verbatim.
+  EXPECT_EQ(ia64->rpmdb().find("rocks-ekv")->arch, "noarch");
+  // Both got the full compute stack.
+  EXPECT_TRUE(ia64->rpmdb().installed("mpich"));
+  EXPECT_TRUE(ia64->rpmdb().installed("gm-driver"));
+}
+
+TEST_F(ClusterTest, ReinstallAllReturnsMakespan) {
+  Cluster cluster(small_config());
+  for (int i = 0; i < 2; ++i) cluster.add_node();
+  cluster.integrate_all();
+  const double makespan = cluster.reinstall_all();
+  // Two nodes at full speed: same as one (no contention at 7.5 MB/s).
+  EXPECT_NEAR(makespan, 618.0, 5.0);
+  EXPECT_TRUE(cluster.consistent());
+}
+
+// --- failure injection: power cut at arbitrary points of the install ------
+
+class PowerCutSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerCutSweep, NodeRecoversFromPowerCutAtAnyPhase) {
+  ClusterConfig config;
+  config.synth.filler_packages = 50;
+  Cluster cluster(std::move(config));
+  cluster.add_node();
+  cluster.integrate_all();
+  Node* node = cluster.node("compute-0-0");
+
+  node->shoot();
+  // Cut power `GetParam()` seconds into the reinstall: during installer
+  // boot (20), dhcp/kickstart (65), disk format (100), download (200/400),
+  // post-config (520), final boot (590).
+  cluster.sim().run_until(cluster.sim().now() + GetParam());
+  node->power_off();
+  EXPECT_EQ(node->state(), NodeState::kOff);
+  EXPECT_EQ(cluster.frontend().http().active_downloads(), 0u);
+
+  // Power restored: the node reinstalls from scratch and converges.
+  node->power_on();
+  cluster.run_until_stable();
+  EXPECT_TRUE(node->is_running());
+  EXPECT_EQ(node->install_count(), 2);
+  EXPECT_TRUE(cluster.consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(CutPoints, PowerCutSweep,
+                         ::testing::Values(20.0, 65.0, 100.0, 200.0, 400.0, 520.0, 590.0));
+
+TEST_F(ClusterTest, RepeatedHardCyclesConverge) {
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  Node* node = cluster.node("compute-0-0");
+  // Flaky power: three rapid-fire hard cycles mid-install.
+  node->shoot();
+  for (int i = 0; i < 3; ++i) {
+    cluster.sim().run_until(cluster.sim().now() + 150.0);
+    node->hard_power_cycle();
+  }
+  cluster.run_until_stable();
+  EXPECT_TRUE(node->is_running());
+  // Only the final attempt completed.
+  EXPECT_EQ(node->install_count(), 2);
+}
+
+TEST_F(ClusterTest, OneDeadNodeDoesNotBlockClusterReinstall) {
+  Cluster cluster(small_config());
+  for (int i = 0; i < 3; ++i) cluster.add_node();
+  cluster.integrate_all();
+  cluster.node("compute-0-1")->inject_hardware_fault();
+  // reinstall_all shoots only running nodes; the dead one is skipped.
+  const double makespan = cluster.reinstall_all();
+  EXPECT_GT(makespan, 0.0);
+  EXPECT_EQ(cluster.node("compute-0-0")->install_count(), 2);
+  EXPECT_EQ(cluster.node("compute-0-2")->install_count(), 2);
+  EXPECT_EQ(cluster.node("compute-0-1")->install_count(), 1);
+  EXPECT_FALSE(cluster.node("compute-0-1")->is_running());
+}
+
+TEST_F(ClusterTest, ServerCapacityUpgradeMidPulse) {
+  // The GigE upgrade story, live: halfway through a contended 16-node
+  // pulse the server NIC is swapped for something 4x faster.
+  ClusterConfig config = small_config();
+  config.frontend.http_capacity = 7.0 * 1024 * 1024;
+  Cluster cluster(std::move(config));
+  for (int i = 0; i < 16; ++i) cluster.add_node();
+  cluster.integrate_all();
+
+  const double start = cluster.sim().now();
+  for (auto* node : cluster.nodes()) node->shoot();
+  cluster.sim().run_until(start + 300.0);
+  cluster.frontend().http().server(0).set_capacity(28.0 * 1024 * 1024);
+  cluster.run_until_stable();
+  const double makespan = cluster.sim().now() - start;
+  // Faster than the all-slow case (~15.1 min at 7 MB/s) and slower than
+  // the uncontended single-node time.
+  EXPECT_LT(makespan, 900.0);
+  EXPECT_GT(makespan, 618.0 - 1.0);
+  EXPECT_TRUE(cluster.consistent());
+}
+
+}  // namespace
+}  // namespace rocks::cluster

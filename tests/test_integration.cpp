@@ -1,0 +1,210 @@
+// Cross-module integration tests: the full paper workflows end to end, and
+// property-style parameterized sweeps over cluster size and calibration.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "baselines/cfengine.hpp"
+#include "cluster/cluster.hpp"
+#include "rpm/solver.hpp"
+#include "support/strings.hpp"
+#include "tools/cluster_tools.hpp"
+
+namespace rocks {
+namespace {
+
+cluster::ClusterConfig quick_config() {
+  cluster::ClusterConfig config;
+  config.synth.filler_packages = 50;
+  return config;
+}
+
+TEST(Integration, InstalledFilesMatchKickstartResolution) {
+  // What the node actually has after install == what the kickstart profile
+  // resolves to against the distribution. The whole pipeline agrees.
+  cluster::Cluster cluster(quick_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  cluster::Node* node = cluster.node("compute-0-0");
+
+  const auto profile =
+      cluster.frontend().kickstart_server().handle_request_file(node->ip());
+  const rpm::Resolution resolution =
+      rpm::resolve(cluster.frontend().distribution(), profile.packages(), node->arch());
+  ASSERT_TRUE(resolution.complete());
+
+  const auto manifest = node->rpmdb().manifest();
+  EXPECT_EQ(manifest.size(), resolution.install_order.size());
+  std::set<std::string> expected;
+  for (const rpm::Package* pkg : resolution.install_order) expected.insert(pkg->nevra());
+  for (const auto& entry : manifest) EXPECT_TRUE(expected.contains(entry)) << entry;
+
+  // And the files are really on disk: every installed package's first file.
+  for (const rpm::Package* pkg : resolution.install_order) {
+    if (pkg->files.empty()) continue;
+    EXPECT_TRUE(node->fs().is_file(pkg->files[0])) << pkg->nevra() << " " << pkg->files[0];
+  }
+}
+
+TEST(Integration, DatabaseIsTheSingleSourceOfTruth) {
+  cluster::Cluster cluster(quick_config());
+  for (int i = 0; i < 3; ++i) cluster.add_node();
+  cluster.integrate_all();
+  auto& fe = cluster.frontend();
+
+  // Every node row appears in every generated artifact.
+  const auto rows = fe.db().execute("SELECT name, ip, mac FROM nodes ORDER BY id");
+  const std::string hosts = fe.fs().read_file("/etc/hosts");
+  const std::string dhcpd = fe.fs().read_file("/etc/dhcpd.conf");
+  for (const auto& row : rows.rows) {
+    EXPECT_NE(hosts.find(row[0].to_string()), std::string::npos) << row[0].to_string();
+    EXPECT_NE(hosts.find(row[1].to_string()), std::string::npos);
+    if (row[0].to_string() != "frontend-0")
+      EXPECT_NE(dhcpd.find(row[2].to_string()), std::string::npos);
+  }
+
+  // Deleting a node from the database and regenerating removes it
+  // everywhere — the database drives, files follow.
+  fe.db().execute("DELETE FROM nodes WHERE name = 'compute-0-1'");
+  fe.regenerate_services();
+  EXPECT_EQ(fe.fs().read_file("/etc/hosts").find("compute-0-1"), std::string::npos);
+  EXPECT_EQ(fe.fs().read_file("/etc/dhcpd.conf").find("compute-0-1"), std::string::npos);
+  EXPECT_FALSE(fe.dhcp().knows(cluster.node("compute-0-1")->mac()));
+}
+
+TEST(Integration, GraphEditChangesWhatNodesInstall) {
+  // The Section 6.2.3 customization loop: edit the XML infrastructure,
+  // rebuild, reinstall.
+  cluster::Cluster cluster(quick_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  cluster::Node* node = cluster.node("compute-0-0");
+  EXPECT_TRUE(node->rpmdb().installed("gm-driver"));
+  const double with_driver = node->last_install_duration();
+
+  cluster.frontend().graph().remove_edge("compute", "myrinet");
+  cluster.frontend().rebuild_distribution();
+  cluster.shoot_node("compute-0-0");
+  cluster.run_until_stable();
+  // The driver source package is gone (nothing requests it); note "gm"
+  // itself survives as a dependency of mpich-gm. No rebuild -> faster.
+  EXPECT_FALSE(node->rpmdb().installed("gm-driver"));
+  EXPECT_TRUE(node->rpmdb().installed("mpich-gm"));
+  EXPECT_LT(node->last_install_duration(), with_driver);
+}
+
+TEST(Integration, CustomKernelWorkflow) {
+  // Section 3.3: craft a kernel RPM, bind it into a new distribution with
+  // rocks-dist, reinstall the desired nodes.
+  cluster::Cluster cluster(quick_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  cluster::Node* node = cluster.node("compute-0-0");
+  const std::string stock = node->rpmdb().find("kernel")->evr.to_string();
+
+  rpm::Package custom = *cluster.distro().repo.newest("kernel");
+  custom.evr.release += ".custom1";
+  custom.origin = rpm::Origin::kLocal;
+  cluster.frontend().rocksdist().add_local(custom);
+  cluster.frontend().rebuild_distribution();
+  cluster.shoot_node("compute-0-0");
+  cluster.run_until_stable();
+
+  EXPECT_EQ(node->rpmdb().find("kernel")->evr.to_string(), custom.evr.to_string());
+  EXPECT_NE(node->rpmdb().find("kernel")->evr.to_string(), stock);
+}
+
+TEST(Integration, ReinstallBeatsParityCheckOnResidualDrift) {
+  // The paper's core claim in miniature.
+  cluster::Cluster cluster(quick_config());
+  for (int i = 0; i < 2; ++i) cluster.add_node();
+  cluster.integrate_all();
+  cluster::Node* drifted = cluster.node("compute-0-1");
+  drifted->corrupt_file("/usr/local/lib/secret-dep.so", "unmanaged");
+  drifted->corrupt_file("/etc/hosts", "stale copy");
+
+  baselines::CfengineAgent agent;
+  agent.converge(*drifted, *cluster.node("compute-0-0"));
+  EXPECT_TRUE(drifted->fs().exists("/usr/local/lib/secret-dep.so"));  // residual
+
+  cluster.shoot_node("compute-0-1");
+  cluster.run_until_stable();
+  EXPECT_FALSE(drifted->fs().exists("/usr/local/lib/secret-dep.so"));
+  EXPECT_EQ(drifted->software_fingerprint(),
+            cluster.node("compute-0-0")->software_fingerprint());
+}
+
+// --- property sweeps -------------------------------------------------------
+
+class PulseSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PulseSweep, ConcurrentReinstallsAllComplete) {
+  const std::size_t n = GetParam();
+  cluster::Cluster cluster(quick_config());
+  for (std::size_t i = 0; i < n; ++i) cluster.add_node();
+  cluster.integrate_all();
+  const double makespan = cluster.reinstall_all();
+  // Invariants: every node back, exactly 2 installs each, consistent, and
+  // makespan bounded below by the single-node time and above by full
+  // serialization.
+  for (auto* node : cluster.nodes()) {
+    EXPECT_TRUE(node->is_running());
+    EXPECT_EQ(node->install_count(), 2);
+  }
+  EXPECT_TRUE(cluster.consistent());
+  EXPECT_GE(makespan, 617.0);
+  EXPECT_LE(makespan, 618.0 + static_cast<double>(n) * 225.0 / 7.5 + 1.0);
+  // Server accounting: the HTTP servers sourced exactly what the nodes
+  // downloaded (two installs each), nothing lost or double-counted.
+  EXPECT_NEAR(
+      cluster.frontend().http().total_bytes_served(),
+      static_cast<double>(n) *
+          static_cast<double>(cluster.node("compute-0-0")->bytes_downloaded_total()),
+      static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PulseSweep, ::testing::Values(1, 2, 5, 9, 16));
+
+class MonotonicSweep : public ::testing::Test {};
+
+TEST_F(MonotonicSweep, MakespanNonDecreasingInClusterSize) {
+  double previous = 0.0;
+  for (std::size_t n : {2u, 8u, 12u, 20u}) {
+    cluster::Cluster cluster(quick_config());
+    for (std::size_t i = 0; i < n; ++i) cluster.add_node();
+    cluster.integrate_all();
+    const double makespan = cluster.reinstall_all();
+    EXPECT_GE(makespan, previous - 1.0) << n << " nodes";
+    previous = makespan;
+  }
+}
+
+TEST(IntegrationProperty, FingerprintInvariantUnderReinstall) {
+  // Reinstalling any subset never changes the consistent fingerprint.
+  cluster::Cluster cluster(quick_config());
+  for (int i = 0; i < 4; ++i) cluster.add_node();
+  cluster.integrate_all();
+  const auto fingerprint = cluster.node("compute-0-0")->software_fingerprint();
+  cluster.shoot_node("compute-0-2");
+  cluster.shoot_node("compute-0-3");
+  cluster.run_until_stable();
+  for (auto* node : cluster.nodes())
+    EXPECT_EQ(node->software_fingerprint(), fingerprint) << node->hostname();
+}
+
+TEST(IntegrationProperty, SequentialIntegrationBindsPositions) {
+  // rack/rank reflect boot order — the paper's reason for serial booting.
+  cluster::Cluster cluster(quick_config());
+  for (int i = 0; i < 5; ++i) cluster.add_node();
+  cluster.integrate_all();
+  const auto rows = cluster.frontend().db().execute(
+      "SELECT name, rank FROM nodes WHERE membership = 2 ORDER BY id");
+  for (std::size_t i = 0; i < rows.row_count(); ++i) {
+    EXPECT_EQ(rows.rows[i][1].as_int(), static_cast<std::int64_t>(i));
+    EXPECT_EQ(rows.rows[i][0].as_text(), strings::cat("compute-0-", i));
+  }
+}
+
+}  // namespace
+}  // namespace rocks

@@ -1,0 +1,149 @@
+// Unit tests for rocks-dist: mirroring, version resolution, the symlink
+// tree, the build directory, and hierarchical (object-oriented)
+// distributions (paper Section 6.2, Figures 5-6).
+#include <gtest/gtest.h>
+
+#include "kickstart/defaults.hpp"
+#include "rocksdist/rocksdist.hpp"
+#include "rpm/solver.hpp"
+#include "rpm/synth.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::rocksdist {
+namespace {
+
+class RocksDistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    distro_ = rpm::make_redhat_release();
+    config_ = kickstart::make_default_configuration(distro_);
+  }
+
+  rpm::SynthDistro distro_;
+  kickstart::DefaultConfiguration config_;
+  vfs::FileSystem fs_;
+};
+
+TEST_F(RocksDistTest, MirrorMaterializesPackages) {
+  RocksDist rd(fs_);
+  const MirrorReport report = rd.mirror(distro_.repo, "redhat/7.2");
+  EXPECT_EQ(report.packages_fetched, distro_.repo.package_count());
+  EXPECT_EQ(report.bytes_fetched, distro_.repo.total_bytes());
+  EXPECT_TRUE(fs_.is_directory("/home/install/mirror/redhat/7.2/RPMS"));
+  // Mirroring again is a no-op (incremental).
+  const MirrorReport again = rd.mirror(distro_.repo, "redhat/7.2");
+  EXPECT_EQ(again.packages_fetched, 0u);
+  EXPECT_EQ(again.bytes_fetched, 0u);
+}
+
+TEST_F(RocksDistTest, DistResolvesNewestVersions) {
+  RocksDist rd(fs_);
+  rd.mirror(distro_.repo, "redhat/7.2");
+  // An update stream adds newer versions of existing packages.
+  const auto stream = rpm::make_update_stream(distro_);
+  rpm::Repository updates("updates");
+  for (const auto& u : stream) updates.add(u.package);
+  rd.mirror(updates, "updates/7.2");
+
+  const DistReport report = rd.dist(config_.files, config_.graph);
+  EXPECT_GT(report.dropped_stale, 0u);  // superseded versions excluded
+  // Every updated package resolves to its newest EVR.
+  for (const auto& u : stream) {
+    const rpm::Package* resolved = rd.distribution().newest(u.package.name, u.package.arch);
+    ASSERT_NE(resolved, nullptr);
+    const rpm::Package* base = distro_.repo.newest(u.package.name, u.package.arch);
+    EXPECT_FALSE(resolved->evr < base->evr);
+  }
+}
+
+TEST_F(RocksDistTest, DistTreeIsMostlySymlinks) {
+  RocksDist rd(fs_);
+  rd.mirror(distro_.repo, "redhat/7.2");
+  const DistReport report = rd.dist(config_.files, config_.graph);
+  EXPECT_EQ(report.symlink_count, report.package_count);
+  const std::string dist = rd.dist_path();
+  EXPECT_EQ(fs_.count(dist, vfs::NodeType::kSymlink), report.symlink_count);
+  // A symlink resolves to real mirrored bytes.
+  const rpm::Package* glibc = rd.distribution().newest("glibc");
+  ASSERT_NE(glibc, nullptr);
+  const std::string link = strings::cat(dist, "/RedHat/RPMS/", glibc->filename());
+  EXPECT_TRUE(fs_.is_symlink(link));
+  EXPECT_TRUE(fs_.is_file(link));  // follows into the mirror
+}
+
+TEST_F(RocksDistTest, TreeSizeAndBuildTimeMatchPaper) {
+  RocksDist rd(fs_);
+  rd.mirror(distro_.repo, "redhat/7.2");
+  const DistReport report = rd.dist(config_.files, config_.graph);
+  const double mb = static_cast<double>(report.tree_bytes) / (1024.0 * 1024.0);
+  // "each distribution is lightweight (on the order of 25MB)"
+  EXPECT_GT(mb, 10.0);
+  EXPECT_LT(mb, 50.0);
+  // "and can be built in under a minute"
+  EXPECT_LT(report.build_seconds, 60.0);
+  EXPECT_GT(report.build_seconds, 1.0);
+}
+
+TEST_F(RocksDistTest, BuildDirectoryCarriesXmlInfrastructure) {
+  RocksDist rd(fs_);
+  rd.mirror(distro_.repo, "redhat/7.2");
+  rd.dist(config_.files, config_.graph);
+  const std::string build = strings::cat(rd.dist_path(), "/build");
+  EXPECT_TRUE(fs_.is_file(build + "/graphs/default.xml"));
+  EXPECT_TRUE(fs_.is_file(build + "/nodes/compute.xml"));
+  EXPECT_TRUE(fs_.is_file(build + "/nodes/dhcp-server.xml"));
+  // The serialized node file parses back.
+  const auto reparsed = kickstart::NodeFile::parse(
+      "dhcp-server", fs_.read_file(build + "/nodes/dhcp-server.xml"));
+  EXPECT_EQ(reparsed.packages()[0].name, "dhcp");
+}
+
+TEST_F(RocksDistTest, LocalPackagesOverrideMirrored) {
+  RocksDist rd(fs_);
+  rd.mirror(distro_.repo, "redhat/7.2");
+  // Site rebuilds the kernel (the Section 3.3 workflow: make rpm, copy back,
+  // rocks-dist).
+  const rpm::Package* kernel = distro_.repo.newest("kernel");
+  rpm::Package custom = *kernel;
+  custom.evr.release = custom.evr.release + ".site1";
+  custom.origin = rpm::Origin::kLocal;
+  rd.add_local(custom);
+  rd.dist(config_.files, config_.graph);
+  EXPECT_EQ(rd.distribution().newest("kernel")->evr.to_string(), custom.evr.to_string());
+}
+
+TEST_F(RocksDistTest, HierarchicalDistributionInheritsAndExtends) {
+  // Figure 6: campus mirrors us, department mirrors campus.
+  RocksDist sdsc(fs_);
+  sdsc.mirror(distro_.repo, "redhat/7.2");
+  sdsc.dist(config_.files, config_.graph);
+
+  vfs::FileSystem campus_fs;
+  RocksDist campus(campus_fs, DistConfig{"/home/install", "7.2-campus", "i386", 32 * 1024});
+  campus.mirror(sdsc.as_upstream("sdsc-rocks"), "rocks/7.2");
+  rpm::Package site_pkg;
+  site_pkg.name = "campus-licenses";
+  site_pkg.evr = rpm::Evr::parse("1.0-1");
+  site_pkg.size_bytes = 1024 * 1024;
+  site_pkg.origin = rpm::Origin::kLocal;
+  site_pkg.files = {"/usr/bin/campus-licenses"};
+  campus.add_local(site_pkg);
+  const DistReport report = campus.dist(config_.files, config_.graph);
+
+  // Child = parent + local additions.
+  EXPECT_EQ(report.package_count, sdsc.distribution().package_count() + 1);
+  EXPECT_TRUE(campus.distribution().contains("campus-licenses"));
+  EXPECT_TRUE(campus.distribution().contains("glibc"));
+}
+
+TEST_F(RocksDistTest, RepeatedDistIsIdempotent) {
+  RocksDist rd(fs_);
+  rd.mirror(distro_.repo, "redhat/7.2");
+  const DistReport first = rd.dist(config_.files, config_.graph);
+  const DistReport second = rd.dist(config_.files, config_.graph);
+  EXPECT_EQ(first.package_count, second.package_count);
+  EXPECT_EQ(first.tree_bytes, second.tree_bytes);
+}
+
+}  // namespace
+}  // namespace rocks::rocksdist

@@ -1,0 +1,110 @@
+// Unit tests for the database-driven config generators and the service
+// manager's restart-on-change behaviour.
+#include <gtest/gtest.h>
+
+#include "kickstart/server.hpp"
+#include "services/generators.hpp"
+#include "services/manager.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::services {
+namespace {
+
+class ServicesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kickstart::ensure_cluster_schema(db);
+    kickstart::insert_node_row(db, "00:30:c1:d8:ac:80", "frontend-0", 1, 0, 0, "10.1.1.1",
+                               "i386", "Gateway machine");
+    kickstart::insert_node_row(db, "00:50:8b:e0:3a:a7", "compute-0-0", 2, 0, 0,
+                               "10.255.255.245");
+    kickstart::insert_node_row(db, "00:50:8b:e0:44:5e", "compute-0-1", 2, 0, 1,
+                               "10.255.255.244");
+  }
+
+  sqldb::Database db;
+};
+
+TEST_F(ServicesTest, HostsHasEveryNode) {
+  const std::string hosts = generate_hosts(db);
+  EXPECT_NE(hosts.find("127.0.0.1\tlocalhost"), std::string::npos);
+  EXPECT_NE(hosts.find("10.1.1.1\tfrontend-0.local frontend-0"), std::string::npos);
+  EXPECT_NE(hosts.find("10.255.255.245\tcompute-0-0.local compute-0-0"), std::string::npos);
+  EXPECT_NE(hosts.find("compute-0-1"), std::string::npos);
+}
+
+TEST_F(ServicesTest, DhcpdConfHasStaticBindings) {
+  const std::string conf = generate_dhcpd_conf(db, Ipv4(10, 1, 1, 1));
+  EXPECT_NE(conf.find("subnet 10.0.0.0 netmask 255.0.0.0"), std::string::npos);
+  EXPECT_NE(conf.find("next-server 10.1.1.1;"), std::string::npos);
+  EXPECT_NE(conf.find("host compute-0-0 {"), std::string::npos);
+  EXPECT_NE(conf.find("hardware ethernet 00:50:8b:e0:3a:a7;"), std::string::npos);
+  EXPECT_NE(conf.find("fixed-address 10.255.255.245;"), std::string::npos);
+}
+
+TEST_F(ServicesTest, PbsNodesListsOnlyComputeMembership) {
+  const std::string nodes = generate_pbs_nodes(db);
+  EXPECT_NE(nodes.find("compute-0-0 np=2"), std::string::npos);
+  EXPECT_NE(nodes.find("compute-0-1 np=2"), std::string::npos);
+  EXPECT_EQ(nodes.find("frontend-0"), std::string::npos);
+}
+
+TEST_F(ServicesTest, PbsNodesOrderedByRackRank) {
+  kickstart::insert_node_row(db, "00:50:8b:00:00:03", "compute-1-0", 2, 1, 0, "10.255.255.200");
+  const std::string nodes = generate_pbs_nodes(db);
+  const auto pos00 = nodes.find("compute-0-0");
+  const auto pos01 = nodes.find("compute-0-1");
+  const auto pos10 = nodes.find("compute-1-0");
+  EXPECT_LT(pos00, pos01);
+  EXPECT_LT(pos01, pos10);
+}
+
+TEST_F(ServicesTest, NisPasswdFromUsersTable) {
+  ensure_users_table(db);
+  db.execute("INSERT INTO users VALUES ('mjk', 501, '/export/home/mjk', '/bin/tcsh')");
+  const std::string passwd = generate_nis_passwd(db);
+  EXPECT_NE(passwd.find("root:x:0:0::/root:/bin/bash"), std::string::npos);
+  EXPECT_NE(passwd.find("mjk:x:501:501::/export/home/mjk:/bin/tcsh"), std::string::npos);
+}
+
+TEST_F(ServicesTest, NfsExportsHomeDirectories) {
+  const std::string exports = generate_nfs_exports(db);
+  EXPECT_NE(exports.find("/export/home 10.0.0.0/255.0.0.0(rw"), std::string::npos);
+}
+
+TEST_F(ServicesTest, ManagerRestartsOnlyChangedServices) {
+  ServiceManager manager;
+  vfs::FileSystem fs;
+  manager.register_service("hosts", "/etc/hosts", generate_hosts);
+  manager.register_service("dhcpd", "/etc/dhcpd.conf", [](sqldb::Database& db) {
+    return generate_dhcpd_conf(db, Ipv4(10, 1, 1, 1));
+  });
+
+  // First regeneration: everything is new, everything restarts.
+  auto restarted = manager.regenerate(db, fs);
+  EXPECT_EQ(restarted.size(), 2u);
+  EXPECT_TRUE(fs.is_file("/etc/hosts"));
+
+  // No database change: nothing restarts.
+  restarted = manager.regenerate(db, fs);
+  EXPECT_TRUE(restarted.empty());
+  EXPECT_EQ(manager.total_restarts(), 2u);
+
+  // New node: both files change, both services restart once more.
+  kickstart::insert_node_row(db, "00:50:8b:00:00:99", "compute-0-2", 2, 0, 2, "10.255.255.243");
+  restarted = manager.regenerate(db, fs);
+  EXPECT_EQ(restarted.size(), 2u);
+  EXPECT_EQ(manager.restarts("hosts"), 2u);
+  EXPECT_NE(fs.read_file("/etc/hosts").find("compute-0-2"), std::string::npos);
+}
+
+TEST_F(ServicesTest, ManagerReportsRegisteredNames) {
+  ServiceManager manager;
+  manager.register_service("a", "/etc/a", generate_hosts);
+  manager.register_service("b", "/etc/b", generate_hosts);
+  EXPECT_EQ(manager.service_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(manager.restarts("ghost"), 0u);
+}
+
+}  // namespace
+}  // namespace rocks::services

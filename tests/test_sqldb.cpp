@@ -1,0 +1,295 @@
+// Unit tests for the mini SQL engine, culminating in the paper's own
+// cluster-kill queries (Section 6.4) run verbatim.
+#include <gtest/gtest.h>
+
+#include "sqldb/engine.hpp"
+#include "support/error.hpp"
+
+namespace rocks::sqldb {
+namespace {
+
+class DbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db.execute(
+        "CREATE TABLE nodes (id INT PRIMARY KEY AUTO_INCREMENT, mac TEXT, name TEXT, "
+        "membership INT, rack INT, rank INT, ip TEXT, comment TEXT)");
+    db.execute(
+        "CREATE TABLE memberships (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, "
+        "appliance INT, compute TEXT)");
+  }
+
+  void load_paper_tables() {
+    // Table II of the paper.
+    db.execute(
+        "INSERT INTO nodes (mac, name, membership, rack, rank, ip, comment) VALUES "
+        "('00:30:c1:d8:ac:80', 'frontend-0',  1, 0, 0, '10.1.1.1',       'Gateway machine'),"
+        "('00:01:e7:1a:be:00', 'network-0-0', 4, 0, 0, '10.255.255.253', 'Switch for Cabinet 0'),"
+        "('00:50:8b:a5:4d:b1', 'nfs-0-0',     7, 0, 0, '10.255.255.249', 'NFS Server in Cabinet 0'),"
+        "('00:50:8b:e0:3a:a7', 'compute-0-0', 2, 0, 0, '10.255.255.245', 'Compute node'),"
+        "('00:50:8b:e0:44:5e', 'compute-0-1', 2, 0, 1, '10.255.255.244', 'Compute node'),"
+        "('00:50:8b:e0:40:95', 'compute-0-2', 2, 0, 2, '10.255.255.243', 'Compute node'),"
+        "('00:50:8b:e0:40:93', 'compute-0-3', 2, 0, 3, '10.255.255.242', 'Compute node'),"
+        "('00:50:8b:c5:c7:d3', 'web-1-0',     8, 1, 0, '10.255.255.246', 'Web Server in Cabinet 1')");
+    // Table III of the paper (subset of columns we model).
+    db.execute(
+        "INSERT INTO memberships (name, appliance, compute) VALUES "
+        "('Frontend', 1, 'no'), ('Compute', 2, 'yes'), ('External', 1, 'no'),"
+        "('Ethernet Switches', 4, 'no'), ('Myrinet Switches', 4, 'no'), ('Power Units', 5, 'no')");
+  }
+
+  Database db;
+};
+
+TEST_F(DbTest, CreateAndInsertAutoIncrement) {
+  load_paper_tables();
+  const ResultSet r = db.execute("SELECT id, name FROM nodes ORDER BY id");
+  ASSERT_EQ(r.row_count(), 8u);
+  EXPECT_EQ(r.rows[0][0].as_int(), 1);
+  EXPECT_EQ(r.rows[7][0].as_int(), 8);
+  EXPECT_EQ(r.at(0, "name").as_text(), "frontend-0");
+}
+
+TEST_F(DbTest, CreateDuplicateTableFails) {
+  EXPECT_THROW(db.execute("CREATE TABLE nodes (id INT)"), StateError);
+  EXPECT_NO_THROW(db.execute("CREATE TABLE IF NOT EXISTS nodes (id INT)"));
+}
+
+TEST_F(DbTest, DropTable) {
+  db.execute("DROP TABLE memberships");
+  EXPECT_FALSE(db.has_table("memberships"));
+  EXPECT_THROW(db.execute("DROP TABLE memberships"), LookupError);
+  EXPECT_NO_THROW(db.execute("DROP TABLE IF EXISTS memberships"));
+}
+
+TEST_F(DbTest, SelectWhereComparisons) {
+  load_paper_tables();
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE rack = 1").row_count(), 1u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE rank >= 2").row_count(), 2u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE rank > 0 AND rack = 0").row_count(), 3u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE rack = 1 OR membership = 7").row_count(),
+            2u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE NOT membership = 2").row_count(), 4u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE membership != 2").row_count(), 4u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE membership <> 2").row_count(), 4u);
+}
+
+TEST_F(DbTest, SelectLike) {
+  load_paper_tables();
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE name LIKE 'compute-%'").row_count(), 4u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE name LIKE 'compute-0-_'").row_count(), 4u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE name NOT LIKE 'compute-%'").row_count(),
+            4u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE comment LIKE '%Cabinet%'").row_count(), 3u);
+}
+
+TEST_F(DbTest, SelectInList) {
+  load_paper_tables();
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE membership IN (4, 7, 8)").row_count(), 3u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE membership NOT IN (2)").row_count(), 4u);
+}
+
+TEST_F(DbTest, OrderByAndLimit) {
+  load_paper_tables();
+  const ResultSet r =
+      db.execute("SELECT name FROM nodes ORDER BY rack DESC, rank ASC LIMIT 2");
+  ASSERT_EQ(r.row_count(), 2u);
+  EXPECT_EQ(r.rows[0][0].as_text(), "web-1-0");
+}
+
+TEST_F(DbTest, SelectStar) {
+  load_paper_tables();
+  const ResultSet r = db.execute("SELECT * FROM memberships");
+  EXPECT_EQ(r.columns.size(), 4u);
+  EXPECT_EQ(r.row_count(), 6u);
+}
+
+TEST_F(DbTest, SelectExpressionArithmetic) {
+  load_paper_tables();
+  const ResultSet r =
+      db.execute("SELECT name, rack * 100 + rank AS position FROM nodes WHERE name = 'web-1-0'");
+  EXPECT_EQ(r.at(0, "position").as_int(), 100);
+}
+
+TEST_F(DbTest, UpdateAndDelete) {
+  load_paper_tables();
+  ResultSet r = db.execute("UPDATE nodes SET comment = 'down' WHERE rack = 0 AND rank = 2");
+  EXPECT_EQ(r.affected_rows, 1u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE comment = 'down'").row_count(), 1u);
+  r = db.execute("DELETE FROM nodes WHERE membership = 2");
+  EXPECT_EQ(r.affected_rows, 4u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes").row_count(), 4u);
+}
+
+TEST_F(DbTest, UpdateEvaluatesRhsAgainstPreUpdateRow) {
+  load_paper_tables();
+  db.execute("UPDATE nodes SET rack = rank, rank = rack WHERE name = 'compute-0-3'");
+  const ResultSet r = db.execute("SELECT rack, rank FROM nodes WHERE name = 'compute-0-3'");
+  EXPECT_EQ(r.rows[0][0].as_int(), 3);  // swap, not sequential assignment
+  EXPECT_EQ(r.rows[0][1].as_int(), 0);
+}
+
+TEST_F(DbTest, NullSemantics) {
+  db.execute("CREATE TABLE t (a INT, b TEXT)");
+  db.execute("INSERT INTO t VALUES (NULL, 'x'), (1, NULL)");
+  EXPECT_EQ(db.execute("SELECT a FROM t WHERE a IS NULL").row_count(), 1u);
+  EXPECT_EQ(db.execute("SELECT a FROM t WHERE a IS NOT NULL").row_count(), 1u);
+  // NULL comparisons are never true.
+  EXPECT_EQ(db.execute("SELECT a FROM t WHERE a = NULL").row_count(), 0u);
+  EXPECT_EQ(db.execute("SELECT a FROM t WHERE a != NULL").row_count(), 0u);
+}
+
+TEST_F(DbTest, PaperClusterKillRackQuery) {
+  load_paper_tables();
+  // Verbatim from Section 6.4: kill runaway processes in cabinet 1.
+  const auto names = db.query_column("select name from nodes where rack=1");
+  EXPECT_EQ(names, (std::vector<std::string>{"web-1-0"}));
+}
+
+TEST_F(DbTest, PaperClusterKillJoinQuery) {
+  load_paper_tables();
+  // Verbatim from Section 6.4: the multi-table join selecting compute nodes.
+  const auto names = db.query_column(
+      "select nodes.name from nodes,memberships where "
+      "nodes.membership = memberships.id and "
+      "memberships.name = 'Compute'");
+  EXPECT_EQ(names, (std::vector<std::string>{"compute-0-0", "compute-0-1", "compute-0-2",
+                                             "compute-0-3"}));
+}
+
+TEST_F(DbTest, ExplicitJoinSyntaxMatchesCommaJoin) {
+  load_paper_tables();
+  const auto a = db.query_column(
+      "select nodes.name from nodes join memberships on nodes.membership = memberships.id "
+      "where memberships.compute = 'yes'");
+  const auto b = db.query_column(
+      "select nodes.name from nodes, memberships where nodes.membership = memberships.id "
+      "and memberships.compute = 'yes'");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST_F(DbTest, TableAliases) {
+  load_paper_tables();
+  const auto names = db.query_column(
+      "select n.name from nodes n, memberships m where n.membership = m.id and "
+      "m.name = 'Frontend'");
+  EXPECT_EQ(names, (std::vector<std::string>{"frontend-0"}));
+}
+
+TEST_F(DbTest, AmbiguousColumnRejected) {
+  load_paper_tables();
+  // Both tables have "name".
+  EXPECT_THROW(db.execute("SELECT name FROM nodes, memberships"), LookupError);
+}
+
+TEST_F(DbTest, UnknownColumnAndTableRejected) {
+  EXPECT_THROW(db.execute("SELECT nope FROM nodes"), LookupError);
+  EXPECT_THROW(db.execute("SELECT x.name FROM nodes"), LookupError);
+  EXPECT_THROW(db.execute("SELECT name FROM ghosts"), LookupError);
+  EXPECT_THROW(db.execute("INSERT INTO nodes (ghost) VALUES (1)"), LookupError);
+}
+
+TEST_F(DbTest, ParseErrors) {
+  EXPECT_THROW(db.execute("SELEC name FROM nodes"), ParseError);
+  EXPECT_THROW(db.execute("SELECT FROM nodes"), ParseError);
+  EXPECT_THROW(db.execute("SELECT name nodes"), ParseError);
+  EXPECT_THROW(db.execute("SELECT name FROM nodes WHERE"), ParseError);
+  EXPECT_THROW(db.execute(""), ParseError);
+  EXPECT_THROW(db.execute("SELECT name FROM nodes; extra"), ParseError);
+}
+
+TEST_F(DbTest, StringEscapes) {
+  db.execute("CREATE TABLE s (v TEXT)");
+  db.execute("INSERT INTO s VALUES ('it''s'), (\"dq\"), ('back\\'slash')");
+  const auto vals = db.query_column("SELECT v FROM s");
+  EXPECT_EQ(vals, (std::vector<std::string>{"it's", "dq", "back'slash"}));
+}
+
+TEST_F(DbTest, TextCoercionOnTypedColumns) {
+  db.execute("CREATE TABLE c (n INT)");
+  db.execute("INSERT INTO c VALUES ('42')");
+  EXPECT_EQ(db.execute("SELECT n FROM c").rows[0][0].as_int(), 42);
+}
+
+TEST_F(DbTest, RenderProducesAsciiTable) {
+  load_paper_tables();
+  const std::string out = db.execute("SELECT id, name FROM memberships ORDER BY id").render();
+  EXPECT_NE(out.find("Compute"), std::string::npos);
+  EXPECT_NE(out.find("Power Units"), std::string::npos);
+}
+
+TEST_F(DbTest, EmptyTableSelects) {
+  EXPECT_EQ(db.execute("SELECT * FROM nodes").row_count(), 0u);
+  EXPECT_EQ(db.execute("SELECT nodes.name FROM nodes, memberships").row_count(), 0u);
+  // Ambiguity is detected even with no rows to scan.
+  EXPECT_THROW(db.execute("SELECT name FROM nodes, memberships"), LookupError);
+}
+
+TEST_F(DbTest, QueryColumnRequiresSingleColumn) {
+  load_paper_tables();
+  EXPECT_THROW(db.query_column("SELECT id, name FROM nodes"), StateError);
+}
+
+TEST_F(DbTest, ArithmeticEdgeCases) {
+  load_paper_tables();
+  // Division/modulo by zero yield NULL (so rows drop out of WHERE).
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE rank / rank > 0").row_count(), 3u)
+      << "rank=0 rows produce NULL and are filtered";
+  EXPECT_EQ(db.execute("SELECT 7 % 3 AS m FROM memberships LIMIT 1").rows[0][0].as_int(), 1);
+  EXPECT_EQ(db.execute("SELECT -rank AS n FROM nodes WHERE name = 'compute-0-3'")
+                .rows[0][0]
+                .as_int(),
+            -3);
+  // Mixed int/real arithmetic promotes to real.
+  const auto r = db.execute("SELECT rank + 0.5 AS x FROM nodes WHERE name = 'compute-0-1'");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].as_real(), 1.5);
+}
+
+TEST_F(DbTest, OrderByExpressionAndLimitZero) {
+  load_paper_tables();
+  const auto r = db.execute(
+      "SELECT name FROM nodes WHERE membership = 2 ORDER BY rack * 10 + rank DESC");
+  ASSERT_EQ(r.row_count(), 4u);
+  EXPECT_EQ(r.rows[0][0].as_text(), "compute-0-3");
+  EXPECT_EQ(db.execute("SELECT name FROM nodes LIMIT 0").row_count(), 0u);
+}
+
+TEST_F(DbTest, UpdateWithoutWhereTouchesAllRows) {
+  load_paper_tables();
+  const auto r = db.execute("UPDATE memberships SET compute = 'no'");
+  EXPECT_EQ(r.affected_rows, 6u);
+  EXPECT_EQ(db.execute("SELECT name FROM memberships WHERE compute = 'yes'").row_count(), 0u);
+}
+
+TEST_F(DbTest, SelfJoinWithAliases) {
+  load_paper_tables();
+  // Pairs of compute nodes in the same rack with adjacent ranks.
+  const auto r = db.execute(
+      "SELECT a.name, b.name FROM nodes a, nodes b WHERE a.rack = b.rack AND "
+      "a.membership = 2 AND b.membership = 2 AND b.rank = a.rank + 1 ORDER BY a.rank");
+  ASSERT_EQ(r.row_count(), 3u);
+  EXPECT_EQ(r.rows[0][0].as_text(), "compute-0-0");
+  EXPECT_EQ(r.rows[0][1].as_text(), "compute-0-1");
+}
+
+TEST_F(DbTest, ThreeTableJoin) {
+  load_paper_tables();
+  db.execute("CREATE TABLE racks (id INT, location TEXT)");
+  db.execute("INSERT INTO racks VALUES (0, 'machine room A'), (1, 'machine room B')");
+  const auto r = db.query_column(
+      "SELECT racks.location FROM nodes, memberships, racks WHERE "
+      "nodes.membership = memberships.id AND nodes.rack = racks.id AND "
+      "memberships.name = 'Compute' AND nodes.rank = 0");
+  EXPECT_EQ(r, (std::vector<std::string>{"machine room A"}));
+}
+
+TEST_F(DbTest, InListWithNullNeedleNeverMatches) {
+  db.execute("CREATE TABLE t (a INT)");
+  db.execute("INSERT INTO t VALUES (NULL), (1)");
+  EXPECT_EQ(db.execute("SELECT a FROM t WHERE a IN (1, 2)").row_count(), 1u);
+  EXPECT_EQ(db.execute("SELECT a FROM t WHERE a NOT IN (99)").row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rocks::sqldb

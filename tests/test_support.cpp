@@ -1,0 +1,164 @@
+// Unit tests for the support library: strings, IP/MAC types, RNG, tables.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/ip.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace rocks {
+namespace {
+
+using strings::split;
+using strings::split_ws;
+using strings::trim;
+
+TEST(Strings, SplitBasic) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, SplitWs) {
+  EXPECT_EQ(split_ws("  a  b\tc\n"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(strings::join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(strings::join({}, ","), "");
+  EXPECT_EQ(strings::join({"x"}, ","), "x");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(strings::replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(strings::replace_all("no match", "x", "y"), "no match");
+  EXPECT_EQ(strings::replace_all("abc", "", "y"), "abc");
+}
+
+TEST(Strings, Cat) {
+  EXPECT_EQ(strings::cat("n=", 42, ", f=", 1.5), "n=42, f=1.5");
+  EXPECT_EQ(strings::cat(), "");
+}
+
+struct GlobCase {
+  const char* pattern;
+  const char* text;
+  bool match;
+};
+
+class GlobTest : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobTest, Matches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(strings::glob_match(c.pattern, c.text), c.match)
+      << c.pattern << " vs " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, GlobTest,
+                         ::testing::Values(GlobCase{"*", "", true},
+                                           GlobCase{"*", "anything", true},
+                                           GlobCase{"compute-*", "compute-0-0", true},
+                                           GlobCase{"compute-*", "frontend-0", false},
+                                           GlobCase{"compute-?-?", "compute-0-1", true},
+                                           GlobCase{"compute-?-?", "compute-0-12", false},
+                                           GlobCase{"*-0", "rack-1-0", true},
+                                           GlobCase{"a*b*c", "axxbyyc", true},
+                                           GlobCase{"a*b*c", "axxbyy", false},
+                                           GlobCase{"", "", true},
+                                           GlobCase{"", "x", false}));
+
+TEST(Ipv4, ParseAndFormat) {
+  const auto ip = Ipv4::parse("10.255.255.254");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "10.255.255.254");
+  EXPECT_EQ(ip->value(), 0x0AFFFFFEu);
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4::parse("10.1.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("10.1.1.256").has_value());
+  EXPECT_FALSE(Ipv4::parse("10.1.1.x").has_value());
+  EXPECT_FALSE(Ipv4::parse("").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5").has_value());
+}
+
+TEST(Ipv4, PrevAllocatesDownward) {
+  const Ipv4 top(10, 255, 255, 254);
+  EXPECT_EQ(top.prev().to_string(), "10.255.255.253");
+}
+
+TEST(Ipv4, SubnetMembership) {
+  const Ipv4 ip(10, 1, 1, 1);
+  EXPECT_TRUE(ip.in_subnet(Ipv4(10, 0, 0, 0), 8));
+  EXPECT_FALSE(ip.in_subnet(Ipv4(192, 168, 0, 0), 16));
+  EXPECT_TRUE(ip.in_subnet(Ipv4(0, 0, 0, 0), 0));
+  EXPECT_TRUE(ip.in_subnet(ip, 32));
+  EXPECT_FALSE(ip.next().in_subnet(ip, 32));
+}
+
+TEST(Mac, ParseAndFormat) {
+  const auto mac = Mac::parse("00:50:8b:e0:3a:a7");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "00:50:8b:e0:3a:a7");
+}
+
+TEST(Mac, ParseRejectsMalformed) {
+  EXPECT_FALSE(Mac::parse("00:50:8b:e0:3a").has_value());
+  EXPECT_FALSE(Mac::parse("00:50:8b:e0:3a:zz").has_value());
+  EXPECT_FALSE(Mac::parse("").has_value());
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, RangesRespected) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_range(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable table({"Nodes", "Minutes"});
+  table.add_row({"1", "10.3"});
+  table.add_row({"32", "13.7"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| Nodes | Minutes |"), std::string::npos);
+  EXPECT_NE(out.find("| 32    | 13.7    |"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsRaggedRow) {
+  AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), StateError);
+}
+
+TEST(Errors, RequireHelpers) {
+  EXPECT_NO_THROW(require_found(true, "x"));
+  EXPECT_THROW(require_found(false, "x"), LookupError);
+  EXPECT_THROW(require_state(false, "x"), StateError);
+}
+
+TEST(Fixed, FormatsDecimals) {
+  EXPECT_EQ(fixed(10.345, 1), "10.3");
+  EXPECT_EQ(fixed(2.0, 2), "2.00");
+}
+
+}  // namespace
+}  // namespace rocks

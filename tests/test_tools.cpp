@@ -1,0 +1,93 @@
+// Tests for cluster-fork / cluster-kill / cluster-status, including the
+// paper's Section 6.4 examples run end-to-end against a live cluster.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "support/error.hpp"
+#include "tools/cluster_tools.hpp"
+
+namespace rocks::tools {
+namespace {
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster::ClusterConfig config;
+    config.synth.filler_packages = 50;
+    cluster_ = std::make_unique<cluster::Cluster>(config);
+    for (int i = 0; i < 3; ++i) cluster_->add_node();
+    cluster_->integrate_all();
+    // Rack 1 holds one more node.
+    cluster_->insert_ethers().set_rack(1);
+    cluster_->add_node();
+    cluster_->integrate_all();
+  }
+
+  std::unique_ptr<cluster::Cluster> cluster_;
+};
+
+TEST_F(ToolsTest, PaperClusterKillOnRackOne) {
+  // A runaway job on every node.
+  for (auto* node : cluster_->nodes()) node->launch_process("bad-job");
+
+  ClusterTools tools(*cluster_);
+  // "cluster-kill --query='select name from nodes where rack=1' bad-job"
+  const ForkResult result = tools.kill("bad-job", "select name from nodes where rack=1");
+  EXPECT_EQ(result.reached, (std::vector<std::string>{"compute-1-0"}));
+  EXPECT_EQ(result.total_killed, 1u);
+  EXPECT_EQ(cluster_->node("compute-1-0")->process_count("bad-job"), 0u);
+  EXPECT_EQ(cluster_->node("compute-0-0")->process_count("bad-job"), 1u);
+}
+
+TEST_F(ToolsTest, PaperClusterKillMembershipJoin) {
+  for (auto* node : cluster_->nodes()) node->launch_process("bad-job");
+  ClusterTools tools(*cluster_);
+  // The default query is the paper's multi-table join over memberships.
+  const ForkResult result = tools.kill("bad-job");
+  EXPECT_EQ(result.reached.size(), 4u);  // every compute node, no frontend
+  EXPECT_EQ(result.total_killed, 4u);
+}
+
+TEST_F(ToolsTest, KillSkipsDownNodes) {
+  for (auto* node : cluster_->nodes()) node->launch_process("bad-job");
+  cluster_->node("compute-0-1")->power_off();
+  ClusterTools tools(*cluster_);
+  const ForkResult result = tools.kill("bad-job");
+  EXPECT_EQ(result.reached.size(), 3u);
+  EXPECT_EQ(result.unreachable, (std::vector<std::string>{"compute-0-1"}));
+}
+
+TEST_F(ToolsTest, QueryNamingFrontendReportsUnknownNode) {
+  ClusterTools tools(*cluster_);
+  const ForkResult result =
+      tools.fork_query("select name from nodes where name = 'frontend-0'",
+                       [](cluster::Node&) {});
+  EXPECT_TRUE(result.reached.empty());
+  EXPECT_EQ(result.unknown, (std::vector<std::string>{"frontend-0"}));
+}
+
+TEST_F(ToolsTest, ForkGlobSelectsByPattern) {
+  ClusterTools tools(*cluster_);
+  std::vector<std::string> touched;
+  tools.fork_glob("compute-0-*",
+                  [&](cluster::Node& node) { touched.push_back(node.hostname()); });
+  EXPECT_EQ(touched, (std::vector<std::string>{"compute-0-0", "compute-0-1", "compute-0-2"}));
+}
+
+TEST_F(ToolsTest, StatusReportListsAllNodes) {
+  ClusterTools tools(*cluster_);
+  const std::string report = tools.status_report();
+  EXPECT_NE(report.find("compute-0-0"), std::string::npos);
+  EXPECT_NE(report.find("compute-1-0"), std::string::npos);
+  EXPECT_NE(report.find("running"), std::string::npos);
+}
+
+TEST_F(ToolsTest, LaunchProcessRequiresRunningNode) {
+  cluster::Node& bare = cluster_->add_node();
+  EXPECT_THROW(bare.launch_process("x"), StateError);
+}
+
+}  // namespace
+}  // namespace rocks::tools

@@ -1,0 +1,223 @@
+// Unit tests for the XML engine, including a byte-exact exercise of the
+// paper's Figure 2 node file.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace rocks::xml {
+namespace {
+
+TEST(XmlParser, SimpleElement) {
+  const Element root = parse_root("<A/>");
+  EXPECT_EQ(root.name(), "A");
+  EXPECT_TRUE(root.children().empty());
+}
+
+TEST(XmlParser, AttributesBothQuoteStyles) {
+  const Element root = parse_root(R"(<NODE name="compute" arch='ia64'/>)");
+  EXPECT_EQ(root.attribute("name"), "compute");
+  EXPECT_EQ(root.attribute("arch"), "ia64");
+  EXPECT_FALSE(root.attribute("missing").has_value());
+  EXPECT_EQ(root.attribute_or("missing", "dflt"), "dflt");
+}
+
+TEST(XmlParser, NestedElementsAndText) {
+  const Element root = parse_root("<A><B>hello</B><B>world</B><C/></A>");
+  const auto bs = root.children_named("B");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0]->text(), "hello");
+  EXPECT_EQ(bs[1]->text(), "world");
+  EXPECT_NE(root.first_child("C"), nullptr);
+  EXPECT_EQ(root.first_child("Z"), nullptr);
+}
+
+TEST(XmlParser, DeclarationCaptured) {
+  const Document doc = parse(R"(<?XML VERSION="1.0" STANDALONE="no"?><A/>)");
+  EXPECT_EQ(doc.declaration, R"(XML VERSION="1.0" STANDALONE="no")");
+  EXPECT_EQ(doc.root.name(), "A");
+}
+
+TEST(XmlParser, CommentsDiscardedEvenInsideContent) {
+  const Element root = parse_root("<A>pre<!-- tell dhcp just to listen to eth0 -->post</A>");
+  EXPECT_EQ(root.text(), "prepost");
+}
+
+TEST(XmlParser, EntitiesDecoded) {
+  const Element root = parse_root("<A>a &lt; b &amp;&amp; c &gt; d &quot;q&quot;</A>");
+  EXPECT_EQ(root.text(), "a < b && c > d \"q\"");
+}
+
+TEST(XmlParser, NumericEntities) {
+  EXPECT_EQ(decode_entities("&#65;&#x42;"), "AB");
+  EXPECT_EQ(decode_entities("&#junk;"), "&#junk;");
+  EXPECT_EQ(decode_entities("a&b"), "a&b");  // lenient bare ampersand
+  EXPECT_EQ(decode_entities("&unknown;"), "&unknown;");
+}
+
+TEST(XmlParser, CdataKeptVerbatim) {
+  const Element root = parse_root("<A><![CDATA[<not-xml> & raw]]></A>");
+  EXPECT_EQ(root.text(), "<not-xml> & raw");
+}
+
+TEST(XmlParser, MismatchedTagThrowsWithPosition) {
+  try {
+    parse_root("<A>\n  <B></C>\n</A>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("mismatched"), std::string::npos);
+  }
+}
+
+TEST(XmlParser, ErrorsOnGarbage) {
+  EXPECT_THROW(parse_root(""), ParseError);
+  EXPECT_THROW(parse_root("<A>"), ParseError);
+  EXPECT_THROW(parse_root("<A></A><B/>"), ParseError);
+  EXPECT_THROW(parse_root("<A attr></A>"), ParseError);
+  EXPECT_THROW(parse_root("<A attr=novalue/>"), ParseError);
+  EXPECT_THROW(parse_root("plain text"), ParseError);
+}
+
+// The paper's Figure 2: the DHCP-server node file, awk script and all.
+constexpr const char* kFigure2 = R"(<?XML VERSION="1.0" STANDALONE="no"?>
+<KICKSTART>
+        <DESCRIPTION>Setup the DHCP server for the cluster</DESCRIPTION>
+        <PACKAGE>dhcp</PACKAGE>
+        <POST>
+                <!-- tell dhcp just to listen to eth0 -->
+                awk ' \
+                        /^DHCPD_INTERFACES/ {
+                                printf("DHCPD_INTERFACES=\"eth0\"\n");
+                                next;
+                        }
+                        {
+                                print $0;
+                        } ' /etc/sysconfig/dhcpd > /tmp/dhcpd
+                mv /tmp/dhcpd /etc/sysconfig/dhcpd
+        </POST>
+</KICKSTART>
+)";
+
+TEST(XmlParser, Figure2NodeFile) {
+  const Document doc = parse(kFigure2);
+  EXPECT_EQ(doc.root.name(), "KICKSTART");
+  const Element* desc = doc.root.first_child("DESCRIPTION");
+  ASSERT_NE(desc, nullptr);
+  EXPECT_EQ(desc->text(), "Setup the DHCP server for the cluster");
+  const Element* pkg = doc.root.first_child("PACKAGE");
+  ASSERT_NE(pkg, nullptr);
+  EXPECT_EQ(pkg->text(), "dhcp");
+  const Element* post = doc.root.first_child("POST");
+  ASSERT_NE(post, nullptr);
+  // The awk script survives, the XML comment does not.
+  EXPECT_NE(post->text().find("DHCPD_INTERFACES=\\\"eth0\\\""), std::string::npos);
+  EXPECT_NE(post->text().find("mv /tmp/dhcpd /etc/sysconfig/dhcpd"), std::string::npos);
+  EXPECT_EQ(post->text().find("tell dhcp"), std::string::npos);
+}
+
+TEST(XmlWriter, RoundTripsElementOnlyTree) {
+  Element root("GRAPH");
+  Element edge("EDGE");
+  edge.set_attribute("FROM", "compute");
+  edge.set_attribute("TO", "mpi");
+  root.add_child(edge);
+  const std::string text = write(root);
+  const Element reparsed = parse_root(text);
+  ASSERT_EQ(reparsed.children_named("EDGE").size(), 1u);
+  EXPECT_EQ(reparsed.children_named("EDGE")[0]->attribute("FROM"), "compute");
+}
+
+TEST(XmlWriter, EscapesSpecialCharacters) {
+  Element root("A");
+  root.set_attribute("v", "a<b\"c&d");
+  root.add_text("x < y & z");
+  const std::string text = write(root);
+  const Element reparsed = parse_root(text);
+  EXPECT_EQ(reparsed.attribute("v"), "a<b\"c&d");
+  EXPECT_EQ(reparsed.text(), "x < y & z");
+}
+
+TEST(XmlWriter, MixedContentPreservedOnRoundTrip) {
+  const Element original = parse_root("<POST>line1\nline2 with $vars and \"quotes\"</POST>");
+  const Element reparsed = parse_root(write(original));
+  EXPECT_EQ(reparsed.text(), original.text());
+}
+
+TEST(XmlWriter, DocumentIncludesDeclaration) {
+  Document doc;
+  doc.declaration = R"(XML VERSION="1.0")";
+  doc.root = Element("A");
+  const std::string text = write(doc);
+  EXPECT_EQ(text.rfind("<?XML", 0), 0u);
+}
+
+TEST(XmlDom, NodeCopySemantics) {
+  Element root("A");
+  Element child("B");
+  child.add_text("t");
+  root.add_child(child);
+  Element copy = root;  // deep copy via Node copy ctor
+  copy.children()[0].element_value().set_name("C");
+  EXPECT_EQ(root.children()[0].element_value().name(), "B");
+  EXPECT_EQ(copy.children()[0].element_value().name(), "C");
+}
+
+TEST(XmlParser, DeepNesting) {
+  std::string text;
+  constexpr int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) text += "<N>";
+  text += "x";
+  for (int i = 0; i < kDepth; ++i) text += "</N>";
+  const Element root = parse_root(text);
+  const Element* cursor = &root;
+  int depth = 1;
+  while (cursor->first_child("N") != nullptr) {
+    cursor = cursor->first_child("N");
+    ++depth;
+  }
+  EXPECT_EQ(depth, kDepth);
+  EXPECT_EQ(cursor->text(), "x");
+}
+
+TEST(XmlParser, AttributeEntitiesDecoded) {
+  const Element root = parse_root(R"(<A v="a &amp; b &lt;c&gt; &quot;d&quot;"/>)");
+  EXPECT_EQ(root.attribute("v"), "a & b <c> \"d\"");
+}
+
+TEST(XmlParser, WhitespaceAroundAttributes) {
+  const Element root = parse_root("<A  name = \"x\"   other='y' />");
+  EXPECT_EQ(root.attribute("name"), "x");
+  EXPECT_EQ(root.attribute("other"), "y");
+}
+
+TEST(XmlParser, DuplicateAttributeLastWins) {
+  const Element root = parse_root(R"(<A v="1" v="2"/>)");
+  EXPECT_EQ(root.attribute("v"), "2");
+  EXPECT_EQ(root.attributes().size(), 1u);
+}
+
+TEST(XmlWriter, RoundTripStressManyChildren) {
+  Element root("GRAPH");
+  for (int i = 0; i < 100; ++i) {
+    Element edge("EDGE");
+    edge.set_attribute("FROM", "n" + std::to_string(i));
+    edge.set_attribute("TO", "n" + std::to_string(i + 1));
+    root.add_child(edge);
+  }
+  const Element reparsed = parse_root(write(root));
+  EXPECT_EQ(reparsed.children_named("EDGE").size(), 100u);
+  EXPECT_EQ(reparsed.children_named("EDGE")[99]->attribute("TO"), "n100");
+}
+
+TEST(XmlDom, KindAccessorsThrowOnMisuse) {
+  Node text = Node::text("hi");
+  EXPECT_THROW(text.element_value(), StateError);
+  Node elem = Node::element(Element("A"));
+  EXPECT_THROW(elem.text_value(), StateError);
+}
+
+}  // namespace
+}  // namespace rocks::xml
