@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_driver_rebuild.dir/bench_driver_rebuild.cpp.o"
+  "CMakeFiles/bench_driver_rebuild.dir/bench_driver_rebuild.cpp.o.d"
+  "bench_driver_rebuild"
+  "bench_driver_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_driver_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

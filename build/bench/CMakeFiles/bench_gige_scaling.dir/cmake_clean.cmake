@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gige_scaling.dir/bench_gige_scaling.cpp.o"
+  "CMakeFiles/bench_gige_scaling.dir/bench_gige_scaling.cpp.o.d"
+  "bench_gige_scaling"
+  "bench_gige_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gige_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insert_ethers.dir/bench_insert_ethers.cpp.o"
+  "CMakeFiles/bench_insert_ethers.dir/bench_insert_ethers.cpp.o.d"
+  "bench_insert_ethers"
+  "bench_insert_ethers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insert_ethers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

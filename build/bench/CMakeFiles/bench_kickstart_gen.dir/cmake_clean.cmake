@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kickstart_gen.dir/bench_kickstart_gen.cpp.o"
+  "CMakeFiles/bench_kickstart_gen.dir/bench_kickstart_gen.cpp.o.d"
+  "bench_kickstart_gen"
+  "bench_kickstart_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kickstart_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

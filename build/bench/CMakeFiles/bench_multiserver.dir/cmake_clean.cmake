@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiserver.dir/bench_multiserver.cpp.o"
+  "CMakeFiles/bench_multiserver.dir/bench_multiserver.cpp.o.d"
+  "bench_multiserver"
+  "bench_multiserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nfs_scaling.dir/bench_nfs_scaling.cpp.o"
+  "CMakeFiles/bench_nfs_scaling.dir/bench_nfs_scaling.cpp.o.d"
+  "bench_nfs_scaling"
+  "bench_nfs_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nfs_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reinstall_vs_verify.dir/bench_reinstall_vs_verify.cpp.o"
+  "CMakeFiles/bench_reinstall_vs_verify.dir/bench_reinstall_vs_verify.cpp.o.d"
+  "bench_reinstall_vs_verify"
+  "bench_reinstall_vs_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reinstall_vs_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

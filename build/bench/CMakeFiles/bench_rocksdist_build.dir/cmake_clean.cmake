@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rocksdist_build.dir/bench_rocksdist_build.cpp.o"
+  "CMakeFiles/bench_rocksdist_build.dir/bench_rocksdist_build.cpp.o.d"
+  "bench_rocksdist_build"
+  "bench_rocksdist_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rocksdist_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_reinstall.dir/bench_table1_reinstall.cpp.o"
+  "CMakeFiles/bench_table1_reinstall.dir/bench_table1_reinstall.cpp.o.d"
+  "bench_table1_reinstall"
+  "bench_table1_reinstall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_reinstall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

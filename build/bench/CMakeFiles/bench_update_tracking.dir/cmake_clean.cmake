@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_tracking.dir/bench_update_tracking.cpp.o"
+  "CMakeFiles/bench_update_tracking.dir/bench_update_tracking.cpp.o.d"
+  "bench_update_tracking"
+  "bench_update_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_distribution.dir/campus_distribution.cpp.o"
+  "CMakeFiles/campus_distribution.dir/campus_distribution.cpp.o.d"
+  "campus_distribution"
+  "campus_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

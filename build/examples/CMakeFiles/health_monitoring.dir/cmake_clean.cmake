@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_monitoring.dir/health_monitoring.cpp.o"
+  "CMakeFiles/health_monitoring.dir/health_monitoring.cpp.o.d"
+  "health_monitoring"
+  "health_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kickstart_graph.dir/kickstart_graph.cpp.o"
+  "CMakeFiles/kickstart_graph.dir/kickstart_graph.cpp.o.d"
+  "kickstart_graph"
+  "kickstart_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kickstart_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoot_node_ekv.dir/shoot_node_ekv.cpp.o"
+  "CMakeFiles/shoot_node_ekv.dir/shoot_node_ekv.cpp.o.d"
+  "shoot_node_ekv"
+  "shoot_node_ekv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoot_node_ekv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

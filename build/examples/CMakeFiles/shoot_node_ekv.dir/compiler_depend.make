@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shoot_node_ekv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upgrade_cycle.dir/upgrade_cycle.cpp.o"
+  "CMakeFiles/upgrade_cycle.dir/upgrade_cycle.cpp.o.d"
+  "upgrade_cycle"
+  "upgrade_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upgrade_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

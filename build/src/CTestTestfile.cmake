@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("xml")
+subdirs("vfs")
+subdirs("sqldb")
+subdirs("rpm")
+subdirs("netsim")
+subdirs("kickstart")
+subdirs("rocksdist")
+subdirs("services")
+subdirs("cluster")
+subdirs("tools")
+subdirs("baselines")
+subdirs("batch")
+subdirs("monitor")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_baselines.dir/cfengine.cpp.o"
+  "CMakeFiles/rocks_baselines.dir/cfengine.cpp.o.d"
+  "CMakeFiles/rocks_baselines.dir/disk_cloning.cpp.o"
+  "CMakeFiles/rocks_baselines.dir/disk_cloning.cpp.o.d"
+  "CMakeFiles/rocks_baselines.dir/hand_admin.cpp.o"
+  "CMakeFiles/rocks_baselines.dir/hand_admin.cpp.o.d"
+  "librocks_baselines.a"
+  "librocks_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

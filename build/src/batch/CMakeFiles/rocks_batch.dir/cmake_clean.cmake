@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_batch.dir/mpirun.cpp.o"
+  "CMakeFiles/rocks_batch.dir/mpirun.cpp.o.d"
+  "CMakeFiles/rocks_batch.dir/pbs.cpp.o"
+  "CMakeFiles/rocks_batch.dir/pbs.cpp.o.d"
+  "CMakeFiles/rocks_batch.dir/rexec.cpp.o"
+  "CMakeFiles/rocks_batch.dir/rexec.cpp.o.d"
+  "librocks_batch.a"
+  "librocks_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

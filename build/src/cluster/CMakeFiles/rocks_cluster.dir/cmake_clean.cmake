@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/rocks_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/rocks_cluster.dir/ekv.cpp.o"
+  "CMakeFiles/rocks_cluster.dir/ekv.cpp.o.d"
+  "CMakeFiles/rocks_cluster.dir/frontend.cpp.o"
+  "CMakeFiles/rocks_cluster.dir/frontend.cpp.o.d"
+  "CMakeFiles/rocks_cluster.dir/insert_ethers.cpp.o"
+  "CMakeFiles/rocks_cluster.dir/insert_ethers.cpp.o.d"
+  "CMakeFiles/rocks_cluster.dir/node.cpp.o"
+  "CMakeFiles/rocks_cluster.dir/node.cpp.o.d"
+  "librocks_cluster.a"
+  "librocks_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

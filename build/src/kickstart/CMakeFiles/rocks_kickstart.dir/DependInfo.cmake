@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kickstart/defaults.cpp" "src/kickstart/CMakeFiles/rocks_kickstart.dir/defaults.cpp.o" "gcc" "src/kickstart/CMakeFiles/rocks_kickstart.dir/defaults.cpp.o.d"
+  "/root/repo/src/kickstart/frontend_form.cpp" "src/kickstart/CMakeFiles/rocks_kickstart.dir/frontend_form.cpp.o" "gcc" "src/kickstart/CMakeFiles/rocks_kickstart.dir/frontend_form.cpp.o.d"
+  "/root/repo/src/kickstart/generator.cpp" "src/kickstart/CMakeFiles/rocks_kickstart.dir/generator.cpp.o" "gcc" "src/kickstart/CMakeFiles/rocks_kickstart.dir/generator.cpp.o.d"
+  "/root/repo/src/kickstart/graph.cpp" "src/kickstart/CMakeFiles/rocks_kickstart.dir/graph.cpp.o" "gcc" "src/kickstart/CMakeFiles/rocks_kickstart.dir/graph.cpp.o.d"
+  "/root/repo/src/kickstart/nodefile.cpp" "src/kickstart/CMakeFiles/rocks_kickstart.dir/nodefile.cpp.o" "gcc" "src/kickstart/CMakeFiles/rocks_kickstart.dir/nodefile.cpp.o.d"
+  "/root/repo/src/kickstart/profile.cpp" "src/kickstart/CMakeFiles/rocks_kickstart.dir/profile.cpp.o" "gcc" "src/kickstart/CMakeFiles/rocks_kickstart.dir/profile.cpp.o.d"
+  "/root/repo/src/kickstart/server.cpp" "src/kickstart/CMakeFiles/rocks_kickstart.dir/server.cpp.o" "gcc" "src/kickstart/CMakeFiles/rocks_kickstart.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rocks_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/rocks_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/rocks_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpm/CMakeFiles/rocks_rpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/rocks_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_kickstart.dir/defaults.cpp.o"
+  "CMakeFiles/rocks_kickstart.dir/defaults.cpp.o.d"
+  "CMakeFiles/rocks_kickstart.dir/frontend_form.cpp.o"
+  "CMakeFiles/rocks_kickstart.dir/frontend_form.cpp.o.d"
+  "CMakeFiles/rocks_kickstart.dir/generator.cpp.o"
+  "CMakeFiles/rocks_kickstart.dir/generator.cpp.o.d"
+  "CMakeFiles/rocks_kickstart.dir/graph.cpp.o"
+  "CMakeFiles/rocks_kickstart.dir/graph.cpp.o.d"
+  "CMakeFiles/rocks_kickstart.dir/nodefile.cpp.o"
+  "CMakeFiles/rocks_kickstart.dir/nodefile.cpp.o.d"
+  "CMakeFiles/rocks_kickstart.dir/profile.cpp.o"
+  "CMakeFiles/rocks_kickstart.dir/profile.cpp.o.d"
+  "CMakeFiles/rocks_kickstart.dir/server.cpp.o"
+  "CMakeFiles/rocks_kickstart.dir/server.cpp.o.d"
+  "librocks_kickstart.a"
+  "librocks_kickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_kickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

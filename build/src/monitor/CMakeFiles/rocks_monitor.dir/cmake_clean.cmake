@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_monitor.dir/ganglia.cpp.o"
+  "CMakeFiles/rocks_monitor.dir/ganglia.cpp.o.d"
+  "CMakeFiles/rocks_monitor.dir/recovery.cpp.o"
+  "CMakeFiles/rocks_monitor.dir/recovery.cpp.o.d"
+  "librocks_monitor.a"
+  "librocks_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

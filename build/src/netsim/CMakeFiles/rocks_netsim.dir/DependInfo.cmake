@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/dhcp.cpp" "src/netsim/CMakeFiles/rocks_netsim.dir/dhcp.cpp.o" "gcc" "src/netsim/CMakeFiles/rocks_netsim.dir/dhcp.cpp.o.d"
+  "/root/repo/src/netsim/engine.cpp" "src/netsim/CMakeFiles/rocks_netsim.dir/engine.cpp.o" "gcc" "src/netsim/CMakeFiles/rocks_netsim.dir/engine.cpp.o.d"
+  "/root/repo/src/netsim/flow.cpp" "src/netsim/CMakeFiles/rocks_netsim.dir/flow.cpp.o" "gcc" "src/netsim/CMakeFiles/rocks_netsim.dir/flow.cpp.o.d"
+  "/root/repo/src/netsim/http.cpp" "src/netsim/CMakeFiles/rocks_netsim.dir/http.cpp.o" "gcc" "src/netsim/CMakeFiles/rocks_netsim.dir/http.cpp.o.d"
+  "/root/repo/src/netsim/power.cpp" "src/netsim/CMakeFiles/rocks_netsim.dir/power.cpp.o" "gcc" "src/netsim/CMakeFiles/rocks_netsim.dir/power.cpp.o.d"
+  "/root/repo/src/netsim/syslog.cpp" "src/netsim/CMakeFiles/rocks_netsim.dir/syslog.cpp.o" "gcc" "src/netsim/CMakeFiles/rocks_netsim.dir/syslog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rocks_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_netsim.dir/dhcp.cpp.o"
+  "CMakeFiles/rocks_netsim.dir/dhcp.cpp.o.d"
+  "CMakeFiles/rocks_netsim.dir/engine.cpp.o"
+  "CMakeFiles/rocks_netsim.dir/engine.cpp.o.d"
+  "CMakeFiles/rocks_netsim.dir/flow.cpp.o"
+  "CMakeFiles/rocks_netsim.dir/flow.cpp.o.d"
+  "CMakeFiles/rocks_netsim.dir/http.cpp.o"
+  "CMakeFiles/rocks_netsim.dir/http.cpp.o.d"
+  "CMakeFiles/rocks_netsim.dir/power.cpp.o"
+  "CMakeFiles/rocks_netsim.dir/power.cpp.o.d"
+  "CMakeFiles/rocks_netsim.dir/syslog.cpp.o"
+  "CMakeFiles/rocks_netsim.dir/syslog.cpp.o.d"
+  "librocks_netsim.a"
+  "librocks_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_rocksdist.dir/rocksdist.cpp.o"
+  "CMakeFiles/rocks_rocksdist.dir/rocksdist.cpp.o.d"
+  "librocks_rocksdist.a"
+  "librocks_rocksdist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_rocksdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

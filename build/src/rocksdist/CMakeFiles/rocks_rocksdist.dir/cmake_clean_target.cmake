@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librocks_rocksdist.a"
+)

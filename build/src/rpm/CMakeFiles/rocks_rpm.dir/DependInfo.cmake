@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpm/package.cpp" "src/rpm/CMakeFiles/rocks_rpm.dir/package.cpp.o" "gcc" "src/rpm/CMakeFiles/rocks_rpm.dir/package.cpp.o.d"
+  "/root/repo/src/rpm/repository.cpp" "src/rpm/CMakeFiles/rocks_rpm.dir/repository.cpp.o" "gcc" "src/rpm/CMakeFiles/rocks_rpm.dir/repository.cpp.o.d"
+  "/root/repo/src/rpm/rpmdb.cpp" "src/rpm/CMakeFiles/rocks_rpm.dir/rpmdb.cpp.o" "gcc" "src/rpm/CMakeFiles/rocks_rpm.dir/rpmdb.cpp.o.d"
+  "/root/repo/src/rpm/solver.cpp" "src/rpm/CMakeFiles/rocks_rpm.dir/solver.cpp.o" "gcc" "src/rpm/CMakeFiles/rocks_rpm.dir/solver.cpp.o.d"
+  "/root/repo/src/rpm/synth.cpp" "src/rpm/CMakeFiles/rocks_rpm.dir/synth.cpp.o" "gcc" "src/rpm/CMakeFiles/rocks_rpm.dir/synth.cpp.o.d"
+  "/root/repo/src/rpm/version.cpp" "src/rpm/CMakeFiles/rocks_rpm.dir/version.cpp.o" "gcc" "src/rpm/CMakeFiles/rocks_rpm.dir/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rocks_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/rocks_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

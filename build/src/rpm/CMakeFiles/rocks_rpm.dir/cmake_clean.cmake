@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_rpm.dir/package.cpp.o"
+  "CMakeFiles/rocks_rpm.dir/package.cpp.o.d"
+  "CMakeFiles/rocks_rpm.dir/repository.cpp.o"
+  "CMakeFiles/rocks_rpm.dir/repository.cpp.o.d"
+  "CMakeFiles/rocks_rpm.dir/rpmdb.cpp.o"
+  "CMakeFiles/rocks_rpm.dir/rpmdb.cpp.o.d"
+  "CMakeFiles/rocks_rpm.dir/solver.cpp.o"
+  "CMakeFiles/rocks_rpm.dir/solver.cpp.o.d"
+  "CMakeFiles/rocks_rpm.dir/synth.cpp.o"
+  "CMakeFiles/rocks_rpm.dir/synth.cpp.o.d"
+  "CMakeFiles/rocks_rpm.dir/version.cpp.o"
+  "CMakeFiles/rocks_rpm.dir/version.cpp.o.d"
+  "librocks_rpm.a"
+  "librocks_rpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_rpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

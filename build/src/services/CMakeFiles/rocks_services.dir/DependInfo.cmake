@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/generators.cpp" "src/services/CMakeFiles/rocks_services.dir/generators.cpp.o" "gcc" "src/services/CMakeFiles/rocks_services.dir/generators.cpp.o.d"
+  "/root/repo/src/services/manager.cpp" "src/services/CMakeFiles/rocks_services.dir/manager.cpp.o" "gcc" "src/services/CMakeFiles/rocks_services.dir/manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rocks_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/rocks_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/rocks_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_services.dir/generators.cpp.o"
+  "CMakeFiles/rocks_services.dir/generators.cpp.o.d"
+  "CMakeFiles/rocks_services.dir/manager.cpp.o"
+  "CMakeFiles/rocks_services.dir/manager.cpp.o.d"
+  "librocks_services.a"
+  "librocks_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

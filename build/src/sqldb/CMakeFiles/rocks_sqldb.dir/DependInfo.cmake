@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqldb/engine.cpp" "src/sqldb/CMakeFiles/rocks_sqldb.dir/engine.cpp.o" "gcc" "src/sqldb/CMakeFiles/rocks_sqldb.dir/engine.cpp.o.d"
+  "/root/repo/src/sqldb/expr.cpp" "src/sqldb/CMakeFiles/rocks_sqldb.dir/expr.cpp.o" "gcc" "src/sqldb/CMakeFiles/rocks_sqldb.dir/expr.cpp.o.d"
+  "/root/repo/src/sqldb/lexer.cpp" "src/sqldb/CMakeFiles/rocks_sqldb.dir/lexer.cpp.o" "gcc" "src/sqldb/CMakeFiles/rocks_sqldb.dir/lexer.cpp.o.d"
+  "/root/repo/src/sqldb/parser.cpp" "src/sqldb/CMakeFiles/rocks_sqldb.dir/parser.cpp.o" "gcc" "src/sqldb/CMakeFiles/rocks_sqldb.dir/parser.cpp.o.d"
+  "/root/repo/src/sqldb/table.cpp" "src/sqldb/CMakeFiles/rocks_sqldb.dir/table.cpp.o" "gcc" "src/sqldb/CMakeFiles/rocks_sqldb.dir/table.cpp.o.d"
+  "/root/repo/src/sqldb/value.cpp" "src/sqldb/CMakeFiles/rocks_sqldb.dir/value.cpp.o" "gcc" "src/sqldb/CMakeFiles/rocks_sqldb.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rocks_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

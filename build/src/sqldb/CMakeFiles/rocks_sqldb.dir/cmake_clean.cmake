@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_sqldb.dir/engine.cpp.o"
+  "CMakeFiles/rocks_sqldb.dir/engine.cpp.o.d"
+  "CMakeFiles/rocks_sqldb.dir/expr.cpp.o"
+  "CMakeFiles/rocks_sqldb.dir/expr.cpp.o.d"
+  "CMakeFiles/rocks_sqldb.dir/lexer.cpp.o"
+  "CMakeFiles/rocks_sqldb.dir/lexer.cpp.o.d"
+  "CMakeFiles/rocks_sqldb.dir/parser.cpp.o"
+  "CMakeFiles/rocks_sqldb.dir/parser.cpp.o.d"
+  "CMakeFiles/rocks_sqldb.dir/table.cpp.o"
+  "CMakeFiles/rocks_sqldb.dir/table.cpp.o.d"
+  "CMakeFiles/rocks_sqldb.dir/value.cpp.o"
+  "CMakeFiles/rocks_sqldb.dir/value.cpp.o.d"
+  "librocks_sqldb.a"
+  "librocks_sqldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_sqldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_support.dir/error.cpp.o"
+  "CMakeFiles/rocks_support.dir/error.cpp.o.d"
+  "CMakeFiles/rocks_support.dir/ip.cpp.o"
+  "CMakeFiles/rocks_support.dir/ip.cpp.o.d"
+  "CMakeFiles/rocks_support.dir/log.cpp.o"
+  "CMakeFiles/rocks_support.dir/log.cpp.o.d"
+  "CMakeFiles/rocks_support.dir/strings.cpp.o"
+  "CMakeFiles/rocks_support.dir/strings.cpp.o.d"
+  "CMakeFiles/rocks_support.dir/table.cpp.o"
+  "CMakeFiles/rocks_support.dir/table.cpp.o.d"
+  "librocks_support.a"
+  "librocks_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

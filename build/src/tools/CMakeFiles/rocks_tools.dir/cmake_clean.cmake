@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_tools.dir/cluster_tools.cpp.o"
+  "CMakeFiles/rocks_tools.dir/cluster_tools.cpp.o.d"
+  "librocks_tools.a"
+  "librocks_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

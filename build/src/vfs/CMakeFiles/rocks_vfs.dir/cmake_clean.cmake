@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_vfs.dir/filesystem.cpp.o"
+  "CMakeFiles/rocks_vfs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/rocks_vfs.dir/path.cpp.o"
+  "CMakeFiles/rocks_vfs.dir/path.cpp.o.d"
+  "librocks_vfs.a"
+  "librocks_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

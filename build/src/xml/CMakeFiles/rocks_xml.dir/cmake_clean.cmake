@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocks_xml.dir/dom.cpp.o"
+  "CMakeFiles/rocks_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/rocks_xml.dir/parser.cpp.o"
+  "CMakeFiles/rocks_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/rocks_xml.dir/writer.cpp.o"
+  "CMakeFiles/rocks_xml.dir/writer.cpp.o.d"
+  "librocks_xml.a"
+  "librocks_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocks_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/test_cluster.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/test_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/rocks_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/rocks_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rocksdist/CMakeFiles/rocks_rocksdist.dir/DependInfo.cmake"
+  "/root/repo/build/src/kickstart/CMakeFiles/rocks_kickstart.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpm/CMakeFiles/rocks_rpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/rocks_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/rocks_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/rocks_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/rocks_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rocks_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kickstart.dir/test_kickstart.cpp.o"
+  "CMakeFiles/test_kickstart.dir/test_kickstart.cpp.o.d"
+  "test_kickstart"
+  "test_kickstart.pdb"
+  "test_kickstart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

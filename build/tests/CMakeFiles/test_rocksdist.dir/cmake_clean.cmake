@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rocksdist.dir/test_rocksdist.cpp.o"
+  "CMakeFiles/test_rocksdist.dir/test_rocksdist.cpp.o.d"
+  "test_rocksdist"
+  "test_rocksdist.pdb"
+  "test_rocksdist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rocksdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

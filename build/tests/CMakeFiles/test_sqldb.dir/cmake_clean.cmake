@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sqldb.dir/test_sqldb.cpp.o"
+  "CMakeFiles/test_sqldb.dir/test_sqldb.cpp.o.d"
+  "test_sqldb"
+  "test_sqldb.pdb"
+  "test_sqldb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sqldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
