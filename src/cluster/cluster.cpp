@@ -88,12 +88,48 @@ double Cluster::reinstall_all() {
   return sim_.now() - start;
 }
 
+netsim::FaultInjector& Cluster::arm_faults(netsim::FaultPlan plan) {
+  disarm_faults();
+  faults_ = std::make_unique<netsim::FaultInjector>(sim_, std::move(plan));
+  faults_->wire_http(&frontend_->http());
+  faults_->wire_power([this](std::size_t target, double restore_after) {
+    if (nodes_.empty()) return;
+    Node* victim = nodes_[target % nodes_.size()].get();
+    victim->power_off();
+    ++pending_flap_restores_;
+    sim_.schedule(restore_after, [this, victim] {
+      --pending_flap_restores_;
+      // Power returns: per the paper's footnote a hard cycle forces a
+      // reinstall. Skip nodes someone powered/repaired in the meantime.
+      if (victim->state() == NodeState::kOff && !victim->hardware_failed())
+        victim->hard_power_cycle();
+    });
+  });
+  frontend_->dhcp().set_fault_injector(faults_.get());
+  frontend_->kickstart_server().set_availability_probe(
+      [injector = faults_.get()] { return injector->kickstart_available(); });
+  faults_->arm();
+  return *faults_;
+}
+
+void Cluster::disarm_faults() {
+  if (!faults_) return;
+  faults_->disarm();
+  frontend_->dhcp().set_fault_injector(nullptr);
+  frontend_->kickstart_server().set_availability_probe({});
+  faults_.reset();
+}
+
 void Cluster::run_until_stable(double max_seconds) {
   const double deadline = sim_.now() + max_seconds;
   while (sim_.now() < deadline) {
-    bool all_stable = true;
+    // kOff only counts as stable when no power-flap restore is pending for
+    // it; kFailed is stable (the node waits for recovery escalation).
+    bool all_stable = pending_flap_restores_ == 0;
     for (auto& node : nodes_) {
-      if (node->state() != NodeState::kRunning && node->state() != NodeState::kOff) {
+      if (!all_stable) break;
+      if (node->state() != NodeState::kRunning && node->state() != NodeState::kOff &&
+          node->state() != NodeState::kFailed) {
         all_stable = false;
         break;
       }

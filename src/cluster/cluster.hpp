@@ -11,6 +11,7 @@
 #include "cluster/frontend.hpp"
 #include "cluster/insert_ethers.hpp"
 #include "cluster/node.hpp"
+#include "netsim/fault.hpp"
 #include "netsim/power.hpp"
 #include "rpm/synth.hpp"
 
@@ -59,8 +60,21 @@ class Cluster {
   /// seconds.
   double reinstall_all();
 
-  /// Runs the simulator until every node is kRunning (with a safety cap).
+  /// Runs the simulator until every node is stable — kRunning, kOff (with no
+  /// pending power-flap restore), or kFailed — with a safety cap.
   void run_until_stable(double max_seconds = 36000.0);
+
+  // --- fault injection -------------------------------------------------------
+  /// Arms a fault plan against this cluster: wires the injector into DHCP
+  /// (dropped DISCOVERs), the kickstart CGI (outage windows), the HTTP
+  /// group (crashes, flow kills), and maps power-flap targets onto nodes by
+  /// index (a flap is a hard power cycle, so per the paper's footnote the
+  /// victim reinstalls). Replaces any previously armed plan.
+  netsim::FaultInjector& arm_faults(netsim::FaultPlan plan);
+  /// Cancels pending fault events and detaches all probes.
+  void disarm_faults();
+  /// The armed injector, nullptr when none.
+  [[nodiscard]] netsim::FaultInjector* faults() { return faults_.get(); }
 
   /// True when all running nodes of the Compute membership report the same
   /// software fingerprint — the question Section 3.2's pitfalls revolve
@@ -80,6 +94,8 @@ class Cluster {
   netsim::PowerDistributionUnit pdu_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::string> ekv_captures_;
+  std::unique_ptr<netsim::FaultInjector> faults_;
+  std::size_t pending_flap_restores_ = 0;
   int next_mac_suffix_ = 1;
 };
 

@@ -1,5 +1,6 @@
 #include "cluster/node.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "support/error.hpp"
@@ -19,6 +20,7 @@ std::string_view node_state_name(NodeState state) {
     case NodeState::kPostConfig: return "post-config";
     case NodeState::kRebooting: return "rebooting";
     case NodeState::kRunning: return "running";
+    case NodeState::kFailed: return "failed";
   }
   return "?";
 }
@@ -28,7 +30,8 @@ Node::Node(NodeEnvironment env, Mac mac, std::string arch, NodeTimings timings)
       mac_(mac),
       arch_(std::move(arch)),
       timings_(timings),
-      ekv_(cat("node-", mac.to_string())) {
+      ekv_(cat("node-", mac.to_string())),
+      rng_(mac.value() * 0x9E3779B97F4A7C15ULL + 0xC0FFEE) {
   require_state(env_.sim != nullptr && env_.syslog != nullptr,
                 "Node needs at least a simulator and a syslog bus");
   fs_.add_partition("/state/partition1");
@@ -65,6 +68,7 @@ void Node::power_on() {
 
 void Node::power_off() {
   ++epoch_;  // cancels every in-flight phase
+  disarm_watchdog();
   if (download_ && download_->server != nullptr) {
     download_->server->abort(download_->flow);
     download_.reset();
@@ -92,6 +96,10 @@ void Node::shoot() {
 void Node::enter_install() {
   state_ = NodeState::kInstallWait;
   install_started_ = env_.sim->now();
+  dhcp_attempts_ = 0;
+  kickstart_attempts_ = 0;
+  job_.reset();
+  arm_watchdog();
   log("entering installation mode");
   const std::uint64_t epoch = epoch_;
   env_.sim->schedule(timings_.installer_boot, [this, epoch] {
@@ -100,31 +108,73 @@ void Node::enter_install() {
   });
 }
 
+double Node::retry_delay(double base, double cap, int attempt) {
+  // Attempt 1 is always exactly `base`: the fault-free path (and the
+  // insert-ethers first-boot loop) must not depend on the RNG at all.
+  if (attempt <= 1) return base;
+  double delay = base;
+  for (int i = 1; i < attempt && delay < cap; ++i) delay *= 2.0;
+  delay = std::min(delay, cap);
+  if (timings_.retry_jitter > 0.0)
+    delay *= rng_.next_double_range(1.0, 1.0 + timings_.retry_jitter);
+  return delay;
+}
+
 void Node::request_dhcp() {
   require_state(env_.dhcp != nullptr, "node has no DHCP server wired");
   const std::uint64_t epoch = epoch_;
   const auto lease = env_.dhcp->discover(mac_);
   if (!lease) {
-    // Unknown to the cluster yet: insert-ethers will add us; keep retrying.
-    env_.sim->schedule(timings_.dhcp_retry, [this, epoch] {
+    // Unknown to the cluster yet (insert-ethers will add us) or the
+    // broadcast was lost on the wire: keep retrying. The first retry fires
+    // at exactly the base interval; after that we back off with jitter so a
+    // whole pulse of nodes does not hammer dhcpd in lockstep.
+    ++dhcp_attempts_;
+    const double delay =
+        retry_delay(timings_.dhcp_retry, timings_.dhcp_retry_max, dhcp_attempts_);
+    if (dhcp_attempts_ >= 2)
+      log(cat("dhcp: no offer (attempt ", dhcp_attempts_, "); retrying in ",
+              fixed(delay, 1), " s"));
+    env_.sim->schedule(delay, [this, epoch] {
       if (!epoch_valid(epoch)) return;
       request_dhcp();
     });
     return;
   }
+  dhcp_attempts_ = 0;
   hostname_ = lease->hostname;
   ip_ = lease->ip;
   log(cat("dhcp: bound to ", ip_.to_string(), " as ", hostname_));
 
   env_.sim->schedule(timings_.dhcp_and_kickstart, [this, epoch] {
     if (!epoch_valid(epoch)) return;
-    require_state(env_.kickstart != nullptr, "node has no kickstart server wired");
-    const kickstart::KickstartFile profile = env_.kickstart->handle_request_file(ip_);
-    log(cat("kickstart: received profile with ", profile.packages().size(), " packages"));
-    env_.sim->schedule(timings_.disk_format, [this, epoch, profile] {
+    request_kickstart();
+  });
+}
+
+void Node::request_kickstart() {
+  require_state(env_.kickstart != nullptr, "node has no kickstart server wired");
+  const std::uint64_t epoch = epoch_;
+  kickstart::KickstartFile profile;
+  try {
+    profile = env_.kickstart->handle_request_file(ip_);
+  } catch (const UnavailableError& outage) {
+    ++kickstart_attempts_;
+    const double delay = retry_delay(timings_.kickstart_retry, timings_.kickstart_retry_max,
+                                     kickstart_attempts_);
+    log(cat("kickstart: request refused (", outage.what(), "); retry #",
+            kickstart_attempts_, " in ", fixed(delay, 1), " s"));
+    env_.sim->schedule(delay, [this, epoch] {
       if (!epoch_valid(epoch)) return;
-      begin_download(profile);
+      request_kickstart();
     });
+    return;
+  }
+  kickstart_attempts_ = 0;
+  log(cat("kickstart: received profile with ", profile.packages().size(), " packages"));
+  env_.sim->schedule(timings_.disk_format, [this, epoch, profile] {
+    if (!epoch_valid(epoch)) return;
+    begin_download(profile);
   });
 }
 
@@ -152,17 +202,103 @@ void Node::begin_download(const kickstart::KickstartFile& profile) {
   log(cat("downloading ", resolution.install_order.size(), " packages, ",
           fixed(bytes / (1024.0 * 1024.0), 0), " MB over HTTP"));
 
-  const std::uint64_t epoch = epoch_;
-  download_ = env_.http->serve(bytes, timings_.install_demand,
-                               [this, epoch, profile, resolution, driver_build] {
-                                 if (!epoch_valid(epoch)) return;
-                                 download_.reset();
-                                 finish_install(profile, resolution, driver_build);
-                               });
+  job_ = std::make_unique<InstallJob>();
+  job_->profile = profile;
+  job_->resolution = resolution;
+  job_->driver_build_seconds = driver_build;
+  job_->bytes_remaining = bytes;
+  start_download();
 }
 
-void Node::finish_install(const kickstart::KickstartFile& profile,
-                          const rpm::Resolution& resolution, double driver_build_seconds) {
+void Node::start_download() {
+  const std::uint64_t epoch = epoch_;
+  download_ = env_.http->serve(
+      job_->bytes_remaining, timings_.install_demand,
+      [this, epoch] {
+        if (!epoch_valid(epoch)) return;
+        download_.reset();
+        job_->bytes_remaining = 0.0;
+        finish_install();
+      },
+      [this, epoch](double delivered) {
+        if (!epoch_valid(epoch)) return;
+        download_.reset();
+        job_->bytes_remaining = std::max(0.0, job_->bytes_remaining - delivered);
+        retry_download("connection reset by install server");
+      });
+  if (download_->server == nullptr) {
+    download_.reset();
+    retry_download("no install server available");
+  }
+}
+
+void Node::retry_download(std::string why) {
+  ++job_->retries;
+  if (job_->retries > timings_.download_retry_budget) {
+    fail_install(cat("download retry budget (", timings_.download_retry_budget,
+                     ") exhausted: ", why));
+    return;
+  }
+  ++download_retries_;
+  const double delay =
+      retry_delay(timings_.download_retry, timings_.download_retry_max, job_->retries);
+  log(cat("download interrupted (", why, "); retry #", job_->retries, " of ",
+          timings_.download_retry_budget, " in ", fixed(delay, 1), " s, ",
+          fixed(job_->bytes_remaining / (1024.0 * 1024.0), 0), " MB left"));
+  const std::uint64_t epoch = epoch_;
+  env_.sim->schedule(delay, [this, epoch] {
+    if (!epoch_valid(epoch)) return;
+    start_download();
+  });
+}
+
+void Node::fail_install(std::string reason) {
+  disarm_watchdog();
+  if (download_ && download_->server != nullptr) download_->server->abort(download_->flow);
+  download_.reset();
+  job_.reset();
+  ++install_failures_;
+  ++epoch_;  // anything else still scheduled for this install is void
+  state_ = NodeState::kFailed;
+  log(cat("install FAILED: ", reason, "; waiting for recovery escalation"));
+}
+
+void Node::arm_watchdog() {
+  if (timings_.install_watchdog <= 0.0) return;
+  disarm_watchdog();
+  watchdog_armed_ = true;
+  const std::uint64_t epoch = epoch_;
+  watchdog_event_ = env_.sim->schedule(timings_.install_watchdog, [this, epoch] {
+    watchdog_armed_ = false;
+    if (!epoch_valid(epoch)) return;
+    if (state_ == NodeState::kRunning || state_ == NodeState::kOff ||
+        state_ == NodeState::kFailed)
+      return;
+    if (watchdog_cycles_ >= timings_.watchdog_budget) {
+      fail_install(cat("still ", node_state_name(state_), " after ",
+                       fixed(timings_.install_watchdog, 0), " s and ", watchdog_cycles_,
+                       " watchdog power cycles"));
+      return;
+    }
+    ++watchdog_cycles_;
+    ++watchdog_fires_;
+    log(cat("watchdog: install wedged (", node_state_name(state_), " after ",
+            fixed(timings_.install_watchdog, 0), " s); hard power cycle #",
+            watchdog_cycles_, " of ", timings_.watchdog_budget));
+    hard_power_cycle();
+  });
+}
+
+void Node::disarm_watchdog() {
+  if (!watchdog_armed_) return;
+  env_.sim->cancel(watchdog_event_);
+  watchdog_armed_ = false;
+}
+
+void Node::finish_install() {
+  const kickstart::KickstartFile& profile = job_->profile;
+  const rpm::Resolution& resolution = job_->resolution;
+  const double driver_build_seconds = job_->driver_build_seconds;
   bytes_downloaded_ += resolution.total_bytes();
 
   // The root partition is rebuilt from scratch; /state/partition1 survives.
@@ -188,6 +324,7 @@ void Node::finish_install(const kickstart::KickstartFile& profile,
   ekv_.set_progress(progress);
   log("package installation complete, running %post");
 
+  job_.reset();
   state_ = NodeState::kPostConfig;
   const std::uint64_t epoch = epoch_;
   env_.sim->schedule(
@@ -200,6 +337,8 @@ void Node::finish_install(const kickstart::KickstartFile& profile,
         env_.sim->schedule(timings_.final_boot, [this, epoch] {
           if (!epoch_valid(epoch)) return;
           state_ = NodeState::kRunning;
+          disarm_watchdog();
+          watchdog_cycles_ = 0;  // a full success resets the escalation ladder
           reinstall_on_boot_ = false;
           ++install_count_;
           last_install_duration_ = env_.sim->now() - install_started_;

@@ -32,6 +32,7 @@
 #include "netsim/syslog.hpp"
 #include "rpm/rpmdb.hpp"
 #include "rpm/solver.hpp"
+#include "support/rng.hpp"
 #include "vfs/filesystem.hpp"
 
 namespace rocks::cluster {
@@ -43,6 +44,8 @@ enum class NodeState {
   kPostConfig,   // %post scripts, driver rebuild
   kRebooting,    // final boot into the installed system
   kRunning,
+  kFailed,  // installer gave up (retry/watchdog budget exhausted); needs
+            // recovery escalation (a power cycle restarts the install)
 };
 
 [[nodiscard]] std::string_view node_state_name(NodeState state);
@@ -61,8 +64,39 @@ struct NodeTimings {
   /// Client-side consume rate of the install pipeline in bytes/s: the node
   /// can only install as fast as rpm writes to disk (~1 MB/s on the PIIIs).
   double install_demand = 1.0 * 1024 * 1024;
-  /// DHCP retry interval while unanswered (insert-ethers integration loop).
+
+  // --- robustness knobs ------------------------------------------------------
+  // All retry schedules are zero-cost on the happy path: the FIRST retry of
+  // any phase fires after exactly its base interval (so the Table I
+  // calibration and the insert-ethers integration loop are timing-identical
+  // to a fault-free installer), and only subsequent retries back off
+  // exponentially (doubling, capped) with multiplicative jitter to avoid
+  // synchronized retry storms from a 32-node pulse.
+
+  /// DHCP retry base while unanswered (insert-ethers integration loop, lost
+  /// DISCOVERs) and its backoff cap.
   double dhcp_retry = 10.0;
+  double dhcp_retry_max = 80.0;
+  /// Kickstart CGI retry base/cap (transient refused connections).
+  double kickstart_retry = 5.0;
+  double kickstart_retry_max = 60.0;
+  /// Re-request base/cap after a download aborted by a server crash or a
+  /// connection reset.
+  double download_retry = 5.0;
+  double download_retry_max = 60.0;
+  /// Jitter fraction applied from the second retry on: the delay is
+  /// multiplied by a uniform draw from [1, 1 + retry_jitter). 0 disables.
+  double retry_jitter = 0.25;
+  /// Aborted-download re-requests allowed per install before giving up.
+  int download_retry_budget = 8;
+  /// Watchdog: an install still not finished after this many seconds is
+  /// assumed wedged and hard power cycled (0 disables). The default is far
+  /// above the ~618 s worst-case clean install, so it never fires without
+  /// real faults.
+  double install_watchdog = 3600.0;
+  /// Consecutive watchdog power cycles before the node declares itself
+  /// failed and waits for recovery escalation.
+  int watchdog_budget = 3;
 };
 
 /// The services a booting node talks to; owned by the frontend.
@@ -99,10 +133,19 @@ class Node {
   // --- state -------------------------------------------------------------------
   [[nodiscard]] NodeState state() const { return state_; }
   [[nodiscard]] bool is_running() const { return state_ == NodeState::kRunning; }
+  [[nodiscard]] bool failed() const { return state_ == NodeState::kFailed; }
   [[nodiscard]] int install_count() const { return install_count_; }
   /// Wall-clock seconds of the most recent completed reinstall.
   [[nodiscard]] double last_install_duration() const { return last_install_duration_; }
   [[nodiscard]] std::uint64_t bytes_downloaded_total() const { return bytes_downloaded_; }
+
+  // --- robustness telemetry ----------------------------------------------------
+  /// Lifetime count of download re-requests after aborted flows.
+  [[nodiscard]] std::uint64_t download_retries() const { return download_retries_; }
+  /// Lifetime count of watchdog-initiated hard power cycles.
+  [[nodiscard]] std::uint64_t watchdog_fires() const { return watchdog_fires_; }
+  /// Lifetime count of installs that gave up (entered kFailed).
+  [[nodiscard]] std::uint64_t install_failures() const { return install_failures_; }
 
   // --- the machine ------------------------------------------------------------
   [[nodiscard]] vfs::FileSystem& fs() { return fs_; }
@@ -145,11 +188,30 @@ class Node {
   void repair_hardware();
 
  private:
+  /// The in-flight install's context, kept across download retries so an
+  /// aborted flow re-requests only the bytes it is still missing.
+  struct InstallJob {
+    kickstart::KickstartFile profile;
+    rpm::Resolution resolution;
+    double driver_build_seconds = 0.0;
+    double bytes_remaining = 0.0;
+    int retries = 0;  // against NodeTimings::download_retry_budget
+  };
+
   void enter_install();
   void request_dhcp();
+  void request_kickstart();
   void begin_download(const kickstart::KickstartFile& profile);
-  void finish_install(const kickstart::KickstartFile& profile,
-                      const rpm::Resolution& resolution, double driver_build_seconds);
+  void start_download();
+  void retry_download(std::string why);
+  void finish_install();
+  void fail_install(std::string reason);
+  void arm_watchdog();
+  void disarm_watchdog();
+  /// Backoff schedule: attempt 1 waits exactly `base` (deterministic, keeps
+  /// fault-free timing identical); attempt n doubles up to `cap`, then
+  /// multiplies by [1, 1 + retry_jitter).
+  [[nodiscard]] double retry_delay(double base, double cap, int attempt);
   void log(std::string text);
   [[nodiscard]] bool epoch_valid(std::uint64_t epoch) const { return epoch == epoch_; }
 
@@ -174,8 +236,21 @@ class Node {
   double last_install_duration_ = 0.0;
   std::uint64_t bytes_downloaded_ = 0;
   std::optional<netsim::HttpServerGroup::Ticket> download_;
+  std::unique_ptr<InstallJob> job_;
   std::function<void()> on_running_;
   std::multiset<std::string> processes_;
+
+  // Robustness state. The jitter RNG is seeded from the MAC so every node
+  // retries on its own deterministic schedule.
+  Rng rng_;
+  int dhcp_attempts_ = 0;
+  int kickstart_attempts_ = 0;
+  int watchdog_cycles_ = 0;
+  bool watchdog_armed_ = false;
+  netsim::EventId watchdog_event_ = 0;
+  std::uint64_t download_retries_ = 0;
+  std::uint64_t watchdog_fires_ = 0;
+  std::uint64_t install_failures_ = 0;
 };
 
 }  // namespace rocks::cluster

@@ -87,6 +87,12 @@ std::string KickstartServer::handle_request(Ipv4 requester) {
 }
 
 KickstartFile KickstartServer::handle_request_file(Ipv4 requester) {
+  if (available_ && !available_()) {
+    ++refused_;
+    throw UnavailableError(
+        strings::cat("kickstart: CGI unavailable for ", requester.to_string(),
+                     " (frontend httpd down)"));
+  }
   ++requests_;
   return generator_.generate(resolve(requester));
 }

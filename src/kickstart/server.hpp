@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -43,18 +44,27 @@ class KickstartServer {
   /// kickstartable appliance.
   [[nodiscard]] NodeConfig resolve(Ipv4 requester) const;
 
-  /// The CGI entry point: IP in, kickstart text out.
+  /// The CGI entry point: IP in, kickstart text out. Throws
+  /// UnavailableError while the availability probe reports the service down
+  /// (the installer's HTTP fetch sees a refused connection and must retry).
   [[nodiscard]] std::string handle_request(Ipv4 requester);
   [[nodiscard]] KickstartFile handle_request_file(Ipv4 requester);
 
+  /// Models frontend httpd/CGI outages: while `probe` returns false every
+  /// request is refused. An empty probe means always available.
+  void set_availability_probe(std::function<bool()> probe) { available_ = std::move(probe); }
+
   [[nodiscard]] std::uint64_t requests_served() const { return requests_; }
+  [[nodiscard]] std::uint64_t requests_refused() const { return refused_; }
 
  private:
   sqldb::Database& db_;
   Generator generator_;
   Ipv4 frontend_ip_;
   std::string distribution_url_;
+  std::function<bool()> available_;
   std::uint64_t requests_ = 0;
+  std::uint64_t refused_ = 0;
 };
 
 }  // namespace rocks::kickstart

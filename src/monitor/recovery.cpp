@@ -5,6 +5,8 @@ namespace rocks::monitor {
 RecoveryReport RecoveryManager::recover(const std::vector<std::string>& dead) {
   RecoveryReport report;
   for (const auto& hostname : dead) {
+    cluster::Node* node = cluster_.node(hostname);
+    if (node != nullptr && node->hardware_failed()) continue;  // straight to the cart
     cluster_.pdu().power_cycle(hostname);
     report.power_cycled.push_back(hostname);
   }
@@ -18,6 +20,28 @@ RecoveryReport RecoveryManager::recover(const std::vector<std::string>& dead) {
     }
   }
   return report;
+}
+
+std::vector<std::string> RecoveryManager::sweep_failed() {
+  std::vector<std::string> swept;
+  for (cluster::Node* node : cluster_.nodes()) {
+    if (!node->failed() || node->hardware_failed()) continue;
+    ++escalations_;
+    swept.push_back(node->hostname());
+    if (cluster_.pdu().has_outlet(node->hostname())) {
+      cluster_.pdu().power_cycle(node->hostname());
+    } else {
+      node->hard_power_cycle();
+    }
+  }
+  if (swept.empty()) return swept;
+  cluster_.run_until_stable();
+  std::vector<std::string> revived;
+  for (const auto& hostname : swept) {
+    cluster::Node* node = cluster_.node(hostname);
+    if (node != nullptr && node->is_running()) revived.push_back(hostname);
+  }
+  return revived;
 }
 
 std::vector<std::string> RecoveryManager::crash_cart_visit(

@@ -29,8 +29,17 @@ class RecoveryManager {
   explicit RecoveryManager(cluster::Cluster& cluster) : cluster_(cluster) {}
 
   /// Power-cycles every host in `dead`, waits for the cluster to settle,
-  /// and classifies the outcomes.
+  /// and classifies the outcomes. Hosts whose hardware is known-failed are
+  /// not cycled — the PDU cannot bring them back, so burning a cycle on
+  /// them (and counting it as an automated recovery attempt) would be a
+  /// lie; they go straight to needs_crash_cart.
   RecoveryReport recover(const std::vector<std::string>& dead);
+
+  /// Escalation for installs that gave up: every node sitting in kFailed
+  /// (retry/watchdog budget exhausted) is hard power cycled for a fresh
+  /// install attempt. Returns the hostnames that came back to kRunning.
+  /// Call after disarming (or outliving) the fault plan that wedged them.
+  std::vector<std::string> sweep_failed();
 
   /// Physical intervention: wheel the crash cart to each host, swap the
   /// hardware, and power it back on (it reinstalls itself from scratch).
@@ -38,10 +47,13 @@ class RecoveryManager {
   std::vector<std::string> crash_cart_visit(const std::vector<std::string>& hosts);
 
   [[nodiscard]] std::size_t crash_cart_trips() const { return crash_cart_trips_; }
+  /// Lifetime count of failed-install escalations performed by sweep_failed.
+  [[nodiscard]] std::size_t escalations() const { return escalations_; }
 
  private:
   cluster::Cluster& cluster_;
   std::size_t crash_cart_trips_ = 0;
+  std::size_t escalations_ = 0;
 };
 
 }  // namespace rocks::monitor

@@ -1,5 +1,6 @@
 #include "netsim/dhcp.hpp"
 
+#include "netsim/fault.hpp"
 #include "support/strings.hpp"
 
 namespace rocks::netsim {
@@ -16,6 +17,10 @@ void DhcpServer::add_binding(Mac mac, DhcpLease lease) {
 }
 
 std::optional<DhcpLease> DhcpServer::discover(Mac mac) {
+  // A dropped broadcast never reaches the daemon: no accounting, no syslog
+  // (so insert-ethers cannot learn about the node from a lost packet), and
+  // no OFFER — the client's retry loop is its only recourse.
+  if (faults_ != nullptr && faults_->drop_discover()) return std::nullopt;
   ++discovers_;
   const auto it = bindings_.find(mac);
   if (it == bindings_.end()) {

@@ -16,6 +16,8 @@
 
 namespace rocks::netsim {
 
+class FaultInjector;
+
 struct DhcpLease {
   Ipv4 ip;
   std::string hostname;
@@ -41,12 +43,18 @@ class DhcpServer {
   [[nodiscard]] std::size_t discover_count() const { return discovers_; }
   [[nodiscard]] std::size_t unanswered_count() const { return unanswered_; }
 
+  /// Wires a fault injector that may drop DISCOVER broadcasts on the wire
+  /// (the server never sees them: no syslog line, no OFFER). nullptr
+  /// detaches.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   Simulator& sim_;
   SyslogBus& syslog_;
   std::string host_name_;
   Ipv4 server_ip_;
   std::map<Mac, DhcpLease> bindings_;
+  FaultInjector* faults_ = nullptr;
   std::size_t discovers_ = 0;
   std::size_t unanswered_ = 0;
 };

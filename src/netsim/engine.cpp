@@ -1,7 +1,5 @@
 #include "netsim/engine.hpp"
 
-#include <algorithm>
-
 #include "support/error.hpp"
 
 namespace rocks::netsim {
@@ -18,18 +16,9 @@ EventId Simulator::schedule_at(double time, std::function<void()> fn) {
   return id;
 }
 
-void Simulator::cancel(EventId id) {
-  cancelled_.push_back(id);
-  cancelled_dirty_ = true;
-}
+void Simulator::cancel(EventId id) { cancelled_.insert(id); }
 
-bool Simulator::is_cancelled(EventId id) {
-  if (cancelled_dirty_) {
-    std::sort(cancelled_.begin(), cancelled_.end());
-    cancelled_dirty_ = false;
-  }
-  return std::binary_search(cancelled_.begin(), cancelled_.end(), id);
-}
+bool Simulator::consume_cancelled(EventId id) { return cancelled_.erase(id) > 0; }
 
 void Simulator::fire(Event& event) {
   now_ = event.time;
@@ -43,10 +32,13 @@ bool Simulator::step() {
   while (!queue_.empty()) {
     Event event = queue_.top();
     queue_.pop();
-    if (is_cancelled(event.id)) continue;
+    if (consume_cancelled(event.id)) continue;
     fire(event);
     return true;
   }
+  // Queue drained: any still-recorded cancellations reference ids that will
+  // never be popped (already fired, or never existed) — reclaim them all.
+  cancelled_.clear();
   return false;
 }
 
@@ -62,9 +54,10 @@ void Simulator::run_until(double deadline) {
     Event event = queue_.top();
     if (event.time > deadline) break;
     queue_.pop();
-    if (is_cancelled(event.id)) continue;
+    if (consume_cancelled(event.id)) continue;
     fire(event);
   }
+  if (queue_.empty()) cancelled_.clear();
   now_ = deadline;
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace rocks::netsim {
@@ -38,6 +39,11 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const;
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  /// Cancelled ids not yet reclaimed. Each id is dropped from the set when
+  /// its queue entry is popped (lazy deletion with compaction), and the set
+  /// is cleared outright whenever the queue drains, so cancel-heavy
+  /// workloads do not retain ids forever.
+  [[nodiscard]] std::size_t cancelled_backlog() const { return cancelled_.size(); }
 
  private:
   struct Event {
@@ -51,14 +57,14 @@ class Simulator {
   };
 
   void fire(Event& event);
+  /// True (and reclaims the entry) when `id` was cancelled.
+  bool consume_cancelled(EventId id);
 
   double now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::vector<EventId> cancelled_;  // lazy-deletion set (sorted on demand)
-  bool cancelled_dirty_ = false;
-  [[nodiscard]] bool is_cancelled(EventId id);
+  std::unordered_set<EventId> cancelled_;  // lazy-deletion set
 };
 
 }  // namespace rocks::netsim

@@ -1,0 +1,79 @@
+#include "netsim/fault.hpp"
+
+#include "netsim/http.hpp"
+
+namespace rocks::netsim {
+
+FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan)
+    : sim_(sim), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  armed_at_ = sim_.now();
+
+  for (const HttpCrashEvent event : plan_.http_crashes) {
+    scheduled_.push_back(sim_.schedule(event.at, [this, event] {
+      if (!armed_ || http_ == nullptr) return;
+      const std::uint64_t killed_before = http_->server(event.replica).stats().flows_killed;
+      http_->crash_replica(event.replica);
+      stats_.flows_killed += http_->server(event.replica).stats().flows_killed - killed_before;
+      ++stats_.http_crashes;
+      if (event.restart_after > 0.0) {
+        scheduled_.push_back(sim_.schedule(event.restart_after, [this, event] {
+          if (!armed_ || http_ == nullptr) return;
+          http_->restart_replica(event.replica);
+          ++stats_.http_restarts;
+        }));
+      }
+    }));
+  }
+  for (const FlowKillEvent event : plan_.flow_kills) {
+    scheduled_.push_back(sim_.schedule(event.at, [this, event] {
+      if (!armed_ || http_ == nullptr) return;
+      if (http_->kill_flow_on(event.replica)) ++stats_.flows_killed;
+    }));
+  }
+  for (const PowerFlapEvent event : plan_.power_flaps) {
+    scheduled_.push_back(sim_.schedule(event.at, [this, event] {
+      if (!armed_ || !power_flap_) return;
+      ++stats_.power_flaps;
+      power_flap_(event.target, event.restore_after);
+    }));
+  }
+}
+
+void FaultInjector::disarm() {
+  armed_ = false;
+  for (const EventId id : scheduled_) sim_.cancel(id);
+  scheduled_.clear();
+}
+
+bool FaultInjector::in_window(const std::vector<TimeWindow>& windows) const {
+  const double t = sim_.now() - armed_at_;
+  for (const TimeWindow& window : windows)
+    if (t >= window.start && t < window.end) return true;
+  return false;
+}
+
+bool FaultInjector::drop_discover() {
+  if (!armed_) return false;
+  if (in_window(plan_.dhcp_blackouts)) {
+    ++stats_.discovers_dropped;
+    return true;
+  }
+  if (plan_.dhcp_loss > 0.0 && rng_.chance(plan_.dhcp_loss)) {
+    ++stats_.discovers_dropped;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::kickstart_available() {
+  if (!armed_) return true;
+  if (!in_window(plan_.kickstart_outages)) return true;
+  ++stats_.kickstart_refusals;
+  return false;
+}
+
+}  // namespace rocks::netsim

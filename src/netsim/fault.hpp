@@ -1,0 +1,123 @@
+// Deterministic fault injection for the install pipeline.
+//
+// The paper's management thesis only holds if a node can be driven back to a
+// known state under real-world conditions: lost DHCP broadcasts, a crashed
+// install web server, connections reset mid-download, flapping power. Large
+// deployments of exactly this methodology report that such transient install
+// failures dominate operations at scale (CERN, arXiv:cs/0306058; Brookhaven,
+// arXiv:physics/0305005). FaultInjector turns those conditions on at will —
+// driven by the simulation clock and a seeded RNG so every chaos scenario is
+// exactly reproducible — while the consumers (DhcpServer, KickstartServer,
+// HttpServerGroup, Node) carry the timeouts/retries/watchdogs that make the
+// install converge anyway.
+//
+// All times in a FaultPlan are seconds relative to arm(): scenarios are
+// authored against "the pulse starts now", not absolute simulation time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "netsim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace rocks::netsim {
+
+class HttpServerGroup;
+
+/// Half-open interval [start, end), relative to arm().
+struct TimeWindow {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// One install web server replica dies at `at`; comes back `restart_after`
+/// seconds later (0 = never restarts).
+struct HttpCrashEvent {
+  double at = 0.0;
+  std::size_t replica = 0;
+  double restart_after = 0.0;
+};
+
+/// The oldest in-flight download on `replica` is reset at `at`.
+struct FlowKillEvent {
+  double at = 0.0;
+  std::size_t replica = 0;
+};
+
+/// Node `target` (index into the wired power targets) loses power at `at`
+/// and gets it back `restore_after` seconds later.
+struct PowerFlapEvent {
+  double at = 0.0;
+  std::size_t target = 0;
+  double restore_after = 30.0;
+};
+
+struct FaultPlan {
+  /// Per-DISCOVER probability that the broadcast is lost on the wire.
+  double dhcp_loss = 0.0;
+  /// Windows in which every DISCOVER is lost (switch outage).
+  std::vector<TimeWindow> dhcp_blackouts;
+  /// Windows in which the kickstart CGI refuses requests (httpd down).
+  std::vector<TimeWindow> kickstart_outages;
+  std::vector<HttpCrashEvent> http_crashes;
+  std::vector<FlowKillEvent> flow_kills;
+  std::vector<PowerFlapEvent> power_flaps;
+  /// Seed for the probabilistic faults; fixed seed => identical runs.
+  std::uint64_t seed = 0xC1A05;
+};
+
+struct FaultStats {
+  std::uint64_t discovers_dropped = 0;
+  std::uint64_t kickstart_refusals = 0;
+  std::uint64_t http_crashes = 0;
+  std::uint64_t http_restarts = 0;
+  std::uint64_t flows_killed = 0;
+  std::uint64_t power_flaps = 0;
+};
+
+class FaultInjector {
+ public:
+  using PowerFlapAction = std::function<void(std::size_t target, double restore_after)>;
+
+  FaultInjector(Simulator& sim, FaultPlan plan);
+
+  // --- wiring (before arm) --------------------------------------------------
+  /// The server group crash/kill events act on.
+  void wire_http(HttpServerGroup* group) { http_ = group; }
+  /// What a power flap does to a target (the cluster layer maps targets to
+  /// nodes; netsim stays below the cluster in the dependency order).
+  void wire_power(PowerFlapAction flap) { power_flap_ = std::move(flap); }
+
+  /// Starts the plan: records "now" as the plan origin, schedules the
+  /// crash/kill/flap events, and enables the probabilistic probes.
+  void arm();
+  /// Cancels pending scheduled events and disables all probes.
+  void disarm();
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  // --- probes (consulted by the services at request time) -------------------
+  /// True when this DISCOVER broadcast is lost (window or random loss).
+  bool drop_discover();
+  /// False while the kickstart CGI is inside an outage window.
+  bool kickstart_available();
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  [[nodiscard]] bool in_window(const std::vector<TimeWindow>& windows) const;
+
+  Simulator& sim_;
+  FaultPlan plan_;
+  Rng rng_;
+  HttpServerGroup* http_ = nullptr;
+  PowerFlapAction power_flap_;
+  bool armed_ = false;
+  double armed_at_ = 0.0;
+  std::vector<EventId> scheduled_;
+  FaultStats stats_;
+};
+
+}  // namespace rocks::netsim

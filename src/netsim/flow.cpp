@@ -25,7 +25,7 @@ FairShareChannel::FairShareChannel(Simulator& sim, double capacity)
 }
 
 FlowId FairShareChannel::start(double bytes, double demand_cap,
-                               std::function<void()> on_complete) {
+                               std::function<void()> on_complete, AbortCallback on_abort) {
   require_state(bytes >= 0.0, "FairShareChannel::start: negative size");
   advance_to_now();
   const FlowId id = next_id_++;
@@ -34,6 +34,7 @@ FlowId FairShareChannel::start(double bytes, double demand_cap,
   flow.remaining = bytes;
   flow.cap = demand_cap > 0.0 ? demand_cap : std::numeric_limits<double>::infinity();
   flow.on_complete = std::move(on_complete);
+  flow.on_abort = std::move(on_abort);
   flows_.emplace(id, std::move(flow));
   rebalance();
   return id;
@@ -47,6 +48,41 @@ double FairShareChannel::abort(FlowId id) {
   flows_.erase(it);
   rebalance();
   return delivered_bytes;
+}
+
+void FairShareChannel::kill(FlowId id) {
+  advance_to_now();
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  const double delivered_bytes = it->second.total - it->second.remaining;
+  AbortCallback callback = std::move(it->second.on_abort);
+  flows_.erase(it);
+  rebalance();
+  if (callback) callback(delivered_bytes);
+}
+
+std::size_t FairShareChannel::kill_all() {
+  advance_to_now();
+  // Collect callbacks first: a notified client may immediately start a new
+  // flow (a retry against a replica sharing this simulator), so the channel
+  // must be consistent before any callback runs.
+  std::vector<std::pair<AbortCallback, double>> callbacks;
+  callbacks.reserve(flows_.size());
+  for (auto& [id, flow] : flows_)
+    callbacks.emplace_back(std::move(flow.on_abort), flow.total - flow.remaining);
+  const std::size_t killed = flows_.size();
+  flows_.clear();
+  rebalance();
+  for (auto& [callback, delivered_bytes] : callbacks)
+    if (callback) callback(delivered_bytes);
+  return killed;
+}
+
+std::vector<FlowId> FairShareChannel::active_ids() const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) ids.push_back(id);
+  return ids;
 }
 
 double FairShareChannel::rate_of(FlowId id) const {

@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "netsim/engine.hpp"
 
@@ -23,16 +24,33 @@ using FlowId = std::uint64_t;
 
 class FairShareChannel {
  public:
+  /// Receives the bytes that had been delivered when the server side killed
+  /// the flow (crash, injected kill) — the client's cue to re-request the
+  /// remainder.
+  using AbortCallback = std::function<void(double delivered)>;
+
   /// `capacity` in bytes/second; must be > 0.
   FairShareChannel(Simulator& sim, double capacity);
 
   /// Starts a flow of `bytes` capped at `demand_cap` bytes/s (<=0 means
-  /// uncapped). `on_complete` fires exactly when the last byte arrives.
-  FlowId start(double bytes, double demand_cap, std::function<void()> on_complete);
+  /// uncapped). `on_complete` fires exactly when the last byte arrives;
+  /// `on_abort` fires if the server side kills the flow first.
+  FlowId start(double bytes, double demand_cap, std::function<void()> on_complete,
+               AbortCallback on_abort = {});
 
-  /// Aborts a flow (e.g. a node is power cycled mid-download). Returns the
-  /// bytes that had been delivered; the completion callback never fires.
+  /// Aborts a flow from the client side (e.g. a node is power cycled
+  /// mid-download). Returns the bytes that had been delivered; neither the
+  /// completion nor the abort callback fires.
   double abort(FlowId id);
+
+  /// Server-side kill of one flow: like abort, but notifies the client via
+  /// its AbortCallback so it can retry.
+  void kill(FlowId id);
+  /// Server crash: kills every active flow (clients are notified after the
+  /// channel is emptied). Returns how many flows died.
+  std::size_t kill_all();
+  /// Active flow ids in start order (deterministic).
+  [[nodiscard]] std::vector<FlowId> active_ids() const;
 
   [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
   /// Instantaneous max-min rate of one flow (bytes/s).
@@ -53,6 +71,7 @@ class FairShareChannel {
     double cap;
     double rate = 0.0;
     std::function<void()> on_complete;
+    AbortCallback on_abort;
   };
 
   /// Advances all flows to now(), recomputes max-min rates, and schedules

@@ -10,12 +10,15 @@ namespace rocks::netsim {
 HttpServer::HttpServer(Simulator& sim, std::string name, double capacity)
     : name_(std::move(name)), channel_(sim, capacity) {}
 
-FlowId HttpServer::serve(double bytes, double client_cap, std::function<void()> on_complete) {
+FlowId HttpServer::serve(double bytes, double client_cap, std::function<void()> on_complete,
+                         FairShareChannel::AbortCallback on_abort) {
+  if (!up_)
+    throw UnavailableError(strings::cat("http: ", name_, " is down (connection refused)"));
   ++stats_.requests;
   stats_.bytes_served += bytes;  // accounted at request time; aborts subtract
   double cap = client_cap;
   if (per_stream_cap_ > 0.0) cap = cap > 0.0 ? std::min(cap, per_stream_cap_) : per_stream_cap_;
-  return channel_.start(bytes, cap, std::move(on_complete));
+  return channel_.start(bytes, cap, std::move(on_complete), std::move(on_abort));
 }
 
 double HttpServer::abort(FlowId id) {
@@ -23,6 +26,27 @@ double HttpServer::abort(FlowId id) {
   // never delivered.
   stats_.bytes_served -= channel_.remaining(id);
   return channel_.abort(id);
+}
+
+void HttpServer::crash() {
+  if (!up_) return;
+  up_ = false;
+  ++stats_.crashes;
+  // Undelivered bytes were accounted at request time; refund them before the
+  // flows disappear (their clients will re-request the remainder elsewhere).
+  for (const FlowId id : channel_.active_ids()) stats_.bytes_served -= channel_.remaining(id);
+  stats_.flows_killed += channel_.kill_all();
+}
+
+void HttpServer::restart() { up_ = true; }
+
+bool HttpServer::kill_one_flow() {
+  const auto ids = channel_.active_ids();
+  if (ids.empty()) return false;
+  stats_.bytes_served -= channel_.remaining(ids.front());
+  ++stats_.flows_killed;
+  channel_.kill(ids.front());
+  return true;
 }
 
 HttpServerGroup::HttpServerGroup(Simulator& sim, double capacity_each, std::size_t count) {
@@ -33,15 +57,48 @@ HttpServerGroup::HttpServerGroup(Simulator& sim, double capacity_each, std::size
 }
 
 HttpServerGroup::Ticket HttpServerGroup::serve(double bytes, double client_cap,
-                                               std::function<void()> on_complete) {
-  // Least connections (what an L4 load balancer of the era would do).
-  HttpServer* best = servers_[0].get();
-  for (const auto& server : servers_)
-    if (server->active_downloads() < best->active_downloads()) best = server.get();
+                                               std::function<void()> on_complete,
+                                               FairShareChannel::AbortCallback on_abort) {
+  // Least connections among the replicas that answer their health check
+  // (what an L4 load balancer of the era would do).
+  HttpServer* best = nullptr;
+  for (const auto& server : servers_) {
+    if (!server->is_up()) continue;
+    if (best == nullptr || server->active_downloads() < best->active_downloads())
+      best = server.get();
+  }
   Ticket ticket;
+  if (best == nullptr) return ticket;  // every replica down: caller retries
   ticket.server = best;
-  ticket.flow = best->serve(bytes, client_cap, std::move(on_complete));
+  ticket.flow = best->serve(bytes, client_cap, std::move(on_complete), std::move(on_abort));
   return ticket;
+}
+
+void HttpServerGroup::crash_replica(std::size_t i) {
+  require_state(i < servers_.size(), "crash_replica: no such replica");
+  servers_[i]->crash();
+}
+
+void HttpServerGroup::restart_replica(std::size_t i) {
+  require_state(i < servers_.size(), "restart_replica: no such replica");
+  servers_[i]->restart();
+}
+
+bool HttpServerGroup::replica_up(std::size_t i) const {
+  require_state(i < servers_.size(), "replica_up: no such replica");
+  return servers_[i]->is_up();
+}
+
+std::size_t HttpServerGroup::up_count() const {
+  std::size_t up = 0;
+  for (const auto& server : servers_)
+    if (server->is_up()) ++up;
+  return up;
+}
+
+bool HttpServerGroup::kill_flow_on(std::size_t i) {
+  require_state(i < servers_.size(), "kill_flow_on: no such replica");
+  return servers_[i]->kill_one_flow();
 }
 
 void HttpServerGroup::set_per_stream_cap(double cap) {

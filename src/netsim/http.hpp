@@ -20,6 +20,8 @@ namespace rocks::netsim {
 struct HttpStats {
   std::uint64_t requests = 0;
   double bytes_served = 0.0;
+  std::uint64_t crashes = 0;       // times this replica went down
+  std::uint64_t flows_killed = 0;  // downloads aborted by crash/kill
 };
 
 class HttpServer {
@@ -29,10 +31,25 @@ class HttpServer {
   HttpServer(Simulator& sim, std::string name, double capacity);
 
   /// Serves a download of `bytes`; `client_cap` is the client-side consume
-  /// rate (<= 0 for uncapped). Fires `on_complete` when done.
-  FlowId serve(double bytes, double client_cap, std::function<void()> on_complete);
-  /// Aborts an in-flight download; returns delivered bytes.
+  /// rate (<= 0 for uncapped). Fires `on_complete` when done, or `on_abort`
+  /// (with the bytes delivered so far) if the server dies first. Throws
+  /// UnavailableError while the server is down.
+  FlowId serve(double bytes, double client_cap, std::function<void()> on_complete,
+               FairShareChannel::AbortCallback on_abort = {});
+  /// Aborts an in-flight download from the client side (no notification);
+  /// returns delivered bytes.
   double abort(FlowId id);
+
+  // --- fault injection surface ---------------------------------------------
+  /// The replica process dies: every in-flight download is killed (clients
+  /// get their on_abort) and new requests are refused until restart().
+  void crash();
+  /// The replica comes back up, with no memory of old flows.
+  void restart();
+  [[nodiscard]] bool is_up() const { return up_; }
+  /// Kills the oldest in-flight download (a mid-transfer connection reset),
+  /// notifying the client. Returns false when idle.
+  bool kill_one_flow();
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t active_downloads() const { return channel_.active_flows(); }
@@ -53,11 +70,13 @@ class HttpServer {
   FairShareChannel channel_;
   HttpStats stats_;
   double per_stream_cap_ = 0.0;
+  bool up_ = true;
 };
 
 /// N replicated servers behind a least-connections load balancer; with N=1
 /// this degrades to a single server, so the cluster module always talks to a
-/// group.
+/// group. Routing skips down replicas, so a crash transparently fails new
+/// requests (and client retries of killed flows) over to the survivors.
 class HttpServerGroup {
  public:
   HttpServerGroup(Simulator& sim, double capacity_each, std::size_t count = 1);
@@ -66,7 +85,11 @@ class HttpServerGroup {
     HttpServer* server = nullptr;
     FlowId flow = 0;
   };
-  Ticket serve(double bytes, double client_cap, std::function<void()> on_complete);
+  /// Routes to the up replica with the fewest active downloads. When every
+  /// replica is down the Ticket's server is nullptr and no flow starts —
+  /// the caller must retry later.
+  Ticket serve(double bytes, double client_cap, std::function<void()> on_complete,
+               FairShareChannel::AbortCallback on_abort = {});
 
   [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
   [[nodiscard]] HttpServer& server(std::size_t i) { return *servers_[i]; }
@@ -74,6 +97,14 @@ class HttpServerGroup {
   void set_per_stream_cap(double cap);
   [[nodiscard]] std::size_t active_downloads() const;
   [[nodiscard]] double total_bytes_served() const;
+
+  // --- fault injection surface ---------------------------------------------
+  void crash_replica(std::size_t i);
+  void restart_replica(std::size_t i);
+  [[nodiscard]] bool replica_up(std::size_t i) const;
+  [[nodiscard]] std::size_t up_count() const;
+  /// Kills one in-flight download on replica `i`; false when it has none.
+  bool kill_flow_on(std::size_t i);
 
  private:
   std::vector<std::unique_ptr<HttpServer>> servers_;

@@ -27,6 +27,9 @@ class PowerDistributionUnit {
   void power_cycle(std::string_view outlet);
 
   [[nodiscard]] std::size_t outlet_count() const { return outlets_.size(); }
+  [[nodiscard]] bool has_outlet(std::string_view outlet) const {
+    return outlets_.contains(outlet);
+  }
   [[nodiscard]] std::size_t cycles_executed() const { return cycles_; }
 
  private:

@@ -42,6 +42,14 @@ class IoError : public Error {
   using Error::Error;
 };
 
+/// A service that exists but is transiently down (crashed HTTP replica,
+/// kickstart CGI outage). Callers are expected to retry with backoff rather
+/// than treat this as a configuration error.
+class UnavailableError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Throws LookupError with `message` when `condition` is false.
 void require_found(bool condition, const std::string& message);
 

@@ -367,6 +367,54 @@ TEST_F(ClusterTest, RepeatedHardCyclesConverge) {
   EXPECT_EQ(node->install_count(), 2);
 }
 
+TEST_F(ClusterTest, HardPowerCycleMidDownloadFreesServerCapacity) {
+  // A power event racing an in-flight download: the HTTP flow must be
+  // aborted server-side immediately (no ghost flow holding fair-share
+  // bandwidth), and the fresh install must converge.
+  Cluster cluster(small_config());
+  for (int i = 0; i < 2; ++i) cluster.add_node();
+  cluster.integrate_all();
+  Node* victim = cluster.node("compute-0-0");
+  Node* bystander = cluster.node("compute-0-1");
+
+  for (auto* node : cluster.nodes()) node->shoot();
+  cluster.sim().run_until(cluster.sim().now() + 200.0);
+  ASSERT_EQ(victim->state(), NodeState::kInstalling);
+  ASSERT_EQ(cluster.frontend().http().active_downloads(), 2u);
+  victim->hard_power_cycle();
+  // The old flow is gone the instant power drops; only the bystander's
+  // remains (the victim re-enters install and re-requests later).
+  EXPECT_EQ(cluster.frontend().http().active_downloads(), 1u);
+  cluster.run_until_stable();
+  EXPECT_TRUE(victim->is_running());
+  EXPECT_TRUE(bystander->is_running());
+  EXPECT_EQ(victim->install_count(), 2);
+  EXPECT_TRUE(cluster.consistent());
+}
+
+TEST_F(ClusterTest, RapidPowerEventsLeaveNoStaleCallbacks) {
+  // Stale epoch callbacks from interrupted installs must all no-op:
+  // on_running fires exactly once, for the attempt that actually finished.
+  Cluster cluster(small_config());
+  cluster.add_node();
+  cluster.integrate_all();
+  Node* node = cluster.node("compute-0-0");
+  int running_events = 0;
+  node->on_running([&] { ++running_events; });
+
+  node->shoot();
+  for (const double cut : {30.0, 80.0, 150.0, 250.0}) {
+    cluster.sim().run_until(cluster.sim().now() + cut);
+    node->power_off();
+    EXPECT_EQ(cluster.frontend().http().active_downloads(), 0u);
+    node->power_on();
+  }
+  cluster.run_until_stable();
+  EXPECT_TRUE(node->is_running());
+  EXPECT_EQ(running_events, 1);
+  EXPECT_EQ(node->install_count(), 2);  // only the last attempt completed
+}
+
 TEST_F(ClusterTest, OneDeadNodeDoesNotBlockClusterReinstall) {
   Cluster cluster(small_config());
   for (int i = 0; i < 3; ++i) cluster.add_node();

@@ -1,0 +1,358 @@
+// Chaos tests: the fault-injection subsystem and the hardened install
+// pipeline. Every scenario drives real faults — lost DHCP broadcasts,
+// kickstart CGI outages, install-server crashes, mid-download connection
+// resets, power flaps — through a live cluster and asserts the paper's core
+// claim under duress: every node is driven back to a known state (kRunning
+// with an identical software fingerprint), or is cleanly escalated through
+// the Section 4 recovery ladder.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "monitor/recovery.hpp"
+#include "netsim/fault.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::cluster {
+namespace {
+
+ClusterConfig small_config() {
+  ClusterConfig config;
+  config.synth.filler_packages = 50;
+  return config;
+}
+
+std::unique_ptr<Cluster> integrated_cluster(int nodes, ClusterConfig config = small_config()) {
+  auto cluster = std::make_unique<Cluster>(std::move(config));
+  for (int i = 0; i < nodes; ++i) cluster->add_node();
+  cluster->integrate_all();
+  return cluster;
+}
+
+// --- zero-cost happy path ----------------------------------------------------
+
+TEST(FaultPipeline, ArmedButEmptyPlanLeavesCalibrationUntouched) {
+  auto cluster = integrated_cluster(1);
+  cluster->arm_faults({});  // injector wired everywhere, nothing planned
+  Node* node = cluster->node("compute-0-0");
+  node->shoot();
+  cluster->run_until_stable();
+  // Table I single-node Myrinet reinstall: 10.3 min = 618 s, unchanged.
+  EXPECT_NEAR(node->last_install_duration(), 618.0, 5.0);
+  EXPECT_EQ(node->install_count(), 2);
+  EXPECT_EQ(node->download_retries(), 0u);
+  EXPECT_EQ(node->watchdog_fires(), 0u);
+}
+
+// --- DHCP faults -------------------------------------------------------------
+
+TEST(FaultPipeline, DhcpBlackoutDelaysButConverges) {
+  auto cluster = integrated_cluster(1);
+  Node* node = cluster->node("compute-0-0");
+  netsim::FaultPlan plan;
+  // The installer's DISCOVER lands at t+60; every broadcast before t+120 is
+  // lost on the wire (switch outage).
+  plan.dhcp_blackouts = {{0.0, 120.0}};
+  auto& faults = cluster->arm_faults(plan);
+  node->shoot();
+  cluster->run_until_stable();
+  EXPECT_TRUE(node->is_running());
+  EXPECT_EQ(node->install_count(), 2);
+  EXPECT_GT(faults.stats().discovers_dropped, 0u);
+  // The blackout cost real time, but nothing near a watchdog escalation.
+  EXPECT_GT(node->last_install_duration(), 618.0 + 30.0);
+  EXPECT_EQ(node->watchdog_fires(), 0u);
+  // Lost broadcasts never reached dhcpd: no phantom syslog traffic.
+  EXPECT_EQ(cluster->frontend().dhcp().unanswered_count(), 1u);  // insert-ethers only
+}
+
+TEST(FaultPipeline, RandomDhcpLossConverges) {
+  auto cluster = integrated_cluster(4);
+  netsim::FaultPlan plan;
+  plan.dhcp_loss = 0.5;
+  auto& faults = cluster->arm_faults(plan);
+  for (Node* node : cluster->nodes()) node->shoot();
+  cluster->run_until_stable();
+  for (Node* node : cluster->nodes()) {
+    EXPECT_TRUE(node->is_running()) << node->hostname();
+    EXPECT_EQ(node->install_count(), 2) << node->hostname();
+  }
+  EXPECT_GT(faults.stats().discovers_dropped, 0u);
+  EXPECT_TRUE(cluster->consistent());
+}
+
+// --- kickstart CGI outages ---------------------------------------------------
+
+TEST(FaultPipeline, KickstartOutageRetriedWithBackoff) {
+  auto cluster = integrated_cluster(1);
+  Node* node = cluster->node("compute-0-0");
+  netsim::FaultPlan plan;
+  // The kickstart request fires at t+70; the CGI refuses until t+200.
+  plan.kickstart_outages = {{60.0, 200.0}};
+  auto& faults = cluster->arm_faults(plan);
+  node->shoot();
+  cluster->run_until_stable();
+  EXPECT_TRUE(node->is_running());
+  EXPECT_GT(faults.stats().kickstart_refusals, 1u) << "expected backoff retries";
+  EXPECT_GT(cluster->frontend().kickstart_server().requests_refused(), 1u);
+  // ~130 s of outage, minus backoff overshoot; well under a watchdog fire.
+  EXPECT_GT(node->last_install_duration(), 618.0 + 100.0);
+  EXPECT_LT(node->last_install_duration(), 618.0 + 400.0);
+}
+
+// --- install server crashes and resets --------------------------------------
+
+TEST(FaultPipeline, ReplicaCrashFailsOverToSurvivor) {
+  ClusterConfig config = small_config();
+  config.frontend.http_servers = 2;
+  auto cluster = integrated_cluster(4, std::move(config));
+  netsim::FaultPlan plan;
+  plan.http_crashes = {{200.0, 0, 0.0}};  // replica 0 dies for good
+  auto& faults = cluster->arm_faults(plan);
+  for (Node* node : cluster->nodes()) node->shoot();
+  cluster->run_until_stable();
+
+  EXPECT_EQ(faults.stats().http_crashes, 1u);
+  EXPECT_GT(faults.stats().flows_killed, 0u);
+  EXPECT_FALSE(cluster->frontend().http().replica_up(0));
+  std::uint64_t retries = 0;
+  for (Node* node : cluster->nodes()) {
+    EXPECT_TRUE(node->is_running()) << node->hostname();
+    retries += node->download_retries();
+  }
+  EXPECT_GT(retries, 0u) << "killed flows must have been re-requested";
+  EXPECT_TRUE(cluster->consistent());
+  // Every re-requested byte came off the surviving replica.
+  EXPECT_GT(cluster->frontend().http().server(1).stats().bytes_served,
+            cluster->frontend().http().server(0).stats().bytes_served);
+}
+
+TEST(FaultPipeline, SoleServerCrashThenRestartResumesInstalls) {
+  auto cluster = integrated_cluster(2);
+  netsim::FaultPlan plan;
+  plan.http_crashes = {{150.0, 0, 120.0}};  // down 120 s, then back
+  auto& faults = cluster->arm_faults(plan);
+  for (Node* node : cluster->nodes()) node->shoot();
+  cluster->run_until_stable();
+
+  EXPECT_EQ(faults.stats().http_crashes, 1u);
+  EXPECT_EQ(faults.stats().http_restarts, 1u);
+  EXPECT_TRUE(cluster->frontend().http().replica_up(0));
+  for (Node* node : cluster->nodes()) {
+    EXPECT_TRUE(node->is_running()) << node->hostname();
+    EXPECT_GT(node->download_retries(), 0u) << node->hostname();
+  }
+  EXPECT_TRUE(cluster->consistent());
+}
+
+TEST(FaultPipeline, MidDownloadFlowKillResumesRemainingBytes) {
+  auto cluster = integrated_cluster(1);
+  Node* node = cluster->node("compute-0-0");
+  netsim::FaultPlan plan;
+  plan.flow_kills = {{200.0, 0}};  // connection reset ~90 s into the download
+  auto& faults = cluster->arm_faults(plan);
+  node->shoot();
+  cluster->run_until_stable();
+
+  EXPECT_EQ(faults.stats().flows_killed, 1u);
+  EXPECT_TRUE(node->is_running());
+  EXPECT_EQ(node->download_retries(), 1u);
+  // The resume requested only the missing bytes: the install is a few
+  // seconds late (retry base 5 s), not a from-scratch download late.
+  EXPECT_GT(node->last_install_duration(), 618.0);
+  EXPECT_LT(node->last_install_duration(), 618.0 + 60.0);
+}
+
+TEST(FaultPipeline, DownloadRetryBudgetExhaustionFailsNodeThenSweepRecovers) {
+  ClusterConfig config = small_config();
+  config.timings.download_retry_budget = 2;
+  auto cluster = integrated_cluster(1, std::move(config));
+  Node* node = cluster->node("compute-0-0");
+  netsim::FaultPlan plan;
+  // Three resets against a budget of two: the third exhausts it.
+  plan.flow_kills = {{150.0, 0}, {200.0, 0}, {260.0, 0}};
+  cluster->arm_faults(plan);
+  node->shoot();
+  cluster->run_until_stable();
+
+  EXPECT_TRUE(node->failed());
+  EXPECT_EQ(node->install_failures(), 1u);
+  EXPECT_EQ(cluster->frontend().http().active_downloads(), 0u);
+
+  cluster->disarm_faults();
+  monitor::RecoveryManager recovery(*cluster);
+  const auto revived = recovery.sweep_failed();
+  ASSERT_EQ(revived.size(), 1u);
+  EXPECT_EQ(revived[0], "compute-0-0");
+  EXPECT_EQ(recovery.escalations(), 1u);
+  EXPECT_TRUE(node->is_running());
+}
+
+// --- power flaps -------------------------------------------------------------
+
+TEST(FaultPipeline, PowerFlapMidInstallForcesFreshInstall) {
+  auto cluster = integrated_cluster(2);
+  Node* victim = cluster->node("compute-0-0");
+  netsim::FaultPlan plan;
+  plan.power_flaps = {{200.0, 0, 30.0}};  // node 0 loses power mid-download
+  auto& faults = cluster->arm_faults(plan);
+  for (Node* node : cluster->nodes()) node->shoot();
+  cluster->run_until_stable();
+
+  EXPECT_EQ(faults.stats().power_flaps, 1u);
+  EXPECT_TRUE(victim->is_running());
+  EXPECT_EQ(victim->install_count(), 2);
+  // The flap aborted the in-flight download server-side.
+  EXPECT_TRUE(cluster->consistent());
+  // The untouched node was on the clean schedule.
+  EXPECT_NEAR(cluster->node("compute-0-1")->last_install_duration(), 618.0, 5.0);
+  EXPECT_GT(victim->last_install_duration(), 618.0 - 5.0);
+}
+
+// --- watchdog ----------------------------------------------------------------
+
+TEST(FaultPipeline, WatchdogPowerCyclesWedgedInstall) {
+  ClusterConfig config = small_config();
+  config.timings.install_watchdog = 700.0;
+  auto cluster = integrated_cluster(1, std::move(config));
+  Node* node = cluster->node("compute-0-0");
+  netsim::FaultPlan plan;
+  // The CGI is down until t+800: the install wedges in kickstart retries
+  // long enough for the watchdog (700 s) to hard-cycle the node; the fresh
+  // attempt starts after the outage ends and completes.
+  plan.kickstart_outages = {{60.0, 800.0}};
+  cluster->arm_faults(plan);
+  node->shoot();
+  cluster->run_until_stable();
+
+  EXPECT_TRUE(node->is_running());
+  EXPECT_EQ(node->watchdog_fires(), 1u);
+  EXPECT_EQ(node->install_count(), 2);
+  EXPECT_FALSE(node->failed());
+}
+
+TEST(FaultPipeline, WatchdogBudgetExhaustionEscalatesToRecovery) {
+  ClusterConfig config = small_config();
+  // Must stay above the 618 s clean install or the watchdog would shoot the
+  // integration install too.
+  config.timings.install_watchdog = 700.0;
+  config.timings.watchdog_budget = 2;
+  auto cluster = integrated_cluster(1, std::move(config));
+  Node* node = cluster->node("compute-0-0");
+  netsim::FaultPlan plan;
+  plan.kickstart_outages = {{0.0, 36000.0}};  // never comes back on its own
+  cluster->arm_faults(plan);
+  node->shoot();
+  cluster->run_until_stable();
+
+  // Two watchdog cycles spent, third fire declares the node failed.
+  EXPECT_TRUE(node->failed());
+  EXPECT_EQ(node->watchdog_fires(), 2u);
+  EXPECT_EQ(node->install_failures(), 1u);
+
+  // Section 4 ladder: the outage is fixed, recovery sweeps the node back.
+  cluster->disarm_faults();
+  monitor::RecoveryManager recovery(*cluster);
+  const auto revived = recovery.sweep_failed();
+  ASSERT_EQ(revived.size(), 1u);
+  EXPECT_TRUE(node->is_running());
+  // A full success resets the watchdog escalation ladder.
+  EXPECT_EQ(node->install_count(), 2);
+}
+
+// --- the chaos soak ----------------------------------------------------------
+
+struct SoakResult {
+  double makespan = 0.0;
+  std::uint64_t fingerprint = 0;
+  netsim::FaultStats stats;
+};
+
+SoakResult run_chaos_soak() {
+  ClusterConfig config = small_config();
+  config.frontend.http_servers = 2;
+  config.frontend.http_capacity = 7.0 * 1024.0 * 1024.0;
+  auto cluster = integrated_cluster(16, std::move(config));
+
+  netsim::FaultPlan plan;
+  plan.dhcp_loss = 0.25;                  // >= 20% DISCOVER loss
+  plan.http_crashes = {{250.0, 0, 180.0}};  // one replica crashes mid-install
+  plan.flow_kills = {{300.0, 1}, {340.0, 1}};  // two mid-download resets
+  auto& faults = cluster->arm_faults(plan);
+
+  const double start = cluster->sim().now();
+  for (Node* node : cluster->nodes()) node->shoot();
+  cluster->run_until_stable();
+
+  SoakResult result;
+  result.makespan = cluster->sim().now() - start;
+  result.stats = faults.stats();
+  for (Node* node : cluster->nodes()) {
+    EXPECT_TRUE(node->is_running()) << node->hostname();
+    EXPECT_EQ(node->install_count(), 2) << node->hostname();
+    if (result.fingerprint == 0) result.fingerprint = node->software_fingerprint();
+    EXPECT_EQ(node->software_fingerprint(), result.fingerprint) << node->hostname();
+  }
+  EXPECT_TRUE(cluster->consistent());
+  return result;
+}
+
+TEST(FaultPipeline, ChaosSoakSixteenNodesConvergeIdentical) {
+  const SoakResult result = run_chaos_soak();
+  // Every planned fault actually landed.
+  EXPECT_GT(result.stats.discovers_dropped, 0u);
+  EXPECT_EQ(result.stats.http_crashes, 1u);
+  EXPECT_EQ(result.stats.http_restarts, 1u);
+  EXPECT_GE(result.stats.flows_killed, 2u);  // the 2 resets + crash casualties
+  // Degraded but sane: slower than the clean contended pulse, far from the
+  // run_until_stable cap.
+  EXPECT_GT(result.makespan, 618.0);
+  EXPECT_LT(result.makespan, 3600.0);
+}
+
+TEST(FaultPipeline, ChaosSoakIsDeterministic) {
+  const SoakResult first = run_chaos_soak();
+  const SoakResult second = run_chaos_soak();
+  EXPECT_DOUBLE_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+  EXPECT_EQ(first.stats.discovers_dropped, second.stats.discovers_dropped);
+  EXPECT_EQ(first.stats.flows_killed, second.stats.flows_killed);
+}
+
+// --- injector probe semantics ------------------------------------------------
+
+TEST(FaultInjectorTest, ProbesInactiveUntilArmedAndAfterDisarm) {
+  netsim::Simulator sim;
+  netsim::FaultPlan plan;
+  plan.dhcp_loss = 1.0;
+  plan.kickstart_outages = {{0.0, 1000.0}};
+  netsim::FaultInjector injector(sim, plan);
+  EXPECT_FALSE(injector.drop_discover());
+  EXPECT_TRUE(injector.kickstart_available());
+  injector.arm();
+  EXPECT_TRUE(injector.drop_discover());
+  EXPECT_FALSE(injector.kickstart_available());
+  injector.disarm();
+  EXPECT_FALSE(injector.drop_discover());
+  EXPECT_TRUE(injector.kickstart_available());
+}
+
+TEST(FaultInjectorTest, WindowsAreRelativeToArmTime) {
+  netsim::Simulator sim;
+  sim.run_until(500.0);
+  netsim::FaultPlan plan;
+  plan.dhcp_blackouts = {{10.0, 20.0}};
+  netsim::FaultInjector injector(sim, plan);
+  injector.arm();
+  EXPECT_FALSE(injector.drop_discover());  // t=+0: before the window
+  sim.run_until(515.0);
+  EXPECT_TRUE(injector.drop_discover());  // t=+15: inside
+  sim.run_until(520.0);
+  EXPECT_FALSE(injector.drop_discover());  // t=+20: half-open end
+  EXPECT_EQ(injector.stats().discovers_dropped, 1u);
+}
+
+}  // namespace
+}  // namespace rocks::cluster

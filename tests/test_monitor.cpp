@@ -106,6 +106,38 @@ TEST_F(MonitorTest, HardwareFaultEscalatesToCrashCart) {
   EXPECT_TRUE(monitor_->dead_nodes().empty());
 }
 
+TEST_F(MonitorTest, HardwareFailedNodeIsNotPowerCycled) {
+  // Regression: a node with known-dead hardware must not be counted as an
+  // automated "power_cycled -> recovered" attempt — the PDU cannot help it.
+  // It goes straight to the crash-cart list and burns no PDU cycle.
+  cluster_->sim().run_until(cluster_->sim().now() + 15.0);
+  cluster_->node("compute-0-2")->inject_hardware_fault();
+  cluster_->node("compute-0-3")->power_off();  // software hang: cycleable
+  cluster_->sim().run_until(cluster_->sim().now() + 60.0);
+  ASSERT_EQ(monitor_->dead_nodes().size(), 2u);
+
+  RecoveryManager recovery(*cluster_);
+  const auto cycles_before = cluster_->pdu().cycles_executed();
+  const RecoveryReport report = recovery.recover(monitor_->dead_nodes());
+
+  EXPECT_FALSE(contains(report.power_cycled, "compute-0-2"));
+  EXPECT_FALSE(contains(report.recovered, "compute-0-2"));
+  EXPECT_TRUE(contains(report.needs_crash_cart, "compute-0-2"));
+  EXPECT_TRUE(contains(report.power_cycled, "compute-0-3"));
+  EXPECT_TRUE(contains(report.recovered, "compute-0-3"));
+  // Exactly one outlet fired: the hardware-failed node's was skipped.
+  EXPECT_EQ(cluster_->pdu().cycles_executed(), cycles_before + 1);
+}
+
+TEST_F(MonitorTest, SweepFailedIgnoresHealthyAndHardwareFailedNodes) {
+  cluster_->node("compute-0-1")->inject_hardware_fault();
+  RecoveryManager recovery(*cluster_);
+  // Nothing is in kFailed: the sweep is a no-op and performs no escalation.
+  EXPECT_TRUE(recovery.sweep_failed().empty());
+  EXPECT_EQ(recovery.escalations(), 0u);
+  EXPECT_EQ(cluster_->pdu().cycles_executed(), 0u);
+}
+
 TEST_F(MonitorTest, ReinstallingNodeGoesQuietThenReturns) {
   cluster_->sim().run_until(cluster_->sim().now() + 15.0);
   cluster_->node("compute-0-0")->shoot();

@@ -359,6 +359,100 @@ TEST(SyslogTest, ReentrantSubscriptionSafe) {
   EXPECT_EQ(nested, 1);
 }
 
+TEST(SimulatorTest, CancelledIdsReclaimedWhenEntriesPop) {
+  Simulator sim;
+  // A cancel-heavy workload (every retry timer that gets superseded) must
+  // not grow the lazy-deletion set forever.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(sim.schedule(1.0 + i, [] {}));
+  for (int i = 0; i < 100; i += 2) sim.cancel(ids[i]);
+  EXPECT_EQ(sim.cancelled_backlog(), 50u);
+  sim.run_until(51.0);  // pops entries at t=1..51: 26 of them were cancelled
+  EXPECT_EQ(sim.cancelled_backlog(), 24u);
+  sim.run();
+  EXPECT_EQ(sim.cancelled_backlog(), 0u);
+  EXPECT_EQ(sim.events_fired(), 50u);
+}
+
+TEST(SimulatorTest, BacklogClearsWhenQueueDrainsEvenForUnpoppedIds) {
+  Simulator sim;
+  // Cancel ids scheduled *after* everything else has fired: their queue
+  // entries pop during the same run, and a drained queue clears the set.
+  for (int i = 0; i < 10; ++i) sim.cancel(sim.schedule(1.0, [] {}));
+  EXPECT_EQ(sim.cancelled_backlog(), 10u);
+  sim.run();
+  EXPECT_EQ(sim.cancelled_backlog(), 0u);
+  EXPECT_EQ(sim.events_fired(), 0u);
+}
+
+TEST(HttpTest, CrashKillsFlowsNotifiesClientsAndRefusesService) {
+  Simulator sim;
+  HttpServer server(sim, "frontend-0", 10.0);
+  double aborted_at_bytes = -1.0;
+  bool completed = false;
+  server.serve(
+      100.0, 0.0, [&] { completed = true; },
+      [&](double delivered) { aborted_at_bytes = delivered; });
+  sim.schedule(2.0, [&] { server.crash(); });
+  sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_NEAR(aborted_at_bytes, 20.0, 1e-6);
+  EXPECT_FALSE(server.is_up());
+  EXPECT_EQ(server.stats().crashes, 1u);
+  EXPECT_EQ(server.stats().flows_killed, 1u);
+  // Only the undelivered remainder is refunded: the 20 bytes that made it
+  // over the wire stay counted.
+  EXPECT_NEAR(server.stats().bytes_served, 20.0, 1e-6);
+  EXPECT_THROW(server.serve(10.0, 0.0, nullptr), UnavailableError);
+  server.restart();
+  EXPECT_TRUE(server.is_up());
+  server.serve(10.0, 0.0, [&] { completed = true; });
+  sim.run();
+  EXPECT_TRUE(completed);
+}
+
+TEST(HttpTest, KillOneFlowResetsOldestOnly) {
+  Simulator sim;
+  HttpServer server(sim, "frontend-0", 10.0);
+  double first_delivered = -1.0;
+  bool second_done = false;
+  server.serve(1000.0, 0.0, nullptr, [&](double delivered) { first_delivered = delivered; });
+  sim.schedule(1.0, [&] { server.serve(20.0, 0.0, [&] { second_done = true; }); });
+  sim.schedule(3.0, [&] { EXPECT_TRUE(server.kill_one_flow()); });
+  sim.run();
+  EXPECT_GT(first_delivered, 0.0);  // the oldest flow took the reset
+  EXPECT_TRUE(second_done);         // the younger one finished untouched
+  EXPECT_EQ(server.stats().flows_killed, 1u);
+  EXPECT_FALSE(server.kill_one_flow());  // idle: nothing to kill
+}
+
+TEST(HttpTest, GroupRoutesAroundDownReplicas) {
+  Simulator sim;
+  HttpServerGroup group(sim, 7.5 * kMB, 3);
+  group.crash_replica(1);
+  EXPECT_EQ(group.up_count(), 2u);
+  for (int i = 0; i < 4; ++i) group.serve(100.0 * kMB, 1.0 * kMB, nullptr);
+  EXPECT_EQ(group.server(1).active_downloads(), 0u);
+  EXPECT_EQ(group.server(0).active_downloads(), 2u);
+  EXPECT_EQ(group.server(2).active_downloads(), 2u);
+  group.restart_replica(1);
+  group.serve(100.0 * kMB, 1.0 * kMB, nullptr);
+  EXPECT_EQ(group.server(1).active_downloads(), 1u);  // least-connections
+}
+
+TEST(HttpTest, GroupReturnsNullTicketWhenAllReplicasDown) {
+  Simulator sim;
+  HttpServerGroup group(sim, 7.5 * kMB, 2);
+  group.crash_replica(0);
+  group.crash_replica(1);
+  bool completed = false;
+  const auto ticket = group.serve(10.0, 0.0, [&] { completed = true; });
+  EXPECT_EQ(ticket.server, nullptr);
+  sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(group.active_downloads(), 0u);
+}
+
 TEST(PduTest, PowerCycleRunsAttachedAction) {
   PowerDistributionUnit pdu;
   int cycles = 0;
