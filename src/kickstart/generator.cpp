@@ -8,12 +8,46 @@
 namespace rocks::kickstart {
 
 std::string localize(std::string_view text, const NodeConfig& config) {
-  std::string out(text);
-  out = strings::replace_all(out, "@HOSTNAME@", config.hostname);
-  out = strings::replace_all(out, "@IP@", config.ip.to_string());
-  out = strings::replace_all(out, "@FRONTEND@", config.frontend_ip.to_string());
-  out = strings::replace_all(out, "@DISTRIBUTION@", config.distribution_url);
-  out = strings::replace_all(out, "@ARCH@", config.arch);
+  // Marker-free text (most header commands, many %post bodies) copies
+  // straight through; marked text is rewritten in a single pass.
+  std::size_t at = text.find('@');
+  if (at == std::string_view::npos) return std::string(text);
+
+  const std::string ip = config.ip.to_string();
+  const std::string frontend = config.frontend_ip.to_string();
+  const struct {
+    std::string_view marker;
+    const std::string& replacement;
+  } markers[] = {
+      {"@HOSTNAME@", config.hostname},
+      {"@IP@", ip},
+      {"@FRONTEND@", frontend},
+      {"@DISTRIBUTION@", config.distribution_url},
+      {"@ARCH@", config.arch},
+  };
+
+  std::string out;
+  out.reserve(text.size() + 32);
+  std::size_t pos = 0;
+  while (at != std::string_view::npos) {
+    out.append(text.substr(pos, at - pos));
+    pos = at;
+    bool replaced = false;
+    for (const auto& m : markers) {
+      if (text.substr(at, m.marker.size()) == m.marker) {
+        out.append(m.replacement);
+        pos = at + m.marker.size();
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      out.push_back('@');
+      pos = at + 1;
+    }
+    at = text.find('@', pos);
+  }
+  out.append(text.substr(pos));
   return out;
 }
 
@@ -21,46 +55,79 @@ Generator::Generator(const NodeFileSet& files, const Graph& graph,
                      const rpm::Repository* distro)
     : files_(files), graph_(graph), distro_(distro) {}
 
-KickstartFile Generator::generate(const NodeConfig& config) const {
-  KickstartFile out;
+Generator::Profile Generator::build_profile(const std::string& appliance,
+                                            const std::string& arch) const {
+  Profile out;
   // Header: the answers to every interactive-install question (Section 5),
   // identical across nodes except for the localized pieces.
-  out.add_command("install", "");
-  out.add_command("url", strings::cat("--url ", config.distribution_url));
-  out.add_command("lang", "en_US");
-  out.add_command("keyboard", "us");
-  out.add_command("network", "--bootproto dhcp");
-  out.add_command("rootpw", "--iscrypted $1$rocks$kickstart");
-  out.add_command("timezone", "--utc America/Los_Angeles");
-  out.add_command("zerombr", "yes");
+  out.commands.push_back({"install", ""});
+  out.commands.push_back({"url", "--url @DISTRIBUTION@"});
+  out.commands.push_back({"lang", "en_US"});
+  out.commands.push_back({"keyboard", "us"});
+  out.commands.push_back({"network", "--bootproto dhcp"});
+  out.commands.push_back({"rootpw", "--iscrypted $1$rocks$kickstart"});
+  out.commands.push_back({"timezone", "--utc America/Los_Angeles"});
+  out.commands.push_back({"zerombr", "yes"});
   // Only the root partition is reformatted; /state/partition1 persists
   // across reinstalls (paper Section 6.3).
-  out.add_command("clearpart", "--linux");
-  out.add_command("part", "/ --size 4096 --ondisk auto");
-  out.add_command("part", "/state/partition1 --size 1 --grow --noformat");
-  out.add_command("auth", "--useshadow --enablenis --nisdomain rocks");
-  out.add_command("reboot", "");
+  out.commands.push_back({"clearpart", "--linux"});
+  out.commands.push_back({"part", "/ --size 4096 --ondisk auto"});
+  out.commands.push_back({"part", "/state/partition1 --size 1 --grow --noformat"});
+  out.commands.push_back({"auth", "--useshadow --enablenis --nisdomain rocks"});
+  out.commands.push_back({"reboot", ""});
 
-  const auto order = graph_.traverse(config.appliance, config.arch);
+  const auto order = graph_.traverse(appliance, arch);
   std::set<std::string> seen_packages;
   for (const auto& module : order) {
     require_found(files_.contains(module),
                   strings::cat("graph references module '", module,
                                "' but no node file defines it"));
     const NodeFile& file = files_.get(module);
-    for (const PackageEntry* entry : file.packages_for(config.arch)) {
+    for (const PackageEntry* entry : file.packages_for(arch)) {
       if (entry->optional && distro_ != nullptr && !distro_->contains(entry->name)) continue;
-      if (seen_packages.insert(entry->name).second) out.add_package(entry->name);
+      if (seen_packages.insert(entry->name).second) out.packages.push_back(entry->name);
     }
   }
   // Post sections run in traversal order, after all packages are installed.
+  // Bodies stay raw here; localization and empty-trimming happen per node.
   for (const auto& module : order) {
     const NodeFile& file = files_.get(module);
-    for (const PostScript* post : file.posts_for(config.arch)) {
-      const std::string body = localize(post->body, config);
-      if (!strings::trim(body).empty())
-        out.add_post(module, std::string(strings::trim(body)));
-    }
+    for (const PostScript* post : file.posts_for(arch))
+      out.posts.push_back({module, post->body});
+  }
+  return out;
+}
+
+const Generator::Profile& Generator::profile_for(const std::string& appliance,
+                                                 const std::string& arch) const {
+  // files_.get_mutable() bumps the NodeFileSet revision, so edits made
+  // through it (and graph edge edits) are caught here without any explicit
+  // notification.
+  if (graph_revision_ != graph_.revision() || files_revision_ != files_.revision()) {
+    profiles_.clear();
+    graph_revision_ = graph_.revision();
+    files_revision_ = files_.revision();
+  }
+  const auto key = std::make_pair(appliance, arch);
+  const auto it = profiles_.find(key);
+  if (it != profiles_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  return profiles_.emplace(key, build_profile(appliance, arch)).first->second;
+}
+
+KickstartFile Generator::generate(const NodeConfig& config) const {
+  const Profile& profile = profile_for(config.appliance, config.arch);
+  KickstartFile out;
+  for (const auto& command : profile.commands)
+    out.add_command(command.name, localize(command.arguments, config));
+  for (const auto& package : profile.packages) out.add_package(package);
+  for (const auto& post : profile.posts) {
+    const std::string body = localize(post.body, config);
+    if (!strings::trim(body).empty())
+      out.add_post(post.origin, std::string(strings::trim(body)));
   }
   return out;
 }

@@ -1,8 +1,20 @@
 // Kickstart file generation: graph traversal -> merged package list and
 // %post sections -> Red Hat-compliant text (paper Section 6.1).
+//
+// The CGI hot path serves hundreds of nodes that differ only in hostname/IP,
+// so the appliance-level work (graph traversal, package merge, distribution
+// pruning, header assembly) is memoized per (appliance, arch) as a Profile
+// skeleton; each request only substitutes the @MARKER@s for its node. The
+// cache self-invalidates on Graph/NodeFileSet revision changes; distribution
+// (Repository) edits need an explicit invalidate_profiles() — see DESIGN.md
+// §8.3 for the contract.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "kickstart/graph.hpp"
 #include "kickstart/nodefile.hpp"
@@ -44,10 +56,44 @@ class Generator {
   /// generate() + render() in one step — the CGI script's output.
   [[nodiscard]] std::string generate_text(const NodeConfig& config) const;
 
+  /// Drops every cached profile. Call after mutating the Repository handed
+  /// to the constructor — the generator detects Graph and NodeFileSet edits
+  /// by revision counter, but the Repository has none.
+  void invalidate_profiles() const { profiles_.clear(); }
+
+  // Profile-cache observability (tests, tuning).
+  [[nodiscard]] std::uint64_t profile_cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t profile_cache_misses() const { return cache_misses_; }
+
  private:
+  /// The appliance-level kickstart skeleton: everything generate() can
+  /// compute without knowing which node is asking. Marker text (@HOSTNAME@,
+  /// @DISTRIBUTION@, ...) is left un-substituted and post bodies untrimmed
+  /// so per-node localization stays byte-identical to the uncached path.
+  struct Profile {
+    std::vector<HeaderCommand> commands;
+    std::vector<std::string> packages;
+    std::vector<PostSection> posts;  // raw bodies, markers intact
+  };
+
+  /// Returns the cached profile for (appliance, arch), building it on miss.
+  /// Checks the Graph/NodeFileSet revisions first and flushes the whole
+  /// cache when either moved.
+  const Profile& profile_for(const std::string& appliance, const std::string& arch) const;
+
+  /// Builds a profile from scratch (the pre-cache generate() body).
+  [[nodiscard]] Profile build_profile(const std::string& appliance,
+                                      const std::string& arch) const;
+
   const NodeFileSet& files_;
   const Graph& graph_;
   const rpm::Repository* distro_;
+
+  mutable std::map<std::pair<std::string, std::string>, Profile> profiles_;
+  mutable std::uint64_t graph_revision_ = 0;
+  mutable std::uint64_t files_revision_ = 0;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
 };
 
 }  // namespace rocks::kickstart

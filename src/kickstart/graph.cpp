@@ -52,6 +52,7 @@ Graph Graph::from_element(const xml::Element& root) {
 
 void Graph::add_edge(std::string from, std::string to, std::string arch) {
   edges_.push_back({std::move(from), std::move(to), std::move(arch)});
+  ++revision_;
 }
 
 std::size_t Graph::remove_edge(std::string_view from, std::string_view to) {
@@ -61,6 +62,7 @@ std::size_t Graph::remove_edge(std::string_view from, std::string_view to) {
                                 return edge.from == from && edge.to == to;
                               }),
                edges_.end());
+  if (before != edges_.size()) ++revision_;
   return before - edges_.size();
 }
 

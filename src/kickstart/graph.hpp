@@ -14,6 +14,7 @@
 // are merged into that appliance's kickstart file.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -42,6 +43,11 @@ class Graph {
   std::size_t remove_edge(std::string_view from, std::string_view to);
 
   [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Bumped on every edge mutation. Cache layers (Generator's appliance
+  /// profile cache) compare this against the value they captured to detect
+  /// graph edits without being told.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
   [[nodiscard]] const std::string& description() const { return description_; }
   void set_description(std::string text) { description_ = std::move(text); }
 
@@ -73,6 +79,7 @@ class Graph {
  private:
   std::string description_;
   std::vector<Edge> edges_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace rocks::kickstart

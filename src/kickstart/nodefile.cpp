@@ -100,6 +100,7 @@ std::string NodeFile::to_xml() const {
 void NodeFileSet::add(NodeFile file) {
   const std::string key = file.name();
   files_.insert_or_assign(key, std::move(file));
+  ++revision_;
 }
 
 bool NodeFileSet::contains(std::string_view name) const { return files_.contains(name); }
@@ -115,6 +116,7 @@ NodeFile& NodeFileSet::get_mutable(std::string_view name) {
   const auto it = files_.find(name);
   require_found(it != files_.end(),
                 strings::cat("no node file named '", std::string(name), "'"));
+  ++revision_;  // caller may edit through the reference
   return it->second;
 }
 

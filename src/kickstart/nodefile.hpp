@@ -14,6 +14,7 @@
 // files migrated from upper- to lower-case over time.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -80,8 +81,14 @@ class NodeFileSet {
   [[nodiscard]] std::vector<std::string> names() const;
   [[nodiscard]] std::size_t size() const { return files_.size(); }
 
+  /// Bumped on add() and on every get_mutable() handout (the caller may
+  /// edit through the reference, so the set conservatively assumes it did).
+  /// Cache layers compare this to detect node-file edits.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
  private:
   std::map<std::string, NodeFile, std::less<>> files_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace rocks::kickstart

@@ -18,6 +18,13 @@ void ensure_cluster_schema(sqldb::Database& db) {
       "graph_root TEXT)");
   db.execute("CREATE TABLE site (name TEXT, value TEXT)");
 
+  // The CGI hot path resolves nodes by ip (kickstart requests), by mac
+  // (dhcpd/insert-ethers), and joins nodes.membership = memberships.id;
+  // primary-key columns are indexed automatically at CREATE TABLE.
+  db.execute("CREATE INDEX nodes_ip ON nodes (ip)");
+  db.execute("CREATE INDEX nodes_mac ON nodes (mac)");
+  db.execute("CREATE INDEX nodes_membership ON nodes (membership)");
+
   // Appliances: which graph root a membership kickstarts from. Switches and
   // power units are real appliances without an OS (empty graph_root).
   db.execute(
@@ -59,23 +66,26 @@ NodeConfig KickstartServer::resolve(Ipv4 requester) const {
   require_found(node.row_count() == 1,
                 strings::cat("kickstart request from unknown address ", requester.to_string()));
 
-  const auto membership = node.at(0, "membership");
+  // SELECT order is name, membership, arch — positional access avoids
+  // rebuilding the name->index map for this two-query hot path.
+  const sqldb::Value& name = node.at(0, 0);
+  const sqldb::Value& membership = node.at(0, 1);
+  const sqldb::Value& arch = node.at(0, 2);
   const auto appliance = db_.execute(strings::cat(
       "SELECT appliances.graph_root FROM appliances, memberships WHERE "
       "memberships.appliance = appliances.id AND memberships.id = ",
       membership.to_string()));
   require_found(appliance.row_count() == 1,
-                strings::cat("node ", node.at(0, "name").to_string(),
-                             " has membership with no appliance"));
+                strings::cat("node ", name.to_string(), " has membership with no appliance"));
   const std::string graph_root = appliance.rows[0][0].to_string();
   require_found(!graph_root.empty(),
-                strings::cat("appliance for ", node.at(0, "name").to_string(),
+                strings::cat("appliance for ", name.to_string(),
                              " is not kickstartable (no graph root)"));
 
   NodeConfig config;
-  config.hostname = node.at(0, "name").to_string();
+  config.hostname = name.to_string();
   config.appliance = graph_root;
-  config.arch = node.at(0, "arch").is_null() ? "i386" : node.at(0, "arch").to_string();
+  config.arch = arch.is_null() ? "i386" : arch.to_string();
   config.ip = requester;
   config.frontend_ip = frontend_ip_;
   config.distribution_url = distribution_url_;

@@ -54,6 +54,13 @@ class KickstartServer {
   /// request is refused. An empty probe means always available.
   void set_availability_probe(std::function<bool()> probe) { available_ = std::move(probe); }
 
+  /// Drops the generator's cached appliance profiles. Graph and node-file
+  /// edits invalidate automatically (revision counters); call this after
+  /// mutating the Repository (distribution contents).
+  void invalidate_profiles() { generator_.invalidate_profiles(); }
+
+  [[nodiscard]] const Generator& generator() const { return generator_; }
+
   [[nodiscard]] std::uint64_t requests_served() const { return requests_; }
   [[nodiscard]] std::uint64_t requests_refused() const { return refused_; }
 

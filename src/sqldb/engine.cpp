@@ -1,6 +1,8 @@
 #include "sqldb/engine.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cctype>
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -19,21 +21,31 @@ class EmptyContext final : public RowContext {
 };
 
 /// Context over one row of one table (UPDATE/DELETE WHERE clauses).
+/// Constructed once per statement; set_row() switches rows so the
+/// address-keyed resolution cache (see JoinContext) survives across them.
 class SingleTableContext final : public RowContext {
  public:
-  SingleTableContext(const Table& table, const Row& row) : table_(table), row_(row) {}
+  explicit SingleTableContext(const Table& table) : table_(table) {}
+
+  void set_row(const Row* row) { row_ = row; }
 
   [[nodiscard]] Value lookup(const std::string& table, const std::string& column) const override {
+    const auto cached = resolved_.find(&column);
+    if (cached != resolved_.end()) return (*row_)[cached->second];
     if (!table.empty() && strings::to_lower(table) != strings::to_lower(table_.name()))
       throw LookupError(strings::cat("unknown table '", table, "' in expression"));
     const auto index = table_.column_index(column);
     if (!index) throw LookupError(strings::cat("unknown column '", column, "'"));
-    return row_[*index];
+    resolved_.emplace(&column, *index);
+    return (*row_)[*index];
   }
 
  private:
   const Table& table_;
-  const Row& row_;
+  const Row* row_ = nullptr;
+  // Keyed on the address of the Expr node's column string: stable for the
+  // statement's lifetime and unique per reference site.
+  mutable std::unordered_map<const std::string*, std::size_t> resolved_;
 };
 
 /// Context over the cartesian combination of several FROM tables.
@@ -45,6 +57,15 @@ class JoinContext final : public RowContext {
   void set_row(std::size_t table_idx, const Row* row) { rows_[table_idx] = row; }
 
   [[nodiscard]] Value lookup(const std::string& table, const std::string& column) const override {
+    // A column reference resolves identically for every row of a query, and
+    // lookup() receives the same Expr-owned strings each time — so resolve
+    // once per reference site, keyed on the column string's address. The
+    // up-front validation pass fills this cache, making per-row lookups a
+    // single pointer-hash probe.
+    const auto cached = resolved_.find(&column);
+    if (cached != resolved_.end())
+      return (*rows_[cached->second.first])[cached->second.second];
+
     if (!table.empty()) {
       const std::string lowered = strings::to_lower(table);
       for (std::size_t i = 0; i < tables_.size(); ++i) {
@@ -52,43 +73,115 @@ class JoinContext final : public RowContext {
           const auto index = tables_[i]->column_index(column);
           if (!index)
             throw LookupError(strings::cat("unknown column '", table, ".", column, "'"));
+          resolved_.emplace(&column, std::make_pair(i, *index));
           return (*rows_[i])[*index];
         }
       }
       throw LookupError(strings::cat("unknown table '", table, "' in expression"));
     }
     // Unqualified: must be unique across all tables in scope.
-    std::optional<Value> found;
+    std::optional<std::pair<std::size_t, std::size_t>> found;
     for (std::size_t i = 0; i < tables_.size(); ++i) {
       const auto index = tables_[i]->column_index(column);
       if (index) {
         if (found)
           throw LookupError(strings::cat("ambiguous column '", column, "'"));
-        found = (*rows_[i])[*index];
+        found = std::make_pair(i, *index);
       }
     }
     if (!found) throw LookupError(strings::cat("unknown column '", column, "'"));
-    return *found;
+    resolved_.emplace(&column, *found);
+    return (*rows_[found->first])[found->second];
   }
 
  private:
   const std::vector<const Table*>& tables_;
   const std::vector<std::string>& aliases_;
   std::vector<const Row*> rows_;
+  mutable std::unordered_map<const std::string*, std::pair<std::size_t, std::size_t>> resolved_;
 };
+
+// --- query planner helpers --------------------------------------------------
+
+/// Flattens the top-level AND chain of a WHERE tree into its conjuncts.
+void collect_conjuncts(const Expr* expr, std::vector<const Expr*>& out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == Expr::Kind::kBinary && expr->binary_op() == BinaryOp::kAnd) {
+    collect_conjuncts(expr->lhs(), out);
+    collect_conjuncts(expr->rhs(), out);
+    return;
+  }
+  out.push_back(expr);
+}
+
+/// The column/literal sides of a `col = literal` (or `literal = col`)
+/// conjunct; nullopt when the conjunct has any other shape.
+struct EqColumnLiteral {
+  const Expr* column = nullptr;
+  const Expr* literal = nullptr;
+};
+std::optional<EqColumnLiteral> match_eq_column_literal(const Expr* expr) {
+  if (expr->kind() != Expr::Kind::kBinary || expr->binary_op() != BinaryOp::kEq)
+    return std::nullopt;
+  const Expr* l = expr->lhs();
+  const Expr* r = expr->rhs();
+  if (l->kind() == Expr::Kind::kColumn && r->kind() == Expr::Kind::kLiteral)
+    return EqColumnLiteral{l, r};
+  if (r->kind() == Expr::Kind::kColumn && l->kind() == Expr::Kind::kLiteral)
+    return EqColumnLiteral{r, l};
+  return std::nullopt;
+}
+
+/// Resolves a column expression to (FROM-table position, column position).
+/// nullopt when the reference doesn't resolve cleanly to exactly one table
+/// (the evaluator's own validation throws for genuinely bad names).
+std::optional<std::pair<std::size_t, std::size_t>> resolve_column(
+    const Expr* column, const std::vector<const Table*>& tables,
+    const std::vector<std::string>& aliases) {
+  if (!column->column_table().empty()) {
+    const std::string lowered = strings::to_lower(column->column_table());
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      if (strings::to_lower(aliases[i]) != lowered) continue;
+      const auto col = tables[i]->column_index(column->column_name());
+      if (!col) return std::nullopt;
+      return std::make_pair(i, *col);
+    }
+    return std::nullopt;
+  }
+  std::optional<std::pair<std::size_t, std::size_t>> found;
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    const auto col = tables[i]->column_index(column->column_name());
+    if (!col) continue;
+    if (found) return std::nullopt;  // ambiguous
+    found = std::make_pair(i, *col);
+  }
+  return found;
+}
 
 }  // namespace
 
 std::size_t ResultSet::column_index(std::string_view name) const {
-  const std::string lowered = strings::to_lower(name);
-  for (std::size_t i = 0; i < columns.size(); ++i)
-    if (strings::to_lower(columns[i]) == lowered) return i;
-  throw LookupError(strings::cat("result has no column '", std::string(name), "'"));
+  if (column_cache_.empty() && !columns.empty()) {
+    column_cache_.reserve(columns.size());
+    // try_emplace keeps the first occurrence of a duplicated header, matching
+    // the first-match behaviour of the old linear scan.
+    for (std::size_t i = 0; i < columns.size(); ++i)
+      column_cache_.try_emplace(strings::to_lower(columns[i]), i);
+  }
+  const auto it = column_cache_.find(strings::to_lower(name));
+  if (it == column_cache_.end())
+    throw LookupError(strings::cat("result has no column '", std::string(name), "'"));
+  return it->second;
 }
 
 const Value& ResultSet::at(std::size_t row, std::string_view column) const {
+  return at(row, column_index(column));
+}
+
+const Value& ResultSet::at(std::size_t row, std::size_t column) const {
   require_found(row < rows.size(), "result row index out of range");
-  return rows[row][column_index(column)];
+  require_found(column < rows[row].size(), "result column index out of range");
+  return rows[row][column];
 }
 
 std::string ResultSet::render() const {
@@ -102,7 +195,38 @@ std::string ResultSet::render() const {
   return out.render();
 }
 
-ResultSet Database::execute(std::string_view sql) { return execute(parse_statement(sql)); }
+bool Database::NameLess::operator()(std::string_view a, std::string_view b) const {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const char ca = static_cast<char>(std::tolower(static_cast<unsigned char>(a[i])));
+    const char cb = static_cast<char>(std::tolower(static_cast<unsigned char>(b[i])));
+    if (ca != cb) return ca < cb;
+  }
+  return a.size() < b.size();
+}
+
+Database::PreparedStatement Database::prepare(std::string_view sql) {
+  const auto it = statement_cache_.find(sql);
+  if (it != statement_cache_.end()) {
+    ++cache_hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  ++cache_misses_;
+  auto statement = std::make_shared<const Statement>(parse_statement(sql));
+  lru_.emplace_front(std::string(sql), std::move(statement));
+  statement_cache_.emplace(std::string_view(lru_.front().first), lru_.begin());
+  if (lru_.size() > kStatementCacheCapacity) {
+    statement_cache_.erase(std::string_view(lru_.back().first));
+    lru_.pop_back();
+  }
+  return lru_.front().second;
+}
+
+ResultSet Database::execute(std::string_view sql) {
+  const PreparedStatement statement = prepare(sql);
+  return execute(*statement);
+}
 
 ResultSet Database::execute(const Statement& statement) {
   return std::visit(
@@ -113,6 +237,7 @@ ResultSet Database::execute(const Statement& statement) {
         else if constexpr (std::is_same_v<T, UpdateStmt>) return run_update(stmt);
         else if constexpr (std::is_same_v<T, DeleteStmt>) return run_delete(stmt);
         else if constexpr (std::is_same_v<T, CreateTableStmt>) return run_create(stmt);
+        else if constexpr (std::is_same_v<T, CreateIndexStmt>) return run_create_index(stmt);
         else return run_drop(stmt);
       },
       statement);
@@ -129,18 +254,16 @@ std::vector<std::string> Database::query_column(std::string_view sql) {
   return out;
 }
 
-bool Database::has_table(std::string_view name) const {
-  return tables_.contains(strings::to_lower(name));
-}
+bool Database::has_table(std::string_view name) const { return tables_.contains(name); }
 
 const Table& Database::table(std::string_view name) const {
-  const auto it = tables_.find(strings::to_lower(name));
+  const auto it = tables_.find(name);
   require_found(it != tables_.end(), strings::cat("no such table: ", std::string(name)));
   return it->second;
 }
 
 Table& Database::table_mutable(std::string_view name) {
-  const auto it = tables_.find(strings::to_lower(name));
+  const auto it = tables_.find(name);
   require_found(it != tables_.end(), strings::cat("no such table: ", std::string(name)));
   return it->second;
 }
@@ -195,8 +318,6 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
   ResultSet result;
   for (const auto& out : outputs) result.columns.push_back(out.name);
 
-  // Nested-loop cartesian product with WHERE filtering; fine for config-size
-  // tables (a few thousand nodes at most).
   JoinContext ctx(tables, aliases);
 
   // Validate every column reference up front against a row of NULLs so that
@@ -217,9 +338,24 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
   };
   std::vector<Keyed> collected;
 
-  std::vector<std::size_t> cursor(tables.size(), 0);
+  // When a plan consumes one equality conjunct (index probe / hash join),
+  // the remaining conjuncts still run against every candidate; rows pass the
+  // conjunct list iff they pass the original AND tree (a row passes either
+  // exactly when every conjunct is truthy), so filtering is identical to the
+  // scan — the planner only chooses *which* combinations to visit. The
+  // consumed conjunct is skipped because hash/index matching IS its
+  // evaluation: both use compare() == 0 on non-NULL keys, and NULL keys are
+  // never indexed or hashed, matching '=' never being true for NULL.
+  std::vector<const Expr*> residual;
+  bool use_residual = false;
+
   const auto emit_current = [&] {
-    if (stmt.where) {
+    if (use_residual) {
+      for (const Expr* conjunct : residual) {
+        const Value keep = conjunct->evaluate(ctx);
+        if (keep.is_null() || !keep.truthy()) return;
+      }
+    } else if (stmt.where) {
       const Value keep = stmt.where->evaluate(ctx);
       if (keep.is_null() || !keep.truthy()) return;
     }
@@ -231,27 +367,125 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
     collected.push_back(std::move(keyed));
   };
 
-  // Iterative odometer over all table row combinations.
-  if (!tables.empty()) {
-    bool any_empty = false;
-    for (const auto* t : tables)
-      if (t->rows().empty()) any_empty = true;
-    if (!any_empty) {
-      while (true) {
-        for (std::size_t i = 0; i < tables.size(); ++i)
-          ctx.set_row(i, &tables[i]->rows()[cursor[i]]);
-        emit_current();
-        std::size_t level = tables.size();
-        while (level > 0) {
-          --level;
-          if (++cursor[level] < tables[level]->rows().size()) break;
-          cursor[level] = 0;
-          if (level == 0) goto done;
-        }
+  // --- planner: pick how to enumerate candidate row combinations ----------
+  // 1. Single table + an indexed `col = literal` conjunct -> index probe.
+  // 2. Two tables + a `a.x = b.y` conjunct -> hash join, built on the
+  //    smaller side, matches re-sorted into nested-loop emission order.
+  // 3. Anything else -> the original nested-loop scan (odometer).
+  enum class Plan { kScan, kIndexProbe, kHashJoin };
+  Plan plan = Plan::kScan;
+  std::vector<std::size_t> probe_rows;                    // kIndexProbe
+  std::vector<std::array<std::size_t, 2>> join_pairs;     // kHashJoin
+
+  std::vector<const Expr*> conjuncts;
+  if (planner_enabled_ && stmt.where) collect_conjuncts(stmt.where.get(), conjuncts);
+
+  if (tables.size() == 1) {
+    for (const Expr* conjunct : conjuncts) {
+      const auto eq = match_eq_column_literal(conjunct);
+      if (!eq) continue;
+      const auto resolved = resolve_column(eq->column, tables, aliases);
+      if (!resolved || !tables[0]->has_index_on(resolved->second)) continue;
+      probe_rows = tables[0]->probe_index(resolved->second, eq->literal->literal_value());
+      plan = Plan::kIndexProbe;
+      for (const Expr* other : conjuncts)
+        if (other != conjunct) residual.push_back(other);
+      use_residual = true;
+      break;
+    }
+  } else if (tables.size() == 2) {
+    for (const Expr* conjunct : conjuncts) {
+      if (conjunct->kind() != Expr::Kind::kBinary ||
+          conjunct->binary_op() != BinaryOp::kEq)
+        continue;
+      const Expr* l = conjunct->lhs();
+      const Expr* r = conjunct->rhs();
+      if (l->kind() != Expr::Kind::kColumn || r->kind() != Expr::Kind::kColumn) continue;
+      const auto a = resolve_column(l, tables, aliases);
+      const auto b = resolve_column(r, tables, aliases);
+      if (!a || !b || a->first == b->first) continue;
+      const std::size_t col0 = a->first == 0 ? a->second : b->second;
+      const std::size_t col1 = a->first == 0 ? b->second : a->second;
+
+      // Build the hash table on the smaller side, stream the other through.
+      const bool build_on_0 = tables[0]->row_count() <= tables[1]->row_count();
+      const Table& build_table = *tables[build_on_0 ? 0 : 1];
+      const Table& probe_table = *tables[build_on_0 ? 1 : 0];
+      const std::size_t build_col = build_on_0 ? col0 : col1;
+      const std::size_t probe_col = build_on_0 ? col1 : col0;
+      std::unordered_map<Value, std::vector<std::size_t>, ValueHash, ValueEqual> built;
+      built.reserve(build_table.row_count());
+      for (std::size_t i = 0; i < build_table.row_count(); ++i) {
+        const Value& key = build_table.rows()[i][build_col];
+        if (!key.is_null()) built[key].push_back(i);  // NULL never joins
       }
+      for (std::size_t i = 0; i < probe_table.row_count(); ++i) {
+        const Value& key = probe_table.rows()[i][probe_col];
+        if (key.is_null()) continue;
+        const auto hit = built.find(key);
+        if (hit == built.end()) continue;
+        for (const std::size_t j : hit->second)
+          join_pairs.push_back(build_on_0 ? std::array<std::size_t, 2>{j, i}
+                                          : std::array<std::size_t, 2>{i, j});
+      }
+      // Matches surface in probe order; restore the (outer, inner) order the
+      // nested loop would emit so results are bit-identical to the scan.
+      std::sort(join_pairs.begin(), join_pairs.end());
+      plan = Plan::kHashJoin;
+      for (const Expr* other : conjuncts)
+        if (other != conjunct) residual.push_back(other);
+      use_residual = true;
+      break;
     }
   }
-done:
+
+  switch (plan) {
+    case Plan::kIndexProbe: ++plans_index_probe_; break;
+    case Plan::kHashJoin: ++plans_hash_join_; break;
+    case Plan::kScan: ++plans_scan_; break;
+  }
+
+  switch (plan) {
+    case Plan::kIndexProbe:
+      for (const std::size_t row : probe_rows) {
+        ctx.set_row(0, &tables[0]->rows()[row]);
+        emit_current();
+      }
+      break;
+    case Plan::kHashJoin:
+      for (const auto& pair : join_pairs) {
+        ctx.set_row(0, &tables[0]->rows()[pair[0]]);
+        ctx.set_row(1, &tables[1]->rows()[pair[1]]);
+        emit_current();
+      }
+      break;
+    case Plan::kScan: {
+      // Iterative odometer over all table row combinations.
+      std::vector<std::size_t> cursor(tables.size(), 0);
+      if (!tables.empty()) {
+        bool any_empty = false;
+        for (const auto* t : tables)
+          if (t->rows().empty()) any_empty = true;
+        if (!any_empty) {
+          while (true) {
+            for (std::size_t i = 0; i < tables.size(); ++i)
+              ctx.set_row(i, &tables[i]->rows()[cursor[i]]);
+            emit_current();
+            std::size_t level = tables.size();
+            bool wrapped = false;
+            while (level > 0) {
+              --level;
+              if (++cursor[level] < tables[level]->rows().size()) break;
+              cursor[level] = 0;
+              if (level == 0) wrapped = true;
+            }
+            if (wrapped) break;
+          }
+        }
+      }
+      break;
+    }
+  }
 
   if (!stmt.order_by.empty()) {
     std::stable_sort(collected.begin(), collected.end(), [&](const Keyed& a, const Keyed& b) {
@@ -306,17 +540,20 @@ ResultSet Database::run_update(const UpdateStmt& stmt) {
     assignments.emplace_back(*index, expr.get());
   }
   ResultSet result;
-  for (auto& row : target.rows()) {
-    const SingleTableContext ctx(target, row);
+  SingleTableContext ctx(target);
+  for (std::size_t r = 0; r < target.row_count(); ++r) {
+    ctx.set_row(&target.rows()[r]);
     if (stmt.where) {
       const Value keep = stmt.where->evaluate(ctx);
       if (keep.is_null() || !keep.truthy()) continue;
     }
-    // Evaluate all RHS against the pre-update row, then assign.
+    // Evaluate all RHS against the pre-update row, then assign through
+    // set_cell so hash indexes track the changed values.
     Row updates;
     updates.reserve(assignments.size());
     for (const auto& [index, expr] : assignments) updates.push_back(expr->evaluate(ctx));
-    for (std::size_t i = 0; i < assignments.size(); ++i) row[assignments[i].first] = updates[i];
+    for (std::size_t i = 0; i < assignments.size(); ++i)
+      target.set_cell(r, assignments[i].first, std::move(updates[i]));
     ++result.affected_rows;
   }
   return result;
@@ -325,8 +562,9 @@ ResultSet Database::run_update(const UpdateStmt& stmt) {
 ResultSet Database::run_delete(const DeleteStmt& stmt) {
   Table& target = table_mutable(stmt.table);
   std::vector<std::size_t> doomed;
+  SingleTableContext ctx(target);
   for (std::size_t i = 0; i < target.rows().size(); ++i) {
-    const SingleTableContext ctx(target, target.rows()[i]);
+    ctx.set_row(&target.rows()[i]);
     if (stmt.where) {
       const Value keep = stmt.where->evaluate(ctx);
       if (keep.is_null() || !keep.truthy()) continue;
@@ -340,22 +578,28 @@ ResultSet Database::run_delete(const DeleteStmt& stmt) {
 }
 
 ResultSet Database::run_create(const CreateTableStmt& stmt) {
-  const std::string key = strings::to_lower(stmt.table);
-  if (tables_.contains(key)) {
+  if (tables_.contains(stmt.table)) {
     if (stmt.if_not_exists) return {};
     throw StateError(strings::cat("table already exists: ", stmt.table));
   }
-  tables_.emplace(key, Table(stmt.table, stmt.columns));
+  tables_.emplace(stmt.table, Table(stmt.table, stmt.columns));
+  return {};
+}
+
+ResultSet Database::run_create_index(const CreateIndexStmt& stmt) {
+  // create_index is idempotent, so IF NOT EXISTS is accepted but needs no
+  // special handling.
+  table_mutable(stmt.table).create_index(stmt.column);
   return {};
 }
 
 ResultSet Database::run_drop(const DropTableStmt& stmt) {
-  const std::string key = strings::to_lower(stmt.table);
-  if (!tables_.contains(key)) {
+  const auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) {
     if (stmt.if_exists) return {};
     throw LookupError(strings::cat("no such table: ", stmt.table));
   }
-  tables_.erase(key);
+  tables_.erase(it);
   return {};
 }
 

@@ -4,12 +4,23 @@
 // memberships tables, site configuration — in a SQL database and derives
 // every service-specific configuration file from query reports (paper
 // Sections 1 and 6.4). This engine executes the SQL those components issue.
+//
+// Hot-path machinery (see DESIGN.md §8): execute(string_view) consults an
+// LRU cache of parsed statements so repeat callers (the kickstart CGI, the
+// service generators, cluster-kill --query=) pay the parser once; SELECT
+// runs through a small planner that probes per-column hash indexes for
+// equality predicates and hash-joins two-table equi-joins, falling back to
+// the nested-loop scan whenever a query doesn't fit those shapes.
 #pragma once
 
+#include <cstdint>
+#include <list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sqldb/parser.hpp"
@@ -27,16 +38,34 @@ class ResultSet {
 
   [[nodiscard]] std::size_t row_count() const { return rows.size(); }
   /// Index of the named output column; throws LookupError when absent.
+  /// The name -> index map is built once on first use and cached, so looping
+  /// callers don't pay a linear scan per cell; don't mutate `columns` after
+  /// the first lookup.
   [[nodiscard]] std::size_t column_index(std::string_view name) const;
   /// Value at (row, named column).
   [[nodiscard]] const Value& at(std::size_t row, std::string_view column) const;
+  /// Value at (row, positional column) — pair with column_index() hoisted
+  /// out of the loop.
+  [[nodiscard]] const Value& at(std::size_t row, std::size_t column) const;
   /// Renders as an ASCII table (used by benches to print Tables II/III).
   [[nodiscard]] std::string render() const;
+
+ private:
+  mutable std::unordered_map<std::string, std::size_t> column_cache_;  // lowered name
 };
 
 class Database {
  public:
-  /// Parses and executes one SQL statement. Throws ParseError / LookupError.
+  /// A parsed, shareable statement. Holders keep it valid even after the
+  /// cache evicts the entry.
+  using PreparedStatement = std::shared_ptr<const Statement>;
+
+  /// Parses one statement, consulting/filling the LRU statement cache keyed
+  /// on the exact SQL text. Throws ParseError.
+  [[nodiscard]] PreparedStatement prepare(std::string_view sql);
+
+  /// Parses (through the statement cache) and executes one SQL statement.
+  /// Throws ParseError / LookupError.
   ResultSet execute(std::string_view sql);
   /// Executes a pre-parsed statement.
   ResultSet execute(const Statement& statement);
@@ -48,17 +77,55 @@ class Database {
   [[nodiscard]] const Table& table(std::string_view name) const;
   [[nodiscard]] std::vector<std::string> table_names() const;
 
+  // Statement-cache observability (tests, tuning).
+  [[nodiscard]] std::size_t statement_cache_size() const { return lru_.size(); }
+  [[nodiscard]] std::uint64_t statement_cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t statement_cache_misses() const { return cache_misses_; }
+
+  // Planner observability: how many SELECTs ran with each strategy.
+  [[nodiscard]] std::uint64_t plans_index_probe() const { return plans_index_probe_; }
+  [[nodiscard]] std::uint64_t plans_hash_join() const { return plans_hash_join_; }
+  [[nodiscard]] std::uint64_t plans_scan() const { return plans_scan_; }
+
+  /// Testing/debug knob: with the planner off every SELECT takes the
+  /// nested-loop scan. Index and hash-join plans must produce identical
+  /// ResultSets, so A/B tests flip this and compare.
+  void set_planner_enabled(bool enabled) { planner_enabled_ = enabled; }
+
  private:
   ResultSet run_select(const SelectStmt& stmt);
   ResultSet run_insert(const InsertStmt& stmt);
   ResultSet run_update(const UpdateStmt& stmt);
   ResultSet run_delete(const DeleteStmt& stmt);
   ResultSet run_create(const CreateTableStmt& stmt);
+  ResultSet run_create_index(const CreateIndexStmt& stmt);
   ResultSet run_drop(const DropTableStmt& stmt);
 
   [[nodiscard]] Table& table_mutable(std::string_view name);
 
-  std::map<std::string, Table> tables_;  // keyed by lower-cased name
+  /// Case-insensitive, allocation-free table-name ordering (heterogeneous
+  /// lookup: find(string_view) never builds a lowered temporary).
+  struct NameLess {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const;
+  };
+
+  std::map<std::string, Table, NameLess> tables_;  // keyed by name, case-insensitive
+
+  // --- prepared-statement LRU cache ---------------------------------------
+  static constexpr std::size_t kStatementCacheCapacity = 256;
+  // Most-recently-used at the front. The unordered_map's string_view keys
+  // point into the list nodes' stable strings.
+  std::list<std::pair<std::string, PreparedStatement>> lru_;
+  std::unordered_map<std::string_view,
+                     std::list<std::pair<std::string, PreparedStatement>>::iterator>
+      statement_cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t plans_index_probe_ = 0;
+  std::uint64_t plans_hash_join_ = 0;
+  std::uint64_t plans_scan_ = 0;
+  bool planner_enabled_ = true;
 };
 
 }  // namespace rocks::sqldb

@@ -50,6 +50,15 @@ class Expr {
 
   [[nodiscard]] Kind kind() const { return kind_; }
 
+  // Structural accessors for the engine's query planner (engine.cpp), which
+  // pattern-matches WHERE trees for AND-chains of equality predicates.
+  [[nodiscard]] BinaryOp binary_op() const { return binary_op_; }      // kBinary
+  [[nodiscard]] const Expr* lhs() const { return lhs_.get(); }         // kUnary/kBinary
+  [[nodiscard]] const Expr* rhs() const { return rhs_.get(); }         // kBinary
+  [[nodiscard]] const std::string& column_table() const { return table_; }   // kColumn
+  [[nodiscard]] const std::string& column_name() const { return column_; }   // kColumn
+  [[nodiscard]] const Value& literal_value() const { return value_; }        // kLiteral
+
   /// Evaluates against the row in scope. SQL three-valued logic is
   /// approximated: comparisons involving NULL yield NULL (which is falsy).
   [[nodiscard]] Value evaluate(const RowContext& row) const;

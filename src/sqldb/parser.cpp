@@ -211,7 +211,8 @@ class Parser {
     return stmt;
   }
 
-  CreateTableStmt parse_create() {
+  Statement parse_create() {
+    if (accept_keyword("index")) return parse_create_index();
     expect_keyword("table");
     CreateTableStmt stmt;
     if (accept_keyword("if")) {
@@ -251,6 +252,22 @@ class Parser {
       }
       stmt.columns.push_back(std::move(col));
     } while (accept_symbol(","));
+    expect_symbol(")");
+    return stmt;
+  }
+
+  CreateIndexStmt parse_create_index() {
+    CreateIndexStmt stmt;
+    if (accept_keyword("if")) {
+      expect_keyword("not");
+      expect_keyword("exists");
+      stmt.if_not_exists = true;
+    }
+    stmt.name = expect_identifier("index name");
+    expect_keyword("on");
+    stmt.table = expect_identifier("table name");
+    expect_symbol("(");
+    stmt.column = expect_identifier("column name");
     expect_symbol(")");
     return stmt;
   }

@@ -11,6 +11,7 @@
 //   DELETE FROM table [WHERE expr]
 //   CREATE TABLE [IF NOT EXISTS] table (col TYPE [PRIMARY KEY]
 //       [AUTO_INCREMENT], ...)
+//   CREATE INDEX [IF NOT EXISTS] name ON table (column)
 //   DROP TABLE [IF EXISTS] table
 //
 // JOIN ... ON is desugared into the FROM list plus a WHERE conjunct, which
@@ -76,13 +77,20 @@ struct CreateTableStmt {
   bool if_not_exists = false;
 };
 
+struct CreateIndexStmt {
+  std::string name;  // index name (informational; lookup is by table+column)
+  std::string table;
+  std::string column;
+  bool if_not_exists = false;
+};
+
 struct DropTableStmt {
   std::string table;
   bool if_exists = false;
 };
 
-using Statement =
-    std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt, CreateTableStmt, DropTableStmt>;
+using Statement = std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt, CreateTableStmt,
+                               CreateIndexStmt, DropTableStmt>;
 
 /// Parses one statement (a trailing ';' is allowed). Throws ParseError.
 [[nodiscard]] Statement parse_statement(std::string_view sql);

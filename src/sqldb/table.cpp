@@ -11,6 +11,8 @@ namespace rocks::sqldb {
 Table::Table(std::string name, std::vector<ColumnDef> columns)
     : name_(std::move(name)), columns_(std::move(columns)) {
   require_state(!columns_.empty(), "a table needs at least one column");
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i].primary_key) create_index(columns_[i].name);
 }
 
 std::optional<std::size_t> Table::column_index(std::string_view name) const {
@@ -57,13 +59,88 @@ std::size_t Table::insert(Row row) {
     }
   }
   rows_.push_back(std::move(row));
-  return rows_.size() - 1;
+  const std::size_t index = rows_.size() - 1;
+  for (auto& idx : indexes_) index_row(idx, index);
+  return index;
+}
+
+void Table::set_cell(std::size_t row, std::size_t column, Value value) {
+  require_state(row < rows_.size(), "set_cell: row index out of range");
+  require_state(column < columns_.size(), "set_cell: column index out of range");
+  for (auto& index : indexes_) {
+    if (index.column != column) continue;
+    const Value& old = rows_[row][column];
+    if (!old.is_null()) {
+      const auto it = index.buckets.find(old);
+      if (it != index.buckets.end()) {
+        auto& bucket = it->second;
+        bucket.erase(std::remove(bucket.begin(), bucket.end(), row), bucket.end());
+        if (bucket.empty()) index.buckets.erase(it);
+      }
+    }
+    if (!value.is_null()) index.buckets[value].push_back(row);
+  }
+  rows_[row][column] = std::move(value);
 }
 
 void Table::erase_rows(const std::vector<std::size_t>& sorted_indexes) {
   for (auto it = sorted_indexes.rbegin(); it != sorted_indexes.rend(); ++it) {
     require_state(*it < rows_.size(), "erase_rows: index out of range");
     rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  // Every surviving row may have shifted position; rebuild rather than
+  // patching (deletes are rare on the CGI hot path).
+  if (!sorted_indexes.empty()) rebuild_indexes();
+}
+
+void Table::create_index(std::string_view column) {
+  const auto col = column_index(column);
+  require_found(col.has_value(),
+                strings::cat("no column '", std::string(column), "' in table ", name_,
+                             " to index"));
+  if (has_index_on(*col)) return;
+  HashIndex index;
+  index.column = *col;
+  for (std::size_t i = 0; i < rows_.size(); ++i) index_row(index, i);
+  indexes_.push_back(std::move(index));
+}
+
+bool Table::has_index_on(std::size_t column) const {
+  for (const auto& index : indexes_)
+    if (index.column == column) return true;
+  return false;
+}
+
+std::vector<std::string> Table::indexed_columns() const {
+  std::vector<std::string> out;
+  out.reserve(indexes_.size());
+  for (const auto& index : indexes_) out.push_back(columns_[index.column].name);
+  return out;
+}
+
+std::vector<std::size_t> Table::probe_index(std::size_t column, const Value& key) const {
+  for (const auto& index : indexes_) {
+    if (index.column != column) continue;
+    if (key.is_null()) return {};  // '=' never matches NULL
+    const auto it = index.buckets.find(key);
+    if (it == index.buckets.end()) return {};
+    std::vector<std::size_t> hits = it->second;
+    std::sort(hits.begin(), hits.end());  // restore scan order
+    return hits;
+  }
+  throw StateError(strings::cat("probe_index: column ", column, " of ", name_,
+                                " has no hash index"));
+}
+
+void Table::index_row(HashIndex& index, std::size_t row) {
+  const Value& key = rows_[row][index.column];
+  if (!key.is_null()) index.buckets[key].push_back(row);
+}
+
+void Table::rebuild_indexes() {
+  for (auto& index : indexes_) {
+    index.buckets.clear();
+    for (std::size_t i = 0; i < rows_.size(); ++i) index_row(index, i);
   }
 }
 

@@ -1,10 +1,17 @@
 // Table storage for the mini SQL engine.
+//
+// Besides the row store, a table can carry per-column hash indexes (built
+// automatically for PRIMARY KEY columns, or explicitly via CREATE INDEX /
+// create_index()). The engine's planner probes them to answer equality
+// predicates without scanning; they are kept consistent across INSERT,
+// UPDATE (set_cell) and DELETE (erase_rows).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sqldb/value.hpp"
@@ -36,18 +43,43 @@ class Table {
   std::size_t insert(Row row);
 
   [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
-  [[nodiscard]] std::vector<Row>& rows() { return rows_; }
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Overwrites one cell, keeping the hash indexes in sync. This is the
+  /// engine's UPDATE path; values are stored as given (no type coercion,
+  /// matching UPDATE semantics).
+  void set_cell(std::size_t row, std::size_t column, Value value);
 
   /// Removes rows whose indexes appear in `sorted_indexes` (ascending).
   void erase_rows(const std::vector<std::size_t>& sorted_indexes);
 
+  // --- hash indexes --------------------------------------------------------
+  /// Builds a hash index over `column` (idempotent). Throws LookupError on
+  /// an unknown column. PRIMARY KEY columns are indexed automatically.
+  void create_index(std::string_view column);
+  [[nodiscard]] bool has_index_on(std::size_t column) const;
+  /// Names of every indexed column (introspection/tests).
+  [[nodiscard]] std::vector<std::string> indexed_columns() const;
+  /// Row indexes whose `column` equals `key`, in ascending row order —
+  /// exactly the rows a full scan with `column = key` would visit. Requires
+  /// has_index_on(column). A NULL key matches nothing (SQL '=' semantics).
+  [[nodiscard]] std::vector<std::size_t> probe_index(std::size_t column, const Value& key) const;
+
  private:
+  struct HashIndex {
+    std::size_t column = 0;
+    // value -> row indexes holding it (unsorted; probe_index sorts a copy).
+    std::unordered_map<Value, std::vector<std::size_t>, ValueHash, ValueEqual> buckets;
+  };
+
   static Value coerce(const Value& value, Type type);
+  void index_row(HashIndex& index, std::size_t row);
+  void rebuild_indexes();
 
   std::string name_;
   std::vector<ColumnDef> columns_;
   std::vector<Row> rows_;
+  std::vector<HashIndex> indexes_;
   std::int64_t next_auto_ = 1;
 };
 

@@ -1,6 +1,8 @@
 #include "sqldb/value.hpp"
 
 #include <cmath>
+#include <functional>
+#include <string_view>
 
 #include "support/error.hpp"
 #include "support/table.hpp"
@@ -57,6 +59,18 @@ bool Value::truthy() const {
     case Type::kText: return !std::get<std::string>(data_).empty();
   }
   return false;
+}
+
+std::size_t Value::hash() const {
+  switch (type()) {
+    case Type::kNull: return 0;
+    // INT hashes through double so that compare()-equal INT/REAL pairs
+    // collide on the same bucket (1 == 1.0 must hash identically).
+    case Type::kInt:
+    case Type::kReal: return std::hash<double>{}(as_real());
+    case Type::kText: return std::hash<std::string_view>{}(std::get<std::string>(data_));
+  }
+  return 0;
 }
 
 int Value::compare(const Value& other) const {

@@ -46,8 +46,23 @@ class Value {
 
   bool operator==(const Value& other) const { return compare(other) == 0; }
 
+  /// Hash consistent with compare() == 0 (INT and REAL that are numerically
+  /// equal hash identically), so Value can key the hash indexes and join
+  /// tables in table.cpp / engine.cpp.
+  [[nodiscard]] std::size_t hash() const;
+
  private:
   std::variant<std::monostate, std::int64_t, double, std::string> data_;
+};
+
+/// Hasher/equality pair for unordered containers keyed by Value. Equality is
+/// compare() == 0, matching the semantics of a satisfied SQL '=' predicate
+/// on non-NULL operands.
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.hash(); }
+};
+struct ValueEqual {
+  bool operator()(const Value& a, const Value& b) const { return a.compare(b) == 0; }
 };
 
 }  // namespace rocks::sqldb

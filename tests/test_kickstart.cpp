@@ -277,6 +277,88 @@ TEST_F(GeneratorTest, PartitionSchemePreservesState) {
   EXPECT_TRUE(found_state_partition);
 }
 
+// --- appliance profile cache ------------------------------------------------
+
+TEST_F(GeneratorTest, ProfileCacheHitsKeepOutputIdentical) {
+  const Generator cached(config_.files, config_.graph, &distro_.repo);
+  const std::string first = cached.generate_text(node_config("compute"));
+  const std::string second = cached.generate_text(node_config("compute"));
+  EXPECT_EQ(cached.profile_cache_misses(), 1u);
+  EXPECT_EQ(cached.profile_cache_hits(), 1u);
+  EXPECT_EQ(first, second);
+  // A fresh generator (cold cache) produces the same bytes.
+  const Generator cold(config_.files, config_.graph, &distro_.repo);
+  EXPECT_EQ(cold.generate_text(node_config("compute")), first);
+}
+
+TEST_F(GeneratorTest, ProfileCacheLocalizesPerNodeOnHits) {
+  const Generator gen(config_.files, config_.graph, &distro_.repo);
+  NodeConfig a = node_config("compute");
+  NodeConfig b = node_config("compute");
+  b.hostname = "compute-0-7";
+  b.ip = Ipv4(10, 255, 255, 247);
+  const std::string text_a = gen.generate_text(a);
+  const std::string text_b = gen.generate_text(b);
+  EXPECT_EQ(gen.profile_cache_hits(), 1u);  // b rode a's cached profile
+  EXPECT_NE(text_a, text_b);
+  EXPECT_NE(text_b.find("compute-0-7"), std::string::npos);
+  EXPECT_EQ(text_b.find("@HOSTNAME@"), std::string::npos);
+  // Same skeleton: identical package manifests.
+  EXPECT_EQ(gen.generate(a).packages(), gen.generate(b).packages());
+}
+
+TEST_F(GeneratorTest, GraphEditInvalidatesProfileCache) {
+  const Generator gen(config_.files, config_.graph, &distro_.repo);
+  const auto before = gen.generate(node_config("compute")).packages();
+  EXPECT_NE(std::find(before.begin(), before.end(), "gm-driver"), before.end());
+  ASSERT_EQ(config_.graph.remove_edge("compute", "myrinet"), 1u);
+  const auto after = gen.generate(node_config("compute")).packages();
+  EXPECT_EQ(std::find(after.begin(), after.end(), "gm-driver"), after.end());
+  EXPECT_EQ(gen.profile_cache_misses(), 2u);  // second build, not a stale hit
+}
+
+TEST_F(GeneratorTest, NodeFileEditInvalidatesProfileCache) {
+  const Generator gen(config_.files, config_.graph, &distro_.repo);
+  const auto before = gen.generate(node_config("compute")).packages();
+  EXPECT_EQ(std::find(before.begin(), before.end(), "strace"), before.end());
+  config_.files.get_mutable("base").add_package("strace");
+  const auto after = gen.generate(node_config("compute")).packages();
+  EXPECT_NE(std::find(after.begin(), after.end(), "strace"), after.end());
+}
+
+TEST_F(GeneratorTest, ExplicitInvalidationAfterDistroChange) {
+  NodeFileSet files;
+  NodeFile mod("m");
+  mod.add_package("glibc");
+  mod.add_package("late-arrival", "", /*optional=*/true);
+  files.add(mod);
+  Graph g;
+  g.add_edge("m", "m");
+  rpm::Repository repo;
+  {
+    rpm::Package pkg;
+    pkg.name = "glibc";
+    pkg.evr = rpm::Evr::parse("2.2.4-13");
+    pkg.arch = "i386";
+    repo.add(pkg);
+  }
+  const Generator gen(files, g, &repo);
+  auto nc = node_config("m");
+  EXPECT_EQ(gen.generate(nc).packages(), (std::vector<std::string>{"glibc"}));
+  // The repository has no revision counter, so the generator cannot see this
+  // mutation on its own...
+  rpm::Package pkg;
+  pkg.name = "late-arrival";
+  pkg.evr = rpm::Evr::parse("1.0-1");
+  pkg.arch = "i386";
+  repo.add(pkg);
+  EXPECT_EQ(gen.generate(nc).packages(), (std::vector<std::string>{"glibc"}));
+  // ...until told. After invalidation the optional package is carried.
+  gen.invalidate_profiles();
+  EXPECT_EQ(gen.generate(nc).packages(),
+            (std::vector<std::string>{"glibc", "late-arrival"}));
+}
+
 class ServerTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -336,6 +418,18 @@ TEST_F(ServerTest, SchemaSeedsPaperTableIII) {
 TEST_F(ServerTest, DefaultGraphLintClean) {
   EXPECT_TRUE(config_.graph.undefined_modules(config_.files).empty());
   EXPECT_FALSE(config_.graph.has_cycle());
+}
+
+TEST_F(ServerTest, ServerStaysCorrectAfterGraphEdit) {
+  const std::string before = server_->handle_request(Ipv4(10, 255, 255, 254));
+  EXPECT_NE(before.find("gm-driver"), std::string::npos);
+  ASSERT_EQ(config_.graph.remove_edge("compute", "myrinet"), 1u);
+  const std::string after = server_->handle_request(Ipv4(10, 255, 255, 254));
+  EXPECT_EQ(after.find("gm-driver"), std::string::npos)
+      << "profile cache served a stale appliance skeleton";
+  // Repeat requests hit the rebuilt cache entry.
+  EXPECT_EQ(server_->handle_request(Ipv4(10, 255, 255, 254)), after);
+  EXPECT_GE(server_->generator().profile_cache_hits(), 1u);
 }
 
 TEST_F(ServerTest, GraphRemoveEdge) {

@@ -2,6 +2,9 @@
 // cluster-kill queries (Section 6.4) run verbatim.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "sqldb/engine.hpp"
 #include "support/error.hpp"
 
@@ -289,6 +292,227 @@ TEST_F(DbTest, InListWithNullNeedleNeverMatches) {
   db.execute("INSERT INTO t VALUES (NULL), (1)");
   EXPECT_EQ(db.execute("SELECT a FROM t WHERE a IN (1, 2)").row_count(), 1u);
   EXPECT_EQ(db.execute("SELECT a FROM t WHERE a NOT IN (99)").row_count(), 1u);
+}
+
+// --- query planner: indexes, hash joins, and A/B equivalence ---------------
+
+/// Runs `sql` with the planner on and off and requires bit-identical
+/// ResultSets (columns, row order, and every Value).
+void expect_planner_matches_scan(Database& db, std::string_view sql) {
+  db.set_planner_enabled(true);
+  const ResultSet planned = db.execute(sql);
+  db.set_planner_enabled(false);
+  const ResultSet scanned = db.execute(sql);
+  db.set_planner_enabled(true);
+  ASSERT_EQ(planned.columns, scanned.columns) << sql;
+  ASSERT_EQ(planned.row_count(), scanned.row_count()) << sql;
+  for (std::size_t i = 0; i < planned.row_count(); ++i)
+    for (std::size_t j = 0; j < planned.columns.size(); ++j)
+      EXPECT_EQ(planned.rows[i][j].compare(scanned.rows[i][j]), 0)
+          << sql << " differs at row " << i << " column " << j;
+}
+
+class PlannerTest : public DbTest {
+ protected:
+  void SetUp() override {
+    DbTest::SetUp();
+    load_paper_tables();
+    db.execute("CREATE INDEX nodes_ip ON nodes (ip)");
+    db.execute("CREATE INDEX nodes_mac ON nodes (mac)");
+    db.execute("CREATE INDEX nodes_membership ON nodes (membership)");
+  }
+};
+
+TEST_F(PlannerTest, IndexedAndScannedResultsIdenticalAcrossCorpus) {
+  for (const char* sql : {
+           // Index probes, with and without residual conjuncts.
+           "SELECT name FROM nodes WHERE ip = '10.255.255.245'",
+           "SELECT name FROM nodes WHERE membership = 2 AND rank > 1",
+           "SELECT name FROM nodes WHERE rank > 1 AND membership = 2",
+           "SELECT name FROM nodes WHERE 2 = membership",
+           "SELECT name FROM nodes WHERE membership = 99",
+           "SELECT * FROM nodes WHERE mac = '00:50:8b:e0:40:95'",
+           "SELECT name FROM nodes WHERE membership = 2 ORDER BY rank DESC LIMIT 2",
+           // Unindexed / non-equality single-table shapes (scan either way).
+           "SELECT name FROM nodes WHERE rank >= 2",
+           "SELECT name FROM nodes WHERE rack = 1 OR membership = 7",
+           "SELECT name FROM nodes WHERE name LIKE 'compute-%'",
+           // Hash joins, qualified and aliased.
+           "select nodes.name from nodes,memberships where "
+           "nodes.membership = memberships.id and memberships.name = 'Compute'",
+           "select n.name from nodes n, memberships m where n.membership = m.id and "
+           "m.compute = 'yes'",
+           "SELECT a.name, b.name FROM nodes a, nodes b WHERE a.rack = b.rack AND "
+           "a.membership = 2 AND b.membership = 2 AND b.rank = a.rank + 1 ORDER BY a.rank",
+           "SELECT nodes.name, memberships.name FROM nodes, memberships WHERE "
+           "memberships.id = nodes.membership",
+           // Three tables: planner falls back to the scan.
+           "SELECT nodes.name FROM nodes, memberships, nodes x WHERE "
+           "nodes.membership = memberships.id AND x.rank = 0 AND nodes.rack = 0",
+       })
+    expect_planner_matches_scan(db, sql);
+}
+
+TEST_F(PlannerTest, EqualityOnIndexedColumnUsesIndexProbe) {
+  const auto before = db.plans_index_probe();
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE ip = '10.255.255.245'").row_count(), 1u);
+  EXPECT_EQ(db.plans_index_probe(), before + 1);
+}
+
+TEST_F(PlannerTest, EquiJoinUsesHashJoin) {
+  const auto before = db.plans_hash_join();
+  db.execute(
+      "select nodes.name from nodes,memberships where "
+      "nodes.membership = memberships.id and memberships.name = 'Compute'");
+  EXPECT_EQ(db.plans_hash_join(), before + 1);
+}
+
+TEST_F(PlannerTest, NonEqualityPredicatesFallBackToScan) {
+  const auto before = db.plans_scan();
+  db.execute("SELECT name FROM nodes WHERE name LIKE 'compute-%'");
+  db.execute("SELECT name FROM nodes WHERE rack = 1 OR membership = 7");
+  EXPECT_EQ(db.plans_scan(), before + 2);
+}
+
+TEST_F(PlannerTest, IndexProbeWithNullLiteralMatchesNothing) {
+  const auto before = db.plans_index_probe();
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE ip = NULL").row_count(), 0u);
+  EXPECT_EQ(db.plans_index_probe(), before + 1);
+}
+
+TEST_F(PlannerTest, IndexProbeMatchesIntAndRealKeys) {
+  // The index hashes INT and REAL through double, matching compare() == 0.
+  db.execute("CREATE TABLE m (x REAL)");
+  db.execute("CREATE INDEX m_x ON m (x)");
+  db.execute("INSERT INTO m VALUES (1.0), (2.5)");
+  EXPECT_EQ(db.execute("SELECT x FROM m WHERE x = 1").row_count(), 1u);
+  EXPECT_EQ(db.execute("SELECT x FROM m WHERE x = 2.5").row_count(), 1u);
+}
+
+// --- index maintenance across writes ---------------------------------------
+
+TEST_F(PlannerTest, InsertAddsRowsToExistingIndex) {
+  db.execute(
+      "INSERT INTO nodes (mac, name, membership, rack, rank, ip, comment) VALUES "
+      "('00:50:8b:aa:bb:cc', 'compute-1-0', 2, 1, 0, '10.255.255.200', '')");
+  const ResultSet r = db.execute("SELECT name FROM nodes WHERE ip = '10.255.255.200'");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].as_text(), "compute-1-0");
+  expect_planner_matches_scan(db, "SELECT name FROM nodes WHERE membership = 2");
+}
+
+TEST_F(PlannerTest, UpdateMovesRowBetweenIndexBuckets) {
+  db.execute("UPDATE nodes SET ip = '10.0.0.99' WHERE name = 'compute-0-2'");
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE ip = '10.255.255.243'").row_count(), 0u);
+  const ResultSet r = db.execute("SELECT name FROM nodes WHERE ip = '10.0.0.99'");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].as_text(), "compute-0-2");
+  // Setting an indexed column to NULL removes the row from the index.
+  db.execute("UPDATE nodes SET ip = NULL WHERE name = 'compute-0-2'");
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE ip = '10.0.0.99'").row_count(), 0u);
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE ip IS NULL").row_count(), 1u);
+  expect_planner_matches_scan(db, "SELECT name FROM nodes WHERE ip = '10.255.255.245'");
+}
+
+TEST_F(PlannerTest, DeleteRemovesRowsFromIndex) {
+  db.execute("DELETE FROM nodes WHERE membership = 2");
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE membership = 2").row_count(), 0u);
+  // Surviving rows keep correct (re-numbered) index entries.
+  const ResultSet r = db.execute("SELECT name FROM nodes WHERE ip = '10.255.255.246'");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows[0][0].as_text(), "web-1-0");
+  expect_planner_matches_scan(db, "SELECT name FROM nodes WHERE membership = 4");
+}
+
+TEST_F(PlannerTest, DropTableDiscardsIndexesAndRecreateStartsFresh) {
+  db.execute("DROP TABLE nodes");
+  db.execute("CREATE TABLE nodes (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, ip TEXT)");
+  db.execute("CREATE INDEX nodes_ip ON nodes (ip)");
+  db.execute("INSERT INTO nodes (name, ip) VALUES ('a', '1.2.3.4')");
+  const auto before = db.plans_index_probe();
+  EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE ip = '1.2.3.4'").row_count(), 1u);
+  EXPECT_EQ(db.plans_index_probe(), before + 1);
+}
+
+TEST_F(DbTest, CreateIndexErrors) {
+  EXPECT_THROW(db.execute("CREATE INDEX i ON ghosts (name)"), LookupError);
+  EXPECT_THROW(db.execute("CREATE INDEX i ON nodes (ghost)"), LookupError);
+  EXPECT_THROW(db.execute("CREATE INDEX i ON nodes ()"), ParseError);
+  EXPECT_THROW(db.execute("CREATE INDEX i nodes (ip)"), ParseError);
+  // Re-creating an index is idempotent, with or without IF NOT EXISTS.
+  EXPECT_NO_THROW(db.execute("CREATE INDEX i ON nodes (ip)"));
+  EXPECT_NO_THROW(db.execute("CREATE INDEX i ON nodes (ip)"));
+  EXPECT_NO_THROW(db.execute("CREATE INDEX IF NOT EXISTS i ON nodes (ip)"));
+}
+
+TEST_F(DbTest, TableIndexUnitBehaviour) {
+  load_paper_tables();
+  db.execute("CREATE INDEX nodes_ip ON nodes (ip)");
+  const Table& nodes = db.table("nodes");
+  // The PRIMARY KEY column is indexed automatically at CREATE TABLE.
+  EXPECT_TRUE(nodes.has_index_on(0));
+  const auto cols = nodes.indexed_columns();
+  EXPECT_NE(std::find(cols.begin(), cols.end(), "id"), cols.end());
+  EXPECT_NE(std::find(cols.begin(), cols.end(), "ip"), cols.end());
+  const auto hits = nodes.probe_index(*nodes.column_index("ip"), Value("10.1.1.1"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(nodes.rows()[hits[0]][2].as_text(), "frontend-0");
+  // Probing a column with no index is a caller bug.
+  EXPECT_THROW((void)nodes.probe_index(*nodes.column_index("comment"), Value("x")), StateError);
+}
+
+// --- prepared statements and the LRU cache ----------------------------------
+
+TEST_F(DbTest, StatementCacheHitsOnRepeatedSql) {
+  load_paper_tables();
+  const auto misses_before = db.statement_cache_misses();
+  const auto hits_before = db.statement_cache_hits();
+  db.execute("SELECT name FROM nodes WHERE rack = 1");
+  db.execute("SELECT name FROM nodes WHERE rack = 1");
+  db.execute("SELECT name FROM nodes WHERE rack = 1");
+  EXPECT_EQ(db.statement_cache_misses(), misses_before + 1);
+  EXPECT_EQ(db.statement_cache_hits(), hits_before + 2);
+}
+
+TEST_F(DbTest, PrepareReturnsReusableStatement) {
+  load_paper_tables();
+  const Database::PreparedStatement stmt =
+      db.prepare("SELECT name FROM nodes WHERE membership = 2");
+  EXPECT_EQ(db.execute(*stmt).row_count(), 4u);
+  db.execute("DELETE FROM nodes WHERE name = 'compute-0-3'");
+  EXPECT_EQ(db.execute(*stmt).row_count(), 3u);
+}
+
+TEST_F(DbTest, PreparedStatementSurvivesDropAndRecreate) {
+  load_paper_tables();
+  const Database::PreparedStatement stmt = db.prepare("SELECT name FROM nodes");
+  EXPECT_EQ(db.execute(*stmt).row_count(), 8u);
+  db.execute("DROP TABLE nodes");
+  EXPECT_THROW(db.execute(*stmt), LookupError);  // parses fine, table is gone
+  db.execute("CREATE TABLE nodes (name TEXT)");
+  db.execute("INSERT INTO nodes VALUES ('solo')");
+  EXPECT_EQ(db.execute(*stmt).row_count(), 1u);
+}
+
+TEST_F(DbTest, StatementCacheEvictsLeastRecentlyUsed) {
+  load_paper_tables();
+  db.execute("SELECT name FROM nodes WHERE rank = -1");
+  // Flood the cache past capacity with distinct statements.
+  for (int i = 0; i < 300; ++i)
+    db.execute("SELECT name FROM nodes WHERE rank = " + std::to_string(i));
+  EXPECT_LE(db.statement_cache_size(), 256u);
+  // The first statement was least recently used and must have been evicted.
+  const auto misses_before = db.statement_cache_misses();
+  db.execute("SELECT name FROM nodes WHERE rank = -1");
+  EXPECT_EQ(db.statement_cache_misses(), misses_before + 1);
+}
+
+TEST_F(DbTest, StatementCacheKeyIsExactText) {
+  load_paper_tables();
+  const auto misses_before = db.statement_cache_misses();
+  db.execute("SELECT name FROM nodes WHERE rack = 1");
+  db.execute("select name from nodes where rack = 1");  // different text, new entry
+  EXPECT_EQ(db.statement_cache_misses(), misses_before + 2);
 }
 
 }  // namespace
