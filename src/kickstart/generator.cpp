@@ -1,5 +1,6 @@
 #include "kickstart/generator.hpp"
 
+#include <functional>
 #include <set>
 
 #include "support/error.hpp"
@@ -98,33 +99,68 @@ Generator::Profile Generator::build_profile(const std::string& appliance,
   return out;
 }
 
-const Generator::Profile& Generator::profile_for(const std::string& appliance,
-                                                 const std::string& arch) const {
+std::size_t Generator::stripe_of(const std::string& appliance, const std::string& arch) {
+  // Mix both halves of the key so appliances sharing an arch still spread.
+  return (std::hash<std::string>{}(appliance) * 31 + std::hash<std::string>{}(arch)) % kStripes;
+}
+
+void Generator::flush_stripes() const {
+  for (auto& stripe : stripes_) {
+    std::unique_lock<std::shared_mutex> lock(stripe.mutex);
+    stripe.entries.clear();
+  }
+}
+
+void Generator::invalidate_profiles() const {
+  std::lock_guard<std::mutex> lock(flush_mutex_);
+  flush_stripes();
+}
+
+std::shared_ptr<const Generator::Profile> Generator::profile_for(
+    const std::string& appliance, const std::string& arch) const {
   // files_.get_mutable() bumps the NodeFileSet revision, so edits made
   // through it (and graph edge edits) are caught here without any explicit
-  // notification.
-  if (graph_revision_ != graph_.revision() || files_revision_ != files_.revision()) {
-    profiles_.clear();
-    graph_revision_ = graph_.revision();
-    files_revision_ = files_.revision();
+  // notification. Double-checked under flush_mutex_ so concurrent requests
+  // flush once, not once each.
+  const std::uint64_t graph_now = graph_.revision();
+  const std::uint64_t files_now = files_.revision();
+  if (graph_revision_.load(std::memory_order_acquire) != graph_now ||
+      files_revision_.load(std::memory_order_acquire) != files_now) {
+    std::lock_guard<std::mutex> lock(flush_mutex_);
+    if (graph_revision_.load(std::memory_order_relaxed) != graph_now ||
+        files_revision_.load(std::memory_order_relaxed) != files_now) {
+      flush_stripes();
+      graph_revision_.store(graph_now, std::memory_order_release);
+      files_revision_.store(files_now, std::memory_order_release);
+    }
   }
+
+  Stripe& stripe = stripes_[stripe_of(appliance, arch)];
   const auto key = std::make_pair(appliance, arch);
-  const auto it = profiles_.find(key);
-  if (it != profiles_.end()) {
-    ++cache_hits_;
-    return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(stripe.mutex);
+    const auto it = stripe.entries.find(key);
+    if (it != stripe.entries.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  ++cache_misses_;
-  return profiles_.emplace(key, build_profile(appliance, arch)).first->second;
+  // Build outside any lock — traversal and package merge are the expensive
+  // part, and two threads racing to build the same key is cheaper than
+  // serializing every miss. The loser adopts the winner's entry.
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto built = std::make_shared<const Profile>(build_profile(appliance, arch));
+  std::unique_lock<std::shared_mutex> lock(stripe.mutex);
+  return stripe.entries.try_emplace(key, std::move(built)).first->second;
 }
 
 KickstartFile Generator::generate(const NodeConfig& config) const {
-  const Profile& profile = profile_for(config.appliance, config.arch);
+  const std::shared_ptr<const Profile> profile = profile_for(config.appliance, config.arch);
   KickstartFile out;
-  for (const auto& command : profile.commands)
+  for (const auto& command : profile->commands)
     out.add_command(command.name, localize(command.arguments, config));
-  for (const auto& package : profile.packages) out.add_package(package);
-  for (const auto& post : profile.posts) {
+  for (const auto& package : profile->packages) out.add_package(package);
+  for (const auto& post : profile->posts) {
     const std::string body = localize(post.body, config);
     if (!strings::trim(body).empty())
       out.add_post(post.origin, std::string(strings::trim(body)));

@@ -8,10 +8,25 @@
 // cache self-invalidates on Graph/NodeFileSet revision changes; distribution
 // (Repository) edits need an explicit invalidate_profiles() — see DESIGN.md
 // §8.3 for the contract.
+//
+// Concurrency (DESIGN.md §9): generate() may be called from many threads at
+// once (KickstartServer::handle_many). The profile cache is lock-striped —
+// (appliance, arch) hashes to one of kStripes shards, each with its own
+// reader-writer lock — so a mass reinstall's cache hits never contend on a
+// single mutex. Profiles are handed out as shared_ptr snapshots: a reader
+// mid-generate keeps its profile alive even if invalidate_profiles() runs
+// concurrently. The Graph/NodeFileSet/Repository themselves must not be
+// mutated while requests are in flight (they are the serving config, not
+// the cache).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,12 +73,18 @@ class Generator {
 
   /// Drops every cached profile. Call after mutating the Repository handed
   /// to the constructor — the generator detects Graph and NodeFileSet edits
-  /// by revision counter, but the Repository has none.
-  void invalidate_profiles() const { profiles_.clear(); }
+  /// by revision counter, but the Repository has none. Safe to call while
+  /// other threads generate: they finish on their snapshot and the next
+  /// request rebuilds.
+  void invalidate_profiles() const;
 
   // Profile-cache observability (tests, tuning).
-  [[nodiscard]] std::uint64_t profile_cache_hits() const { return cache_hits_; }
-  [[nodiscard]] std::uint64_t profile_cache_misses() const { return cache_misses_; }
+  [[nodiscard]] std::uint64_t profile_cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t profile_cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// The appliance-level kickstart skeleton: everything generate() can
@@ -76,10 +97,11 @@ class Generator {
     std::vector<PostSection> posts;  // raw bodies, markers intact
   };
 
-  /// Returns the cached profile for (appliance, arch), building it on miss.
-  /// Checks the Graph/NodeFileSet revisions first and flushes the whole
-  /// cache when either moved.
-  const Profile& profile_for(const std::string& appliance, const std::string& arch) const;
+  /// Returns the cached profile for (appliance, arch) as a snapshot,
+  /// building it on miss. Checks the Graph/NodeFileSet revisions first and
+  /// flushes the whole cache when either moved.
+  std::shared_ptr<const Profile> profile_for(const std::string& appliance,
+                                             const std::string& arch) const;
 
   /// Builds a profile from scratch (the pre-cache generate() body).
   [[nodiscard]] Profile build_profile(const std::string& appliance,
@@ -89,11 +111,26 @@ class Generator {
   const Graph& graph_;
   const rpm::Repository* distro_;
 
-  mutable std::map<std::pair<std::string, std::string>, Profile> profiles_;
-  mutable std::uint64_t graph_revision_ = 0;
-  mutable std::uint64_t files_revision_ = 0;
-  mutable std::uint64_t cache_hits_ = 0;
-  mutable std::uint64_t cache_misses_ = 0;
+  // Lock-striped profile cache. A shard's shared lock covers lookups, its
+  // exclusive lock covers inserts and the flush; entries are shared_ptr so
+  // a flush never yanks a profile out from under a reader.
+  static constexpr std::size_t kStripes = 8;
+  struct Stripe {
+    mutable std::shared_mutex mutex;
+    std::map<std::pair<std::string, std::string>, std::shared_ptr<const Profile>> entries;
+  };
+  [[nodiscard]] static std::size_t stripe_of(const std::string& appliance,
+                                             const std::string& arch);
+  void flush_stripes() const;
+
+  mutable std::array<Stripe, kStripes> stripes_;
+  // Serializes revision-triggered flushes (flush + counter update must be
+  // one step); ordered before the stripe locks in the hierarchy.
+  mutable std::mutex flush_mutex_;
+  mutable std::atomic<std::uint64_t> graph_revision_{0};
+  mutable std::atomic<std::uint64_t> files_revision_{0};
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
 };
 
 }  // namespace rocks::kickstart

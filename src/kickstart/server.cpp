@@ -98,13 +98,36 @@ std::string KickstartServer::handle_request(Ipv4 requester) {
 
 KickstartFile KickstartServer::handle_request_file(Ipv4 requester) {
   if (available_ && !available_()) {
-    ++refused_;
+    refused_.fetch_add(1, std::memory_order_relaxed);
     throw UnavailableError(
         strings::cat("kickstart: CGI unavailable for ", requester.to_string(),
                      " (frontend httpd down)"));
   }
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
   return generator_.generate(resolve(requester));
+}
+
+KickstartServer::BatchReport KickstartServer::handle_many(
+    support::ThreadPool& pool, const std::vector<Ipv4>& requesters) {
+  BatchReport report;
+  report.results.resize(requesters.size());
+  report.errors.resize(requesters.size());
+  std::atomic<std::size_t> served{0};
+  // Each index writes only its own slots, so the fan-out needs no locking
+  // of its own; the Database/Generator locks below carry the concurrency.
+  pool.parallel_for(requesters.size(), [&](std::size_t i) {
+    try {
+      report.results[i] = handle_request(requesters[i]);
+      served.fetch_add(1, std::memory_order_relaxed);
+    } catch (const Error& error) {
+      report.errors[i] = error.what();
+    }
+  });
+  report.served = served.load();
+  report.failed = requesters.size() - report.served;
+  report.simulated_seconds =
+      support::parallel_wall_seconds(requesters.size(), pool.size(), kSimulatedRequestSeconds);
+  return report;
 }
 
 }  // namespace rocks::kickstart

@@ -29,6 +29,7 @@
 #include "kickstart/graph.hpp"
 #include "kickstart/nodefile.hpp"
 #include "rpm/repository.hpp"
+#include "support/threadpool.hpp"
 #include "vfs/filesystem.hpp"
 
 namespace rocks::rocksdist {
@@ -48,6 +49,8 @@ struct MirrorReport {
   std::size_t packages_fetched = 0;
   std::size_t packages_refreshed = 0;  // newer version replaced an older one
   std::uint64_t bytes_fetched = 0;
+  std::size_t workers = 1;             // parallel fetch lanes used
+  double mirror_seconds = 0.0;         // simulated wall time of the fetches
 };
 
 struct DistReport {
@@ -55,6 +58,7 @@ struct DistReport {
   std::size_t symlink_count = 0;
   std::size_t dropped_stale = 0;     // older versions excluded by resolution
   std::uint64_t tree_bytes = 0;      // disk usage of the dist tree
+  std::size_t workers = 1;           // parallel build lanes used
   double build_seconds = 0.0;        // simulated wall time of the build
 };
 
@@ -62,9 +66,19 @@ class RocksDist {
  public:
   RocksDist(vfs::FileSystem& fs, DistConfig config = {});
 
-  /// Pulls `upstream` into mirror/<section>. Incremental: only new packages
-  /// (or new versions) are fetched, which is what keeps nightly update
-  /// mirroring cheap (Section 6.2.1).
+  /// Fans per-package work (payload materialization during mirror(), the
+  /// symlink-tree prep during dist()) across `pool`; the reports' simulated
+  /// times then charge ceil(items / pool->size()) serial rounds. nullptr
+  /// (the default) runs everything on the calling thread, byte- and
+  /// time-identical to the pre-pool behavior.
+  void set_pool(support::ThreadPool* pool) { pool_ = pool; }
+
+  /// Pulls `upstream` into mirror/<section>. Incremental and EVR-aware:
+  /// a package is fetched only when its file is absent from this section
+  /// AND its EVR is newer than anything already gathered — re-mirroring a
+  /// warm host (same section or a sibling carrying equal-EVR copies) is a
+  /// no-op, which is what keeps nightly update mirroring cheap
+  /// (Section 6.2.1).
   MirrorReport mirror(const rpm::Repository& upstream, std::string_view section);
 
   /// Registers a locally built RPM (Section 6.2.1 "Local software") and
@@ -93,9 +107,11 @@ class RocksDist {
 
  private:
   [[nodiscard]] std::string local_path() const;
+  [[nodiscard]] std::size_t workers() const { return pool_ != nullptr ? pool_->size() : 1; }
 
   vfs::FileSystem& fs_;
   DistConfig config_;
+  support::ThreadPool* pool_ = nullptr;
   rpm::Repository gathered_{"gathered"};
   rpm::Repository distribution_{"distribution"};
   // filename -> mirror path, for symlink targets.

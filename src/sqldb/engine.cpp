@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <chrono>
+#include <variant>
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -10,6 +12,23 @@
 
 namespace rocks::sqldb {
 namespace {
+
+/// Lock acquisition timed into a wait-time counter: the cost of the two
+/// clock reads (~tens of ns) is noise against even the cheapest indexed
+/// SELECT (~9 µs), and the counter is what lets a bench distinguish "slow
+/// because scanning" from "slow because serialized on the writer".
+template <typename Lock, typename Mutex>
+Lock timed_lock(Mutex& mutex, std::atomic<std::uint64_t>& acquisitions,
+                std::atomic<std::uint64_t>& wait_ns) {
+  const auto start = std::chrono::steady_clock::now();
+  Lock lock(mutex);
+  wait_ns.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count(),
+                    std::memory_order_relaxed);
+  acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return lock;
+}
 
 /// Evaluation context with no columns in scope (INSERT value lists).
 class EmptyContext final : public RowContext {
@@ -205,15 +224,33 @@ bool Database::NameLess::operator()(std::string_view a, std::string_view b) cons
   return a.size() < b.size();
 }
 
+std::size_t Database::statement_cache_size() const {
+  std::lock_guard<std::mutex> lock(statement_mutex_);
+  return lru_.size();
+}
+
 Database::PreparedStatement Database::prepare(std::string_view sql) {
+  {
+    std::lock_guard<std::mutex> lock(statement_mutex_);
+    const auto it = statement_cache_.find(sql);
+    if (it != statement_cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+  }
+  // Parse outside the mutex: a miss costs microseconds of parser time and
+  // must not stall concurrent cache hits. Two threads missing on the same
+  // text both parse; the loser's insert is dropped in favor of the entry
+  // already present.
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto statement = std::make_shared<const Statement>(parse_statement(sql));
+  std::lock_guard<std::mutex> lock(statement_mutex_);
   const auto it = statement_cache_.find(sql);
   if (it != statement_cache_.end()) {
-    ++cache_hits_;
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->second;
   }
-  ++cache_misses_;
-  auto statement = std::make_shared<const Statement>(parse_statement(sql));
   lru_.emplace_front(std::string(sql), std::move(statement));
   statement_cache_.emplace(std::string_view(lru_.front().first), lru_.begin());
   if (lru_.size() > kStatementCacheCapacity) {
@@ -229,6 +266,17 @@ ResultSet Database::execute(std::string_view sql) {
 }
 
 ResultSet Database::execute(const Statement& statement) {
+  // SELECT reads under a shared lock; everything else mutates table state
+  // and takes the lock exclusively. The lock is acquired here — run_* and
+  // table_locked() assume it is already held (shared_mutex is not
+  // recursive).
+  if (std::holds_alternative<SelectStmt>(statement)) {
+    const auto lock = timed_lock<std::shared_lock<std::shared_mutex>>(
+        table_lock_, shared_acquisitions_, shared_wait_ns_);
+    return run_select(std::get<SelectStmt>(statement));
+  }
+  const auto lock = timed_lock<std::unique_lock<std::shared_mutex>>(
+      table_lock_, exclusive_acquisitions_, exclusive_wait_ns_);
   return std::visit(
       [this](const auto& stmt) -> ResultSet {
         using T = std::decay_t<decltype(stmt)>;
@@ -254,9 +302,17 @@ std::vector<std::string> Database::query_column(std::string_view sql) {
   return out;
 }
 
-bool Database::has_table(std::string_view name) const { return tables_.contains(name); }
+bool Database::has_table(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  return tables_.contains(name);
+}
 
 const Table& Database::table(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  return table_locked(name);
+}
+
+const Table& Database::table_locked(std::string_view name) const {
   const auto it = tables_.find(name);
   require_found(it != tables_.end(), strings::cat("no such table: ", std::string(name)));
   return it->second;
@@ -269,6 +325,7 @@ Table& Database::table_mutable(std::string_view name) {
 }
 
 std::vector<std::string> Database::table_names() const {
+  std::shared_lock<std::shared_mutex> lock(table_lock_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [key, table] : tables_) out.push_back(table.name());
@@ -280,7 +337,7 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
   std::vector<const Table*> tables;
   std::vector<std::string> aliases;
   for (const auto& ref : stmt.from) {
-    tables.push_back(&table(ref.table));
+    tables.push_back(&table_locked(ref.table));
     aliases.push_back(ref.alias);
   }
 
@@ -378,7 +435,8 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
   std::vector<std::array<std::size_t, 2>> join_pairs;     // kHashJoin
 
   std::vector<const Expr*> conjuncts;
-  if (planner_enabled_ && stmt.where) collect_conjuncts(stmt.where.get(), conjuncts);
+  if (planner_enabled_.load(std::memory_order_relaxed) && stmt.where)
+    collect_conjuncts(stmt.where.get(), conjuncts);
 
   if (tables.size() == 1) {
     for (const Expr* conjunct : conjuncts) {
@@ -440,9 +498,9 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
   }
 
   switch (plan) {
-    case Plan::kIndexProbe: ++plans_index_probe_; break;
-    case Plan::kHashJoin: ++plans_hash_join_; break;
-    case Plan::kScan: ++plans_scan_; break;
+    case Plan::kIndexProbe: plans_index_probe_.fetch_add(1, std::memory_order_relaxed); break;
+    case Plan::kHashJoin: plans_hash_join_.fetch_add(1, std::memory_order_relaxed); break;
+    case Plan::kScan: plans_scan_.fetch_add(1, std::memory_order_relaxed); break;
   }
 
   switch (plan) {

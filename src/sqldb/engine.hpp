@@ -11,13 +11,23 @@
 // runs through a small planner that probes per-column hash indexes for
 // equality predicates and hash-joins two-table equi-joins, falling back to
 // the nested-loop scan whenever a query doesn't fit those shapes.
+//
+// Concurrency (see DESIGN.md §9): the engine is safe for concurrent use.
+// SELECTs run under a shared lock so a mass reinstall's kickstart reads
+// proceed in parallel; DML/DDL take the lock exclusively. The prepared-
+// statement LRU has its own internal mutex, so cache hits never serialize
+// behind the table lock. table() references remain valid under concurrent
+// DML, but only external quiescence protects them across a DROP TABLE.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -78,19 +88,48 @@ class Database {
   [[nodiscard]] std::vector<std::string> table_names() const;
 
   // Statement-cache observability (tests, tuning).
-  [[nodiscard]] std::size_t statement_cache_size() const { return lru_.size(); }
-  [[nodiscard]] std::uint64_t statement_cache_hits() const { return cache_hits_; }
-  [[nodiscard]] std::uint64_t statement_cache_misses() const { return cache_misses_; }
+  [[nodiscard]] std::size_t statement_cache_size() const;
+  [[nodiscard]] std::uint64_t statement_cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t statement_cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
 
   // Planner observability: how many SELECTs ran with each strategy.
-  [[nodiscard]] std::uint64_t plans_index_probe() const { return plans_index_probe_; }
-  [[nodiscard]] std::uint64_t plans_hash_join() const { return plans_hash_join_; }
-  [[nodiscard]] std::uint64_t plans_scan() const { return plans_scan_; }
+  [[nodiscard]] std::uint64_t plans_index_probe() const {
+    return plans_index_probe_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t plans_hash_join() const {
+    return plans_hash_join_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t plans_scan() const {
+    return plans_scan_.load(std::memory_order_relaxed);
+  }
+
+  // Lock-contention observability (DESIGN.md §9): how many statements ran
+  // under each lock mode, and the cumulative time spent waiting to acquire
+  // the table lock (nanoseconds). Sits alongside the plan counters so a
+  // bench can tell "slow because scanning" from "slow because serialized".
+  [[nodiscard]] std::uint64_t shared_lock_acquisitions() const {
+    return shared_acquisitions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t exclusive_lock_acquisitions() const {
+    return exclusive_acquisitions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shared_lock_wait_ns() const {
+    return shared_wait_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t exclusive_lock_wait_ns() const {
+    return exclusive_wait_ns_.load(std::memory_order_relaxed);
+  }
 
   /// Testing/debug knob: with the planner off every SELECT takes the
   /// nested-loop scan. Index and hash-join plans must produce identical
   /// ResultSets, so A/B tests flip this and compare.
-  void set_planner_enabled(bool enabled) { planner_enabled_ = enabled; }
+  void set_planner_enabled(bool enabled) {
+    planner_enabled_.store(enabled, std::memory_order_relaxed);
+  }
 
  private:
   ResultSet run_select(const SelectStmt& stmt);
@@ -101,6 +140,9 @@ class Database {
   ResultSet run_create_index(const CreateIndexStmt& stmt);
   ResultSet run_drop(const DropTableStmt& stmt);
 
+  // Table lookups used while the caller already holds table_lock_
+  // (std::shared_mutex is not recursive, so run_* must never re-lock).
+  [[nodiscard]] const Table& table_locked(std::string_view name) const;
   [[nodiscard]] Table& table_mutable(std::string_view name);
 
   /// Case-insensitive, allocation-free table-name ordering (heterogeneous
@@ -112,20 +154,34 @@ class Database {
 
   std::map<std::string, Table, NameLess> tables_;  // keyed by name, case-insensitive
 
+  // --- table reader-writer lock (DESIGN.md §9) -----------------------------
+  // Guards tables_ and every Table inside it. SELECT paths lock shared,
+  // DML/DDL exclusive. Never held while calling prepare() — the statement
+  // cache has its own mutex and the two never nest in that order.
+  mutable std::shared_mutex table_lock_;
+  mutable std::atomic<std::uint64_t> shared_acquisitions_{0};
+  mutable std::atomic<std::uint64_t> exclusive_acquisitions_{0};
+  mutable std::atomic<std::uint64_t> shared_wait_ns_{0};
+  mutable std::atomic<std::uint64_t> exclusive_wait_ns_{0};
+
   // --- prepared-statement LRU cache ---------------------------------------
   static constexpr std::size_t kStatementCacheCapacity = 256;
+  // Guards lru_ + statement_cache_ (a cache *hit* still splices the LRU
+  // list, so reads need the mutex too). Leaf lock: nothing else is
+  // acquired while it is held.
+  mutable std::mutex statement_mutex_;
   // Most-recently-used at the front. The unordered_map's string_view keys
   // point into the list nodes' stable strings.
   std::list<std::pair<std::string, PreparedStatement>> lru_;
   std::unordered_map<std::string_view,
                      std::list<std::pair<std::string, PreparedStatement>>::iterator>
       statement_cache_;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
-  std::uint64_t plans_index_probe_ = 0;
-  std::uint64_t plans_hash_join_ = 0;
-  std::uint64_t plans_scan_ = 0;
-  bool planner_enabled_ = true;
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> plans_index_probe_{0};
+  std::atomic<std::uint64_t> plans_hash_join_{0};
+  std::atomic<std::uint64_t> plans_scan_{0};
+  std::atomic<bool> planner_enabled_{true};
 };
 
 }  // namespace rocks::sqldb

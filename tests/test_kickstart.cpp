@@ -432,6 +432,36 @@ TEST_F(ServerTest, ServerStaysCorrectAfterGraphEdit) {
   EXPECT_GE(server_->generator().profile_cache_hits(), 1u);
 }
 
+TEST_F(ServerTest, HandleManyMatchesSerialRequests) {
+  const std::vector<Ipv4> ips = {Ipv4(10, 255, 255, 254), Ipv4(10, 1, 1, 1),
+                                 Ipv4(10, 255, 255, 254)};
+  std::vector<std::string> expected;
+  for (const Ipv4 ip : ips) expected.push_back(server_->handle_request(ip));
+
+  support::ThreadPool pool(4);
+  const auto report = server_->handle_many(pool, ips);
+  EXPECT_EQ(report.served, ips.size());
+  EXPECT_EQ(report.failed, 0u);
+  for (std::size_t i = 0; i < ips.size(); ++i) {
+    EXPECT_EQ(report.results[i], expected[i]) << "request " << i;
+    EXPECT_TRUE(report.errors[i].empty());
+  }
+  EXPECT_EQ(server_->requests_served(), 2 * ips.size());
+  // ceil(3 requests / 4 workers) = 1 serving round.
+  EXPECT_DOUBLE_EQ(report.simulated_seconds, KickstartServer::kSimulatedRequestSeconds);
+}
+
+TEST_F(ServerTest, HandleManyIsolatesPerRequestFailures) {
+  support::ThreadPool pool(2);
+  const auto report =
+      server_->handle_many(pool, {Ipv4(10, 255, 255, 254), Ipv4(10, 9, 9, 9)});
+  EXPECT_EQ(report.served, 1u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_TRUE(report.errors[0].empty());
+  EXPECT_NE(report.errors[1].find("unknown address"), std::string::npos);
+  EXPECT_TRUE(report.results[1].empty());
+}
+
 TEST_F(ServerTest, GraphRemoveEdge) {
   Graph& g = config_.graph;
   const std::size_t before = g.edges().size();

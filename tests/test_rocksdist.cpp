@@ -145,5 +145,68 @@ TEST_F(RocksDistTest, RepeatedDistIsIdempotent) {
   EXPECT_EQ(first.tree_bytes, second.tree_bytes);
 }
 
+// Regression: re-mirroring with a warm gathered set must be a complete
+// no-op — including for equal-EVR copies arriving through a *different*
+// section, which the pre-EVR-aware check rewrote (and double-counted) on
+// every nightly mirror pass.
+TEST_F(RocksDistTest, RepeatedMirrorIsIdempotentAcrossSections) {
+  RocksDist rd(fs_);
+  const MirrorReport first = rd.mirror(distro_.repo, "redhat/7.2");
+  EXPECT_EQ(first.packages_fetched, distro_.repo.package_count());
+  const std::size_t gathered = rd.gathered().package_count();
+
+  // Same section again: incremental skip.
+  const MirrorReport same = rd.mirror(distro_.repo, "redhat/7.2");
+  EXPECT_EQ(same.packages_fetched, 0u);
+  EXPECT_EQ(same.packages_refreshed, 0u);
+  EXPECT_EQ(same.bytes_fetched, 0u);
+  EXPECT_DOUBLE_EQ(same.mirror_seconds, 0.0);
+
+  // Equal-EVR copies through another section: nothing to refresh, no file
+  // rewrites, no duplicate gathered entries.
+  const MirrorReport sibling = rd.mirror(distro_.repo, "updates/7.2");
+  EXPECT_EQ(sibling.packages_fetched, 0u);
+  EXPECT_EQ(sibling.packages_refreshed, 0u);
+  EXPECT_EQ(sibling.bytes_fetched, 0u);
+  EXPECT_EQ(rd.gathered().package_count(), gathered);
+  EXPECT_FALSE(fs_.exists("/home/install/mirror/updates/7.2/RPMS"))
+      << "no package was fetched, so mkdir_p is the only write allowed";
+
+  // A genuinely newer EVR still comes through, counted as a refresh.
+  const rpm::Package* glibc = distro_.repo.newest("glibc");
+  rpm::Package newer = *glibc;
+  newer.evr.release = newer.evr.release + ".1";
+  rpm::Repository errata("errata");
+  errata.add(newer);
+  const MirrorReport update = rd.mirror(errata, "updates/7.2");
+  EXPECT_EQ(update.packages_fetched, 1u);
+  EXPECT_EQ(update.packages_refreshed, 1u);
+  EXPECT_EQ(rd.gathered().package_count(), gathered + 1);
+}
+
+TEST_F(RocksDistTest, PooledBuildChargesParallelWallClock) {
+  support::ThreadPool pool(8);
+  RocksDist serial(fs_);
+  serial.mirror(distro_.repo, "redhat/7.2");
+  const DistReport serial_report = serial.dist(config_.files, config_.graph);
+
+  vfs::FileSystem pooled_fs;
+  RocksDist pooled(pooled_fs);
+  pooled.set_pool(&pool);
+  const MirrorReport mirror = pooled.mirror(distro_.repo, "redhat/7.2");
+  EXPECT_EQ(mirror.workers, 8u);
+  EXPECT_GT(mirror.mirror_seconds, 0.0);
+  const DistReport pooled_report = pooled.dist(config_.files, config_.graph);
+
+  // The tree is byte-identical; only the simulated wall clock shrinks.
+  EXPECT_EQ(pooled_report.package_count, serial_report.package_count);
+  EXPECT_EQ(pooled_report.symlink_count, serial_report.symlink_count);
+  EXPECT_EQ(pooled_report.tree_bytes, serial_report.tree_bytes);
+  EXPECT_LT(pooled_report.build_seconds, serial_report.build_seconds);
+  // ceil-model floor: with 8 lanes the per-item work shrinks ~8×, but the
+  // fixed setup cost stays.
+  EXPECT_GT(pooled_report.build_seconds, 3.0);
+}
+
 }  // namespace
 }  // namespace rocks::rocksdist

@@ -1,11 +1,19 @@
-// Unit tests for the support library: strings, IP/MAC types, RNG, tables.
+// Unit tests for the support library: strings, IP/MAC types, RNG, tables,
+// thread pool.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
 
 #include "support/error.hpp"
 #include "support/ip.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "support/threadpool.hpp"
 
 namespace rocks {
 namespace {
@@ -158,6 +166,89 @@ TEST(Errors, RequireHelpers) {
 TEST(Fixed, FormatsDecimals) {
   EXPECT_EQ(fixed(10.345, 1), "10.3");
   EXPECT_EQ(fixed(2.0, 2), "2.00");
+}
+
+TEST(ThreadPool, SubmitReturnsFutureWithResult) {
+  support::ThreadPool pool(2);
+  auto answer = pool.submit([] { return 42; });
+  EXPECT_EQ(answer.get(), 42);
+  EXPECT_EQ(pool.tasks_run(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  support::ThreadPool pool(4);
+  constexpr std::size_t kItems = 1000;
+  std::vector<std::atomic<int>> touched(kItems);
+  pool.parallel_for(kItems, [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForZeroItemsIsANoOp) {
+  support::ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "fn must not run for n == 0"; });
+  EXPECT_EQ(pool.tasks_run(), 0u);
+}
+
+TEST(ThreadPool, SingleWorkerPoolStillCompletes) {
+  support::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 4950);
+  // 0 workers clamps to 1 rather than deadlocking.
+  support::ThreadPool clamped(0);
+  EXPECT_EQ(clamped.size(), 1u);
+  EXPECT_EQ(clamped.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerException) {
+  support::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i == 13) throw StateError("worker 13 failed");
+                        }),
+      StateError);
+  // Other chunks are not cancelled; the pool stays usable afterwards.
+  EXPECT_GT(ran.load(), 0);
+  std::atomic<int> after{0};
+  pool.parallel_for(8, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  {
+    support::ThreadPool pool(1);  // one worker so tasks genuinely queue up
+    for (int i = 0; i < 32; ++i)
+      futures.push_back(pool.submit([&completed] { completed.fetch_add(1); }));
+    // Destructor drains: every queued task must run before the worker exits.
+  }
+  EXPECT_EQ(completed.load(), 32);
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
+}
+
+TEST(ThreadPool, StatsTrackQueueAndRuntime) {
+  support::ThreadPool pool(2);
+  pool.parallel_for(100, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(10));
+  });
+  EXPECT_GT(pool.tasks_run(), 0u);
+  EXPECT_GT(pool.queue_depth_high_water(), 0u);
+  EXPECT_GT(pool.total_run().count(), 0);
+  EXPECT_GE(pool.total_wait().count(), 0);
+}
+
+TEST(ThreadPool, ParallelWallSecondsCeilModel) {
+  using support::parallel_wall_seconds;
+  EXPECT_DOUBLE_EQ(parallel_wall_seconds(8, 1, 2.0), 16.0);
+  EXPECT_DOUBLE_EQ(parallel_wall_seconds(8, 8, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(parallel_wall_seconds(9, 8, 2.0), 4.0);  // ceil(9/8) = 2
+  EXPECT_DOUBLE_EQ(parallel_wall_seconds(0, 4, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(parallel_wall_seconds(5, 0, 2.0), 10.0);  // 0 workers = 1
 }
 
 }  // namespace
