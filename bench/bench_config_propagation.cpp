@@ -1,0 +1,156 @@
+// Change-propagation micro-benchmarks (google-benchmark): what one node
+// registration costs the frontend's generated configuration, full-render
+// versus incremental (DESIGN.md §10). The paper's insert-ethers "rebuilds
+// service-specific configuration files" after every discovery — a full
+// rebuild is O(cluster), so at 10,000 nodes each of 10,000 registrations
+// re-renders 10,000 lines. The change journal turns that into O(change):
+// the numbers here back the EXPERIMENTS.md incremental-vs-full table, and
+// the fixture aborts if the two paths ever diverge byte-wise.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "kickstart/server.hpp"
+#include "services/generators.hpp"
+#include "services/manager.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace rocks;
+using strings::cat;
+
+const Ipv4 kFrontendIp(10, 1, 1, 1);
+const char* const kFiles[] = {"/etc/hosts", "/etc/dhcpd.conf",
+                              "/var/spool/pbs/server_priv/nodes"};
+
+/// One database driving two service managers: `full` re-renders whole files
+/// from scratch, `inc` applies journal deltas through IncrementalReports.
+/// Both are attached to the same bus and must produce identical bytes.
+struct Propagation {
+  explicit Propagation(int nodes) {
+    kickstart::ensure_cluster_schema(db);
+    kickstart::insert_node_row(db, "00:30:c1:d8:ac:80", "frontend-0", 1, 0, 0, "10.1.1.1",
+                               "i386", "Gateway machine");
+    for (int i = 0; i < nodes; ++i) add_node();
+
+    full.register_service("hosts", kFiles[0], services::generate_hosts, {"nodes"});
+    full.register_service("dhcpd", kFiles[1],
+                          [](sqldb::Database& d) {
+                            return services::generate_dhcpd_conf(d, kFrontendIp);
+                          },
+                          {"nodes"});
+    full.register_service("pbs", kFiles[2],
+                          [](sqldb::Database& d) { return services::generate_pbs_nodes(d); },
+                          {"nodes", "memberships"});
+    full.attach(db.journal());
+
+    const auto hosts =
+        std::make_shared<services::IncrementalReport>(services::hosts_report_spec());
+    inc.register_service("hosts", kFiles[0],
+                         [hosts](sqldb::Database& d) { return hosts->render(d); }, {"nodes"});
+    const auto dhcpd = std::make_shared<services::IncrementalReport>(
+        services::dhcpd_report_spec(kFrontendIp));
+    inc.register_service("dhcpd", kFiles[1],
+                         [dhcpd](sqldb::Database& d) { return dhcpd->render(d); }, {"nodes"});
+    const auto pbs =
+        std::make_shared<services::IncrementalReport>(services::pbs_nodes_report_spec());
+    inc.register_service("pbs", kFiles[2],
+                         [pbs](sqldb::Database& d) { return pbs->render(d); },
+                         {"nodes", "memberships"});
+    inc.attach(db.journal());
+
+    flush_both();
+    // Exercise both directions of the delta path before measuring anything.
+    add_node();
+    flush_both();
+    remove_last_node();
+    flush_both();
+  }
+
+  void add_node() {
+    kickstart::insert_node_row(
+        db, Mac(0x00508B000000ULL + static_cast<std::uint64_t>(serial)).to_string(),
+        cat("compute-0-", serial), 2, 0, serial,
+        Ipv4(Ipv4(10, 255, 255, 254).value() - static_cast<std::uint32_t>(serial)).to_string());
+    ++serial;
+  }
+
+  void remove_last_node() {
+    --serial;
+    // The mac column is indexed, so the delete itself is O(log N).
+    db.execute(cat("DELETE FROM nodes WHERE mac = '",
+                   Mac(0x00508B000000ULL + static_cast<std::uint64_t>(serial)).to_string(),
+                   "'"));
+  }
+
+  void flush_both() {
+    (void)full.regenerate(db, fs_full);
+    (void)inc.regenerate(db, fs_inc);
+    check_identical();
+  }
+
+  void check_identical() const {
+    for (const char* path : kFiles) {
+      if (fs_full.read_file(path) == fs_inc.read_file(path)) continue;
+      std::fprintf(stderr, "FATAL: incremental %s diverged from full render\n", path);
+      std::abort();
+    }
+  }
+
+  sqldb::Database db;
+  services::ServiceManager full;
+  services::ServiceManager inc;
+  vfs::FileSystem fs_full;
+  vfs::FileSystem fs_inc;
+  int serial = 0;
+};
+
+Propagation& fixture(int nodes) {
+  static std::map<int, std::unique_ptr<Propagation>> cache;
+  auto& slot = cache[nodes];
+  if (!slot) slot = std::make_unique<Propagation>(nodes);
+  return *slot;
+}
+
+/// Register (or retire) one node on an N-node cluster, then regenerate by
+/// re-rendering every file in full — the paper's original update loop.
+void BM_RegisterNodeFullRegen(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  bool add = true;
+  for (auto _ : state) {
+    if (add) f.add_node(); else f.remove_last_node();
+    add = !add;
+    benchmark::DoNotOptimize(f.full.regenerate(f.db, f.fs_full));
+  }
+  // The incremental manager saw the same commits; settle and verify bytes.
+  (void)f.inc.regenerate(f.db, f.fs_inc);
+  f.check_identical();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegisterNodeFullRegen)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Same single-node change, served by journal deltas: one line re-rendered
+/// per file, independent of cluster size.
+void BM_RegisterNodeIncremental(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  bool add = true;
+  for (auto _ : state) {
+    if (add) f.add_node(); else f.remove_last_node();
+    add = !add;
+    benchmark::DoNotOptimize(f.inc.regenerate(f.db, f.fs_inc));
+  }
+  (void)f.full.regenerate(f.db, f.fs_full);
+  f.check_identical();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegisterNodeIncremental)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

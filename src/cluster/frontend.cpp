@@ -26,6 +26,15 @@ Frontend::Frontend(netsim::Simulator& sim, netsim::SyslogBus& syslog,
                              /*rack=*/0, /*rank=*/0, config_.ip.to_string(), "i386",
                              "Gateway machine");
 
+  // Wire the kickstart inputs to the change bus: graph/node-file edits and
+  // distribution rebuilds publish on their channels, and every subscriber
+  // (the profile cache, dirty services) learns of them the same way table
+  // changes propagate (DESIGN.md §10).
+  configuration_.graph.set_bus(&db_.journal(),
+                               std::string(kickstart::Generator::kGraphChannel));
+  configuration_.files.set_bus(&db_.journal(),
+                               std::string(kickstart::Generator::kNodeFilesChannel));
+
   // rocks-dist: mirror the stock release, build the distribution tree.
   rocksdist_.mirror(distro.repo, cat("redhat/", config_.dist_version));
   rocksdist_.dist(configuration_.files, configuration_.graph);
@@ -35,34 +44,62 @@ Frontend::Frontend(netsim::Simulator& sim, netsim::SyslogBus& syslog,
       cat("http://", config_.ip.to_string(), "/install/rocks-dist"),
       &rocksdist_.distribution());
 
-  // The generated-configuration services (Section 6.4).
-  services_.register_service("dhcpd", "/etc/dhcpd.conf", [this](sqldb::Database& db) {
-    return services::generate_dhcpd_conf(db, config_.ip);
-  });
-  services_.register_service("hosts", "/etc/hosts", services::generate_hosts);
-  services_.register_service("pbs", "/var/spool/pbs/server_priv/nodes",
-                             [](sqldb::Database& db) {
-                               return services::generate_pbs_nodes(db);
-                             });
-  services_.register_service("nis", "/var/yp/passwd", services::generate_nis_passwd);
-  services_.register_service("nfs", "/etc/exports", services::generate_nfs_exports);
+  // The generated-configuration services (Section 6.4), each declaring the
+  // tables it is derived from. The node reports render incrementally: the
+  // IncrementalReport consumes nodes-table journal deltas and re-renders
+  // only the lines that changed, byte-identical to the full generators.
+  const auto dhcpd_report = std::make_shared<services::IncrementalReport>(
+      services::dhcpd_report_spec(config_.ip));
+  services_.register_service(
+      "dhcpd", "/etc/dhcpd.conf",
+      [dhcpd_report](sqldb::Database& db) { return dhcpd_report->render(db); }, {"nodes"});
+  const auto hosts_report =
+      std::make_shared<services::IncrementalReport>(services::hosts_report_spec());
+  services_.register_service(
+      "hosts", "/etc/hosts",
+      [hosts_report](sqldb::Database& db) { return hosts_report->render(db); }, {"nodes"});
+  const auto pbs_report =
+      std::make_shared<services::IncrementalReport>(services::pbs_nodes_report_spec());
+  services_.register_service(
+      "pbs", "/var/spool/pbs/server_priv/nodes",
+      [pbs_report](sqldb::Database& db) { return pbs_report->render(db); },
+      {"nodes", "memberships"});
+  services_.register_service("nis", "/var/yp/passwd", services::generate_nis_passwd,
+                             {"users"});
+  services_.register_service("nfs", "/etc/exports", services::generate_nfs_exports,
+                             {"users"});
+  // From here on, commits mark services dirty and flush_services() renders
+  // exactly the dirty ones.
+  services_.attach(db_.journal());
   regenerate_services();
 }
 
-std::vector<std::string> Frontend::regenerate_services() {
-  const auto restarted = services_.regenerate(db_, fs_);
+services::ServiceManager::Report Frontend::flush_services() {
+  auto report = services_.regenerate(db_, fs_);
 
-  // Push static bindings to the DHCP daemon (its restart re-reads the conf).
-  std::map<Mac, netsim::DhcpLease> bindings;
-  const auto rows = db_.execute("SELECT mac, name, ip FROM nodes ORDER BY id");
-  for (const auto& row : rows.rows) {
-    const auto mac = Mac::parse(row[0].to_string());
-    const auto ip = Ipv4::parse(row[2].to_string());
-    if (!mac || !ip) continue;
-    bindings.emplace(*mac, netsim::DhcpLease{*ip, row[1].to_string(), config_.ip});
+  // The DHCP daemon's static bindings follow the nodes table; re-push only
+  // when it actually moved since the last push (the restart re-reads the
+  // conf, so a burst of registrations coalesces into one reconfigure).
+  const std::uint64_t nodes_revision = db_.revision("nodes");
+  if (nodes_revision != dhcp_pushed_revision_) {
+    std::map<Mac, netsim::DhcpLease> bindings;
+    const auto rows = db_.execute("SELECT mac, name, ip FROM nodes ORDER BY id");
+    for (const auto& row : rows.rows) {
+      const auto mac = Mac::parse(row[0].to_string());
+      const auto ip = Ipv4::parse(row[2].to_string());
+      if (!mac || !ip) continue;
+      bindings.emplace(*mac, netsim::DhcpLease{*ip, row[1].to_string(), config_.ip});
+    }
+    dhcp_.configure(std::move(bindings));
+    dhcp_pushed_revision_ = nodes_revision;
   }
-  dhcp_.configure(std::move(bindings));
-  return restarted;
+  return report;
+}
+
+std::vector<std::string> Frontend::regenerate_services() {
+  services_.mark_all_dirty();
+  dhcp_pushed_revision_ = kNeverPushed;  // force the binding push
+  return flush_services().restarted;
 }
 
 void Frontend::add_user(std::string_view name, int uid, std::string_view shell) {
@@ -70,7 +107,9 @@ void Frontend::add_user(std::string_view name, int uid, std::string_view shell) 
   db_.execute(cat("INSERT INTO users VALUES ('", name, "', ", uid, ", '/export/home/", name,
                   "', '", shell, "')"));
   fs_.mkdir_p(cat("/export/home/", name));
-  regenerate_services();  // pushes the fresh NIS map
+  // The INSERT marked nis/nfs dirty through the bus; flush renders just
+  // those and pushes the fresh NIS map.
+  flush_services();
 }
 
 std::string Frontend::nis_passwd_map() {
@@ -80,7 +119,12 @@ std::string Frontend::nis_passwd_map() {
 }
 
 rocksdist::DistReport Frontend::rebuild_distribution() {
-  return rocksdist_.dist(configuration_.files, configuration_.graph);
+  auto report = rocksdist_.dist(configuration_.files, configuration_.graph);
+  // The distribution contents changed: publish so the kickstart profile
+  // cache (subscribed to this channel) rebuilds — previously this required
+  // remembering to call invalidate_profiles() by hand.
+  db_.journal().touch(kickstart::Generator::kDistributionChannel);
+  return report;
 }
 
 rocksdist::DistReport Frontend::apply_updates(const rpm::Repository& updates) {

@@ -65,9 +65,15 @@ class Frontend {
     return rocksdist_.distribution();
   }
 
-  /// Regenerates every /etc config file from the database, restarts changed
-  /// services, and pushes fresh static bindings into the DHCP server.
-  /// Returns the restarted service names.
+  /// Flushes the change bus: regenerates the config files whose source
+  /// tables changed since the last flush (dirty services only), restarts
+  /// the ones whose content moved, and re-pushes DHCP bindings when the
+  /// nodes table changed. This is the normal post-commit path — its cost
+  /// tracks the size of the change, not the cluster.
+  services::ServiceManager::Report flush_services();
+
+  /// Legacy full regeneration: marks every service dirty, flushes, and
+  /// forces a DHCP binding push. Returns the restarted service names.
   std::vector<std::string> regenerate_services();
 
   /// useradd: adds an account row and pushes the NIS maps ("User account
@@ -101,6 +107,10 @@ class Frontend {
   netsim::DhcpServer dhcp_;
   std::unique_ptr<kickstart::KickstartServer> kickstart_server_;
   services::ServiceManager services_;
+  /// nodes-table journal revision the DHCP server's bindings reflect;
+  /// kNeverPushed forces the next flush to push.
+  static constexpr std::uint64_t kNeverPushed = ~std::uint64_t{0};
+  std::uint64_t dhcp_pushed_revision_ = kNeverPushed;
 };
 
 }  // namespace rocks::cluster

@@ -49,6 +49,36 @@ int InsertEthers::next_rank() const {
   return static_cast<int>(rows.rows[0][0].as_int()) + 1;
 }
 
+bool InsertEthers::insert_node(const Mac& mac) {
+  // Already known? (Several retries can race one insertion.)
+  const auto existing = frontend_.db().execute(
+      cat("SELECT name FROM nodes WHERE mac = '", mac.to_string(), "'"));
+  if (existing.row_count() != 0) return false;
+
+  const int rank = next_rank();
+  const std::string name = cat(options_.basename, "-", options_.rack, "-", rank);
+  const Ipv4 ip = next_free_ip();
+  kickstart::insert_node_row(frontend_.db(), mac.to_string(), name, options_.membership,
+                             options_.rack, rank, ip.to_string(), options_.arch,
+                             "Compute node");
+  ++inserted_;
+  log_.push_back(cat("inserted ", name, " (", mac.to_string(), " -> ", ip.to_string(), ")"));
+  return true;
+}
+
+void InsertEthers::flush() { frontend_.flush_services(); }
+
+int InsertEthers::register_batch(const std::vector<Mac>& macs) {
+  // The commits mark services dirty through the bus as they land; one
+  // flush at the end coalesces the whole burst — each service restarts at
+  // most once no matter how many nodes were registered.
+  int fresh = 0;
+  for (const Mac& mac : macs)
+    if (insert_node(mac)) ++fresh;
+  flush();
+  return fresh;
+}
+
 void InsertEthers::on_syslog(const netsim::SyslogMessage& message) {
   // The discovery signature: dhcpd logging a request it could not answer.
   if (message.facility != "dhcpd") return;
@@ -66,23 +96,11 @@ void InsertEthers::on_syslog(const netsim::SyslogMessage& message) {
   }
   const auto mac = Mac::parse(mac_text);
   if (!mac) return;
+  if (!insert_node(*mac)) return;
 
-  // Already known? (Several retries can race one insertion.)
-  const auto existing = frontend_.db().execute(
-      cat("SELECT name FROM nodes WHERE mac = '", mac->to_string(), "'"));
-  if (existing.row_count() != 0) return;
-
-  const int rank = next_rank();
-  const std::string name = cat(options_.basename, "-", options_.rack, "-", rank);
-  const Ipv4 ip = next_free_ip();
-  kickstart::insert_node_row(frontend_.db(), mac->to_string(), name, options_.membership,
-                             options_.rack, rank, ip.to_string(), options_.arch,
-                             "Compute node");
-  ++inserted_;
-  log_.push_back(cat("inserted ", name, " (", mac->to_string(), " -> ", ip.to_string(), ")"));
-
-  // Rebuild configs + restart services so the node's DHCP retry succeeds.
-  frontend_.regenerate_services();
+  // Flush the bus (dirty services + DHCP bindings) so the node's DHCP
+  // retry succeeds; batch integrations defer this to one flush() call.
+  if (options_.auto_flush) flush();
 }
 
 }  // namespace rocks::cluster

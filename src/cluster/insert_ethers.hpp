@@ -28,6 +28,11 @@ struct InsertEthersOptions {
   std::string arch = "i386";
   /// IPs are handed out downward from here, skipping taken addresses.
   Ipv4 ip_ceiling{10, 255, 255, 254};
+  /// Flush the change bus (regenerate dirty services, push DHCP bindings)
+  /// after every discovery, so the node's next DHCP retry succeeds. Turn
+  /// off to coalesce a burst of registrations into one flush() — N nodes
+  /// then restart each service once, not N times.
+  bool auto_flush = true;
 };
 
 class InsertEthers {
@@ -49,11 +54,22 @@ class InsertEthers {
   /// integrated (recorded in the nodes table; the kickstart CGI reads it).
   void set_arch(std::string arch) { options_.arch = std::move(arch); }
 
+  /// Registers a burst of known MACs directly (no syslog round-trip), then
+  /// flushes the bus once: every service restarts at most once for the
+  /// whole batch. Returns how many were newly inserted (duplicates skip).
+  int register_batch(const std::vector<Mac>& macs);
+
+  /// Flushes pending changes to the services (used with auto_flush=false).
+  void flush();
+
   [[nodiscard]] int nodes_inserted() const { return inserted_; }
   [[nodiscard]] const std::vector<std::string>& insertion_log() const { return log_; }
 
  private:
   void on_syslog(const netsim::SyslogMessage& message);
+  /// Allocates name/rank/IP and inserts the row; false when the MAC is
+  /// already registered. Does not flush.
+  bool insert_node(const Mac& mac);
   [[nodiscard]] Ipv4 next_free_ip() const;
   [[nodiscard]] int next_rank() const;
 

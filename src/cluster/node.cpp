@@ -312,7 +312,7 @@ void Node::finish_install() {
   fs_.mkdir_p("/etc/rc.d/rocks-post.d");
   int post_index = 0;
   for (const auto& post : profile.posts()) {
-    char prefix[8];
+    char prefix[16];
     std::snprintf(prefix, sizeof prefix, "%02d", post_index++);
     fs_.write_file(strings::cat("/etc/rc.d/rocks-post.d/", prefix, "-", post.origin),
                    post.body);

@@ -5,9 +5,10 @@
 // so the appliance-level work (graph traversal, package merge, distribution
 // pruning, header assembly) is memoized per (appliance, arch) as a Profile
 // skeleton; each request only substitutes the @MARKER@s for its node. The
-// cache self-invalidates on Graph/NodeFileSet revision changes; distribution
-// (Repository) edits need an explicit invalidate_profiles() — see DESIGN.md
-// §8.3 for the contract.
+// cache self-invalidates on Graph/NodeFileSet revision changes and on bus
+// notifications; distribution (Repository) edits publish on
+// kDistributionChannel (or call invalidate_profiles() when bus-less) — see
+// DESIGN.md §8.3 and §10 for the contract.
 //
 // Concurrency (DESIGN.md §9): generate() may be called from many threads at
 // once (KickstartServer::handle_many). The profile cache is lock-striped —
@@ -18,6 +19,13 @@
 // concurrently. The Graph/NodeFileSet/Repository themselves must not be
 // mutated while requests are in flight (they are the serving config, not
 // the cache).
+//
+// Invalidation flows through the change bus (DESIGN.md §10): a Generator
+// constructed with a ChangeJournal subscribes to the kickstart input
+// channels (graph, node files, distribution) and marks itself stale when
+// any is touched; the next generate() flushes once. Bus-less Generators
+// fall back to polling the Graph/NodeFileSet revision counters — both
+// paths feed the same single stale/flush mechanism.
 #pragma once
 
 #include <array>
@@ -35,6 +43,7 @@
 #include "kickstart/nodefile.hpp"
 #include "kickstart/profile.hpp"
 #include "rpm/repository.hpp"
+#include "sqldb/journal.hpp"
 #include "support/ip.hpp"
 
 namespace rocks::kickstart {
@@ -57,11 +66,24 @@ struct NodeConfig {
 
 class Generator {
  public:
+  // Bus channels the kickstart inputs publish on (Graph::set_bus /
+  // NodeFileSet::set_bus / the frontend's distribution rebuilds).
+  static constexpr std::string_view kGraphChannel = "kickstart.graph";
+  static constexpr std::string_view kNodeFilesChannel = "kickstart.nodefiles";
+  static constexpr std::string_view kDistributionChannel = "kickstart.distribution";
+
   /// `distro` (optional) prunes TYPE="optional" packages that the
   /// distribution does not carry; required packages are never pruned (a
   /// missing one surfaces at install time, as on a real cluster).
+  /// `bus` (optional) subscribes the profile cache to the three kickstart
+  /// channels above; without it, staleness is detected by polling the
+  /// Graph/NodeFileSet revision counters only.
   Generator(const NodeFileSet& files, const Graph& graph,
-            const rpm::Repository* distro = nullptr);
+            const rpm::Repository* distro = nullptr,
+            sqldb::ChangeJournal* bus = nullptr);
+  ~Generator();
+  Generator(const Generator&) = delete;
+  Generator& operator=(const Generator&) = delete;
 
   /// Expands the graph from `config.appliance` and assembles the kickstart
   /// file. Throws LookupError when the appliance or any traversed module
@@ -71,12 +93,17 @@ class Generator {
   /// generate() + render() in one step — the CGI script's output.
   [[nodiscard]] std::string generate_text(const NodeConfig& config) const;
 
-  /// Drops every cached profile. Call after mutating the Repository handed
-  /// to the constructor — the generator detects Graph and NodeFileSet edits
-  /// by revision counter, but the Repository has none. Safe to call while
-  /// other threads generate: they finish on their snapshot and the next
-  /// request rebuilds.
-  void invalidate_profiles() const;
+  /// Marks the profile cache stale; the next generate() flushes it once
+  /// (a deferred bus-style flush — the same path bus notifications take).
+  /// Safe to call from any thread, including bus callbacks: only an atomic
+  /// flag is written. In-flight generates finish on their snapshots.
+  void mark_stale() const { stale_.store(true, std::memory_order_release); }
+
+  /// Drops every cached profile (deferred to the next generate()). Call
+  /// after mutating the Repository handed to the constructor when no bus
+  /// publishes kDistributionChannel — with a bus, prefer touching that
+  /// channel so every subscriber learns of the change, not just this one.
+  void invalidate_profiles() const { mark_stale(); }
 
   // Profile-cache observability (tests, tuning).
   [[nodiscard]] std::uint64_t profile_cache_hits() const {
@@ -110,6 +137,8 @@ class Generator {
   const NodeFileSet& files_;
   const Graph& graph_;
   const rpm::Repository* distro_;
+  sqldb::ChangeJournal* bus_ = nullptr;
+  std::vector<std::size_t> subscriptions_;  // bus subscription ids
 
   // Lock-striped profile cache. A shard's shared lock covers lookups, its
   // exclusive lock covers inserts and the flush; entries are shared_ptr so
@@ -127,6 +156,9 @@ class Generator {
   // Serializes revision-triggered flushes (flush + counter update must be
   // one step); ordered before the stripe locks in the hierarchy.
   mutable std::mutex flush_mutex_;
+  /// Set by bus callbacks and invalidate_profiles(); consumed (exchanged
+  /// false) by the next profile_for() flush.
+  mutable std::atomic<bool> stale_{false};
   mutable std::atomic<std::uint64_t> graph_revision_{0};
   mutable std::atomic<std::uint64_t> files_revision_{0};
   mutable std::atomic<std::uint64_t> cache_hits_{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "sqldb/journal.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "xml/parser.hpp"
@@ -50,9 +51,19 @@ Graph Graph::from_element(const xml::Element& root) {
   return out;
 }
 
+void Graph::set_bus(sqldb::ChangeJournal* bus, std::string channel) {
+  bus_ = bus;
+  bus_channel_ = std::move(channel);
+}
+
+void Graph::publish() const {
+  if (bus_ != nullptr) bus_->touch(bus_channel_);
+}
+
 void Graph::add_edge(std::string from, std::string to, std::string arch) {
   edges_.push_back({std::move(from), std::move(to), std::move(arch)});
   ++revision_;
+  publish();
 }
 
 std::size_t Graph::remove_edge(std::string_view from, std::string_view to) {
@@ -62,7 +73,10 @@ std::size_t Graph::remove_edge(std::string_view from, std::string_view to) {
                                 return edge.from == from && edge.to == to;
                               }),
                edges_.end());
-  if (before != edges_.size()) ++revision_;
+  if (before != edges_.size()) {
+    ++revision_;
+    publish();
+  }
   return before - edges_.size();
 }
 

@@ -24,6 +24,10 @@
 #include "kickstart/nodefile.hpp"
 #include "xml/dom.hpp"
 
+namespace rocks::sqldb {
+class ChangeJournal;
+}
+
 namespace rocks::kickstart {
 
 struct Edge {
@@ -48,6 +52,12 @@ class Graph {
   /// profile cache) compare this against the value they captured to detect
   /// graph edits without being told.
   [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
+  /// Attaches the graph to the change bus: every edge mutation publishes a
+  /// touch on `channel` (normally Generator::kGraphChannel) so subscribers
+  /// are pushed the change instead of polling revision(). Pass nullptr to
+  /// detach. The journal must outlive this graph (or be detached first).
+  void set_bus(sqldb::ChangeJournal* bus, std::string channel);
   [[nodiscard]] const std::string& description() const { return description_; }
   void set_description(std::string text) { description_ = std::move(text); }
 
@@ -77,9 +87,13 @@ class Graph {
   [[nodiscard]] std::string to_xml() const;
 
  private:
+  void publish() const;
+
   std::string description_;
   std::vector<Edge> edges_;
   std::uint64_t revision_ = 0;
+  sqldb::ChangeJournal* bus_ = nullptr;
+  std::string bus_channel_;
 };
 
 }  // namespace rocks::kickstart

@@ -1,5 +1,6 @@
 #include "kickstart/nodefile.hpp"
 
+#include "sqldb/journal.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "xml/parser.hpp"
@@ -97,10 +98,20 @@ std::string NodeFile::to_xml() const {
   return xml::write(doc);
 }
 
+void NodeFileSet::set_bus(sqldb::ChangeJournal* bus, std::string channel) {
+  bus_ = bus;
+  bus_channel_ = std::move(channel);
+}
+
+void NodeFileSet::publish() const {
+  if (bus_ != nullptr) bus_->touch(bus_channel_);
+}
+
 void NodeFileSet::add(NodeFile file) {
   const std::string key = file.name();
   files_.insert_or_assign(key, std::move(file));
   ++revision_;
+  publish();
 }
 
 bool NodeFileSet::contains(std::string_view name) const { return files_.contains(name); }
@@ -117,6 +128,7 @@ NodeFile& NodeFileSet::get_mutable(std::string_view name) {
   require_found(it != files_.end(),
                 strings::cat("no node file named '", std::string(name), "'"));
   ++revision_;  // caller may edit through the reference
+  publish();
   return it->second;
 }
 

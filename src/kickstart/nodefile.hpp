@@ -23,6 +23,10 @@
 
 #include "xml/dom.hpp"
 
+namespace rocks::sqldb {
+class ChangeJournal;
+}
+
 namespace rocks::kickstart {
 
 struct PackageEntry {
@@ -86,9 +90,19 @@ class NodeFileSet {
   /// Cache layers compare this to detect node-file edits.
   [[nodiscard]] std::uint64_t revision() const { return revision_; }
 
+  /// Attaches the set to the change bus: every mutation (add / get_mutable
+  /// handout) publishes a touch on `channel` (normally
+  /// Generator::kNodeFilesChannel). Pass nullptr to detach. The journal
+  /// must outlive this set (or be detached first).
+  void set_bus(sqldb::ChangeJournal* bus, std::string channel);
+
  private:
+  void publish() const;
+
   std::map<std::string, NodeFile, std::less<>> files_;
   std::uint64_t revision_ = 0;
+  sqldb::ChangeJournal* bus_ = nullptr;
+  std::string bus_channel_;
 };
 
 }  // namespace rocks::kickstart

@@ -56,7 +56,7 @@ KickstartServer::KickstartServer(sqldb::Database& db, const NodeFileSet& files,
                                  const Graph& graph, Ipv4 frontend_ip,
                                  std::string distribution_url, const rpm::Repository* distro)
     : db_(db),
-      generator_(files, graph, distro),
+      generator_(files, graph, distro, &db.journal()),
       frontend_ip_(frontend_ip),
       distribution_url_(std::move(distribution_url)) {}
 

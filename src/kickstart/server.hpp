@@ -85,11 +85,10 @@ class KickstartServer {
   /// request is refused. An empty probe means always available.
   void set_availability_probe(std::function<bool()> probe) { available_ = std::move(probe); }
 
-  /// Drops the generator's cached appliance profiles. Graph and node-file
-  /// edits invalidate automatically (revision counters); call this after
-  /// mutating the Repository (distribution contents).
-  void invalidate_profiles() { generator_.invalidate_profiles(); }
-
+  // Profile invalidation flows through the change bus: the generator is
+  // subscribed to the kickstart channels of db.journal(), so graph,
+  // node-file, and distribution publishers invalidate it without a wrapper
+  // here (DESIGN.md §10).
   [[nodiscard]] const Generator& generator() const { return generator_; }
 
   [[nodiscard]] std::uint64_t requests_served() const {

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "services/incremental.hpp"
 #include "sqldb/engine.hpp"
 #include "support/ip.hpp"
 
@@ -35,5 +36,21 @@ namespace rocks::services {
 
 /// Creates users(name, uid, home, shell) with a root row when missing.
 void ensure_users_table(sqldb::Database& db);
+
+// --- incremental specs (DESIGN.md §10) --------------------------------------
+// IncrementalReport specs whose output is byte-identical to the full
+// generators above (asserted in tests), but updatable from journal deltas:
+// a single node registration re-renders one line instead of the cluster.
+
+/// Incremental /etc/hosts, driven by the nodes table.
+[[nodiscard]] IncrementalReport::Spec hosts_report_spec();
+
+/// Incremental /etc/dhcpd.conf; nodes-driven, frontend_ip baked into the
+/// header and per-host next-server stanzas.
+[[nodiscard]] IncrementalReport::Spec dhcpd_report_spec(Ipv4 frontend_ip);
+
+/// Incremental PBS nodes file. Driven by nodes deltas; memberships is a
+/// rescan table (the compute flag gates line inclusion through a join).
+[[nodiscard]] IncrementalReport::Spec pbs_nodes_report_spec(int np = 2);
 
 }  // namespace rocks::services

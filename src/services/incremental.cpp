@@ -1,0 +1,103 @@
+#include "services/incremental.hpp"
+
+#include <algorithm>
+
+namespace rocks::services {
+
+bool SortKeyLess::operator()(const sqldb::Row& a, const sqldb::Row& b) const {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cmp = a[i].compare(b[i]);
+    if (cmp != 0) return cmp < 0;
+  }
+  return a.size() < b.size();
+}
+
+std::string IncrementalReport::render(sqldb::Database& db) {
+  // Read the cursors *before* querying: changes committed between the
+  // revision read and the SELECT are re-applied on the next render, which
+  // the idempotent re-fetch tolerates.
+  const std::uint64_t revision = db.revision(spec_.table);
+  std::vector<std::uint64_t> rescan_now;
+  rescan_now.reserve(spec_.rescan_tables.size());
+  for (const std::string& table : spec_.rescan_tables)
+    rescan_now.push_back(db.revision(table));
+
+  bool full = !primed_ || rescan_now != rescan_cursors_;
+  sqldb::ChangeDelta delta;
+  if (!full) {
+    delta = db.since(spec_.table, cursor_);
+    full = delta.truncated;
+  }
+
+  if (full) {
+    rebuild(db);
+    cursor_ = revision;
+  } else {
+    for (const sqldb::ChangeRecord& record : delta.changes) apply_one(db, record);
+    if (!delta.changes.empty()) ++delta_applies_;
+    cursor_ = delta.revision;
+  }
+  rescan_cursors_ = std::move(rescan_now);
+  primed_ = true;
+
+  std::string out = spec_.header;
+  out.reserve(std::max(out.size(), last_render_size_));  // one allocation, not log N
+  for (const auto& [key, line] : lines_) out += line;
+  last_render_size_ = out.size();
+  return out;
+}
+
+void IncrementalReport::rebuild(sqldb::Database& db) {
+  lines_.clear();
+  key_by_pk_.clear();
+  const sqldb::ResultSet rows = db.execute(spec_.select_all);
+  for (std::size_t i = 0; i < rows.row_count(); ++i) {
+    sqldb::Row key = spec_.key_of(rows, i);
+    // The key's tie-break column is the PK (unique), so collisions cannot
+    // happen in a rebuild; last-write-wins keeps this total anyway.
+    key_by_pk_.insert_or_assign(key.back(), key);
+    lines_.insert_or_assign(std::move(key), spec_.render_row(rows, i));
+  }
+  ++full_rebuilds_;
+}
+
+void IncrementalReport::apply_one(sqldb::Database& db, const sqldb::ChangeRecord& record) {
+  if (record.op == sqldb::ChangeOp::kDelete) {
+    erase_pk(record.pk);
+    return;
+  }
+  // Insert or update: re-fetch the row's *current* state. A stale record
+  // (row since deleted, or filtered out of the report) yields zero rows.
+  const sqldb::ResultSet rows = db.execute(spec_.select_one(record.pk));
+  if (rows.row_count() == 0) {
+    erase_pk(record.pk);
+    return;
+  }
+  sqldb::Row key = spec_.key_of(rows, 0);
+  upsert(record.pk, std::move(key), spec_.render_row(rows, 0));
+}
+
+void IncrementalReport::upsert(const sqldb::Value& pk, sqldb::Row key, std::string line) {
+  const auto it = key_by_pk_.find(pk);
+  if (it != key_by_pk_.end()) {
+    if (!SortKeyLess{}(it->second, key) && !SortKeyLess{}(key, it->second)) {
+      // Key unchanged: replace the line in place.
+      lines_[key] = std::move(line);
+      return;
+    }
+    lines_.erase(it->second);  // key changed: the line moves within the file
+    key_by_pk_.erase(it);
+  }
+  key_by_pk_.insert_or_assign(pk, key);
+  lines_.insert_or_assign(std::move(key), std::move(line));
+}
+
+void IncrementalReport::erase_pk(const sqldb::Value& pk) {
+  const auto it = key_by_pk_.find(pk);
+  if (it == key_by_pk_.end()) return;  // idempotent: already gone
+  lines_.erase(it->second);
+  key_by_pk_.erase(it);
+}
+
+}  // namespace rocks::services

@@ -1,0 +1,98 @@
+// Incremental report rendering (DESIGN.md §10).
+//
+// The paper's configuration files are all "header + one line per database
+// row" reports. A full render is O(cluster): every node row is re-queried
+// and re-formatted after every change. IncrementalReport instead keeps the
+// rendered lines in a map ordered by the report's sort key and applies
+// journal deltas — a single node registration re-renders one line, not ten
+// thousand — while remaining byte-identical to the full render (asserted in
+// tests for every spec).
+//
+// A report consumes the change journal of one *driving* table, whose
+// primary keys identify lines. Other tables the report joins against are
+// declared as rescan tables: any change to them forces a full rebuild
+// (joins do not map 1:1 onto lines, so deltas cannot be applied by key).
+// Truncated journals, NULL-PK deltas, and the first render also rebuild.
+//
+// Delta application is idempotent: each record re-fetches the row's current
+// state by primary key, so replaying a suffix of the journal twice (the
+// cursor is only advanced to the delta's revision, while the re-fetch may
+// observe newer commits) converges instead of corrupting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sqldb/engine.hpp"
+
+namespace rocks::services {
+
+/// Lexicographic Value-row ordering — the ORDER BY of the report's full
+/// query, expressed over extracted sort keys.
+struct SortKeyLess {
+  bool operator()(const sqldb::Row& a, const sqldb::Row& b) const;
+};
+
+class IncrementalReport {
+ public:
+  struct Spec {
+    /// Static preamble emitted before the per-row lines.
+    std::string header;
+    /// Driving table: journal channel whose (op, PK) deltas map to lines.
+    std::string table;
+    /// Tables the report reads but is not keyed by; any revision change
+    /// forces a full rebuild.
+    std::vector<std::string> rescan_tables;
+    /// Full query; must ORDER BY the same key `key_of` extracts.
+    std::string select_all;
+    /// SQL selecting the same columns as select_all for one primary key;
+    /// zero result rows mean "this row renders no line" (filtered out).
+    std::function<std::string(const sqldb::Value& pk)> select_one;
+    /// Sort key of a result row, including a unique tie-break column (the
+    /// PK) so the map order reproduces the full query's ORDER BY exactly.
+    std::function<sqldb::Row(const sqldb::ResultSet&, std::size_t)> key_of;
+    /// Rendered line for a result row ("" = row contributes no text).
+    std::function<std::string(const sqldb::ResultSet&, std::size_t)> render_row;
+  };
+
+  explicit IncrementalReport(Spec spec) : spec_(std::move(spec)) {}
+
+  /// Renders the report, incrementally when the journal permits. Matches
+  /// ServiceManager::Generator once wrapped in a lambda. Not re-entrant.
+  [[nodiscard]] std::string render(sqldb::Database& db);
+
+  // Observability: how renders were satisfied (tests assert minimality).
+  [[nodiscard]] std::uint64_t full_rebuilds() const { return full_rebuilds_; }
+  [[nodiscard]] std::uint64_t delta_applies() const { return delta_applies_; }
+
+ private:
+  struct Entry {
+    sqldb::Row key;
+    std::string line;
+  };
+
+  void rebuild(sqldb::Database& db);
+  /// Re-fetches one primary key and inserts/replaces/removes its line.
+  void apply_one(sqldb::Database& db, const sqldb::ChangeRecord& record);
+  void upsert(const sqldb::Value& pk, sqldb::Row key, std::string line);
+  void erase_pk(const sqldb::Value& pk);
+
+  Spec spec_;
+  bool primed_ = false;
+  std::uint64_t cursor_ = 0;                  // driving table's journal cursor
+  std::vector<std::uint64_t> rescan_cursors_; // parallel to spec_.rescan_tables
+
+  std::map<sqldb::Row, std::string, SortKeyLess> lines_;  // sort key -> line
+  std::unordered_map<sqldb::Value, sqldb::Row, sqldb::ValueHash, sqldb::ValueEqual>
+      key_by_pk_;  // pk -> its current sort key in lines_
+
+  std::size_t last_render_size_ = 0;  // sizes renders' reserve; sticky is fine
+  std::uint64_t full_rebuilds_ = 0;
+  std::uint64_t delta_applies_ = 0;
+};
+
+}  // namespace rocks::services

@@ -275,20 +275,29 @@ ResultSet Database::execute(const Statement& statement) {
         table_lock_, shared_acquisitions_, shared_wait_ns_);
     return run_select(std::get<SelectStmt>(statement));
   }
-  const auto lock = timed_lock<std::unique_lock<std::shared_mutex>>(
-      table_lock_, exclusive_acquisitions_, exclusive_wait_ns_);
-  return std::visit(
-      [this](const auto& stmt) -> ResultSet {
-        using T = std::decay_t<decltype(stmt)>;
-        if constexpr (std::is_same_v<T, SelectStmt>) return run_select(stmt);
-        else if constexpr (std::is_same_v<T, InsertStmt>) return run_insert(stmt);
-        else if constexpr (std::is_same_v<T, UpdateStmt>) return run_update(stmt);
-        else if constexpr (std::is_same_v<T, DeleteStmt>) return run_delete(stmt);
-        else if constexpr (std::is_same_v<T, CreateTableStmt>) return run_create(stmt);
-        else if constexpr (std::is_same_v<T, CreateIndexStmt>) return run_create_index(stmt);
-        else return run_drop(stmt);
-      },
-      statement);
+  // Mutations: journal records are written by run_* under the exclusive
+  // lock, but subscriber notifications fire only after it is released so a
+  // callback may issue its own statements without self-deadlocking.
+  std::vector<std::string> touched;
+  ResultSet result;
+  {
+    const auto lock = timed_lock<std::unique_lock<std::shared_mutex>>(
+        table_lock_, exclusive_acquisitions_, exclusive_wait_ns_);
+    result = std::visit(
+        [this, &touched](const auto& stmt) -> ResultSet {
+          using T = std::decay_t<decltype(stmt)>;
+          if constexpr (std::is_same_v<T, SelectStmt>) return run_select(stmt);
+          else if constexpr (std::is_same_v<T, InsertStmt>) return run_insert(stmt, touched);
+          else if constexpr (std::is_same_v<T, UpdateStmt>) return run_update(stmt, touched);
+          else if constexpr (std::is_same_v<T, DeleteStmt>) return run_delete(stmt, touched);
+          else if constexpr (std::is_same_v<T, CreateTableStmt>) return run_create(stmt, touched);
+          else if constexpr (std::is_same_v<T, CreateIndexStmt>) return run_create_index(stmt);
+          else return run_drop(stmt, touched);
+        },
+        statement);
+  }
+  for (const std::string& channel : touched) journal_.notify(channel);
+  return result;
 }
 
 std::vector<std::string> Database::query_column(std::string_view sql) {
@@ -426,13 +435,15 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
 
   // --- planner: pick how to enumerate candidate row combinations ----------
   // 1. Single table + an indexed `col = literal` conjunct -> index probe.
-  // 2. Two tables + a `a.x = b.y` conjunct -> hash join, built on the
+  // 2. Two tables + a selective indexed `col = literal` conjunct -> index
+  //    join: probe the literal, pair the few hits with the other table.
+  // 3. Two tables + a `a.x = b.y` conjunct -> hash join, built on the
   //    smaller side, matches re-sorted into nested-loop emission order.
-  // 3. Anything else -> the original nested-loop scan (odometer).
-  enum class Plan { kScan, kIndexProbe, kHashJoin };
+  // 4. Anything else -> the original nested-loop scan (odometer).
+  enum class Plan { kScan, kIndexProbe, kIndexJoin, kHashJoin };
   Plan plan = Plan::kScan;
   std::vector<std::size_t> probe_rows;                    // kIndexProbe
-  std::vector<std::array<std::size_t, 2>> join_pairs;     // kHashJoin
+  std::vector<std::array<std::size_t, 2>> join_pairs;     // kIndexJoin/kHashJoin
 
   std::vector<const Expr*> conjuncts;
   if (planner_enabled_.load(std::memory_order_relaxed) && stmt.where)
@@ -452,7 +463,41 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
       break;
     }
   } else if (tables.size() == 2) {
+    // A selective indexed literal beats hashing both tables: probe it,
+    // pair the hits with every row of the other side, and let the residual
+    // conjuncts (including the join predicate) filter. This is the plan
+    // behind point re-fetches that join — the kickstart resolve and the
+    // incremental reports' select_one queries, both `pk = literal` against
+    // a small dimension table.
     for (const Expr* conjunct : conjuncts) {
+      const auto eq = match_eq_column_literal(conjunct);
+      if (!eq) continue;
+      const auto resolved = resolve_column(eq->column, tables, aliases);
+      if (!resolved || !tables[resolved->first]->has_index_on(resolved->second)) continue;
+      const std::size_t side = resolved->first;
+      const Table& other = *tables[1 - side];
+      const auto hits =
+          tables[side]->probe_index(resolved->second, eq->literal->literal_value());
+      // Only when pairing is cheaper than the hash join's pass over both
+      // tables; an unselective probe (or a big far side) stays hashed.
+      if (hits.size() * other.row_count() >
+          tables[0]->row_count() + tables[1]->row_count())
+        continue;
+      for (const std::size_t hit : hits)
+        for (std::size_t o = 0; o < other.row_count(); ++o)
+          join_pairs.push_back(side == 0 ? std::array<std::size_t, 2>{hit, o}
+                                         : std::array<std::size_t, 2>{o, hit});
+      // Restore nested-loop (outer, inner) emission order for bit-identical
+      // results either way.
+      std::sort(join_pairs.begin(), join_pairs.end());
+      plan = Plan::kIndexJoin;
+      for (const Expr* other_conjunct : conjuncts)
+        if (other_conjunct != conjunct) residual.push_back(other_conjunct);
+      use_residual = true;
+      break;
+    }
+    for (const Expr* conjunct : conjuncts) {
+      if (plan != Plan::kScan) break;
       if (conjunct->kind() != Expr::Kind::kBinary ||
           conjunct->binary_op() != BinaryOp::kEq)
         continue;
@@ -499,6 +544,7 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
 
   switch (plan) {
     case Plan::kIndexProbe: plans_index_probe_.fetch_add(1, std::memory_order_relaxed); break;
+    case Plan::kIndexJoin: plans_index_join_.fetch_add(1, std::memory_order_relaxed); break;
     case Plan::kHashJoin: plans_hash_join_.fetch_add(1, std::memory_order_relaxed); break;
     case Plan::kScan: plans_scan_.fetch_add(1, std::memory_order_relaxed); break;
   }
@@ -510,6 +556,7 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
         emit_current();
       }
       break;
+    case Plan::kIndexJoin:
     case Plan::kHashJoin:
       for (const auto& pair : join_pairs) {
         ctx.set_row(0, &tables[0]->rows()[pair[0]]);
@@ -561,7 +608,16 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
   return result;
 }
 
-ResultSet Database::run_insert(const InsertStmt& stmt) {
+namespace {
+/// Row identity for the change journal: the PRIMARY KEY value, or NULL for
+/// tables without one (NULL poisons the delta range — full rescan).
+Value journal_pk(const Table& table, const Row& row) {
+  const auto pk_column = table.primary_key_column();
+  return pk_column ? row[*pk_column] : Value::null();
+}
+}  // namespace
+
+ResultSet Database::run_insert(const InsertStmt& stmt, std::vector<std::string>& touched) {
   Table& target = table_mutable(stmt.table);
   const EmptyContext ctx;
   ResultSet result;
@@ -582,13 +638,18 @@ ResultSet Database::run_insert(const InsertStmt& stmt) {
         row[*index] = exprs[i]->evaluate(ctx);
       }
     }
-    target.insert(std::move(row));
+    // Journal the row *after* insert so AUTO_INCREMENT keys carry their
+    // assigned value.
+    const std::size_t inserted = target.insert(std::move(row));
+    journal_.record(target.name(), ChangeOp::kInsert,
+                    journal_pk(target, target.rows()[inserted]));
     ++result.affected_rows;
   }
+  if (result.affected_rows > 0) touched.push_back(strings::to_lower(stmt.table));
   return result;
 }
 
-ResultSet Database::run_update(const UpdateStmt& stmt) {
+ResultSet Database::run_update(const UpdateStmt& stmt, std::vector<std::string>& touched) {
   Table& target = table_mutable(stmt.table);
   // Resolve assignment columns once.
   std::vector<std::pair<std::size_t, const Expr*>> assignments;
@@ -610,14 +671,26 @@ ResultSet Database::run_update(const UpdateStmt& stmt) {
     Row updates;
     updates.reserve(assignments.size());
     for (const auto& [index, expr] : assignments) updates.push_back(expr->evaluate(ctx));
+    const Value old_pk = journal_pk(target, target.rows()[r]);
     for (std::size_t i = 0; i < assignments.size(); ++i)
       target.set_cell(r, assignments[i].first, std::move(updates[i]));
+    const Value new_pk = journal_pk(target, target.rows()[r]);
+    // An UPDATE that reassigns the key is a delete of the old identity plus
+    // an insert of the new one — consumers keyed by PK cannot see it as an
+    // in-place change.
+    if (!old_pk.is_null() && !new_pk.is_null() && old_pk.compare(new_pk) == 0) {
+      journal_.record(target.name(), ChangeOp::kUpdate, new_pk);
+    } else {
+      journal_.record(target.name(), ChangeOp::kDelete, old_pk);
+      journal_.record(target.name(), ChangeOp::kInsert, new_pk);
+    }
     ++result.affected_rows;
   }
+  if (result.affected_rows > 0) touched.push_back(strings::to_lower(stmt.table));
   return result;
 }
 
-ResultSet Database::run_delete(const DeleteStmt& stmt) {
+ResultSet Database::run_delete(const DeleteStmt& stmt, std::vector<std::string>& touched) {
   Table& target = table_mutable(stmt.table);
   std::vector<std::size_t> doomed;
   SingleTableContext ctx(target);
@@ -629,18 +702,26 @@ ResultSet Database::run_delete(const DeleteStmt& stmt) {
     }
     doomed.push_back(i);
   }
+  // Journal identities before erase_rows invalidates the row indexes.
+  for (const std::size_t i : doomed)
+    journal_.record(target.name(), ChangeOp::kDelete, journal_pk(target, target.rows()[i]));
   target.erase_rows(doomed);
   ResultSet result;
   result.affected_rows = doomed.size();
+  if (result.affected_rows > 0) touched.push_back(strings::to_lower(stmt.table));
   return result;
 }
 
-ResultSet Database::run_create(const CreateTableStmt& stmt) {
+ResultSet Database::run_create(const CreateTableStmt& stmt, std::vector<std::string>& touched) {
   if (tables_.contains(stmt.table)) {
     if (stmt.if_not_exists) return {};
     throw StateError(strings::cat("table already exists: ", stmt.table));
   }
   tables_.emplace(stmt.table, Table(stmt.table, stmt.columns));
+  // DDL has no row identity: truncate (revision bump, rescan-on-read) now,
+  // notify after the lock drops like any other mutation.
+  journal_.truncate(stmt.table);
+  touched.push_back(strings::to_lower(stmt.table));
   return {};
 }
 
@@ -651,13 +732,15 @@ ResultSet Database::run_create_index(const CreateIndexStmt& stmt) {
   return {};
 }
 
-ResultSet Database::run_drop(const DropTableStmt& stmt) {
+ResultSet Database::run_drop(const DropTableStmt& stmt, std::vector<std::string>& touched) {
   const auto it = tables_.find(stmt.table);
   if (it == tables_.end()) {
     if (stmt.if_exists) return {};
     throw LookupError(strings::cat("no such table: ", stmt.table));
   }
   tables_.erase(it);
+  journal_.truncate(stmt.table);
+  touched.push_back(strings::to_lower(stmt.table));
   return {};
 }
 

@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sqldb/journal.hpp"
 #include "sqldb/parser.hpp"
 #include "sqldb/table.hpp"
 
@@ -83,6 +84,28 @@ class Database {
   /// Convenience: run a SELECT and return the single-column results as text.
   [[nodiscard]] std::vector<std::string> query_column(std::string_view sql);
 
+  // --- change-propagation bus (DESIGN.md §10) ------------------------------
+  // Every INSERT/UPDATE/DELETE records (op, PK, revision) into the journal
+  // under the exclusive table lock; subscribers are notified once per
+  // committed statement, after the lock is released, so callbacks may
+  // re-enter the Database. CREATE/DROP TABLE truncate the table's channel
+  // (full rescan). Channel names are the (case-insensitive) table names.
+  [[nodiscard]] ChangeJournal& journal() { return journal_; }
+  [[nodiscard]] const ChangeJournal& journal() const { return journal_; }
+  /// Current change revision of a table's channel (0 = never written).
+  [[nodiscard]] std::uint64_t revision(std::string_view table) const {
+    return journal_.revision(table);
+  }
+  /// Row-level changes after `revision`, or "truncated, rescan required".
+  [[nodiscard]] ChangeDelta since(std::string_view table, std::uint64_t revision) const {
+    return journal_.since(table, revision);
+  }
+  /// Registers a per-table (or ChangeJournal::kAllChannels) change callback.
+  std::size_t subscribe(std::string_view table, ChangeJournal::Callback callback) {
+    return journal_.subscribe(table, std::move(callback));
+  }
+  void unsubscribe(std::size_t subscription) { journal_.unsubscribe(subscription); }
+
   [[nodiscard]] bool has_table(std::string_view name) const;
   [[nodiscard]] const Table& table(std::string_view name) const;
   [[nodiscard]] std::vector<std::string> table_names() const;
@@ -99,6 +122,9 @@ class Database {
   // Planner observability: how many SELECTs ran with each strategy.
   [[nodiscard]] std::uint64_t plans_index_probe() const {
     return plans_index_probe_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t plans_index_join() const {
+    return plans_index_join_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t plans_hash_join() const {
     return plans_hash_join_.load(std::memory_order_relaxed);
@@ -132,13 +158,16 @@ class Database {
   }
 
  private:
+  // Mutating statements append the channels they changed to `touched`;
+  // execute() dispatches one journal notification per channel after the
+  // exclusive lock is released (callbacks may re-enter the Database).
   ResultSet run_select(const SelectStmt& stmt);
-  ResultSet run_insert(const InsertStmt& stmt);
-  ResultSet run_update(const UpdateStmt& stmt);
-  ResultSet run_delete(const DeleteStmt& stmt);
-  ResultSet run_create(const CreateTableStmt& stmt);
+  ResultSet run_insert(const InsertStmt& stmt, std::vector<std::string>& touched);
+  ResultSet run_update(const UpdateStmt& stmt, std::vector<std::string>& touched);
+  ResultSet run_delete(const DeleteStmt& stmt, std::vector<std::string>& touched);
+  ResultSet run_create(const CreateTableStmt& stmt, std::vector<std::string>& touched);
   ResultSet run_create_index(const CreateIndexStmt& stmt);
-  ResultSet run_drop(const DropTableStmt& stmt);
+  ResultSet run_drop(const DropTableStmt& stmt, std::vector<std::string>& touched);
 
   // Table lookups used while the caller already holds table_lock_
   // (std::shared_mutex is not recursive, so run_* must never re-lock).
@@ -153,6 +182,11 @@ class Database {
   };
 
   std::map<std::string, Table, NameLess> tables_;  // keyed by name, case-insensitive
+
+  // Commit-time change journal. Internally synchronized with its own leaf
+  // mutexes, so run_* may record into it while holding table_lock_ without
+  // adding lock acquisitions the contention counters would see.
+  ChangeJournal journal_;
 
   // --- table reader-writer lock (DESIGN.md §9) -----------------------------
   // Guards tables_ and every Table inside it. SELECT paths lock shared,
@@ -179,6 +213,7 @@ class Database {
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> plans_index_probe_{0};
+  std::atomic<std::uint64_t> plans_index_join_{0};
   std::atomic<std::uint64_t> plans_hash_join_{0};
   std::atomic<std::uint64_t> plans_scan_{0};
   std::atomic<bool> planner_enabled_{true};

@@ -1,0 +1,126 @@
+#include "sqldb/journal.hpp"
+
+#include "support/strings.hpp"
+
+namespace rocks::sqldb {
+
+ChangeJournal::Channel& ChangeJournal::channel_locked(std::string_view name) {
+  const auto it = channels_.find(strings::to_lower(name));
+  if (it != channels_.end()) return it->second;
+  return channels_.emplace(strings::to_lower(name), Channel{}).first->second;
+}
+
+void ChangeJournal::trim_locked(Channel& channel) {
+  while (channel.log.size() > capacity_) {
+    // The popped record's range is no longer reconstructible: cursors at or
+    // before it must rescan.
+    channel.floor = channel.log.front().revision;
+    channel.log.pop_front();
+  }
+}
+
+std::uint64_t ChangeJournal::record(std::string_view channel, ChangeOp op, Value pk) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  Channel& state = channel_locked(channel);
+  ++state.revision;
+  if (pk.is_null()) {
+    // No row identity: the delta cannot be applied by key, so poison the
+    // range instead of logging an unusable record.
+    state.floor = state.revision;
+    state.log.clear();
+  } else {
+    state.log.push_back(ChangeRecord{op, std::move(pk), state.revision});
+    trim_locked(state);
+  }
+  ++records_written_;
+  return state.revision;
+}
+
+void ChangeJournal::truncate(std::string_view channel) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  Channel& state = channel_locked(channel);
+  ++state.revision;
+  state.floor = state.revision;
+  state.log.clear();
+}
+
+void ChangeJournal::touch(std::string_view channel) {
+  truncate(channel);
+  notify(channel);
+}
+
+std::uint64_t ChangeJournal::revision(std::string_view channel) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  const auto it = channels_.find(strings::to_lower(channel));
+  return it == channels_.end() ? 0 : it->second.revision;
+}
+
+ChangeDelta ChangeJournal::since(std::string_view channel, std::uint64_t revision) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  ChangeDelta delta;
+  const auto it = channels_.find(strings::to_lower(channel));
+  if (it == channels_.end()) return delta;  // never written: empty, at revision 0
+  const Channel& state = it->second;
+  delta.revision = state.revision;
+  if (revision >= state.revision) return delta;  // caller is current
+  if (revision < state.floor) {
+    delta.truncated = true;  // range fell out of the log (or was touched)
+    return delta;
+  }
+  for (const ChangeRecord& record : state.log)
+    if (record.revision > revision) delta.changes.push_back(record);
+  return delta;
+}
+
+std::size_t ChangeJournal::subscribe(std::string_view channel, Callback callback) {
+  std::lock_guard<std::mutex> lock(subscriber_mutex_);
+  const std::size_t id = next_subscription_++;
+  subscribers_.emplace(
+      id, Subscriber{strings::to_lower(channel),
+                     std::make_shared<Callback>(std::move(callback))});
+  return id;
+}
+
+void ChangeJournal::unsubscribe(std::size_t id) {
+  std::lock_guard<std::mutex> lock(subscriber_mutex_);
+  subscribers_.erase(id);
+}
+
+void ChangeJournal::notify(std::string_view channel) {
+  const std::string lowered = strings::to_lower(channel);
+  const std::uint64_t current = revision(lowered);
+  // Snapshot matching callbacks, then invoke outside both locks so a
+  // callback may re-enter the journal (or the Database that owns it).
+  std::vector<std::shared_ptr<Callback>> matched;
+  {
+    std::lock_guard<std::mutex> lock(subscriber_mutex_);
+    for (const auto& [id, subscriber] : subscribers_)
+      if (subscriber.channel == kAllChannels || subscriber.channel == lowered)
+        matched.push_back(subscriber.callback);
+    notifications_sent_ += matched.size();
+  }
+  for (const auto& callback : matched) (*callback)(lowered, current);
+}
+
+void ChangeJournal::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  capacity_ = capacity;
+  for (auto& [name, channel] : channels_) trim_locked(channel);
+}
+
+std::size_t ChangeJournal::capacity() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return capacity_;
+}
+
+std::uint64_t ChangeJournal::records_written() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return records_written_;
+}
+
+std::uint64_t ChangeJournal::notifications_sent() const {
+  std::lock_guard<std::mutex> lock(subscriber_mutex_);
+  return notifications_sent_;
+}
+
+}  // namespace rocks::sqldb

@@ -1,0 +1,167 @@
+// The change-propagation bus (DESIGN.md §10).
+//
+// Every piece of derived state in the toolkit — /etc configuration files,
+// DHCP bindings, cached kickstart profiles — is a function of the SQL
+// database plus a handful of non-SQL inputs (the XML graph, the node files,
+// the distribution tree). The paper's update loop regenerates all of it
+// after every insert-ethers change (Section 6.4); at production scale the
+// cost of a change must track the size of the *change*, not the cluster.
+//
+// The ChangeJournal is the one mechanism every consumer invalidates
+// through. It keeps, per named channel:
+//   - a monotonic revision, bumped once per row-level change (or touch),
+//   - a bounded changelog of (op, primary key, revision) records, so
+//     consumers can turn "something changed" into "exactly these rows
+//     changed" — or learn the log was truncated and a full rescan is due,
+//   - a subscriber list, notified once per committed statement.
+//
+// Channels are case-insensitive names. Table channels ("nodes",
+// "memberships", ...) are fed by the Database's INSERT/UPDATE/DELETE paths
+// under its exclusive lock; external channels ("kickstart.graph", ...) are
+// fed by touch() from whoever mutates the corresponding input. A touch
+// carries no row identity, so it always reads back as "truncated" — the
+// bus-level way of saying "full rescan required".
+//
+// Locking: the journal has two internal leaf mutexes (channel state,
+// subscriber list) and never calls out while holding either — callbacks run
+// after the locks are dropped. record() does NOT notify (the Database
+// batches one notification per statement and dispatches it after releasing
+// its table lock, so callbacks may safely re-enter the Database); touch()
+// notifies immediately and must not be called while holding a lock the
+// callbacks might take. Callbacks run on the committing thread and may fire
+// concurrently with anything; subscribers must do thread-safe work (flip an
+// atomic dirty flag, not regenerate a file). unsubscribe() does not wait
+// for in-flight callbacks — quiesce writers before destroying a subscriber.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqldb/value.hpp"
+
+namespace rocks::sqldb {
+
+enum class ChangeOp { kInsert, kUpdate, kDelete };
+
+/// One row-level change: what happened, to which primary key, at which
+/// channel revision. A NULL pk means the table has no primary key and the
+/// row cannot be identified — consumers must treat the delta as unusable
+/// (since() reports such ranges as truncated).
+struct ChangeRecord {
+  ChangeOp op = ChangeOp::kInsert;
+  Value pk;
+  std::uint64_t revision = 0;
+};
+
+/// What a cursor gets back from since(): either the exact records that move
+/// it from its revision to `revision`, or truncated == true ("the journal no
+/// longer covers that range — rescan the table and restart from `revision`").
+struct ChangeDelta {
+  bool truncated = false;
+  std::uint64_t revision = 0;
+  std::vector<ChangeRecord> changes;  // empty when truncated
+};
+
+class ChangeJournal {
+ public:
+  /// Callback: (channel, revision after the change batch). Runs on the
+  /// committing thread, outside all journal locks.
+  using Callback = std::function<void(std::string_view channel, std::uint64_t revision)>;
+
+  /// Subscribing to kAllChannels receives every notification on the bus.
+  static constexpr std::string_view kAllChannels = "*";
+
+  /// Default per-channel changelog bound. Big enough that a burst of node
+  /// registrations between two flushes stays incremental; small enough that
+  /// an unconsumed journal cannot grow without bound.
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit ChangeJournal(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  // Journals hand out subscription ids; copying one would fork the id space.
+  ChangeJournal(const ChangeJournal&) = delete;
+  ChangeJournal& operator=(const ChangeJournal&) = delete;
+
+  /// Appends one change record, bumping the channel revision. Does NOT
+  /// notify — callers batch notifications per statement (see notify()).
+  /// A record whose pk is NULL poisons the covered range: since() reports
+  /// it as truncated, because the row cannot be re-fetched by key.
+  /// Returns the new revision.
+  std::uint64_t record(std::string_view channel, ChangeOp op, Value pk);
+
+  /// Bumps the channel revision with no row identity and notifies
+  /// subscribers. Deltas spanning a touch read as truncated — this is the
+  /// coarse "something changed, rescan" signal for inputs without row
+  /// semantics (graph edits, distribution rebuilds, DROP TABLE).
+  void touch(std::string_view channel);
+
+  /// Like touch() but without the notification — for callers that must not
+  /// run callbacks yet (the Database's DDL paths, which hold the table
+  /// lock). Pair with a later notify().
+  void truncate(std::string_view channel);
+
+  /// Current revision of a channel; 0 for channels never written.
+  [[nodiscard]] std::uint64_t revision(std::string_view channel) const;
+
+  /// Cursor read: every record after `revision`, or truncated == true when
+  /// the changelog no longer covers that range. Always returns the current
+  /// channel revision, so callers can advance their cursor either way.
+  [[nodiscard]] ChangeDelta since(std::string_view channel, std::uint64_t revision) const;
+
+  /// Registers a callback for one channel (or kAllChannels). Returns an id
+  /// for unsubscribe(). Safe to call concurrently with commits.
+  std::size_t subscribe(std::string_view channel, Callback callback);
+  void unsubscribe(std::size_t id);
+
+  /// Invokes every subscriber of `channel` (and every kAllChannels
+  /// subscriber) with the channel's current revision. Called by the
+  /// Database once per committed statement, after its table lock is
+  /// released; external publishers get it via touch().
+  void notify(std::string_view channel);
+
+  /// Changelog bound; shrinking may immediately truncate open cursors.
+  /// Takes effect per channel on its next record().
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+
+  // Observability (tests, tuning).
+  [[nodiscard]] std::uint64_t records_written() const;
+  [[nodiscard]] std::uint64_t notifications_sent() const;
+
+ private:
+  struct Channel {
+    std::uint64_t revision = 0;
+    /// Deltas are reconstructible only for cursors at revision >= floor:
+    /// truncation, touches, and NULL-pk records all raise the floor.
+    std::uint64_t floor = 0;
+    std::deque<ChangeRecord> log;
+  };
+
+  struct Subscriber {
+    std::string channel;  // lowered; kAllChannels for the wildcard
+    std::shared_ptr<Callback> callback;
+  };
+
+  Channel& channel_locked(std::string_view name);
+  void trim_locked(Channel& channel);
+
+  mutable std::mutex state_mutex_;  // guards channels_, capacity_
+  std::map<std::string, Channel, std::less<>> channels_;  // keyed by lowered name
+  std::size_t capacity_;
+
+  mutable std::mutex subscriber_mutex_;  // guards subscribers_, next_subscription_
+  std::map<std::size_t, Subscriber> subscribers_;
+  std::size_t next_subscription_ = 1;
+
+  std::uint64_t records_written_ = 0;        // under state_mutex_
+  std::uint64_t notifications_sent_ = 0;     // under subscriber_mutex_
+};
+
+}  // namespace rocks::sqldb

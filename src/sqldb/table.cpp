@@ -22,6 +22,12 @@ std::optional<std::size_t> Table::column_index(std::string_view name) const {
   return std::nullopt;
 }
 
+std::optional<std::size_t> Table::primary_key_column() const {
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i].primary_key) return i;
+  return std::nullopt;
+}
+
 Value Table::coerce(const Value& value, Type type) {
   if (value.is_null()) return value;
   switch (type) {
@@ -84,13 +90,34 @@ void Table::set_cell(std::size_t row, std::size_t column, Value value) {
 }
 
 void Table::erase_rows(const std::vector<std::size_t>& sorted_indexes) {
-  for (auto it = sorted_indexes.rbegin(); it != sorted_indexes.rend(); ++it) {
-    require_state(*it < rows_.size(), "erase_rows: index out of range");
-    rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(*it));
+  if (sorted_indexes.empty()) return;
+  for (const std::size_t doomed : sorted_indexes)
+    require_state(doomed < rows_.size(), "erase_rows: index out of range");
+  if (sorted_indexes.front() + sorted_indexes.size() == rows_.size()) {
+    // The doomed rows are exactly the table's tail (ascending unique values
+    // bounded by row_count force contiguity), so no surviving row shifts
+    // position: drop their index entries directly instead of rebuilding.
+    // Retiring the newest nodes — the insert-ethers churn pattern — stays
+    // O(deleted) instead of O(table).
+    for (auto& index : indexes_) {
+      for (const std::size_t doomed : sorted_indexes) {
+        const Value& key = rows_[doomed][index.column];
+        if (key.is_null()) continue;
+        const auto it = index.buckets.find(key);
+        if (it == index.buckets.end()) continue;
+        auto& bucket = it->second;
+        bucket.erase(std::remove(bucket.begin(), bucket.end(), doomed), bucket.end());
+        if (bucket.empty()) index.buckets.erase(it);
+      }
+    }
+    rows_.resize(sorted_indexes.front());
+    return;
   }
+  for (auto it = sorted_indexes.rbegin(); it != sorted_indexes.rend(); ++it)
+    rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(*it));
   // Every surviving row may have shifted position; rebuild rather than
-  // patching (deletes are rare on the CGI hot path).
-  if (!sorted_indexes.empty()) rebuild_indexes();
+  // patching (mid-table deletes are rare on the CGI hot path).
+  rebuild_indexes();
 }
 
 void Table::create_index(std::string_view column) {

@@ -37,6 +37,10 @@ class Table {
   /// Index of a column by (case-insensitive) name; nullopt when unknown.
   [[nodiscard]] std::optional<std::size_t> column_index(std::string_view name) const;
 
+  /// Index of the PRIMARY KEY column, if the table declares one. The change
+  /// journal uses it to stamp row identity onto change records.
+  [[nodiscard]] std::optional<std::size_t> primary_key_column() const;
+
   /// Inserts a full-width row; AUTO_INCREMENT columns left NULL are
   /// assigned the next sequence value. Values are coerced to column types
   /// (int text -> int, etc.). Returns the row's index.

@@ -1,6 +1,7 @@
 #include "vfs/filesystem.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "support/error.hpp"
@@ -102,7 +103,7 @@ std::vector<std::string> FileSystem::list(std::string_view path) const {
 }
 
 void FileSystem::write_file(std::string_view path, std::string content,
-                            std::uint64_t payload_size) {
+                            std::uint64_t payload_size, std::uint64_t content_hash_hint) {
   std::string leaf;
   Node* parent = parent_of(path, leaf);
   auto& slot = parent->entries[leaf];
@@ -114,6 +115,9 @@ void FileSystem::write_file(std::string_view path, std::string content,
   slot->payload = payload_size;
   slot->link_target.clear();
   slot->entries.clear();
+  // Trust the caller's digest when offered; otherwise the first file_hash
+  // computes and memoizes it.
+  slot->hash_cache.store(content_hash_hint, std::memory_order_relaxed);
 }
 
 void FileSystem::append_file(std::string_view path, std::string_view content) {
@@ -125,6 +129,7 @@ void FileSystem::append_file(std::string_view path, std::string_view content) {
   if (node->type != NodeType::kFile)
     throw IoError(strings::cat("append_file: not a file: ", normalize(path)));
   node->content += content;
+  node->hash_cache.store(0, std::memory_order_relaxed);
 }
 
 const std::string& FileSystem::read_file(std::string_view path) const {
@@ -194,7 +199,10 @@ std::optional<std::string> FileSystem::resolve(std::string_view path) const {
       std::string rebased = join(resolved, next->link_target);
       for (std::size_t j = i + 1; j < parts.size(); ++j) rebased = join(rebased, parts[j]);
       parts = components(rebased);
-      resolved = "/";
+      // Not `resolved = "/"`: GCC 12's inlined char*-assignment trips a
+      // -Wrestrict false positive (PR105329) under -O3.
+      resolved.clear();
+      resolved.push_back('/');
       node = root_.get();
       i = static_cast<std::size_t>(-1);
       continue;
@@ -260,14 +268,36 @@ std::size_t FileSystem::count(std::string_view root, NodeType type) const {
   return total;
 }
 
+std::uint64_t content_hash(std::string_view content) {
+  // FNV-style mix over 8-byte words rather than single bytes: config files
+  // are re-hashed on every service flush, and hash values are only ever
+  // compared against other content_hash results, so widening the stride is
+  // observable only as speed. The tail word folds in the residual length so
+  // trailing NUL bytes still change the digest.
+  std::uint64_t hash = 1469598103934665603ULL;
+  const char* p = content.data();
+  std::size_t n = content.size();
+  for (; n >= 8; p += 8, n -= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    hash ^= word;
+    hash *= 1099511628211ULL;
+  }
+  std::uint64_t tail = 0;
+  std::memcpy(&tail, p, n);
+  hash ^= tail ^ (static_cast<std::uint64_t>(n) << 56);
+  hash *= 1099511628211ULL;
+  return hash;
+}
+
 std::uint64_t FileSystem::file_hash(std::string_view path) const {
   const Node* node = find(path, /*follow_final=*/true);
   if (node == nullptr || node->type != NodeType::kFile)
     throw IoError(strings::cat("file_hash: no such file: ", normalize(path)));
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (char c : node->content) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
+  std::uint64_t hash = node->hash_cache.load(std::memory_order_relaxed);
+  if (hash == 0) {  // 0 doubles as "not cached"; a genuine 0 just recomputes
+    hash = content_hash(node->content);
+    node->hash_cache.store(hash, std::memory_order_relaxed);
   }
   // Synthetic payload contributes its size so same-name packages with
   // different payloads hash differently.
@@ -311,6 +341,8 @@ void FileSystem::copy_node(const Node& src, Node& dst) {
   dst.type = src.type;
   dst.content = src.content;
   dst.payload = src.payload;
+  dst.hash_cache.store(src.hash_cache.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
   dst.link_target = src.link_target;
   dst.entries.clear();
   for (const auto& [name, child] : src.entries) {

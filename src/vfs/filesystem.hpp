@@ -15,6 +15,7 @@
 // size only, while config files carry real bytes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -32,6 +33,13 @@ namespace rocks::vfs {
 inline constexpr std::uint64_t kBlockSize = 4096;
 
 enum class NodeType { kFile, kDirectory, kSymlink };
+
+/// 64-bit digest of a byte string (FNV-style, word-at-a-time) — the same
+/// hash FileSystem::file_hash applies to file content. Exposed so callers
+/// holding the bytes they just wrote (e.g. the service manager's change
+/// detection) can hash without re-reading the file. Values are opaque:
+/// compare them to other content_hash results, nothing else.
+[[nodiscard]] std::uint64_t content_hash(std::string_view content);
 
 struct Stat {
   NodeType type;
@@ -54,7 +62,12 @@ class FileSystem {
   // --- files --------------------------------------------------------------
   /// Creates or replaces a regular file. `payload_size` adds synthetic bytes
   /// on top of content.size() for usage accounting. Parent must exist.
-  void write_file(std::string_view path, std::string content, std::uint64_t payload_size = 0);
+  /// Creates or replaces a file. `content_hash_hint`, when nonzero, must be
+  /// content_hash(content) — callers that already hashed the bytes (the
+  /// service manager's change detection) pass it so file_hash never re-reads
+  /// what they just wrote; 0 means "compute lazily on first file_hash".
+  void write_file(std::string_view path, std::string content, std::uint64_t payload_size = 0,
+                  std::uint64_t content_hash_hint = 0);
   /// Appends to an existing file (creates it when absent).
   void append_file(std::string_view path, std::string_view content);
   /// Content of a regular file, following symlinks. Throws IoError if absent.
@@ -137,6 +150,10 @@ class FileSystem {
     std::uint64_t payload = 0;    // synthetic extra bytes
     std::string link_target;      // symlink target
     Dir entries;                  // directory children
+    // Memoized content_hash(content); 0 means "not cached" (a genuine hash
+    // of 0 merely recomputes). Atomic so concurrent file_hash readers can
+    // fill it; content mutators reset or refresh it.
+    mutable std::atomic<std::uint64_t> hash_cache{0};
   };
 
   [[nodiscard]] const Node* find(std::string_view path, bool follow_final) const;

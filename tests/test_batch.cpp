@@ -112,7 +112,7 @@ TEST_F(BatchTest, QstatRendersJobTable) {
   const std::string report = pbs_->qstat();
   EXPECT_NE(report.find("mdrun"), std::string::npos);
   EXPECT_NE(report.find("user"), std::string::npos);
-  EXPECT_THROW(pbs_->job(999), LookupError);
+  EXPECT_THROW((void)pbs_->job(999), LookupError);
 }
 
 TEST_F(BatchTest, RexecPropagatesContextAndRedirectsStdout) {

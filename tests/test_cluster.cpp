@@ -257,6 +257,36 @@ TEST_F(ClusterTest, HeterogeneousAppliancesFromOneGraph) {
   EXPECT_LT(nfs->last_install_duration(), compute->last_install_duration());
 }
 
+TEST_F(ClusterTest, BulkRegistrationRestartsEachServiceOnce) {
+  // The change bus coalesces a burst: registering 100 nodes through
+  // register_batch commits 100 rows, then flushes once — each config
+  // service restarts exactly once, not 100 times (DESIGN.md §10).
+  Cluster cluster(small_config());
+  auto& fe = cluster.frontend();
+  const auto hosts_before = fe.services().restarts("hosts");
+  const auto dhcpd_before = fe.services().restarts("dhcpd");
+  const auto pbs_before = fe.services().restarts("pbs");
+
+  std::vector<Mac> macs;
+  for (int i = 0; i < 100; ++i) macs.push_back(Mac(0x00508B000000ULL + i));
+  EXPECT_EQ(cluster.insert_ethers().register_batch(macs), 100);
+
+  EXPECT_EQ(fe.services().restarts("hosts"), hosts_before + 1);
+  EXPECT_EQ(fe.services().restarts("dhcpd"), dhcpd_before + 1);
+  EXPECT_EQ(fe.services().restarts("pbs"), pbs_before + 1);
+  // And the one flush covered the whole burst.
+  const std::string hosts = fe.fs().read_file("/etc/hosts");
+  EXPECT_NE(hosts.find("compute-0-0"), std::string::npos);
+  EXPECT_NE(hosts.find("compute-0-99"), std::string::npos);
+  EXPECT_NE(fe.fs().read_file("/var/spool/pbs/server_priv/nodes").find("compute-0-99 np=2"),
+            std::string::npos);
+
+  // Re-registering the same MACs inserts nothing and restarts nothing.
+  EXPECT_EQ(cluster.insert_ethers().register_batch(macs), 0);
+  EXPECT_EQ(fe.services().restarts("hosts"), hosts_before + 1);
+  EXPECT_EQ(fe.services().restarts("dhcpd"), dhcpd_before + 1);
+}
+
 TEST_F(ClusterTest, UserAccountsSyncOverNis) {
   Cluster cluster(small_config());
   cluster.add_node();

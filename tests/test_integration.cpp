@@ -60,8 +60,9 @@ TEST(Integration, DatabaseIsTheSingleSourceOfTruth) {
   for (const auto& row : rows.rows) {
     EXPECT_NE(hosts.find(row[0].to_string()), std::string::npos) << row[0].to_string();
     EXPECT_NE(hosts.find(row[1].to_string()), std::string::npos);
-    if (row[0].to_string() != "frontend-0")
+    if (row[0].to_string() != "frontend-0") {
       EXPECT_NE(dhcpd.find(row[2].to_string()), std::string::npos);
+    }
   }
 
   // Deleting a node from the database and regenerating removes it

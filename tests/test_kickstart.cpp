@@ -62,7 +62,7 @@ TEST(NodeFileSetTest, LookupSemantics) {
   set.add(NodeFile("mpi"));
   EXPECT_TRUE(set.contains("mpi"));
   EXPECT_FALSE(set.contains("nope"));
-  EXPECT_THROW(set.get("nope"), LookupError);
+  EXPECT_THROW((void)set.get("nope"), LookupError);
   EXPECT_EQ(set.names(), (std::vector<std::string>{"mpi"}));
 }
 

@@ -58,7 +58,9 @@ TEST_F(MonitorTest, MetricsTrackProcesses) {
   cluster_->node("compute-0-0")->launch_process("mdrun");
   cluster_->sim().run_until(cluster_->sim().now() + 15.0);
   for (const auto& view : monitor_->cluster_view()) {
-    if (view.host == "compute-0-0") EXPECT_EQ(view.metrics.processes, 2u);
+    if (view.host == "compute-0-0") {
+      EXPECT_EQ(view.metrics.processes, 2u);
+    }
   }
 }
 

@@ -72,8 +72,9 @@ TEST_P(RpmVerCmpProperty, TotalOrderProperties) {
     EXPECT_EQ(rpmvercmp(a, a), 0) << a;
     EXPECT_EQ(rpmvercmp(a, b), -rpmvercmp(b, a)) << a << " / " << b;
     // Transitivity: a<=b and b<=c implies a<=c.
-    if (rpmvercmp(a, b) <= 0 && rpmvercmp(b, c) <= 0)
+    if (rpmvercmp(a, b) <= 0 && rpmvercmp(b, c) <= 0) {
       EXPECT_LE(rpmvercmp(a, c), 0) << a << " / " << b << " / " << c;
+    }
   }
 }
 

@@ -2,6 +2,9 @@
 // manager's restart-on-change behaviour.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+
 #include "kickstart/server.hpp"
 #include "services/generators.hpp"
 #include "services/manager.hpp"
@@ -81,19 +84,19 @@ TEST_F(ServicesTest, ManagerRestartsOnlyChangedServices) {
   });
 
   // First regeneration: everything is new, everything restarts.
-  auto restarted = manager.regenerate(db, fs);
-  EXPECT_EQ(restarted.size(), 2u);
+  auto report = manager.regenerate(db, fs);
+  EXPECT_EQ(report.restarted.size(), 2u);
   EXPECT_TRUE(fs.is_file("/etc/hosts"));
 
   // No database change: nothing restarts.
-  restarted = manager.regenerate(db, fs);
-  EXPECT_TRUE(restarted.empty());
+  report = manager.regenerate(db, fs);
+  EXPECT_TRUE(report.restarted.empty());
   EXPECT_EQ(manager.total_restarts(), 2u);
 
   // New node: both files change, both services restart once more.
   kickstart::insert_node_row(db, "00:50:8b:00:00:99", "compute-0-2", 2, 0, 2, "10.255.255.243");
-  restarted = manager.regenerate(db, fs);
-  EXPECT_EQ(restarted.size(), 2u);
+  report = manager.regenerate(db, fs);
+  EXPECT_EQ(report.restarted.size(), 2u);
   EXPECT_EQ(manager.restarts("hosts"), 2u);
   EXPECT_NE(fs.read_file("/etc/hosts").find("compute-0-2"), std::string::npos);
 }
@@ -104,6 +107,211 @@ TEST_F(ServicesTest, ManagerReportsRegisteredNames) {
   manager.register_service("b", "/etc/b", generate_hosts);
   EXPECT_EQ(manager.service_names(), (std::vector<std::string>{"a", "b"}));
   EXPECT_EQ(manager.restarts("ghost"), 0u);
+}
+
+// --- dirty tracking through the change bus (DESIGN.md §10) ------------------
+
+TEST_F(ServicesTest, ManagerDirtyTrackingSkipsCleanServices) {
+  ServiceManager manager;
+  vfs::FileSystem fs;
+  ensure_users_table(db);
+  manager.register_service("hosts", "/etc/hosts", generate_hosts, {"nodes"});
+  manager.register_service("nis", "/var/yp/passwd", generate_nis_passwd, {"users"});
+  manager.attach(db.journal());
+  manager.regenerate(db, fs);  // services start dirty: both render
+  EXPECT_EQ(manager.generator_runs("hosts"), 1u);
+  EXPECT_EQ(manager.generator_runs("nis"), 1u);
+
+  // A node change dirties hosts only; nis's generator is not even invoked.
+  kickstart::insert_node_row(db, "00:50:8b:00:00:99", "compute-0-2", 2, 0, 2, "10.255.255.243");
+  EXPECT_TRUE(manager.dirty("hosts"));
+  EXPECT_FALSE(manager.dirty("nis"));
+  const auto report = manager.regenerate(db, fs);
+  EXPECT_EQ(report.restarted, (std::vector<std::string>{"hosts"}));
+  EXPECT_EQ(manager.generator_runs("hosts"), 2u);
+  EXPECT_EQ(manager.generator_runs("nis"), 1u);
+
+  // And the other way round.
+  db.execute("INSERT INTO users VALUES ('mjk', 501, '/export/home/mjk', '/bin/tcsh')");
+  manager.regenerate(db, fs);
+  EXPECT_EQ(manager.generator_runs("hosts"), 2u);
+  EXPECT_EQ(manager.generator_runs("nis"), 2u);
+}
+
+TEST_F(ServicesTest, ManagerContinuesPastThrowingGenerator) {
+  ServiceManager manager;
+  vfs::FileSystem fs;
+  bool broken = true;
+  manager.register_service("flaky", "/etc/flaky.conf",
+                           [&broken](sqldb::Database&) -> std::string {
+                             if (broken) throw std::runtime_error("generator exploded");
+                             return "ok\n";
+                           });
+  manager.register_service("hosts", "/etc/hosts", generate_hosts, {"nodes"});
+  manager.attach(db.journal());
+
+  auto report = manager.regenerate(db, fs);
+  EXPECT_EQ(report.restarted, (std::vector<std::string>{"hosts"}));  // the flush went on
+  ASSERT_EQ(report.failed, (std::vector<std::string>{"flaky"}));
+  ASSERT_EQ(report.failure_reasons.size(), 1u);
+  EXPECT_NE(report.failure_reasons[0].find("exploded"), std::string::npos);
+  EXPECT_FALSE(fs.is_file("/etc/flaky.conf"));
+  EXPECT_TRUE(fs.is_file("/etc/hosts"));
+  EXPECT_TRUE(manager.dirty("flaky"));  // failed services stay dirty...
+  EXPECT_FALSE(manager.dirty("hosts"));
+
+  broken = false;
+  report = manager.regenerate(db, fs);  // ...and are retried on the next flush
+  EXPECT_EQ(report.restarted, (std::vector<std::string>{"flaky"}));
+  EXPECT_TRUE(report.failed.empty());
+  EXPECT_EQ(fs.read_file("/etc/flaky.conf"), "ok\n");
+}
+
+TEST_F(ServicesTest, ManagerHashComparesAndFallsBackOnExternalEdits) {
+  ServiceManager manager;
+  vfs::FileSystem fs;
+  manager.register_service("hosts", "/etc/hosts", generate_hosts);
+  manager.regenerate(db, fs);  // first write: nothing to compare against
+  EXPECT_EQ(manager.hash_compares(), 0u);
+  EXPECT_EQ(manager.read_fallbacks(), 0u);
+
+  // Unchanged content: the no-restart decision is hash-to-hash, no read.
+  auto report = manager.regenerate(db, fs);
+  EXPECT_TRUE(report.restarted.empty());
+  EXPECT_EQ(manager.hash_compares(), 1u);
+  EXPECT_EQ(manager.read_fallbacks(), 0u);
+
+  // Hand-edited file: the hash record is stale, so the manager distrusts
+  // it, byte-compares, and restores the generated content.
+  fs.remove("/etc/hosts");
+  fs.write_file("/etc/hosts", "# hand-edited\n");
+  report = manager.regenerate(db, fs);
+  EXPECT_EQ(report.restarted, (std::vector<std::string>{"hosts"}));
+  EXPECT_EQ(manager.read_fallbacks(), 1u);
+  EXPECT_NE(fs.read_file("/etc/hosts").find("compute-0-0"), std::string::npos);
+}
+
+// --- incremental report rendering (DESIGN.md §10) ---------------------------
+
+TEST_F(ServicesTest, IncrementalHostsMatchesFullRenderAcrossOps) {
+  IncrementalReport report(hosts_report_spec());
+  EXPECT_EQ(report.render(db), generate_hosts(db));
+  EXPECT_EQ(report.full_rebuilds(), 1u);  // the priming render
+
+  kickstart::insert_node_row(db, "00:50:8b:00:00:99", "compute-0-2", 2, 0, 2, "10.255.255.243");
+  db.execute("UPDATE nodes SET ip = '10.9.9.9' WHERE name = 'compute-0-1'");
+  db.execute("DELETE FROM nodes WHERE name = 'compute-0-0'");
+  EXPECT_EQ(report.render(db), generate_hosts(db));
+  EXPECT_EQ(report.full_rebuilds(), 1u);  // served entirely by journal deltas
+  EXPECT_EQ(report.delta_applies(), 1u);
+}
+
+TEST_F(ServicesTest, IncrementalDhcpdMatchesFullRenderAcrossOps) {
+  const Ipv4 frontend(10, 1, 1, 1);
+  IncrementalReport report(dhcpd_report_spec(frontend));
+  EXPECT_EQ(report.render(db), generate_dhcpd_conf(db, frontend));
+
+  kickstart::insert_node_row(db, "00:50:8b:00:00:99", "compute-0-2", 2, 0, 2, "10.255.255.243");
+  db.execute("UPDATE nodes SET mac = '00:50:8b:ff:ff:ff' WHERE name = 'compute-0-0'");
+  EXPECT_EQ(report.render(db), generate_dhcpd_conf(db, frontend));
+  EXPECT_EQ(report.full_rebuilds(), 1u);
+}
+
+TEST_F(ServicesTest, IncrementalPbsDropsNodesLeavingComputeMembership) {
+  IncrementalReport report(pbs_nodes_report_spec());
+  EXPECT_EQ(report.render(db), generate_pbs_nodes(db));
+
+  // Moving a node out of a compute membership erases its line via the
+  // delta path (its select_one re-fetch filters it out).
+  db.execute("UPDATE nodes SET membership = 1 WHERE name = 'compute-0-0'");
+  EXPECT_EQ(report.render(db), generate_pbs_nodes(db));
+  EXPECT_EQ(report.full_rebuilds(), 1u);
+  EXPECT_EQ(report.render(db).find("compute-0-0"), std::string::npos);
+}
+
+TEST_F(ServicesTest, IncrementalPbsRescansWhenMembershipTableChanges) {
+  IncrementalReport report(pbs_nodes_report_spec());
+  EXPECT_EQ(report.render(db), generate_pbs_nodes(db));
+  EXPECT_EQ(report.full_rebuilds(), 1u);
+
+  // memberships is a join input, not the driving table: flipping a row
+  // cannot be applied by node key, so the report rebuilds from scratch.
+  db.execute("UPDATE memberships SET compute = 'no' WHERE name = 'Compute'");
+  EXPECT_EQ(report.render(db), generate_pbs_nodes(db));
+  EXPECT_EQ(report.full_rebuilds(), 2u);
+  EXPECT_TRUE(report.render(db).find("compute-0-0") == std::string::npos);
+}
+
+TEST_F(ServicesTest, IncrementalReportSurvivesJournalTruncation) {
+  db.journal().set_capacity(4);
+  IncrementalReport report(hosts_report_spec());
+  EXPECT_EQ(report.render(db), generate_hosts(db));
+
+  // Ten inserts overflow the 4-record window: the report must detect the
+  // truncation and rescan instead of applying a partial delta.
+  for (int i = 0; i < 10; ++i)
+    kickstart::insert_node_row(db, strings::cat("00:50:8b:00:01:", i),
+                               strings::cat("compute-2-", i), 2, 2, i,
+                               strings::cat("10.255.254.", i));
+  EXPECT_EQ(report.render(db), generate_hosts(db));
+  EXPECT_EQ(report.full_rebuilds(), 2u);
+  EXPECT_EQ(report.delta_applies(), 0u);
+}
+
+TEST_F(ServicesTest, IncrementalReportsMatchFullRenderUnderRandomChurn) {
+  const Ipv4 frontend(10, 1, 1, 1);
+  IncrementalReport hosts(hosts_report_spec());
+  IncrementalReport dhcpd(dhcpd_report_spec(frontend));
+  IncrementalReport pbs(pbs_nodes_report_spec());
+  const auto check = [&] {
+    EXPECT_EQ(hosts.render(db), generate_hosts(db));
+    EXPECT_EQ(dhcpd.render(db), generate_dhcpd_conf(db, frontend));
+    EXPECT_EQ(pbs.render(db), generate_pbs_nodes(db));
+  };
+  check();
+
+  // Deterministic LCG so failures reproduce.
+  std::uint64_t rng = 0x2545F4914F6CDD1DULL;
+  const auto next = [&rng] {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return rng >> 33;
+  };
+  int serial = 0;
+  for (int step = 0; step < 120; ++step) {
+    const auto ids = db.query_column("SELECT id FROM nodes");
+    switch (next() % 5) {
+      case 0:
+      case 1: {  // register a node (sometimes non-compute)
+        const int membership = next() % 3 == 0 ? 1 : 2;
+        kickstart::insert_node_row(db, strings::cat("00:50:8b:99:00:", serial),
+                                   strings::cat("churn-", serial),
+                                   membership, static_cast<int>(next() % 3),
+                                   static_cast<int>(next() % 8),
+                                   strings::cat("10.200.0.", serial));
+        ++serial;
+        break;
+      }
+      case 2:  // move a node to another cabinet (pbs sort key changes)
+        if (!ids.empty())
+          db.execute(strings::cat("UPDATE nodes SET rack = ", next() % 3, " WHERE id = ",
+                                  ids[next() % ids.size()]));
+        break;
+      case 3:  // flip a node's membership (pbs line appears/disappears)
+        if (!ids.empty())
+          db.execute(strings::cat("UPDATE nodes SET membership = ", next() % 3 == 0 ? 1 : 2,
+                                  " WHERE id = ", ids[next() % ids.size()]));
+        break;
+      case 4:  // retire a node
+        if (!ids.empty())
+          db.execute(strings::cat("DELETE FROM nodes WHERE id = ", ids[next() % ids.size()]));
+        break;
+    }
+    if (step % 10 == 9) check();
+  }
+  check();
+  // The churn was served incrementally, not by repeated rescans.
+  EXPECT_EQ(hosts.full_rebuilds(), 1u);
+  EXPECT_GT(hosts.delta_applies(), 0u);
 }
 
 }  // namespace

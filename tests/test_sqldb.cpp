@@ -337,6 +337,13 @@ TEST_F(PlannerTest, IndexedAndScannedResultsIdenticalAcrossCorpus) {
            "SELECT name FROM nodes WHERE rank >= 2",
            "SELECT name FROM nodes WHERE rack = 1 OR membership = 7",
            "SELECT name FROM nodes WHERE name LIKE 'compute-%'",
+           // Index joins: a selective indexed literal on either side.
+           "SELECT memberships.name FROM nodes, memberships WHERE "
+           "nodes.membership = memberships.id AND nodes.ip = '10.255.255.245'",
+           "SELECT nodes.name FROM memberships, nodes WHERE "
+           "nodes.membership = memberships.id AND nodes.mac = '00:50:8b:e0:3a:a7'",
+           "SELECT nodes.name FROM nodes, memberships WHERE "
+           "nodes.membership = memberships.id AND nodes.ip = '10.0.0.99'",
            // Hash joins, qualified and aliased.
            "select nodes.name from nodes,memberships where "
            "nodes.membership = memberships.id and memberships.name = 'Compute'",
@@ -357,6 +364,28 @@ TEST_F(PlannerTest, EqualityOnIndexedColumnUsesIndexProbe) {
   const auto before = db.plans_index_probe();
   EXPECT_EQ(db.execute("SELECT name FROM nodes WHERE ip = '10.255.255.245'").row_count(), 1u);
   EXPECT_EQ(db.plans_index_probe(), before + 1);
+}
+
+TEST_F(PlannerTest, SelectiveLiteralInJoinUsesIndexJoin) {
+  const auto before = db.plans_index_join();
+  const auto rows = db.execute(
+      "SELECT memberships.name FROM nodes, memberships WHERE "
+      "nodes.membership = memberships.id AND nodes.ip = '10.255.255.245'");
+  EXPECT_EQ(db.plans_index_join(), before + 1);
+  ASSERT_EQ(rows.row_count(), 1u);
+  EXPECT_EQ(rows.at(0, 0).as_text(), "Compute");
+}
+
+TEST_F(PlannerTest, UnselectiveLiteralInJoinStaysHashJoin) {
+  // membership = 2 probes 4 of 8 node rows: pairing 4x6 combinations costs
+  // more than hashing 8+6 rows, so the planner keeps the hash join.
+  const auto joins_before = db.plans_hash_join();
+  const auto index_joins_before = db.plans_index_join();
+  db.execute(
+      "SELECT nodes.name FROM nodes, memberships WHERE "
+      "nodes.membership = memberships.id AND nodes.membership = 2");
+  EXPECT_EQ(db.plans_hash_join(), joins_before + 1);
+  EXPECT_EQ(db.plans_index_join(), index_joins_before);
 }
 
 TEST_F(PlannerTest, EquiJoinUsesHashJoin) {
@@ -513,6 +542,141 @@ TEST_F(DbTest, StatementCacheKeyIsExactText) {
   db.execute("SELECT name FROM nodes WHERE rack = 1");
   db.execute("select name from nodes where rack = 1");  // different text, new entry
   EXPECT_EQ(db.statement_cache_misses(), misses_before + 2);
+}
+
+// --- the change journal (DESIGN.md §10) -------------------------------------
+
+TEST_F(DbTest, JournalBumpsRevisionOncePerRow) {
+  const auto base = db.revision("nodes");  // CREATE TABLE truncated the channel
+  load_paper_tables();
+  EXPECT_EQ(db.revision("nodes"), base + 8);  // one revision per inserted row
+  db.execute("UPDATE nodes SET rack = 9 WHERE membership = 2");  // 4 rows
+  EXPECT_EQ(db.revision("nodes"), base + 12);
+  EXPECT_EQ(db.revision("NODES"), base + 12);  // channel names are case-insensitive
+  EXPECT_EQ(db.revision("never_written"), 0u);
+}
+
+TEST_F(DbTest, JournalSinceReturnsExactRowDelta) {
+  load_paper_tables();
+  const auto cursor = db.revision("nodes");
+  db.execute("INSERT INTO nodes (name, rack) VALUES ('new-node', 2)");  // id 9
+  db.execute("DELETE FROM nodes WHERE name = 'compute-0-3'");           // id 7
+  const ChangeDelta delta = db.since("nodes", cursor);
+  EXPECT_FALSE(delta.truncated);
+  EXPECT_EQ(delta.revision, db.revision("nodes"));
+  ASSERT_EQ(delta.changes.size(), 2u);
+  EXPECT_EQ(delta.changes[0].op, ChangeOp::kInsert);
+  EXPECT_EQ(delta.changes[0].pk.as_int(), 9);
+  EXPECT_EQ(delta.changes[1].op, ChangeOp::kDelete);
+  EXPECT_EQ(delta.changes[1].pk.as_int(), 7);
+  // A cursor already at the head gets an empty, non-truncated delta.
+  const ChangeDelta current = db.since("nodes", delta.revision);
+  EXPECT_FALSE(current.truncated);
+  EXPECT_TRUE(current.changes.empty());
+}
+
+TEST_F(DbTest, JournalUpdateReassigningPkSplitsIntoDeletePlusInsert) {
+  load_paper_tables();
+  const auto cursor = db.revision("nodes");
+  db.execute("UPDATE nodes SET id = 100 WHERE name = 'web-1-0'");  // id 8 -> 100
+  const ChangeDelta delta = db.since("nodes", cursor);
+  ASSERT_EQ(delta.changes.size(), 2u);
+  EXPECT_EQ(delta.changes[0].op, ChangeOp::kDelete);
+  EXPECT_EQ(delta.changes[0].pk.as_int(), 8);
+  EXPECT_EQ(delta.changes[1].op, ChangeOp::kInsert);
+  EXPECT_EQ(delta.changes[1].pk.as_int(), 100);
+}
+
+TEST_F(DbTest, JournalTruncationForcesFullRescan) {
+  db.journal().set_capacity(4);
+  const auto base = db.revision("nodes");
+  load_paper_tables();  // 8 node rows overflow the bound of 4
+  const ChangeDelta stale = db.since("nodes", base);
+  EXPECT_TRUE(stale.truncated);
+  EXPECT_TRUE(stale.changes.empty());
+  EXPECT_EQ(stale.revision, base + 8);  // the cursor can still advance
+  // A cursor inside the retained window reads incrementally.
+  const ChangeDelta recent = db.since("nodes", base + 4);
+  EXPECT_FALSE(recent.truncated);
+  EXPECT_EQ(recent.changes.size(), 4u);
+  // Shrinking the capacity trims immediately: the window narrows.
+  db.journal().set_capacity(2);
+  EXPECT_TRUE(db.since("nodes", base + 4).truncated);
+  EXPECT_FALSE(db.since("nodes", base + 6).truncated);
+}
+
+TEST_F(DbTest, JournalNotifiesOncePerStatement) {
+  std::vector<std::pair<std::string, std::uint64_t>> events;
+  const std::size_t id = db.subscribe("nodes", [&](std::string_view channel,
+                                                   std::uint64_t revision) {
+    events.emplace_back(std::string(channel), revision);
+  });
+  const auto base = db.revision("nodes");
+  load_paper_tables();  // one 8-row INSERT into nodes, one into memberships
+  ASSERT_EQ(events.size(), 1u);  // batched: one notification for 8 rows
+  EXPECT_EQ(events[0].first, "nodes");
+  EXPECT_EQ(events[0].second, base + 8);
+  db.execute("UPDATE nodes SET rack = 5 WHERE rack = 99");  // matches nothing
+  EXPECT_EQ(events.size(), 1u);  // zero rows affected: no notification
+  db.unsubscribe(id);
+  db.execute("DELETE FROM nodes WHERE name = 'web-1-0'");
+  EXPECT_EQ(events.size(), 1u);  // unsubscribed: silence
+}
+
+TEST_F(DbTest, JournalWildcardSubscriberSeesEveryChannel) {
+  std::vector<std::string> channels;
+  db.subscribe(ChangeJournal::kAllChannels,
+               [&](std::string_view channel, std::uint64_t) {
+                 channels.emplace_back(channel);
+               });
+  load_paper_tables();
+  db.execute("CREATE TABLE scratch (x INT)");
+  db.execute("DROP TABLE scratch");
+  EXPECT_EQ(channels, (std::vector<std::string>{"nodes", "memberships", "scratch", "scratch"}));
+}
+
+TEST_F(DbTest, JournalCallbackMayReenterDatabase) {
+  // Subscribers run after the table lock is released, so a callback can
+  // issue its own queries — the pattern every config consumer relies on.
+  std::size_t rows_seen = 0;
+  db.subscribe("nodes", [&](std::string_view, std::uint64_t) {
+    rows_seen = db.execute("SELECT id FROM nodes").row_count();
+  });
+  load_paper_tables();
+  EXPECT_EQ(rows_seen, 8u);
+}
+
+TEST_F(DbTest, JournalTableWithoutPrimaryKeyAlwaysTruncates) {
+  db.execute("CREATE TABLE site (name TEXT, value TEXT)");  // no PRIMARY KEY
+  const auto cursor = db.revision("site");
+  db.execute("INSERT INTO site VALUES ('Frontend', '10.1.1.1')");
+  EXPECT_GT(db.revision("site"), cursor);  // the revision still moves...
+  EXPECT_TRUE(db.since("site", cursor).truncated);  // ...but rows have no identity
+}
+
+TEST_F(DbTest, JournalDdlTruncatesChannel) {
+  load_paper_tables();
+  const auto cursor = db.revision("memberships");
+  db.execute("DROP TABLE memberships");
+  EXPECT_TRUE(db.since("memberships", cursor).truncated);
+  db.execute("CREATE TABLE memberships (id INT PRIMARY KEY)");
+  EXPECT_TRUE(db.since("memberships", cursor).truncated);
+  // Conditional DDL that does nothing journals nothing.
+  const auto after = db.revision("memberships");
+  db.execute("CREATE TABLE IF NOT EXISTS memberships (id INT PRIMARY KEY)");
+  db.execute("DROP TABLE IF EXISTS no_such_table");
+  EXPECT_EQ(db.revision("memberships"), after);
+  EXPECT_EQ(db.revision("no_such_table"), 0u);
+}
+
+TEST_F(DbTest, JournalTouchSignalsCoarseRescanAndNotifies) {
+  std::size_t notified = 0;
+  db.subscribe("kickstart.graph", [&](std::string_view, std::uint64_t) { ++notified; });
+  db.journal().touch("kickstart.graph");
+  EXPECT_EQ(notified, 1u);
+  EXPECT_EQ(db.revision("kickstart.graph"), 1u);
+  EXPECT_TRUE(db.since("kickstart.graph", 0).truncated);  // no row identity
+  EXPECT_FALSE(db.since("kickstart.graph", 1).truncated);  // current cursor is fine
 }
 
 }  // namespace

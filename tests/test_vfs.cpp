@@ -78,7 +78,7 @@ TEST_F(FsTest, WriteAndReadFile) {
   EXPECT_EQ(fs.read_file("/etc/motd"), "replaced");
   fs.append_file("/etc/motd", "!");
   EXPECT_EQ(fs.read_file("/etc/motd"), "replaced!");
-  EXPECT_THROW(fs.read_file("/etc/nothing"), IoError);
+  EXPECT_THROW((void)fs.read_file("/etc/nothing"), IoError);
   EXPECT_THROW((void)fs.read_file("/etc"), IoError);
 }
 
@@ -119,7 +119,7 @@ TEST_F(FsTest, DanglingSymlink) {
   fs.symlink("/nowhere", "/dangling");
   EXPECT_TRUE(fs.is_symlink("/dangling"));
   EXPECT_FALSE(fs.exists("/dangling"));  // follow fails
-  EXPECT_THROW(fs.read_file("/dangling"), IoError);
+  EXPECT_THROW((void)fs.read_file("/dangling"), IoError);
 }
 
 TEST_F(FsTest, RemoveRecursive) {
