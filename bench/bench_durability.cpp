@@ -1,0 +1,167 @@
+// Durable-store micro-benchmarks (google-benchmark): what the WAL costs a
+// committed statement, what group commit buys back, and how long recovery
+// takes at cluster scale (DESIGN.md §11, EXPERIMENTS.md durability tables).
+//
+// The acceptance bar: synchronous WAL commit within ~2x of the in-RAM
+// commit, group commit (batch >= 32) near baseline, and 100/1k/10k-node
+// recovery images replayed without divergence — the recovery fixtures
+// abort the whole binary if a recovered dump ever differs from the state
+// that produced the image.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sqldb/engine.hpp"
+#include "support/ip.hpp"
+#include "support/strings.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace {
+
+using namespace rocks;
+using strings::cat;
+
+constexpr const char* kDir = "/state/db";
+constexpr const char* kCreateNodes =
+    "CREATE TABLE nodes (id INT PRIMARY KEY AUTO_INCREMENT, mac TEXT, name TEXT, "
+    "ip TEXT, membership INT)";
+
+std::string insert_node(std::uint64_t serial) {
+  return cat("INSERT INTO nodes (mac, name, ip, membership) VALUES ('",
+             Mac(0x00508B000000ULL + serial).to_string(), "', 'compute-0-", serial, "', '",
+             Ipv4(Ipv4(10, 255, 255, 254).value() - static_cast<std::uint32_t>(serial))
+                 .to_string(),
+             "', 2)");
+}
+
+/// Baseline: the pre-§11 in-RAM engine, no durability at all.
+void BM_CommitNoWal(benchmark::State& state) {
+  sqldb::Database db;
+  db.execute(kCreateNodes);
+  std::uint64_t serial = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(db.execute(insert_node(serial++)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CommitNoWal)->Iterations(16384);
+
+/// Synchronous durability: every statement's records hit the vfs before
+/// execute() returns (group commit = 1).
+void BM_CommitWalSync(benchmark::State& state) {
+  vfs::FileSystem disk;
+  sqldb::Database db;
+  db.open_durable(disk, kDir);
+  db.execute(kCreateNodes);
+  std::uint64_t serial = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(db.execute(insert_node(serial++)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["wal_bytes_per_op"] = benchmark::Counter(
+      static_cast<double>(db.wal_bytes_written()) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_CommitWalSync)->Iterations(16384);
+
+/// Group commit: one vfs append per `batch` statements; the registration
+/// burst's amortization knob.
+void BM_CommitWalGroup(benchmark::State& state) {
+  vfs::FileSystem disk;
+  sqldb::Database db;
+  db.open_durable(disk, kDir);
+  db.set_wal_group_commit(static_cast<std::size_t>(state.range(0)));
+  db.execute(kCreateNodes);
+  std::uint64_t serial = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(db.execute(insert_node(serial++)));
+  db.wal_flush();  // the barrier a real batch ends with
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["flushes"] = benchmark::Counter(static_cast<double>(db.wal_flushes()));
+}
+BENCHMARK(BM_CommitWalGroup)->Iterations(16384)->Arg(8)->Arg(32)->Arg(128);
+
+/// Checkpoint cost: serialize + CRC + atomic rename of an N-node store.
+void BM_Snapshot(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint64_t>(state.range(0));
+  vfs::FileSystem disk;
+  sqldb::Database db;
+  db.open_durable(disk, kDir);
+  db.execute(kCreateNodes);
+  db.execute("CREATE INDEX nodes_mac ON nodes (mac)");
+  for (std::uint64_t i = 0; i < nodes; ++i) db.execute(insert_node(i));
+  for (auto _ : state) benchmark::DoNotOptimize(db.snapshot());
+}
+BENCHMARK(BM_Snapshot)->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+/// A committed N-node store image and the dump every recovery must equal.
+struct RecoveryImage {
+  vfs::FileSystem disk;
+  std::string expected;
+};
+
+/// Builds (once per shape) a disk image of N registered nodes: pure WAL, or
+/// a snapshot taken at half the registrations with the rest in the WAL tail.
+RecoveryImage& recovery_image(std::uint64_t nodes, bool checkpointed) {
+  static std::map<std::pair<std::uint64_t, bool>, std::unique_ptr<RecoveryImage>> images;
+  auto& slot = images[{nodes, checkpointed}];
+  if (!slot) {
+    slot = std::make_unique<RecoveryImage>();
+    sqldb::Database db;
+    db.open_durable(slot->disk, kDir);
+    db.set_wal_group_commit(64);
+    db.execute(kCreateNodes);
+    db.execute("CREATE INDEX nodes_mac ON nodes (mac)");
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+      db.execute(insert_node(i));
+      if (checkpointed && i == nodes / 2) db.snapshot();
+    }
+    db.wal_flush();
+    slot->expected = db.dump_state();
+  }
+  return *slot;
+}
+
+/// The acceptance check: a recovered store must dump byte-identically to
+/// the store that wrote the image. Any divergence is a correctness bug, so
+/// it kills the benchmark run rather than reporting a fast wrong number.
+void require_identical(RecoveryImage& image) {
+  sqldb::Database db;
+  db.open_durable(image.disk, kDir);
+  if (db.dump_state() != image.expected) {
+    std::fprintf(stderr, "FATAL: recovered state diverged from pre-crash state\n");
+    std::abort();
+  }
+}
+
+/// Cold-start recovery replaying the whole registration history from the WAL.
+void BM_RecoveryWalReplay(benchmark::State& state) {
+  auto& image = recovery_image(static_cast<std::uint64_t>(state.range(0)), false);
+  for (auto _ : state) {
+    sqldb::Database db;
+    benchmark::DoNotOptimize(db.open_durable(image.disk, kDir));
+  }
+  require_identical(image);
+}
+BENCHMARK(BM_RecoveryWalReplay)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Recovery bounded by a checkpoint: load the snapshot, replay the tail.
+void BM_RecoverySnapshotPlusTail(benchmark::State& state) {
+  auto& image = recovery_image(static_cast<std::uint64_t>(state.range(0)), true);
+  for (auto _ : state) {
+    sqldb::Database db;
+    benchmark::DoNotOptimize(db.open_durable(image.disk, kDir));
+  }
+  require_identical(image);
+}
+BENCHMARK(BM_RecoverySnapshotPlusTail)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include "cluster/node.hpp"
 #include "services/generators.hpp"
+#include "support/error.hpp"
 #include "support/strings.hpp"
 
 namespace rocks::cluster {
@@ -19,12 +20,23 @@ Frontend::Frontend(netsim::Simulator& sim, netsim::SyslogBus& syslog,
       http_(sim, config_.http_capacity, config_.http_servers),
       dhcp_(sim, syslog, config_.name, config_.ip) {
   http_.set_per_stream_cap(config_.http_per_stream_cap);
+  // Durable store first (DESIGN.md §11): recovery must run against an empty
+  // database, and everything the bootstrap below commits is then logged.
+  if (config_.state_fs != nullptr) {
+    recovery_ = db_.open_durable(*config_.state_fs, config_.state_dir);
+    db_.set_wal_group_commit(config_.wal_group_commit);
+  }
   // Database bootstrap: schema plus our own row (the first thing the CD
-  // install does, Section 6.4).
+  // install does, Section 6.4). Both steps are idempotent so a recovered
+  // boot passes straight through: the schema guard is has_table, and the
+  // frontend row is keyed by our MAC.
   kickstart::ensure_cluster_schema(db_);
-  kickstart::insert_node_row(db_, config_.mac.to_string(), config_.name, /*membership=*/1,
-                             /*rack=*/0, /*rank=*/0, config_.ip.to_string(), "i386",
-                             "Gateway machine");
+  if (db_.execute(cat("SELECT id FROM nodes WHERE mac = '", config_.mac.to_string(), "'"))
+          .row_count() == 0) {
+    kickstart::insert_node_row(db_, config_.mac.to_string(), config_.name, /*membership=*/1,
+                               /*rack=*/0, /*rank=*/0, config_.ip.to_string(), "i386",
+                               "Gateway machine");
+  }
 
   // Wire the kickstart inputs to the change bus: graph/node-file edits and
   // distribution rebuilds publish on their channels, and every subscriber
@@ -74,7 +86,18 @@ Frontend::Frontend(netsim::Simulator& sim, netsim::SyslogBus& syslog,
   regenerate_services();
 }
 
+std::unique_ptr<Frontend> Frontend::recover(netsim::Simulator& sim, netsim::SyslogBus& syslog,
+                                            const rpm::SynthDistro& distro,
+                                            FrontendConfig config) {
+  require_state(config.state_fs != nullptr,
+                "Frontend::recover() needs a durable store (FrontendConfig::state_fs)");
+  return std::make_unique<Frontend>(sim, syslog, distro, std::move(config));
+}
+
 services::ServiceManager::Report Frontend::flush_services() {
+  // Durability barrier before anything becomes externally visible: a config
+  // file or DHCP binding must never reflect state a crash could forget.
+  if (db_.durable()) db_.wal_flush();
   auto report = services_.regenerate(db_, fs_);
 
   // The DHCP daemon's static bindings follow the nodes table; re-push only

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "support/crashpoint.hpp"
 #include "support/strings.hpp"
 
 namespace rocks::cluster {
@@ -71,10 +72,16 @@ void InsertEthers::flush() { frontend_.flush_services(); }
 int InsertEthers::register_batch(const std::vector<Mac>& macs) {
   // The commits mark services dirty through the bus as they land; one
   // flush at the end coalesces the whole burst — each service restarts at
-  // most once no matter how many nodes were registered.
+  // most once no matter how many nodes were registered. Each node is one
+  // INSERT statement, so a crash anywhere in the loop leaves a prefix of
+  // fully-registered nodes (never a half-registered one); the final flush
+  // is the durability barrier — only after it may the batch be
+  // acknowledged to the operator.
   int fresh = 0;
-  for (const Mac& mac : macs)
+  for (const Mac& mac : macs) {
+    support::crash_point("insert_ethers.batch");
     if (insert_node(mac)) ++fresh;
+  }
   flush();
   return fresh;
 }

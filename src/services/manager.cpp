@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "support/crashpoint.hpp"
 #include "support/strings.hpp"
 #include "vfs/path.hpp"
 
@@ -106,10 +107,26 @@ ServiceManager::Report ServiceManager::regenerate(sqldb::Database& db, vfs::File
       continue;
     }
     fs.mkdir_p(vfs::dirname(service.config_path));
-    if (fs.exists(service.config_path)) fs.remove(service.config_path);
+    // Atomic publication (DESIGN.md §11): write the full content to a temp
+    // file, then rename over the live path. A daemon reading its config
+    // concurrently — or a crash at any instant — observes the old file or
+    // the new one, never a partial write. A stale .tmp from an earlier
+    // crash is simply overwritten here.
+    const std::string tmp_path = strings::cat(service.config_path, ".tmp");
+    auto& points = support::CrashPoints::instance();
+    if (points.fires("services.config.tmp.torn")) {
+      // Simulated crash mid-write: half the bytes land in the temp file.
+      // The live config path is untouched — that is the invariant.
+      fs.write_file(tmp_path, fresh.substr(0, fresh.size() / 2));
+      points.trip("services.config.tmp.torn");
+    }
     // Hand over the bytes and their digest: no copy, and the next flush's
-    // file_hash is a cache read instead of a re-hash.
-    fs.write_file(service.config_path, std::move(fresh), 0, fresh_hash);
+    // file_hash is a cache read instead of a re-hash (the hash cache moves
+    // with the node through the rename).
+    fs.write_file(tmp_path, std::move(fresh), 0, fresh_hash);
+    support::crash_point("services.config.rename.before");
+    fs.rename(tmp_path, service.config_path);
+    support::crash_point("services.config.rename.after");
     service.last_hash = fresh_hash;
     ++service.restarts;
     report.restarted.push_back(name);

@@ -6,11 +6,34 @@
 #include <chrono>
 #include <variant>
 
+#include "sqldb/snapshot.hpp"
+#include "sqldb/wal.hpp"
+#include "support/crashpoint.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "vfs/filesystem.hpp"
+#include "vfs/path.hpp"
 
 namespace rocks::sqldb {
+
+/// The attached durable store: the WAL writer plus the two cursors that
+/// define its position — the next LSN to stamp and the next snapshot
+/// sequence number to publish. Lives behind table_lock_ (mutations write
+/// the WAL under the exclusive lock; snapshot() takes it too).
+struct Database::Durability {
+  Durability(vfs::FileSystem& filesystem, std::string directory, std::string wal_path)
+      : fs(&filesystem), dir(std::move(directory)), wal(filesystem, std::move(wal_path)) {}
+
+  vfs::FileSystem* fs;
+  std::string dir;
+  WalWriter wal;
+  std::uint64_t next_lsn = 1;
+  std::uint64_t next_snapshot_seq = 1;
+};
+
+Database::Database() = default;
+Database::~Database() = default;
 namespace {
 
 /// Lock acquisition timed into a wait-time counter: the cost of the two
@@ -279,25 +302,49 @@ ResultSet Database::execute(const Statement& statement) {
   // lock, but subscriber notifications fire only after it is released so a
   // callback may issue its own statements without self-deadlocking.
   std::vector<std::string> touched;
+  std::vector<WalRecord> wal_records;
+  // Only durable databases pay for building WAL records.
+  std::vector<WalRecord>* wal = durability_ ? &wal_records : nullptr;
   ResultSet result;
   {
     const auto lock = timed_lock<std::unique_lock<std::shared_mutex>>(
         table_lock_, exclusive_acquisitions_, exclusive_wait_ns_);
-    result = std::visit(
-        [this, &touched](const auto& stmt) -> ResultSet {
-          using T = std::decay_t<decltype(stmt)>;
-          if constexpr (std::is_same_v<T, SelectStmt>) return run_select(stmt);
-          else if constexpr (std::is_same_v<T, InsertStmt>) return run_insert(stmt, touched);
-          else if constexpr (std::is_same_v<T, UpdateStmt>) return run_update(stmt, touched);
-          else if constexpr (std::is_same_v<T, DeleteStmt>) return run_delete(stmt, touched);
-          else if constexpr (std::is_same_v<T, CreateTableStmt>) return run_create(stmt, touched);
-          else if constexpr (std::is_same_v<T, CreateIndexStmt>) return run_create_index(stmt);
-          else return run_drop(stmt, touched);
-        },
-        statement);
+    try {
+      result = std::visit(
+          [this, &touched, wal](const auto& stmt) -> ResultSet {
+            using T = std::decay_t<decltype(stmt)>;
+            if constexpr (std::is_same_v<T, SelectStmt>) return run_select(stmt);
+            else if constexpr (std::is_same_v<T, InsertStmt>) return run_insert(stmt, touched, wal);
+            else if constexpr (std::is_same_v<T, UpdateStmt>) return run_update(stmt, touched, wal);
+            else if constexpr (std::is_same_v<T, DeleteStmt>) return run_delete(stmt, touched, wal);
+            else if constexpr (std::is_same_v<T, CreateTableStmt>)
+              return run_create(stmt, touched, wal);
+            else if constexpr (std::is_same_v<T, CreateIndexStmt>)
+              return run_create_index(stmt, wal);
+            else return run_drop(stmt, touched, wal);
+          },
+          statement);
+    } catch (...) {
+      // A statement can fail midway with part of its work applied (this
+      // engine has no rollback). The WAL must mirror memory exactly, so the
+      // partial records are logged before the error propagates.
+      wal_append_locked(wal_records);
+      throw;
+    }
+    wal_append_locked(wal_records);
   }
   for (const std::string& channel : touched) journal_.notify(channel);
   return result;
+}
+
+void Database::wal_append_locked(std::vector<WalRecord>& records) {
+  if (!durability_ || records.empty()) return;
+  records.back().commit = true;  // statement boundary (see WalRecord::commit)
+  for (WalRecord& record : records) {
+    record.lsn = durability_->next_lsn++;
+    durability_->wal.append(record);
+  }
+  durability_->wal.commit();
 }
 
 std::vector<std::string> Database::query_column(std::string_view sql) {
@@ -617,7 +664,8 @@ Value journal_pk(const Table& table, const Row& row) {
 }
 }  // namespace
 
-ResultSet Database::run_insert(const InsertStmt& stmt, std::vector<std::string>& touched) {
+ResultSet Database::run_insert(const InsertStmt& stmt, std::vector<std::string>& touched,
+                               std::vector<WalRecord>* wal) {
   Table& target = table_mutable(stmt.table);
   const EmptyContext ctx;
   ResultSet result;
@@ -638,18 +686,26 @@ ResultSet Database::run_insert(const InsertStmt& stmt, std::vector<std::string>&
         row[*index] = exprs[i]->evaluate(ctx);
       }
     }
-    // Journal the row *after* insert so AUTO_INCREMENT keys carry their
-    // assigned value.
+    // Journal (and WAL-log) the row *after* insert so AUTO_INCREMENT keys
+    // carry their assigned value.
     const std::size_t inserted = target.insert(std::move(row));
     journal_.record(target.name(), ChangeOp::kInsert,
                     journal_pk(target, target.rows()[inserted]));
+    if (wal != nullptr) {
+      WalRecord record;
+      record.op = WalOp::kInsert;
+      record.table = target.name();
+      record.row = target.rows()[inserted];
+      wal->push_back(std::move(record));
+    }
     ++result.affected_rows;
   }
   if (result.affected_rows > 0) touched.push_back(strings::to_lower(stmt.table));
   return result;
 }
 
-ResultSet Database::run_update(const UpdateStmt& stmt, std::vector<std::string>& touched) {
+ResultSet Database::run_update(const UpdateStmt& stmt, std::vector<std::string>& touched,
+                               std::vector<WalRecord>* wal) {
   Table& target = table_mutable(stmt.table);
   // Resolve assignment columns once.
   std::vector<std::pair<std::size_t, const Expr*>> assignments;
@@ -672,6 +728,16 @@ ResultSet Database::run_update(const UpdateStmt& stmt, std::vector<std::string>&
     updates.reserve(assignments.size());
     for (const auto& [index, expr] : assignments) updates.push_back(expr->evaluate(ctx));
     const Value old_pk = journal_pk(target, target.rows()[r]);
+    if (wal != nullptr) {
+      WalRecord record;
+      record.op = WalOp::kUpdate;
+      record.table = target.name();
+      record.row_index = r;
+      record.cells.reserve(assignments.size());
+      for (std::size_t i = 0; i < assignments.size(); ++i)
+        record.cells.emplace_back(assignments[i].first, updates[i]);
+      wal->push_back(std::move(record));
+    }
     for (std::size_t i = 0; i < assignments.size(); ++i)
       target.set_cell(r, assignments[i].first, std::move(updates[i]));
     const Value new_pk = journal_pk(target, target.rows()[r]);
@@ -690,7 +756,8 @@ ResultSet Database::run_update(const UpdateStmt& stmt, std::vector<std::string>&
   return result;
 }
 
-ResultSet Database::run_delete(const DeleteStmt& stmt, std::vector<std::string>& touched) {
+ResultSet Database::run_delete(const DeleteStmt& stmt, std::vector<std::string>& touched,
+                               std::vector<WalRecord>* wal) {
   Table& target = table_mutable(stmt.table);
   std::vector<std::size_t> doomed;
   SingleTableContext ctx(target);
@@ -705,6 +772,13 @@ ResultSet Database::run_delete(const DeleteStmt& stmt, std::vector<std::string>&
   // Journal identities before erase_rows invalidates the row indexes.
   for (const std::size_t i : doomed)
     journal_.record(target.name(), ChangeOp::kDelete, journal_pk(target, target.rows()[i]));
+  if (wal != nullptr && !doomed.empty()) {
+    WalRecord record;
+    record.op = WalOp::kDelete;
+    record.table = target.name();
+    record.row_indexes = doomed;
+    wal->push_back(std::move(record));
+  }
   target.erase_rows(doomed);
   ResultSet result;
   result.affected_rows = doomed.size();
@@ -712,7 +786,8 @@ ResultSet Database::run_delete(const DeleteStmt& stmt, std::vector<std::string>&
   return result;
 }
 
-ResultSet Database::run_create(const CreateTableStmt& stmt, std::vector<std::string>& touched) {
+ResultSet Database::run_create(const CreateTableStmt& stmt, std::vector<std::string>& touched,
+                               std::vector<WalRecord>* wal) {
   if (tables_.contains(stmt.table)) {
     if (stmt.if_not_exists) return {};
     throw StateError(strings::cat("table already exists: ", stmt.table));
@@ -722,17 +797,32 @@ ResultSet Database::run_create(const CreateTableStmt& stmt, std::vector<std::str
   // notify after the lock drops like any other mutation.
   journal_.truncate(stmt.table);
   touched.push_back(strings::to_lower(stmt.table));
+  if (wal != nullptr) {
+    WalRecord record;
+    record.op = WalOp::kCreateTable;
+    record.table = stmt.table;
+    record.schema = stmt.columns;
+    wal->push_back(std::move(record));
+  }
   return {};
 }
 
-ResultSet Database::run_create_index(const CreateIndexStmt& stmt) {
+ResultSet Database::run_create_index(const CreateIndexStmt& stmt, std::vector<WalRecord>* wal) {
   // create_index is idempotent, so IF NOT EXISTS is accepted but needs no
   // special handling.
   table_mutable(stmt.table).create_index(stmt.column);
+  if (wal != nullptr) {
+    WalRecord record;
+    record.op = WalOp::kCreateIndex;
+    record.table = stmt.table;
+    record.column = stmt.column;
+    wal->push_back(std::move(record));
+  }
   return {};
 }
 
-ResultSet Database::run_drop(const DropTableStmt& stmt, std::vector<std::string>& touched) {
+ResultSet Database::run_drop(const DropTableStmt& stmt, std::vector<std::string>& touched,
+                             std::vector<WalRecord>* wal) {
   const auto it = tables_.find(stmt.table);
   if (it == tables_.end()) {
     if (stmt.if_exists) return {};
@@ -741,7 +831,262 @@ ResultSet Database::run_drop(const DropTableStmt& stmt, std::vector<std::string>
   tables_.erase(it);
   journal_.truncate(stmt.table);
   touched.push_back(strings::to_lower(stmt.table));
+  if (wal != nullptr) {
+    WalRecord record;
+    record.op = WalOp::kDropTable;
+    record.table = stmt.table;
+    wal->push_back(std::move(record));
+  }
   return {};
+}
+
+// --- durable store (DESIGN.md §11) -------------------------------------------
+
+void Database::apply_wal_record(const WalRecord& record) {
+  switch (record.op) {
+    case WalOp::kInsert: {
+      Table& target = table_mutable(record.table);
+      // insert() re-coerces (idempotent on the already-typed logged row) and
+      // advances the AUTO_INCREMENT cursor past the logged key, exactly as
+      // the original insert left it.
+      const std::size_t inserted = target.insert(record.row);
+      journal_.record(target.name(), ChangeOp::kInsert,
+                      journal_pk(target, target.rows()[inserted]));
+      break;
+    }
+    case WalOp::kUpdate: {
+      Table& target = table_mutable(record.table);
+      require_state(record.row_index < target.row_count(),
+                    strings::cat("wal replay: row index out of range in ", record.table));
+      const Value old_pk = journal_pk(target, target.rows()[record.row_index]);
+      for (const auto& [column, value] : record.cells)
+        target.set_cell(record.row_index, column, value);
+      const Value new_pk = journal_pk(target, target.rows()[record.row_index]);
+      // Same journal semantics as run_update: a key reassignment is a
+      // delete + insert, anything else an in-place update.
+      if (!old_pk.is_null() && !new_pk.is_null() && old_pk.compare(new_pk) == 0) {
+        journal_.record(target.name(), ChangeOp::kUpdate, new_pk);
+      } else {
+        journal_.record(target.name(), ChangeOp::kDelete, old_pk);
+        journal_.record(target.name(), ChangeOp::kInsert, new_pk);
+      }
+      break;
+    }
+    case WalOp::kDelete: {
+      Table& target = table_mutable(record.table);
+      for (const std::size_t index : record.row_indexes) {
+        require_state(index < target.row_count(),
+                      strings::cat("wal replay: row index out of range in ", record.table));
+        journal_.record(target.name(), ChangeOp::kDelete,
+                        journal_pk(target, target.rows()[index]));
+      }
+      target.erase_rows(record.row_indexes);
+      break;
+    }
+    case WalOp::kCreateTable:
+      require_state(!tables_.contains(record.table),
+                    strings::cat("wal replay: table already exists: ", record.table));
+      tables_.emplace(record.table, Table(record.table, record.schema));
+      journal_.truncate(record.table);
+      break;
+    case WalOp::kDropTable: {
+      const auto it = tables_.find(record.table);
+      require_state(it != tables_.end(),
+                    strings::cat("wal replay: no such table: ", record.table));
+      tables_.erase(it);
+      journal_.truncate(record.table);
+      break;
+    }
+    case WalOp::kCreateIndex:
+      table_mutable(record.table).create_index(record.column);
+      break;
+  }
+}
+
+RecoveryReport Database::open_durable(vfs::FileSystem& fs, std::string_view dir) {
+  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  require_state(durability_ == nullptr, "durable store already open");
+  require_state(tables_.empty(), "open_durable() requires an empty database");
+  const std::string root = vfs::normalize(dir);
+  fs.mkdir_p(root);
+  durability_ = std::make_unique<Durability>(fs, root, vfs::join(root, kWalFileName));
+
+  RecoveryReport report;
+
+  // 1. Newest valid snapshot wins; corrupt ones are skipped, falling back
+  //    one retention step (the WAL's LSN-gap guard below keeps a stale
+  //    snapshot from mis-applying newer physical records).
+  const std::vector<std::uint64_t> seqs = list_snapshots(fs, root);
+  std::optional<SnapshotData> snapshot;
+  for (auto it = seqs.rbegin(); it != seqs.rend() && !snapshot; ++it) {
+    snapshot = decode_snapshot(fs.read_file(vfs::join(root, snapshot_file_name(*it))));
+    if (!snapshot) ++report.snapshots_skipped;
+  }
+  if (snapshot) {
+    for (TableState& state : snapshot->tables) {
+      Table table(state.name, state.columns);
+      for (Row& row : state.rows) table.restore_row(std::move(row));
+      table.set_next_auto(state.next_auto);
+      for (const std::string& column : state.indexed) table.create_index(column);
+      tables_.emplace(state.name, std::move(table));
+    }
+    for (const auto& [channel, revision] : snapshot->channels)
+      journal_.restore_channel(channel, revision);
+    durability_->next_lsn = snapshot->last_lsn + 1;
+    report.snapshot_loaded = true;
+    report.snapshot_seq = snapshot->seq;
+    report.snapshot_lsn = snapshot->last_lsn;
+  }
+  // Never reuse a sequence number, even one whose file was corrupt — the
+  // next snapshot() must not overwrite evidence or collide with retention.
+  durability_->next_snapshot_seq = seqs.empty() ? 1 : seqs.back() + 1;
+
+  // 2. Replay the WAL on top. Records the snapshot already absorbed are
+  //    skipped; a torn tail is truncated; an LSN gap (records that only
+  //    apply to a newer state than the best surviving snapshot) drops the
+  //    rest rather than corrupting.
+  const std::string wal_path = durability_->wal.path();
+  if (fs.is_file(wal_path)) {
+    const std::string bytes = fs.read_file(wal_path);  // copy: we may rewrite
+    const WalReadResult wal = read_wal(bytes);
+    report.wal_torn = wal.torn;
+    // Records apply in whole statements: buffer until a commit-marked
+    // record closes the group, then apply all of it. A trailing group with
+    // no commit marker is a statement whose flush was cut short — dropped,
+    // exactly as if it never ran (it was never acknowledged).
+    std::size_t consumed = 0;
+    std::size_t group_start = 0;  // index of the open group's first record
+    std::uint64_t expected = durability_->next_lsn;
+    for (std::size_t i = 0; i < wal.records.size(); ++i) {
+      const WalRecord& record = wal.records[i];
+      if (record.lsn < durability_->next_lsn) {  // absorbed by the snapshot
+        ++report.wal_records_skipped;
+        consumed = group_start = i + 1;
+        continue;
+      }
+      if (record.lsn != expected) break;  // gap: unusable tail
+      ++expected;
+      if (!record.commit) continue;
+      for (std::size_t j = group_start; j <= i; ++j) {
+        apply_wal_record(wal.records[j]);
+        ++durability_->next_lsn;
+        ++report.wal_records_replayed;
+      }
+      consumed = group_start = i + 1;
+    }
+    report.wal_records_dropped = wal.records.size() - consumed;
+    if (wal.torn || report.wal_records_dropped > 0) {
+      // Rewrite the file as exactly the records that survive, so a later
+      // recovery (or further appends) never sees the dead tail. Re-encoding
+      // a decoded record is byte-identical to its original frame.
+      std::string surviving;
+      for (std::size_t i = 0; i < consumed; ++i)
+        surviving += encode_wal_record(wal.records[i]);
+      fs.write_file(wal_path, std::move(surviving));
+    }
+  }
+  report.last_lsn = durability_->next_lsn - 1;
+  return report;
+}
+
+std::uint64_t Database::snapshot() {
+  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  require_state(durability_ != nullptr, "snapshot() requires a durable store (open_durable)");
+  // Everything committed must be on disk before the snapshot claims to
+  // absorb it (a group-commit tail could otherwise be lost twice over).
+  durability_->wal.flush();
+
+  SnapshotData data;
+  data.last_lsn = durability_->next_lsn - 1;
+  data.seq = durability_->next_snapshot_seq;
+  for (const auto& [key, table] : tables_) {
+    TableState state;
+    state.name = table.name();
+    state.columns = table.columns();
+    state.indexed = table.indexed_columns();
+    state.next_auto = table.next_auto();
+    state.rows = table.rows();
+    data.tables.push_back(std::move(state));
+  }
+  data.channels = journal_.channel_states();
+  std::string bytes = encode_snapshot(data);
+
+  vfs::FileSystem& fs = *durability_->fs;
+  const std::string tmp_path = vfs::join(durability_->dir, kSnapshotTmpName);
+  const std::string final_path = vfs::join(durability_->dir, snapshot_file_name(data.seq));
+  support::crash_point("snapshot.write.before");
+  fs.write_file(tmp_path, std::move(bytes));
+  // Crash here: an orphaned tmp file recovery never reads. Publication is
+  // the rename — atomic, so readers see the old snapshot set or the new
+  // one, never a partial file under the real name.
+  support::crash_point("snapshot.write.after");
+  fs.rename(tmp_path, final_path);
+  // Crash here: the snapshot is live but the WAL still holds records it
+  // absorbed — replay skips them by LSN, so recovery is exact either way.
+  support::crash_point("snapshot.rename.after");
+  durability_->wal.reset();
+  ++durability_->next_snapshot_seq;
+  support::crash_point("snapshot.retire.before");
+  // Retention: keep the newest two, so a corrupt newest falls back one step
+  // instead of losing the store.
+  const std::vector<std::uint64_t> seqs = list_snapshots(fs, durability_->dir);
+  for (std::size_t i = 0; i + 2 < seqs.size(); ++i)
+    fs.remove(vfs::join(durability_->dir, snapshot_file_name(seqs[i])));
+  return data.seq;
+}
+
+void Database::wal_flush() {
+  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  if (durability_) durability_->wal.flush();
+}
+
+void Database::set_wal_group_commit(std::size_t batch) {
+  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  require_state(durability_ != nullptr, "set_wal_group_commit() requires a durable store");
+  durability_->wal.set_group_commit(batch);
+}
+
+std::string Database::dump_state() const {
+  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  std::string out;
+  for (const auto& [key, table] : tables_) {
+    out += strings::cat("table ", table.name(), "\n");
+    for (const ColumnDef& column : table.columns())
+      out += strings::cat("  column ", column.name, " type=",
+                          static_cast<int>(column.type), " pk=", column.primary_key ? 1 : 0,
+                          " auto=", column.auto_increment ? 1 : 0, "\n");
+    for (const std::string& column : table.indexed_columns())
+      out += strings::cat("  index ", column, "\n");
+    out += strings::cat("  next_auto ", table.next_auto(), "\n");
+    for (const Row& row : table.rows()) {
+      out += "  row";
+      for (const Value& value : row) out += strings::cat(" |", value.to_string());
+      out += "\n";
+    }
+  }
+  for (const auto& [channel, revision] : journal_.channel_states())
+    out += strings::cat("channel ", channel, " revision=", revision, "\n");
+  return out;
+}
+
+std::uint64_t Database::last_lsn() const {
+  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  return durability_ ? durability_->next_lsn - 1 : 0;
+}
+
+std::uint64_t Database::wal_records_appended() const {
+  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  return durability_ ? durability_->wal.records_appended() : 0;
+}
+
+std::uint64_t Database::wal_flushes() const {
+  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  return durability_ ? durability_->wal.flushes() : 0;
+}
+
+std::uint64_t Database::wal_bytes_written() const {
+  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  return durability_ ? durability_->wal.bytes_written() : 0;
 }
 
 }  // namespace rocks::sqldb

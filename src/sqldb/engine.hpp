@@ -37,7 +37,26 @@
 #include "sqldb/parser.hpp"
 #include "sqldb/table.hpp"
 
+namespace rocks::vfs {
+class FileSystem;
+}
+
 namespace rocks::sqldb {
+
+struct WalRecord;
+
+/// What open_durable() found and did while bringing the store back up.
+struct RecoveryReport {
+  bool snapshot_loaded = false;         // a valid snapshot was restored
+  std::uint64_t snapshot_seq = 0;       // its sequence number
+  std::uint64_t snapshot_lsn = 0;       // its last absorbed LSN
+  std::size_t snapshots_skipped = 0;    // corrupt snapshots passed over
+  std::size_t wal_records_replayed = 0; // applied on top of the snapshot
+  std::size_t wal_records_skipped = 0;  // at or below the snapshot LSN
+  std::size_t wal_records_dropped = 0;  // unusable after an LSN gap
+  bool wal_torn = false;                // a torn/corrupt tail was truncated
+  std::uint64_t last_lsn = 0;           // store position after recovery
+};
 
 /// The outcome of a statement: SELECTs fill columns/rows; writes fill
 /// affected_rows.
@@ -67,6 +86,9 @@ class ResultSet {
 
 class Database {
  public:
+  Database();
+  ~Database();  // out-of-line: Durability is incomplete here
+
   /// A parsed, shareable statement. Holders keep it valid even after the
   /// cache evicts the entry.
   using PreparedStatement = std::shared_ptr<const Statement>;
@@ -105,6 +127,52 @@ class Database {
     return journal_.subscribe(table, std::move(callback));
   }
   void unsubscribe(std::size_t subscription) { journal_.unsubscribe(subscription); }
+
+  // --- durable store (DESIGN.md §11) ---------------------------------------
+  // Without a store the Database is the in-RAM engine it always was. With
+  // one, every committed mutation appends physical WAL records under the
+  // exclusive lock (commit order == WAL order), snapshot() checkpoints, and
+  // open_durable() on a fresh Database brings back the exact committed
+  // state — tables, AUTO_INCREMENT cursors, index definitions, and journal
+  // channel revisions alike.
+
+  /// Attaches the store rooted at `dir` (created if absent) and recovers:
+  /// loads the newest valid snapshot (skipping corrupt ones), truncates a
+  /// torn WAL tail, and replays the remaining records. Must be called on a
+  /// Database with no tables; throws StateError otherwise. The store stays
+  /// attached — subsequent mutations are logged.
+  RecoveryReport open_durable(vfs::FileSystem& fs, std::string_view dir);
+  [[nodiscard]] bool durable() const { return durability_ != nullptr; }
+
+  /// Checkpoints: flushes the WAL, serializes everything to a new snapshot
+  /// (temp file + atomic rename), truncates the WAL, and retires snapshots
+  /// older than the newest two. Returns the new snapshot's sequence number.
+  /// Crash points: "snapshot.write.before", "snapshot.write.after",
+  /// "snapshot.rename.after", "snapshot.retire.before".
+  std::uint64_t snapshot();
+
+  /// Forces buffered WAL records to disk — the group-commit barrier callers
+  /// use before acknowledging work to the outside (e.g. insert-ethers
+  /// completing a registration batch).
+  void wal_flush();
+
+  /// Statements per WAL flush; 1 (default) = synchronous durability on
+  /// every commit, larger batches amortize the append at the cost of a
+  /// bounded loss window (never an inconsistency).
+  void set_wal_group_commit(std::size_t batch);
+
+  /// Deterministic dump of committed state: every table's schema, index
+  /// definitions, AUTO_INCREMENT cursor and rows, plus journal channel
+  /// revisions. Two Databases with equal dumps are observably identical —
+  /// the crash-recovery tests compare these byte-for-byte.
+  [[nodiscard]] std::string dump_state() const;
+
+  // Durability observability (tests, bench_durability). Zero when no store
+  // is attached.
+  [[nodiscard]] std::uint64_t last_lsn() const;
+  [[nodiscard]] std::uint64_t wal_records_appended() const;
+  [[nodiscard]] std::uint64_t wal_flushes() const;
+  [[nodiscard]] std::uint64_t wal_bytes_written() const;
 
   [[nodiscard]] bool has_table(std::string_view name) const;
   [[nodiscard]] const Table& table(std::string_view name) const;
@@ -158,16 +226,36 @@ class Database {
   }
 
  private:
-  // Mutating statements append the channels they changed to `touched`;
-  // execute() dispatches one journal notification per channel after the
-  // exclusive lock is released (callbacks may re-enter the Database).
+  struct Durability;  // WAL writer + LSN/seq cursors; engine.cpp only
+
+  // Mutating statements append the channels they changed to `touched` and,
+  // when a durable store is attached (`wal` non-null), one physical WAL
+  // record per row-level change — the same granularity the journal records,
+  // so replay reproduces both; execute() dispatches one journal
+  // notification per channel after the exclusive lock is released
+  // (callbacks may re-enter the Database).
   ResultSet run_select(const SelectStmt& stmt);
-  ResultSet run_insert(const InsertStmt& stmt, std::vector<std::string>& touched);
-  ResultSet run_update(const UpdateStmt& stmt, std::vector<std::string>& touched);
-  ResultSet run_delete(const DeleteStmt& stmt, std::vector<std::string>& touched);
-  ResultSet run_create(const CreateTableStmt& stmt, std::vector<std::string>& touched);
-  ResultSet run_create_index(const CreateIndexStmt& stmt);
-  ResultSet run_drop(const DropTableStmt& stmt, std::vector<std::string>& touched);
+  ResultSet run_insert(const InsertStmt& stmt, std::vector<std::string>& touched,
+                       std::vector<WalRecord>* wal);
+  ResultSet run_update(const UpdateStmt& stmt, std::vector<std::string>& touched,
+                       std::vector<WalRecord>* wal);
+  ResultSet run_delete(const DeleteStmt& stmt, std::vector<std::string>& touched,
+                       std::vector<WalRecord>* wal);
+  ResultSet run_create(const CreateTableStmt& stmt, std::vector<std::string>& touched,
+                       std::vector<WalRecord>* wal);
+  ResultSet run_create_index(const CreateIndexStmt& stmt, std::vector<WalRecord>* wal);
+  ResultSet run_drop(const DropTableStmt& stmt, std::vector<std::string>& touched,
+                     std::vector<WalRecord>* wal);
+
+  /// Applies one replayed WAL record to table storage, re-recording into the
+  /// journal exactly as the original run_* did (revisions line back up) but
+  /// never notifying — recovery runs before any subscriber exists.
+  void apply_wal_record(const WalRecord& record);
+
+  /// Stamps LSNs onto `records`, appends them, and marks one statement
+  /// committed (group-commit accounting). Caller holds the exclusive lock;
+  /// no-op without a durable store.
+  void wal_append_locked(std::vector<WalRecord>& records);
 
   // Table lookups used while the caller already holds table_lock_
   // (std::shared_mutex is not recursive, so run_* must never re-lock).
@@ -187,6 +275,10 @@ class Database {
   // mutexes, so run_* may record into it while holding table_lock_ without
   // adding lock acquisitions the contention counters would see.
   ChangeJournal journal_;
+
+  // Durable store; null until open_durable(). Guarded by table_lock_ (the
+  // WAL is written under the exclusive lock, so WAL order is commit order).
+  std::unique_ptr<Durability> durability_;
 
   // --- table reader-writer lock (DESIGN.md §9) -----------------------------
   // Guards tables_ and every Table inside it. SELECT paths lock shared,

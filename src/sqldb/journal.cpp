@@ -55,6 +55,28 @@ std::uint64_t ChangeJournal::revision(std::string_view channel) const {
   return it == channels_.end() ? 0 : it->second.revision;
 }
 
+std::uint64_t ChangeJournal::floor(std::string_view channel) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  const auto it = channels_.find(strings::to_lower(channel));
+  return it == channels_.end() ? 0 : it->second.floor;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ChangeJournal::channel_states() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(channels_.size());
+  for (const auto& [name, channel] : channels_) out.emplace_back(name, channel.revision);
+  return out;
+}
+
+void ChangeJournal::restore_channel(std::string_view channel, std::uint64_t revision) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  Channel& state = channel_locked(channel);
+  state.revision = revision;
+  state.floor = revision;
+  state.log.clear();
+}
+
 ChangeDelta ChangeJournal::since(std::string_view channel, std::uint64_t revision) const {
   std::lock_guard<std::mutex> lock(state_mutex_);
   ChangeDelta delta;
@@ -62,6 +84,7 @@ ChangeDelta ChangeJournal::since(std::string_view channel, std::uint64_t revisio
   if (it == channels_.end()) return delta;  // never written: empty, at revision 0
   const Channel& state = it->second;
   delta.revision = state.revision;
+  delta.floor = state.floor;
   if (revision >= state.revision) return delta;  // caller is current
   if (revision < state.floor) {
     delta.truncated = true;  // range fell out of the log (or was touched)

@@ -66,6 +66,13 @@ struct ChangeRecord {
 struct ChangeDelta {
   bool truncated = false;
   std::uint64_t revision = 0;
+  /// Truncation floor: the oldest revision the changelog can still serve a
+  /// cursor from. A cursor below this must rescan; a cursor at or above it
+  /// gets exact records. Recorded so bounded-changelog truncation (and the
+  /// trims a WAL replay causes) give every consumer — since() cursors and
+  /// WAL-replay-driven IncrementalReports alike — the same answer to "is a
+  /// full rescan required, and where may incremental consumption resume".
+  std::uint64_t floor = 0;
   std::vector<ChangeRecord> changes;  // empty when truncated
 };
 
@@ -110,6 +117,10 @@ class ChangeJournal {
   /// Current revision of a channel; 0 for channels never written.
   [[nodiscard]] std::uint64_t revision(std::string_view channel) const;
 
+  /// Truncation floor of a channel (see ChangeDelta::floor); 0 for channels
+  /// never written or never truncated.
+  [[nodiscard]] std::uint64_t floor(std::string_view channel) const;
+
   /// Cursor read: every record after `revision`, or truncated == true when
   /// the changelog no longer covers that range. Always returns the current
   /// channel revision, so callers can advance their cursor either way.
@@ -130,6 +141,17 @@ class ChangeJournal {
   /// Takes effect per channel on its next record().
   void set_capacity(std::size_t capacity);
   [[nodiscard]] std::size_t capacity() const;
+
+  // --- durability hooks (DESIGN.md §11) ------------------------------------
+  /// Every channel's (name, revision) — what a snapshot persists. Names are
+  /// the lowered channel keys, in sorted order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> channel_states() const;
+
+  /// Recovery: reinstates a channel at `revision` with an empty changelog
+  /// and floor == revision — the snapshot carries no row-level records, so
+  /// consumers resuming below the floor correctly see "rescan required".
+  /// Does not notify.
+  void restore_channel(std::string_view channel, std::uint64_t revision);
 
   // Observability (tests, tuning).
   [[nodiscard]] std::uint64_t records_written() const;

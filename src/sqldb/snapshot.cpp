@@ -1,0 +1,138 @@
+#include "sqldb/snapshot.hpp"
+
+#include <algorithm>
+
+#include "sqldb/wal.hpp"
+#include "support/binary.hpp"
+#include "support/crc.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::sqldb {
+namespace {
+
+using support::BinaryReader;
+using support::BinaryWriter;
+
+constexpr std::uint32_t kMagic = 0x4E534B52;  // "RKSN" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+std::string encode_snapshot(const SnapshotData& snapshot) {
+  BinaryWriter out;
+  out.u32(kMagic);
+  out.u32(kVersion);
+  out.u64(snapshot.last_lsn);
+  out.u64(snapshot.seq);
+  out.u32(static_cast<std::uint32_t>(snapshot.tables.size()));
+  for (const TableState& table : snapshot.tables) {
+    out.str(table.name);
+    out.u32(static_cast<std::uint32_t>(table.columns.size()));
+    for (const ColumnDef& column : table.columns) encode_column(out, column);
+    out.u32(static_cast<std::uint32_t>(table.indexed.size()));
+    for (const std::string& column : table.indexed) out.str(column);
+    out.i64(table.next_auto);
+    out.u64(table.rows.size());
+    for (const Row& row : table.rows) {
+      out.u32(static_cast<std::uint32_t>(row.size()));
+      for (const Value& value : row) encode_value(out, value);
+    }
+  }
+  out.u32(static_cast<std::uint32_t>(snapshot.channels.size()));
+  for (const auto& [name, revision] : snapshot.channels) {
+    out.str(name);
+    out.u64(revision);
+  }
+  std::string body = out.take();
+  BinaryWriter trailer;
+  trailer.u32(support::crc32(body));
+  body += trailer.take();
+  return body;
+}
+
+std::optional<SnapshotData> decode_snapshot(std::string_view bytes) {
+  if (bytes.size() < 4) return std::nullopt;
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  {
+    BinaryReader crc_in(bytes.substr(bytes.size() - 4));
+    if (crc_in.u32() != support::crc32(body)) return std::nullopt;
+  }
+  try {
+    BinaryReader in(body);
+    if (in.u32() != kMagic) return std::nullopt;
+    if (in.u32() != kVersion) return std::nullopt;
+    SnapshotData snapshot;
+    snapshot.last_lsn = in.u64();
+    snapshot.seq = in.u64();
+    const std::uint32_t ntables = in.u32();
+    snapshot.tables.reserve(ntables);
+    for (std::uint32_t t = 0; t < ntables; ++t) {
+      TableState table;
+      table.name = std::string(in.str());
+      const std::uint32_t ncols = in.u32();
+      table.columns.reserve(ncols);
+      for (std::uint32_t c = 0; c < ncols; ++c) table.columns.push_back(decode_column(in));
+      const std::uint32_t nindexed = in.u32();
+      table.indexed.reserve(nindexed);
+      for (std::uint32_t c = 0; c < nindexed; ++c) table.indexed.emplace_back(in.str());
+      table.next_auto = in.i64();
+      const std::uint64_t nrows = in.u64();
+      table.rows.reserve(nrows);
+      for (std::uint64_t r = 0; r < nrows; ++r) {
+        const std::uint32_t width = in.u32();
+        Row row;
+        row.reserve(width);
+        for (std::uint32_t c = 0; c < width; ++c) row.push_back(decode_value(in));
+        table.rows.push_back(std::move(row));
+      }
+      snapshot.tables.push_back(std::move(table));
+    }
+    const std::uint32_t nchannels = in.u32();
+    snapshot.channels.reserve(nchannels);
+    for (std::uint32_t c = 0; c < nchannels; ++c) {
+      std::string name(in.str());
+      const std::uint64_t revision = in.u64();
+      snapshot.channels.emplace_back(std::move(name), revision);
+    }
+    if (!in.done()) return std::nullopt;
+    return snapshot;
+  } catch (const ParseError&) {
+    // CRC passed but framing didn't — corrupt in a way the checksum missed
+    // (or an impossible encoder bug); either way the snapshot is unusable.
+    return std::nullopt;
+  }
+}
+
+std::string snapshot_file_name(std::uint64_t seq) {
+  std::string digits = std::to_string(seq);
+  if (digits.size() < 12) digits.insert(0, 12 - digits.size(), '0');
+  return strings::cat("snapshot-", digits, ".snap");
+}
+
+std::optional<std::uint64_t> parse_snapshot_file_name(std::string_view name) {
+  constexpr std::string_view kPrefix = "snapshot-";
+  constexpr std::string_view kSuffix = ".snap";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (name.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  if (name.substr(name.size() - kSuffix.size()) != kSuffix) return std::nullopt;
+  const std::string_view digits =
+      name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+  std::uint64_t seq = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+std::vector<std::uint64_t> list_snapshots(const vfs::FileSystem& fs, std::string_view dir) {
+  std::vector<std::uint64_t> seqs;
+  if (!fs.is_directory(dir)) return seqs;
+  for (const std::string& entry : fs.list(dir))
+    if (const auto seq = parse_snapshot_file_name(entry)) seqs.push_back(*seq);
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+}  // namespace rocks::sqldb

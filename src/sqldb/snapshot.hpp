@@ -1,0 +1,78 @@
+// Snapshots for the durable configuration store (DESIGN.md §11).
+//
+// A snapshot is a full, checksummed serialization of the database: every
+// table (schema, index definitions, AUTO_INCREMENT cursor, rows) plus the
+// change-journal channel revisions, stamped with the last LSN it absorbs.
+// Together with the WAL it forms the classic pair: recovery loads the
+// newest valid snapshot, then replays WAL records with lsn > last_lsn.
+//
+// Publication protocol (crash-safe by construction):
+//   1. serialize to `snapshot.tmp`            (crash: tmp ignored on recovery)
+//   2. rename tmp -> `snapshot-<seq>.snap`    (atomic: old or new, never both)
+//   3. truncate the WAL                       (crash before: replay is
+//                                              idempotent-by-LSN, records at
+//                                              or below last_lsn are skipped)
+//   4. delete snapshots older than the last 2 (retention: a corrupt newest
+//                                              snapshot falls back one step)
+//
+// On-disk format (little-endian, support/binary.hpp):
+//   u32 magic "RKSN" | u32 version | u64 last_lsn | u64 seq
+//   | u32 ntables  | table*   (str name, u32 ncols, coldef*, u32 nindexed,
+//                              str*, i64 next_auto, u64 nrows, row*)
+//   | u32 nchannels | (str name, u64 revision)*
+//   | u32 crc32(everything above)
+// Any truncation, bit flip, or trailing garbage fails the CRC or a bounds
+// check and the snapshot is rejected as a whole — recovery then tries the
+// next-older file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sqldb/table.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace rocks::sqldb {
+
+/// File names inside the durable-store directory.
+inline constexpr std::string_view kWalFileName = "wal.log";
+inline constexpr std::string_view kSnapshotTmpName = "snapshot.tmp";
+
+/// One table's persistent state.
+struct TableState {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> indexed;  // indexed column names
+  std::int64_t next_auto = 1;
+  std::vector<Row> rows;
+};
+
+struct SnapshotData {
+  std::uint64_t last_lsn = 0;  // WAL records at or below this are absorbed
+  std::uint64_t seq = 0;       // snapshot sequence number (file name carries it)
+  std::vector<TableState> tables;
+  std::vector<std::pair<std::string, std::uint64_t>> channels;  // journal revisions
+};
+
+[[nodiscard]] std::string encode_snapshot(const SnapshotData& snapshot);
+
+/// Decodes and verifies a snapshot image; nullopt on any corruption (bad
+/// magic, version, CRC, framing). Never throws — a damaged snapshot is an
+/// expected crash/bit-rot artifact and recovery falls back to an older one.
+[[nodiscard]] std::optional<SnapshotData> decode_snapshot(std::string_view bytes);
+
+/// `snapshot-<seq>.snap`, zero-padded so lexicographic order == seq order.
+[[nodiscard]] std::string snapshot_file_name(std::uint64_t seq);
+
+/// Sequence number of a snapshot file name; nullopt for anything else.
+[[nodiscard]] std::optional<std::uint64_t> parse_snapshot_file_name(std::string_view name);
+
+/// Sequence numbers of every snapshot file in `dir`, ascending.
+[[nodiscard]] std::vector<std::uint64_t> list_snapshots(const vfs::FileSystem& fs,
+                                                        std::string_view dir);
+
+}  // namespace rocks::sqldb

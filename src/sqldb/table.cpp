@@ -70,6 +70,16 @@ std::size_t Table::insert(Row row) {
   return index;
 }
 
+std::size_t Table::restore_row(Row row) {
+  require_state(row.size() == columns_.size(),
+                strings::cat("restore into ", name_, ": row width ", row.size(),
+                             " != column count ", columns_.size()));
+  rows_.push_back(std::move(row));
+  const std::size_t index = rows_.size() - 1;
+  for (auto& idx : indexes_) index_row(idx, index);
+  return index;
+}
+
 void Table::set_cell(std::size_t row, std::size_t column, Value value) {
   require_state(row < rows_.size(), "set_cell: row index out of range");
   require_state(column < columns_.size(), "set_cell: column index out of range");

@@ -69,6 +69,19 @@ class Table {
   /// has_index_on(column). A NULL key matches nothing (SQL '=' semantics).
   [[nodiscard]] std::vector<std::size_t> probe_index(std::size_t column, const Value& key) const;
 
+  // --- durability hooks (DESIGN.md §11) ------------------------------------
+  /// The AUTO_INCREMENT sequence cursor. Snapshots persist it and recovery
+  /// restores it, because it is not derivable from the surviving rows (the
+  /// highest-id row may have been deleted).
+  [[nodiscard]] std::int64_t next_auto() const { return next_auto_; }
+  void set_next_auto(std::int64_t next) { next_auto_ = next; }
+
+  /// Appends a snapshot row verbatim — no coercion, no AUTO_INCREMENT
+  /// assignment. insert() would be wrong here: set_cell stores UPDATE
+  /// values as given, so a live row may hold a value coercion would alter,
+  /// and recovery must reproduce memory byte-for-byte. Returns the index.
+  std::size_t restore_row(Row row);
+
  private:
   struct HashIndex {
     std::size_t column = 0;

@@ -1,0 +1,80 @@
+#include "support/binary.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::support {
+
+void BinaryWriter::u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+void BinaryWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFU));
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFU));
+}
+
+void BinaryWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void BinaryWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void BinaryWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  out_.append(v);
+}
+
+void BinaryReader::need(std::size_t n) const {
+  if (data_.size() - pos_ < n)
+    throw ParseError(strings::cat("binary decode: need ", n, " bytes at offset ", pos_,
+                                  ", only ", data_.size() - pos_, " left"));
+}
+
+std::uint8_t BinaryReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t BinaryReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t BinaryReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double BinaryReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string_view BinaryReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  const std::string_view out = data_.substr(pos_, len);
+  pos_ += len;
+  return out;
+}
+
+}  // namespace rocks::support

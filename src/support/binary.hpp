@@ -1,0 +1,56 @@
+// Little-endian binary encode/decode for the durability layer's on-disk
+// formats (WAL records, snapshots — DESIGN.md §11).
+//
+// The writer appends fixed-width integers and length-prefixed strings to a
+// std::string; the reader walks a string_view with hard bounds checks and
+// throws ParseError the moment a read would run past the end — a truncated
+// or corrupt buffer can never read garbage, it fails loudly and the caller
+// (WAL replay, snapshot load) treats the data as invalid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rocks::support {
+
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// Length-prefixed (u32) byte string.
+  void str(std::string_view v);
+
+  [[nodiscard]] const std::string& bytes() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string_view str();
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  /// Throws ParseError unless `n` more bytes are available.
+  void need(std::size_t n) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rocks::support

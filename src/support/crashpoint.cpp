@@ -1,0 +1,74 @@
+#include "support/crashpoint.hpp"
+
+#include "support/strings.hpp"
+
+namespace rocks::support {
+
+CrashPoints& CrashPoints::instance() {
+  static CrashPoints points;
+  return points;
+}
+
+void CrashPoints::arm(std::string_view name, std::uint64_t countdown) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& point = points_[std::string(name)];
+  point.armed = countdown > 0;
+  point.countdown = countdown;
+}
+
+void CrashPoints::disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  if (it == points_.end()) return;
+  it->second.armed = false;
+  it->second.countdown = 0;
+}
+
+void CrashPoints::disarm_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, point] : points_) {
+    point.armed = false;
+    point.countdown = 0;
+  }
+}
+
+bool CrashPoints::fires(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) it = points_.emplace(std::string(name), Point{}).first;
+  Point& point = it->second;
+  ++point.hits;
+  if (!point.armed) return false;
+  if (--point.countdown > 0) return false;
+  point.armed = false;  // one crash per arm
+  return true;
+}
+
+void CrashPoints::trip(std::string_view name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++trips_;
+  }
+  throw CrashError(strings::cat("simulated crash at '", std::string(name), "'"));
+}
+
+std::vector<std::string> CrashPoints::registered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) out.push_back(name);
+  return out;
+}
+
+std::uint64_t CrashPoints::hits(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t CrashPoints::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+}  // namespace rocks::support

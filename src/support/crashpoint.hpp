@@ -1,0 +1,93 @@
+// Crash-point injection (DESIGN.md §11.4).
+//
+// The durability layer's correctness claim is "power loss at any instant
+// loses at most the unflushed tail, never consistency". That claim is only
+// testable if the test harness can *cause* power loss at every interesting
+// instant. A crash point is a compiled-in hook on a durability-critical
+// code path — before a WAL flush, between a snapshot's rename and its WAL
+// reset, mid config-file write — that normally costs one mutex-guarded map
+// probe and does nothing. A test arms a point (optionally with a countdown:
+// "crash on the Nth hit") and the hook throws CrashError, simulating the
+// process dying at exactly that instant: in-memory state is abandoned, and
+// recovery must rebuild a consistent image from what reached the vfs.
+//
+// Points self-register on first execution, so a discovery run of a workload
+// enumerates every crash point it crosses — the crash-sweep test then trips
+// each of them in turn (test_durability.cpp). The catalog of shipped points
+// is documented in DESIGN.md §11.4.
+//
+// Torn writes: a point like "wal.flush.torn" is queried with fires() by
+// code that, when the point is armed, deliberately writes a *prefix* of the
+// intended bytes before calling trip() — simulating the sector-granular
+// partial write a real power cut leaves behind.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace rocks::support {
+
+/// The simulated power loss. Deliberately NOT a subclass of rocks::Error:
+/// generic error handling (service-manager catch blocks, retry loops) must
+/// not swallow a crash — it propagates to the test harness like death.
+class CrashError : public std::exception {
+ public:
+  explicit CrashError(std::string message) : message_(std::move(message)) {}
+  [[nodiscard]] const char* what() const noexcept override { return message_.c_str(); }
+
+ private:
+  std::string message_;
+};
+
+/// Process-wide registry of crash points. Thread-safe; the common path
+/// (nothing armed) is one uncontended mutex acquisition.
+class CrashPoints {
+ public:
+  static CrashPoints& instance();
+
+  /// Arms `name`: the countdown-th future hit of the point trips it (then
+  /// the point disarms itself — one crash per arm, like one power cut).
+  void arm(std::string_view name, std::uint64_t countdown = 1);
+  void disarm(std::string_view name);
+  void disarm_all();
+
+  /// Registers the point and counts the hit; true when an armed countdown
+  /// just expired — the caller must finish simulating the crash (possibly
+  /// after leaving partial state behind) by calling trip().
+  [[nodiscard]] bool fires(std::string_view name);
+
+  /// Throws CrashError for `name`. [[noreturn]].
+  [[noreturn]] void trip(std::string_view name);
+
+  /// Every point that has ever executed (or been armed) — the sweep's
+  /// work list after a discovery run.
+  [[nodiscard]] std::vector<std::string> registered() const;
+
+  [[nodiscard]] std::uint64_t hits(std::string_view name) const;
+  [[nodiscard]] std::uint64_t trips() const;
+
+ private:
+  struct Point {
+    std::uint64_t hits = 0;
+    bool armed = false;
+    std::uint64_t countdown = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Point, std::less<>> points_;
+  std::uint64_t trips_ = 0;
+};
+
+/// The hook itself: registers, counts, and throws CrashError when armed.
+inline void crash_point(std::string_view name) {
+  auto& points = CrashPoints::instance();
+  if (points.fires(name)) points.trip(name);
+}
+
+}  // namespace rocks::support

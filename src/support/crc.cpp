@@ -1,0 +1,32 @@
+#include "support/crc.hpp"
+
+#include <array>
+
+namespace rocks::support {
+namespace {
+
+/// The classic 256-entry table for the reflected IEEE polynomial
+/// 0xEDB88320, built once at static-init time.
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0xEDB88320U : 0U);
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = build_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (const char c : data)
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFFU];
+  return ~crc;
+}
+
+}  // namespace rocks::support

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for the durability layer.
+//
+// Every WAL record and every snapshot file carries a CRC so crash-recovery
+// can tell a torn or bit-rotted tail from valid data (DESIGN.md §11). The
+// checksum is for *corruption detection*, not authentication — it catches
+// the failure modes a power loss or disk error produces.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rocks::support {
+
+/// CRC-32 of `data`, continuing from `seed` (pass a previous result to
+/// checksum discontiguous buffers as one stream). crc32("") == 0.
+[[nodiscard]] std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace rocks::support

@@ -222,6 +222,35 @@ bool FileSystem::remove(std::string_view path) {
   return parent->entries.erase(basename(norm)) > 0;
 }
 
+void FileSystem::rename(std::string_view from, std::string_view to) {
+  const std::string src = normalize(from);
+  const std::string dst = normalize(to);
+  if (src == dst) return;
+  // A directory cannot move under itself (the subtree would orphan).
+  if (is_within(dst, src))
+    throw IoError(strings::cat("rename: cannot move ", src, " into itself at ", dst));
+
+  std::string src_leaf;
+  Node* src_parent = parent_of(src, src_leaf);
+  const auto src_it = src_parent->entries.find(src_leaf);
+  if (src_it == src_parent->entries.end())
+    throw IoError(strings::cat("rename: no such path: ", src));
+
+  // Resolve the destination parent *before* detaching the source so a
+  // failure here leaves the tree untouched.
+  std::string dst_leaf;
+  Node* dst_parent = parent_of(dst, dst_leaf);
+  const auto dst_it = dst_parent->entries.find(dst_leaf);
+  if (dst_it != dst_parent->entries.end() && dst_it->second->type == NodeType::kDirectory)
+    throw IoError(strings::cat("rename: destination is a directory: ", dst));
+
+  // The swap itself is the atomic step: detach, then attach-or-replace.
+  // (Both maps are ours; no observer can interleave within this call.)
+  std::unique_ptr<Node> node = std::move(src_it->second);
+  src_parent->entries.erase(src_it);
+  dst_parent->entries[dst_leaf] = std::move(node);
+}
+
 void FileSystem::walk_node(const std::string& path, const Node& node,
                            const std::function<void(const std::string&, const Stat&)>& visit)
     const {

@@ -96,6 +96,17 @@ class FileSystem {
   /// when the path does not exist.
   bool remove(std::string_view path);
 
+  // --- rename --------------------------------------------------------------
+  /// Atomically moves `from` to `to`, replacing an existing file or symlink
+  /// at the destination in one step — a reader of `to` observes either the
+  /// old node or the new one, never an intermediate state. This is the
+  /// POSIX rename(2) contract the durability layer builds on: snapshot
+  /// publication and config-file writes go through a temp file plus
+  /// rename so a crash mid-write never exposes partial content. Throws
+  /// IoError when `from` is missing, `to` is an existing directory, the
+  /// destination parent is missing, or a directory would move into itself.
+  void rename(std::string_view from, std::string_view to);
+
   // --- traversal & accounting ----------------------------------------------
   /// Depth-first visit of every node under `root` (inclusive), lexicographic
   /// within each directory. Symlinks are reported, not followed.

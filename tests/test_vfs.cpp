@@ -286,5 +286,54 @@ TEST_F(FsTest, LstatDoesNotFollow) {
   EXPECT_FALSE(fs.lstat("/ghost").has_value());
 }
 
+// --- rename (the durability layer's atomic-publication primitive) -----------
+
+TEST_F(FsTest, RenameMovesFileWithContent) {
+  fs.mkdir_p("/a/b");
+  fs.write_file("/a/b/file", "payload");
+  fs.rename("/a/b/file", "/a/moved");
+  EXPECT_FALSE(fs.exists("/a/b/file"));
+  EXPECT_EQ(fs.read_file("/a/moved"), "payload");
+}
+
+TEST_F(FsTest, RenameReplacesExistingFileAtomically) {
+  fs.mkdir_p("/etc");
+  fs.write_file("/etc/hosts", "old contents");
+  fs.write_file("/etc/hosts.tmp", "new contents");
+  fs.rename("/etc/hosts.tmp", "/etc/hosts");
+  EXPECT_EQ(fs.read_file("/etc/hosts"), "new contents");
+  EXPECT_FALSE(fs.exists("/etc/hosts.tmp"));
+}
+
+TEST_F(FsTest, RenameMovesDirectorySubtree) {
+  fs.mkdir_p("/src/sub");
+  fs.write_file("/src/sub/f", "x");
+  fs.mkdir("/dst");
+  fs.rename("/src", "/dst/renamed");
+  EXPECT_EQ(fs.read_file("/dst/renamed/sub/f"), "x");
+  EXPECT_FALSE(fs.exists("/src"));
+}
+
+TEST_F(FsTest, RenamePreservesFileHashCache) {
+  fs.write_file("/a", "bytes", 0, content_hash("bytes"));
+  fs.rename("/a", "/b");
+  EXPECT_EQ(fs.file_hash("/b"), content_hash("bytes"));
+}
+
+TEST_F(FsTest, RenameSamePathIsNoOp) {
+  fs.write_file("/f", "v");
+  fs.rename("/f", "/f");
+  EXPECT_EQ(fs.read_file("/f"), "v");
+}
+
+TEST_F(FsTest, RenameErrors) {
+  fs.mkdir_p("/dir/inner");
+  fs.write_file("/file", "x");
+  EXPECT_THROW(fs.rename("/ghost", "/x"), IoError);           // missing source
+  EXPECT_THROW(fs.rename("/file", "/nope/x"), IoError);       // missing dest parent
+  EXPECT_THROW(fs.rename("/file", "/dir"), IoError);          // dest is a directory
+  EXPECT_THROW(fs.rename("/dir", "/dir/inner/x"), IoError);   // dir into itself
+}
+
 }  // namespace
 }  // namespace rocks::vfs
