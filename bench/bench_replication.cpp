@@ -1,0 +1,174 @@
+// Replicated control plane benchmarks (google-benchmark): what WAL shipping
+// costs per committed statement, how long a fresh follower needs to catch up
+// on an N-node registration history (replication lag), and how long failover
+// takes from leader death to the promoted follower answering its first
+// kickstart request (DESIGN.md §12, EXPERIMENTS.md replication tables).
+//
+// The catch-up fixture aborts the whole binary if a synced follower's dump
+// ever differs from the leader's — a fast wrong replica is not a result.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "kickstart/server.hpp"
+#include "netsim/engine.hpp"
+#include "replication/control_plane.hpp"
+#include "rpm/synth.hpp"
+#include "sqldb/engine.hpp"
+#include "support/ip.hpp"
+#include "support/strings.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace {
+
+using namespace rocks;
+using replication::ControlPlane;
+using replication::ControlPlaneConfig;
+using replication::FollowerConfig;
+using strings::cat;
+
+constexpr const char* kDir = "/state/db";
+constexpr Ipv4 kFirstIp{10, 255, 255, 254};
+
+Ipv4 node_ip(std::uint64_t serial) {
+  return Ipv4(kFirstIp.value() - static_cast<std::uint32_t>(serial));
+}
+
+/// One registered compute node, the unit every table below scales in.
+void register_node(sqldb::Database& db, std::uint64_t serial) {
+  kickstart::insert_node_row(db, Mac(0x00508B000000ULL + serial).to_string(),
+                             cat("compute-0-", serial), 2, 0, static_cast<int>(serial),
+                             node_ip(serial).to_string());
+}
+
+/// Per-statement shipping cost: every iteration commits one registration on
+/// the leader and pumps it to `followers` replicas before the next commit —
+/// the quorum-ack steady state.
+void BM_ShipPerCommit(benchmark::State& state) {
+  netsim::Simulator sim;
+  vfs::FileSystem disk;
+  sqldb::Database db;
+  db.open_durable(disk, kDir);
+  kickstart::ensure_cluster_schema(db);
+  ControlPlane cp(sim);
+  cp.lead(db, "leader");
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    cp.add_follower(FollowerConfig{.name = cat("replica-", i)});
+  cp.pump();
+  std::uint64_t serial = 0;
+  for (auto _ : state) {
+    register_node(db, serial++);
+    cp.pump();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  const auto status = cp.status();
+  state.counters["shipped_bytes_per_op"] = benchmark::Counter(
+      static_cast<double>(status.shipped_bytes) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ShipPerCommit)->Iterations(4096)->Arg(1)->Arg(2)->Arg(4);
+
+/// A committed N-node leader image shared by the catch-up and failover
+/// fixtures (built once per N).
+struct LeaderImage {
+  vfs::FileSystem disk;
+  std::string expected;
+};
+
+LeaderImage& leader_image(std::uint64_t nodes) {
+  static std::map<std::uint64_t, std::unique_ptr<LeaderImage>> images;
+  auto& slot = images[nodes];
+  if (!slot) {
+    slot = std::make_unique<LeaderImage>();
+    sqldb::Database db;
+    db.open_durable(slot->disk, kDir);
+    db.set_wal_group_commit(64);
+    kickstart::ensure_cluster_schema(db);
+    for (std::uint64_t i = 0; i < nodes; ++i) register_node(db, i);
+    db.wal_flush();
+    slot->expected = db.dump_state();
+  }
+  return *slot;
+}
+
+/// Replication lag for a cold follower: one pump replays the whole N-node
+/// registration history into a fresh replica (the time a just-added
+/// follower frontend needs before it can serve).
+void BM_FollowerCatchUp(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint64_t>(state.range(0));
+  LeaderImage& image = leader_image(nodes);
+  sqldb::Database leader;
+  leader.open_durable(image.disk, kDir);
+  for (auto _ : state) {
+    state.PauseTiming();
+    netsim::Simulator sim;
+    ControlPlane cp(sim);
+    cp.lead(leader, "leader");
+    cp.add_follower(FollowerConfig{.name = "replica-0"});
+    state.ResumeTiming();
+    cp.pump();
+    state.PauseTiming();
+    if (cp.follower(0).db().dump_state() != image.expected) {
+      std::fprintf(stderr, "FATAL: synced follower diverged from the leader\n");
+      std::abort();
+    }
+    cp.kill_leader();  // detach the sink before `cp` dies and `leader` reruns
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_FollowerCatchUp)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Failover time: leader death -> epoch bump -> promoted follower answers
+/// its first kickstart request from its replayed database. The serving
+/// follower (distro mirror + kickstart CGI) is built outside the timed
+/// region; the timed region is exactly what an installing node waits
+/// through.
+void BM_FailoverToFirstKickstart(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint64_t>(state.range(0));
+  static const rpm::SynthDistro distro =
+      rpm::make_redhat_release({.filler_packages = 40});
+  LeaderImage& image = leader_image(nodes);
+  for (auto _ : state) {
+    state.PauseTiming();
+    vfs::FileSystem disk;
+    disk.copy_tree(image.disk, kDir, kDir);
+    sqldb::Database leader;
+    leader.open_durable(disk, kDir);
+    netsim::Simulator sim;
+    ControlPlane cp(sim);
+    cp.lead(leader, "frontend-0");
+    cp.add_follower(FollowerConfig{.name = "frontend-1"}, &distro);
+    cp.pump();
+    state.ResumeTiming();
+
+    cp.kill_leader();
+    cp.promote();
+    benchmark::DoNotOptimize(cp.follower(0).kickstart_server().handle_request(node_ip(0)));
+
+    state.PauseTiming();
+    if (!cp.follower(0).leader() || cp.epoch() != 2) {
+      std::fprintf(stderr, "FATAL: failover did not elect the follower\n");
+      std::abort();
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_FailoverToFirstKickstart)
+    ->Iterations(3)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

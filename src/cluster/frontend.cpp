@@ -56,30 +56,10 @@ Frontend::Frontend(netsim::Simulator& sim, netsim::SyslogBus& syslog,
       cat("http://", config_.ip.to_string(), "/install/rocks-dist"),
       &rocksdist_.distribution());
 
-  // The generated-configuration services (Section 6.4), each declaring the
-  // tables it is derived from. The node reports render incrementally: the
-  // IncrementalReport consumes nodes-table journal deltas and re-renders
-  // only the lines that changed, byte-identical to the full generators.
-  const auto dhcpd_report = std::make_shared<services::IncrementalReport>(
-      services::dhcpd_report_spec(config_.ip));
-  services_.register_service(
-      "dhcpd", "/etc/dhcpd.conf",
-      [dhcpd_report](sqldb::Database& db) { return dhcpd_report->render(db); }, {"nodes"});
-  const auto hosts_report =
-      std::make_shared<services::IncrementalReport>(services::hosts_report_spec());
-  services_.register_service(
-      "hosts", "/etc/hosts",
-      [hosts_report](sqldb::Database& db) { return hosts_report->render(db); }, {"nodes"});
-  const auto pbs_report =
-      std::make_shared<services::IncrementalReport>(services::pbs_nodes_report_spec());
-  services_.register_service(
-      "pbs", "/var/spool/pbs/server_priv/nodes",
-      [pbs_report](sqldb::Database& db) { return pbs_report->render(db); },
-      {"nodes", "memberships"});
-  services_.register_service("nis", "/var/yp/passwd", services::generate_nis_passwd,
-                             {"users"});
-  services_.register_service("nfs", "/etc/exports", services::generate_nfs_exports,
-                             {"users"});
+  // The generated-configuration services (Section 6.4); the same set a
+  // replica frontend registers (DESIGN.md §12.3), so leader and follower
+  // render byte-identical /etc content from the same database state.
+  services::register_standard_services(services_, config_.ip);
   // From here on, commits mark services dirty and flush_services() renders
   // exactly the dirty ones.
   services_.attach(db_.journal());
@@ -96,8 +76,13 @@ std::unique_ptr<Frontend> Frontend::recover(netsim::Simulator& sim, netsim::Sysl
 
 services::ServiceManager::Report Frontend::flush_services() {
   // Durability barrier before anything becomes externally visible: a config
-  // file or DHCP binding must never reflect state a crash could forget.
+  // file or DHCP binding must never reflect state a crash could forget. A
+  // flush failure (IoError with the undurable LSN range) propagates — the
+  // caller's batch is NOT acknowledged.
   if (db_.durable()) db_.wal_flush();
+  // Replication barrier (DESIGN.md §12.4): under quorum-ack commit this
+  // ships the flushed groups and throws until a majority acknowledges.
+  if (commit_barrier_) commit_barrier_();
   auto report = services_.regenerate(db_, fs_);
 
   // The DHCP daemon's static bindings follow the nodes table; re-push only

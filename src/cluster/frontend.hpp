@@ -7,6 +7,7 @@
 // manager that regenerates /etc configuration from database reports.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -107,6 +108,17 @@ class Frontend {
     return rocksdist_.distribution();
   }
 
+  /// Installs the replication commit barrier (DESIGN.md §12.4): invoked by
+  /// flush_services() after the local WAL durability flush and before any
+  /// output becomes externally visible. Under quorum-ack commit the barrier
+  /// ships pending WAL groups and throws UnavailableError when a majority
+  /// of the voting set has not acknowledged — the flush aborts and the
+  /// batch is never acknowledged to the operator. Null (the default) keeps
+  /// the single-frontend behaviour.
+  void set_commit_barrier(std::function<void()> barrier) {
+    commit_barrier_ = std::move(barrier);
+  }
+
   /// Flushes the change bus: regenerates the config files whose source
   /// tables changed since the last flush (dirty services only), restarts
   /// the ones whose content moved, and re-pushes DHCP bindings when the
@@ -154,6 +166,7 @@ class Frontend {
   static constexpr std::uint64_t kNeverPushed = ~std::uint64_t{0};
   std::uint64_t dhcp_pushed_revision_ = kNeverPushed;
   sqldb::RecoveryReport recovery_;
+  std::function<void()> commit_barrier_;  // replication quorum/ship hook
 };
 
 }  // namespace rocks::cluster

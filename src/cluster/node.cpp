@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "support/backoff.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -109,15 +110,25 @@ void Node::enter_install() {
 }
 
 double Node::retry_delay(double base, double cap, int attempt) {
-  // Attempt 1 is always exactly `base`: the fault-free path (and the
-  // insert-ethers first-boot loop) must not depend on the RNG at all.
-  if (attempt <= 1) return base;
-  double delay = base;
-  for (int i = 1; i < attempt && delay < cap; ++i) delay *= 2.0;
-  delay = std::min(delay, cap);
-  if (timings_.retry_jitter > 0.0)
-    delay *= rng_.next_double_range(1.0, 1.0 + timings_.retry_jitter);
-  return delay;
+  // The shared policy (support/backoff.hpp): attempt 1 is always exactly
+  // `base` — the fault-free path (and the insert-ethers first-boot loop)
+  // must not depend on the RNG at all — then doubling capped, with
+  // multiplicative jitter. The replication reconnect loop uses the same
+  // policy, so the two schedules cannot drift.
+  return support::BackoffPolicy{base, cap, timings_.retry_jitter}.delay(attempt, rng_);
+}
+
+void Node::repoint(const NodeEnvironment& env) {
+  // Failover: only the services the new environment actually offers are
+  // re-pointed; null fields keep the current wiring (a promoted replica
+  // frontend typically brings kickstart + HTTP, while DHCP leases already
+  // held remain valid). In-flight phases captured their epoch, not the
+  // service pointers, so the very next retry or request uses the new
+  // wiring without a power cycle.
+  if (env.dhcp != nullptr) env_.dhcp = env.dhcp;
+  if (env.kickstart != nullptr) env_.kickstart = env.kickstart;
+  if (env.http != nullptr) env_.http = env.http;
+  if (env.distribution != nullptr) env_.distribution = env.distribution;
 }
 
 void Node::request_dhcp() {

@@ -177,6 +177,14 @@ class Node {
   /// Fires whenever the node reaches kRunning.
   void on_running(std::function<void()> callback) { on_running_ = std::move(callback); }
 
+  // --- control-plane failover (DESIGN.md §12.5) ------------------------------
+  /// Re-points this node's services at a new provider (a promoted replica
+  /// frontend). Only non-null fields of `env` replace the current wiring;
+  /// the change takes effect on the node's next request or retry, so an
+  /// install stalled on a dead frontend resumes against the new one without
+  /// a power cycle.
+  void repoint(const NodeEnvironment& env);
+
   // --- hardware failures (Section 4: the crash-cart workflow) ---------------
   /// The node's Ethernet/motherboard dies: it drops off the network and no
   /// amount of remote power cycling brings it back ("physical intervention

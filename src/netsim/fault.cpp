@@ -1,6 +1,7 @@
 #include "netsim/fault.hpp"
 
 #include "netsim/http.hpp"
+#include "netsim/link.hpp"
 
 namespace rocks::netsim {
 
@@ -39,6 +40,20 @@ void FaultInjector::arm() {
       if (!armed_ || !power_flap_) return;
       ++stats_.power_flaps;
       power_flap_(event.target, event.restore_after);
+    }));
+  }
+  for (const LinkCutEvent event : plan_.link_cuts) {
+    scheduled_.push_back(sim_.schedule(event.at, [this, event] {
+      if (!armed_ || event.link >= links_.size()) return;
+      links_[event.link]->sever();
+      ++stats_.link_cuts;
+      if (event.restore_after > 0.0) {
+        scheduled_.push_back(sim_.schedule(event.restore_after, [this, event] {
+          if (!armed_ || event.link >= links_.size()) return;
+          links_[event.link]->restore();
+          ++stats_.link_restores;
+        }));
+      }
     }));
   }
 }

@@ -54,6 +54,16 @@ struct PowerFlapEvent {
   double restore_after = 30.0;
 };
 
+/// Replication link `link` (index into the wired links) is severed at `at`
+/// and restored `restore_after` seconds later (0 = stays down). While cut,
+/// WAL shipping to that follower fails and the control plane falls into its
+/// reconnect backoff (DESIGN.md §12.6).
+struct LinkCutEvent {
+  double at = 0.0;
+  std::size_t link = 0;
+  double restore_after = 0.0;
+};
+
 struct FaultPlan {
   /// Per-DISCOVER probability that the broadcast is lost on the wire.
   double dhcp_loss = 0.0;
@@ -64,6 +74,7 @@ struct FaultPlan {
   std::vector<HttpCrashEvent> http_crashes;
   std::vector<FlowKillEvent> flow_kills;
   std::vector<PowerFlapEvent> power_flaps;
+  std::vector<LinkCutEvent> link_cuts;
   /// Seed for the probabilistic faults; fixed seed => identical runs.
   std::uint64_t seed = 0xC1A05;
 };
@@ -75,7 +86,11 @@ struct FaultStats {
   std::uint64_t http_restarts = 0;
   std::uint64_t flows_killed = 0;
   std::uint64_t power_flaps = 0;
+  std::uint64_t link_cuts = 0;
+  std::uint64_t link_restores = 0;
 };
+
+class ReplicationLink;
 
 class FaultInjector {
  public:
@@ -89,6 +104,8 @@ class FaultInjector {
   /// What a power flap does to a target (the cluster layer maps targets to
   /// nodes; netsim stays below the cluster in the dependency order).
   void wire_power(PowerFlapAction flap) { power_flap_ = std::move(flap); }
+  /// The replication links the plan's link_cuts sever/restore by index.
+  void wire_links(std::vector<ReplicationLink*> links) { links_ = std::move(links); }
 
   /// Starts the plan: records "now" as the plan origin, schedules the
   /// crash/kill/flap events, and enables the probabilistic probes.
@@ -114,6 +131,7 @@ class FaultInjector {
   Rng rng_;
   HttpServerGroup* http_ = nullptr;
   PowerFlapAction power_flap_;
+  std::vector<ReplicationLink*> links_;
   bool armed_ = false;
   double armed_at_ = 0.0;
   std::vector<EventId> scheduled_;

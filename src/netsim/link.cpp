@@ -1,0 +1,34 @@
+#include "netsim/link.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rocks::netsim {
+
+ReplicationLink::ReplicationLink(Simulator& sim, std::string name, double bandwidth,
+                                 double latency)
+    : sim_(sim), name_(std::move(name)), bandwidth_(bandwidth), latency_(latency) {}
+
+double ReplicationLink::deliver(std::uint64_t bytes) {
+  if (severed_) {
+    ++stats_.refusals;
+    throw UnavailableError(strings::cat(name_, ": link severed"));
+  }
+  ++stats_.deliveries;
+  stats_.bytes += bytes;
+  return latency_ + static_cast<double>(bytes) / bandwidth_;
+}
+
+void ReplicationLink::sever() {
+  if (severed_) return;
+  severed_ = true;
+  ++stats_.severs;
+}
+
+void ReplicationLink::restore() {
+  if (!severed_) return;
+  severed_ = false;
+  ++stats_.restores;
+}
+
+}  // namespace rocks::netsim

@@ -1,0 +1,58 @@
+// Point-to-point replication transport between frontends.
+//
+// WAL shipping (DESIGN.md §12) rides a dedicated leader→follower link, not
+// the install HTTP fabric: in the paper's deployment the frontends share a
+// management VLAN whose capacity is independent of the compute nodes'
+// install pulse. A ReplicationLink models that pipe as latency + bandwidth:
+// each deliver() charges `latency + bytes / bandwidth` seconds of simulated
+// transfer time and returns the cost, so the control plane can account
+// follower lag in the same clock the installs run on. Severing the link
+// (cable pull, switch death — scheduled through FaultInjector::wire_links)
+// makes deliver() throw UnavailableError; the shipper treats that exactly
+// like a crashed peer and falls into its reconnect backoff.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netsim/engine.hpp"
+
+namespace rocks::netsim {
+
+struct LinkStats {
+  std::uint64_t deliveries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t refusals = 0;  // deliver() attempts while severed
+  std::uint64_t severs = 0;
+  std::uint64_t restores = 0;
+};
+
+class ReplicationLink {
+ public:
+  /// `bandwidth` in bytes/s; the default models the paper-era 100 Mbit
+  /// management VLAN (~11.9 MB/s), `latency` one switch hop.
+  explicit ReplicationLink(Simulator& sim, std::string name = "repl-link",
+                           double bandwidth = 11.9 * 1024 * 1024, double latency = 200e-6);
+
+  /// Charges the transfer cost for `bytes` and returns it in seconds.
+  /// Throws UnavailableError when the link is severed.
+  double deliver(std::uint64_t bytes);
+
+  /// Cable pull: subsequent deliveries throw until restore().
+  void sever();
+  void restore();
+  [[nodiscard]] bool severed() const { return severed_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  double bandwidth_;
+  double latency_;
+  bool severed_ = false;
+  LinkStats stats_;
+};
+
+}  // namespace rocks::netsim

@@ -1,0 +1,44 @@
+#include "replication/shipment.hpp"
+
+#include "support/binary.hpp"
+
+namespace rocks::replication {
+
+std::string encode_shipment(const Shipment& shipment) {
+  support::BinaryWriter out;
+  out.u64(shipment.epoch);
+  out.u32(static_cast<std::uint32_t>(shipment.groups.size()));
+  for (const std::string& group : shipment.groups) out.str(group);
+  return out.take();
+}
+
+Shipment decode_shipment(std::string_view bytes) {
+  support::BinaryReader in(bytes);
+  Shipment shipment;
+  shipment.epoch = in.u64();
+  const std::uint32_t count = in.u32();
+  shipment.groups.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) shipment.groups.emplace_back(in.str());
+  return shipment;
+}
+
+std::string encode_ack(const Ack& ack) {
+  support::BinaryWriter out;
+  out.u64(ack.epoch);
+  out.u64(ack.last_lsn);
+  out.u8(ack.accepted ? 1 : 0);
+  out.str(ack.error);
+  return out.take();
+}
+
+Ack decode_ack(std::string_view bytes) {
+  support::BinaryReader in(bytes);
+  Ack ack;
+  ack.epoch = in.u64();
+  ack.last_lsn = in.u64();
+  ack.accepted = in.u8() != 0;
+  ack.error = std::string(in.str());
+  return ack;
+}
+
+}  // namespace rocks::replication

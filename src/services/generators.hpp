@@ -11,6 +11,7 @@
 #include <string>
 
 #include "services/incremental.hpp"
+#include "services/manager.hpp"
 #include "sqldb/engine.hpp"
 #include "support/ip.hpp"
 
@@ -36,6 +37,13 @@ namespace rocks::services {
 
 /// Creates users(name, uid, home, shell) with a root row when missing.
 void ensure_users_table(sqldb::Database& db);
+
+/// Registers the standard generated-configuration services — dhcpd, hosts,
+/// pbs (incremental node reports), nis, nfs — against `manager`, each
+/// declaring the tables it derives from. Shared by the frontend and by
+/// replica frontends (DESIGN.md §12.3) so both render byte-identical /etc
+/// content from the same database state.
+void register_standard_services(ServiceManager& manager, Ipv4 frontend_ip);
 
 // --- incremental specs (DESIGN.md §10) --------------------------------------
 // IncrementalReport specs whose output is byte-identical to the full

@@ -4,6 +4,7 @@
 #include <array>
 #include <cctype>
 #include <chrono>
+#include <exception>
 #include <variant>
 
 #include "sqldb/snapshot.hpp"
@@ -306,9 +307,13 @@ ResultSet Database::execute(const Statement& statement) {
   // Only durable databases pay for building WAL records.
   std::vector<WalRecord>* wal = durability_ ? &wal_records : nullptr;
   ResultSet result;
+  std::exception_ptr flush_error;
   {
     const auto lock = timed_lock<std::unique_lock<std::shared_mutex>>(
         table_lock_, exclusive_acquisitions_, exclusive_wait_ns_);
+    // Follower fencing (DESIGN.md §12.3): DML/DDL on a read-only replica is
+    // redirected to the leader before any state is touched.
+    require_state(!read_only_.load(std::memory_order_relaxed), read_only_error_);
     try {
       result = std::visit(
           [this, &touched, wal](const auto& stmt) -> ResultSet {
@@ -331,9 +336,17 @@ ResultSet Database::execute(const Statement& statement) {
       wal_append_locked(wal_records);
       throw;
     }
-    wal_append_locked(wal_records);
+    try {
+      wal_append_locked(wal_records);
+    } catch (...) {
+      // The in-RAM commit happened; a WAL flush IO failure must not hide it
+      // from subscribers. Notify, then surface the error — the caller's
+      // durability barrier refuses to acknowledge until a retry succeeds.
+      flush_error = std::current_exception();
+    }
   }
   for (const std::string& channel : touched) journal_.notify(channel);
+  if (flush_error) std::rethrow_exception(flush_error);
   return result;
 }
 
@@ -344,6 +357,11 @@ void Database::wal_append_locked(std::vector<WalRecord>& records) {
     record.lsn = durability_->next_lsn++;
     durability_->wal.append(record);
   }
+  // Ship before the local flush: a flush failure (disk refusing the bytes)
+  // must not open a gap in the ship stream — the group is already buffered
+  // by the leader's control plane, and remote durability can outrun a
+  // faulty local disk under quorum commit.
+  if (wal_sink_) wal_sink_(records);
   durability_->wal.commit();
 }
 
@@ -1044,6 +1062,123 @@ void Database::set_wal_group_commit(std::size_t batch) {
   std::unique_lock<std::shared_mutex> lock(table_lock_);
   require_state(durability_ != nullptr, "set_wal_group_commit() requires a durable store");
   durability_->wal.set_group_commit(batch);
+}
+
+// --- replication surface (DESIGN.md §12) -------------------------------------
+
+void Database::set_wal_sink(WalSink sink) {
+  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  require_state(sink == nullptr || durability_ != nullptr,
+                "set_wal_sink() requires a durable store (open_durable)");
+  wal_sink_ = std::move(sink);
+}
+
+void Database::set_read_only(bool read_only, std::string leader_hint) {
+  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  read_only_error_ =
+      leader_hint.empty()
+          ? std::string("read-only replica: writes must go to the leader")
+          : strings::cat("read-only replica: writes must go to the leader (", leader_hint,
+                         ")");
+  read_only_.store(read_only, std::memory_order_relaxed);
+}
+
+std::uint64_t Database::replicate_apply(const std::vector<WalRecord>& group) {
+  require_state(!group.empty(), "replicate_apply: empty statement group");
+  std::vector<std::string> touched;
+  std::uint64_t position = 0;
+  {
+    const auto lock = timed_lock<std::unique_lock<std::shared_mutex>>(
+        table_lock_, exclusive_acquisitions_, exclusive_wait_ns_);
+    require_state(durability_ != nullptr, "replicate_apply() requires a durable store");
+    for (const WalRecord& record : group) {
+      // Duplicate delivery (a re-ship overlapping the acked prefix) is
+      // idempotent: already-applied records are skipped by LSN.
+      if (record.lsn < durability_->next_lsn) continue;
+      require_state(
+          record.lsn == durability_->next_lsn,
+          strings::cat("replication gap: expected LSN ", durability_->next_lsn, ", got ",
+                       record.lsn, " — catch up from the leader WAL or re-bootstrap"));
+      apply_wal_record(record);
+      // Replay-applied records keep their leader LSNs in the replica's own
+      // WAL, so a crashed follower recovers to the same gapless history.
+      durability_->wal.append(record);
+      ++durability_->next_lsn;
+      // Mirror the run_* dirty-channel semantics: every mutation marks its
+      // table; CREATE INDEX changes no rows and notifies nobody.
+      if (record.op != WalOp::kCreateIndex) {
+        std::string channel = strings::to_lower(record.table);
+        if (touched.empty() || touched.back() != channel)
+          touched.push_back(std::move(channel));
+      }
+    }
+    durability_->wal.commit();
+    position = durability_->next_lsn - 1;
+  }
+  for (const std::string& channel : touched) journal_.notify(channel);
+  return position;
+}
+
+std::string Database::snapshot_image() const {
+  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  require_state(durability_ != nullptr, "snapshot_image() requires a durable store");
+  SnapshotData data;
+  data.last_lsn = durability_->next_lsn - 1;
+  data.seq = durability_->next_snapshot_seq;
+  for (const auto& [key, table] : tables_) {
+    TableState state;
+    state.name = table.name();
+    state.columns = table.columns();
+    state.indexed = table.indexed_columns();
+    state.next_auto = table.next_auto();
+    state.rows = table.rows();
+    data.tables.push_back(std::move(state));
+  }
+  data.channels = journal_.channel_states();
+  return encode_snapshot(data);
+}
+
+std::uint64_t Database::install_replica_snapshot(std::string_view image) {
+  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  require_state(durability_ != nullptr,
+                "install_replica_snapshot() requires a durable store");
+  const std::optional<SnapshotData> snapshot = decode_snapshot(image);
+  require_state(snapshot.has_value(), "install_replica_snapshot: corrupt snapshot image");
+  // Re-bootstrap replaces everything: drop current tables, restore the
+  // image's, and adopt its channel revisions and LSN cursor wholesale.
+  tables_.clear();
+  for (const TableState& state : snapshot->tables) {
+    Table table(state.name, state.columns);
+    for (const Row& row : state.rows) table.restore_row(Row(row));
+    table.set_next_auto(state.next_auto);
+    for (const std::string& column : state.indexed) table.create_index(column);
+    tables_.emplace(state.name, std::move(table));
+  }
+  for (const auto& [channel, revision] : snapshot->channels)
+    journal_.restore_channel(channel, revision);
+  durability_->next_lsn = snapshot->last_lsn + 1;
+  // Persist the image as this replica's own snapshot (temp + atomic rename,
+  // same publication protocol as snapshot()) and truncate the WAL: an
+  // independent crash recovery of this store now starts from the image.
+  vfs::FileSystem& fs = *durability_->fs;
+  const std::string tmp_path = vfs::join(durability_->dir, kSnapshotTmpName);
+  const std::string final_path =
+      vfs::join(durability_->dir, snapshot_file_name(durability_->next_snapshot_seq));
+  fs.write_file(tmp_path, std::string(image));
+  fs.rename(tmp_path, final_path);
+  ++durability_->next_snapshot_seq;
+  durability_->wal.reset();
+  const std::vector<std::uint64_t> seqs = list_snapshots(fs, durability_->dir);
+  for (std::size_t i = 0; i + 2 < seqs.size(); ++i)
+    fs.remove(vfs::join(durability_->dir, snapshot_file_name(seqs[i])));
+  return snapshot->last_lsn;
+}
+
+std::string Database::wal_image() const {
+  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  require_state(durability_ != nullptr, "wal_image() requires a durable store");
+  const std::string& path = durability_->wal.path();
+  return durability_->fs->is_file(path) ? durability_->fs->read_file(path) : std::string();
 }
 
 std::string Database::dump_state() const {

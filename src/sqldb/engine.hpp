@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -161,6 +162,63 @@ class Database {
   /// bounded loss window (never an inconsistency).
   void set_wal_group_commit(std::size_t batch);
 
+  // --- replication surface (DESIGN.md §12) ---------------------------------
+  // A durable Database can act as either end of WAL shipping: the leader
+  // side exposes its commit stream (set_wal_sink, wal_image) and a
+  // bootstrap image (snapshot_image); the follower side applies shipped
+  // statement groups (replicate_apply), installs bootstrap images
+  // (install_replica_snapshot), and fences local writes (set_read_only).
+
+  /// Commit hook for WAL shipping: invoked under the exclusive table lock
+  /// with each statement's LSN-stamped records, in commit order (WAL order
+  /// == commit order == sink order), right before the local group-commit
+  /// flush. The sink must not call back into this Database. Requires a
+  /// durable store (records are only built when one is attached); pass
+  /// nullptr to detach (a killed leader stops shipping).
+  using WalSink = std::function<void(const std::vector<WalRecord>&)>;
+  void set_wal_sink(WalSink sink);
+
+  /// Applies one shipped statement group to this durable replica.
+  /// Records at or below the current LSN are skipped (duplicate delivery is
+  /// idempotent); the first genuinely new record must be exactly next in
+  /// sequence or the whole group is rejected with StateError — an LSN gap
+  /// means shipping skipped something and the follower must be caught up
+  /// from the leader's WAL cursor or re-bootstrapped. Applied records are
+  /// appended verbatim to the replica's own WAL (leader LSNs preserved), so
+  /// the replica's independent crash recovery replays the same history.
+  /// Touched journal channels are notified after the lock drops, exactly
+  /// like local commits. Returns the replica's LSN after the group.
+  std::uint64_t replicate_apply(const std::vector<WalRecord>& group);
+
+  /// Write fencing for the follower role: while read-only, every non-SELECT
+  /// statement throws StateError mentioning `leader_hint` (redirect-on-
+  /// write). replicate_apply and install_replica_snapshot are exempt —
+  /// replication IS the write path on a follower.
+  void set_read_only(bool read_only, std::string leader_hint = "");
+  [[nodiscard]] bool read_only() const {
+    return read_only_.load(std::memory_order_relaxed);
+  }
+
+  /// Serializes current committed state as a snapshot image — the leader
+  /// side of follower bootstrap. Pure serialization under the shared lock:
+  /// no file I/O, no sequence-number bump. Requires a durable store (the
+  /// image carries the LSN position).
+  [[nodiscard]] std::string snapshot_image() const;
+
+  /// Follower bootstrap: replaces this durable replica's state with
+  /// `image` — tables, journal channel revisions, and LSN cursor — and
+  /// persists the image as the replica's own snapshot (plus a WAL reset) so
+  /// its independent crash recovery starts from it. Accepts a non-empty
+  /// database: re-bootstrap is the catch-up path for a follower that fell
+  /// behind the leader's retained WAL. Throws StateError on a corrupt
+  /// image. Returns the image's last LSN.
+  std::uint64_t install_replica_snapshot(std::string_view image);
+
+  /// The durable WAL image: the on-disk bytes (unflushed tail excluded).
+  /// Source for the wal_groups_after() streaming cursor — follower
+  /// catch-up after a reconnect, and the promotion path's re-ship.
+  [[nodiscard]] std::string wal_image() const;
+
   /// Deterministic dump of committed state: every table's schema, index
   /// definitions, AUTO_INCREMENT cursor and rows, plus journal channel
   /// revisions. Two Databases with equal dumps are observably identical —
@@ -279,6 +337,13 @@ class Database {
   // Durable store; null until open_durable(). Guarded by table_lock_ (the
   // WAL is written under the exclusive lock, so WAL order is commit order).
   std::unique_ptr<Durability> durability_;
+
+  // Replication state (DESIGN.md §12). The sink and the fencing message are
+  // written under the exclusive lock and read there too; read_only_ is
+  // additionally readable without the lock (generators probe it).
+  WalSink wal_sink_;
+  std::atomic<bool> read_only_{false};
+  std::string read_only_error_;
 
   // --- table reader-writer lock (DESIGN.md §9) -----------------------------
   // Guards tables_ and every Table inside it. SELECT paths lock shared,

@@ -4,6 +4,7 @@
 #include "support/crashpoint.hpp"
 #include "support/crc.hpp"
 #include "support/error.hpp"
+#include "support/strings.hpp"
 
 namespace rocks::sqldb {
 
@@ -169,7 +170,26 @@ WalReadResult read_wal(std::string_view bytes) {
   return result;
 }
 
+std::vector<WalGroup> wal_groups_after(std::string_view bytes, std::uint64_t floor) {
+  const WalReadResult wal = read_wal(bytes);
+  std::vector<WalGroup> out;
+  WalGroup open;
+  for (const WalRecord& record : wal.records) {
+    if (open.bytes.empty()) open.first_lsn = record.lsn;
+    open.last_lsn = record.lsn;
+    open.bytes += encode_wal_record(record);
+    if (!record.commit) continue;
+    if (open.last_lsn > floor) out.push_back(std::move(open));
+    open = WalGroup{};
+  }
+  // An unterminated trailing group was never acknowledged: drop it, exactly
+  // as open_durable's replay does.
+  return out;
+}
+
 void WalWriter::append(const WalRecord& record) {
+  if (pending_.empty()) pending_first_lsn_ = record.lsn;
+  pending_last_lsn_ = record.lsn;
   pending_ += encode_wal_record(record);
   ++records_appended_;
 }
@@ -191,7 +211,16 @@ void WalWriter::flush() {
     fs_->append_file(path_, std::string_view(pending_).substr(0, pending_.size() / 2 + 1));
     points.trip("wal.flush.torn");
   }
-  fs_->append_file(path_, pending_);
+  try {
+    fs_->append_file(path_, pending_);
+  } catch (const Error& error) {
+    // The disk refused the bytes. Surface the exact LSN range that is NOT
+    // durable — callers must not acknowledge anything in it — and keep the
+    // buffer intact so the next flush retries the same records.
+    ++flush_failures_;
+    throw IoError(strings::cat("wal flush failed; LSN range [", pending_first_lsn_, ", ",
+                               pending_last_lsn_, "] not durable: ", error.what()));
+  }
   bytes_written_ += pending_.size();
   ++flushes_;
   // Between the append above and the clear below the record is durable but
@@ -200,11 +229,13 @@ void WalWriter::flush() {
   support::crash_point("wal.flush.after");
   pending_.clear();
   pending_statements_ = 0;
+  pending_first_lsn_ = pending_last_lsn_ = 0;
 }
 
 void WalWriter::reset() {
   pending_.clear();
   pending_statements_ = 0;
+  pending_first_lsn_ = pending_last_lsn_ = 0;
   fs_->write_file(path_, "");
 }
 

@@ -94,6 +94,25 @@ struct WalReadResult {
 /// crash artifact, reported rather than fatal.
 [[nodiscard]] WalReadResult read_wal(std::string_view bytes);
 
+/// One whole committed statement, as framed bytes ready to re-append or
+/// ship: every record of the statement (the last one carries the commit
+/// marker), plus its LSN range.
+struct WalGroup {
+  std::uint64_t first_lsn = 0;
+  std::uint64_t last_lsn = 0;
+  std::string bytes;  // concatenated framed records (length | crc | payload)
+};
+
+/// The streaming cursor over a WAL image (DESIGN.md §12.2): splits `bytes`
+/// into committed statement groups and returns those whose last LSN is
+/// above `floor` — exactly what a leader ships to a follower acked through
+/// `floor`. A torn tail and a trailing group with no commit marker are
+/// dropped (neither was ever acknowledged). Re-encoding a decoded record is
+/// byte-identical to its original frame, so shipped groups replay the same
+/// way local recovery would.
+[[nodiscard]] std::vector<WalGroup> wal_groups_after(std::string_view bytes,
+                                                     std::uint64_t floor);
+
 /// Appends records to the log file with group-commit batching. All calls
 /// must be externally serialized (the Database holds its exclusive table
 /// lock across append + commit), matching WAL order to commit order.
@@ -110,7 +129,11 @@ class WalWriter {
   void commit();
 
   /// Forces the buffer to disk (group-commit barrier; also used before a
-  /// snapshot and by Database::wal_flush()).
+  /// snapshot and by Database::wal_flush()). An IO failure surfaces as
+  /// IoError naming the buffered LSN range that did NOT become durable;
+  /// the buffer is kept intact so a later flush retries the same bytes —
+  /// callers (the frontend's durability barrier) must refuse to
+  /// acknowledge work until a flush succeeds.
   void flush();
 
   /// Statements per flush; 1 = synchronous commit.
@@ -127,15 +150,22 @@ class WalWriter {
   [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
   [[nodiscard]] std::size_t pending_bytes() const { return pending_.size(); }
+  /// Flush attempts that failed with an IO error (the buffer survived).
+  [[nodiscard]] std::uint64_t flush_failures() const { return flush_failures_; }
 
  private:
   vfs::FileSystem* fs_;
   std::string path_;
   std::string pending_;                 // serialized, unflushed records
   std::size_t pending_statements_ = 0;  // commits since last flush
+  // LSN range of the buffered records; 0/0 when the buffer is empty. Names
+  // the exact records an IO failure left non-durable.
+  std::uint64_t pending_first_lsn_ = 0;
+  std::uint64_t pending_last_lsn_ = 0;
   std::size_t group_commit_ = 1;
   std::uint64_t records_appended_ = 0;
   std::uint64_t flushes_ = 0;
+  std::uint64_t flush_failures_ = 0;
   std::uint64_t bytes_written_ = 0;
 };
 

@@ -1,0 +1,41 @@
+// Capped exponential backoff with jitter (DESIGN.md §12.6).
+//
+// One retry schedule, shared by every retry loop in the system: the node
+// installer's DHCP/kickstart/download retries and the replication layer's
+// follower reconnect/re-ship loop. Extracting it here keeps the two
+// policies from drifting — both promise the same two properties:
+//
+//   1. Attempt 1 waits exactly `base`. The fault-free path (and anything
+//      calibrated against it, like the Table I install timings) never
+//      consults the RNG, so adding retries to a code path cannot perturb
+//      deterministic timing until a fault actually occurs.
+//   2. Attempt n doubles the delay up to `cap`, then multiplies by a
+//      uniform draw from [1, 1 + jitter) — the jitter decorrelates a pulse
+//      of peers (32 installing nodes, N reconnecting followers) that all
+//      failed at the same instant, so they do not retry in lockstep.
+#pragma once
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace rocks::support {
+
+struct BackoffPolicy {
+  double base = 5.0;   // seconds before the first retry (exact, no jitter)
+  double cap = 60.0;   // exponential growth ceiling
+  double jitter = 0.25;  // delay *= [1, 1 + jitter) from the 2nd attempt on
+
+  /// Delay in seconds before retry `attempt` (1-based). Draws from `rng`
+  /// only for attempt >= 2 with a nonzero jitter.
+  [[nodiscard]] double delay(int attempt, Rng& rng) const {
+    if (attempt <= 1) return base;
+    double d = base;
+    for (int i = 1; i < attempt && d < cap; ++i) d *= 2.0;
+    d = std::min(d, cap);
+    if (jitter > 0.0) d *= rng.next_double_range(1.0, 1.0 + jitter);
+    return d;
+  }
+};
+
+}  // namespace rocks::support

@@ -68,4 +68,22 @@ std::string ClusterTools::status_report() {
   return table.render();
 }
 
+std::string ClusterTools::recovery_report(const sqldb::RecoveryReport& report) {
+  std::string out = "durable store recovery:\n";
+  out += report.snapshot_loaded
+             ? cat("  snapshot: seq ", report.snapshot_seq, " (LSN ", report.snapshot_lsn,
+                   "), ", report.snapshots_skipped, " corrupt skipped\n")
+             : cat("  snapshot: none loaded, ", report.snapshots_skipped,
+                   " corrupt skipped\n");
+  out += cat("  wal: ", report.wal_records_replayed, " replayed, ",
+             report.wal_records_skipped, " below snapshot, ", report.wal_records_dropped,
+             " dropped after gap", report.wal_torn ? ", torn tail truncated" : "", "\n");
+  out += cat("  position: LSN ", report.last_lsn, "\n");
+  return out;
+}
+
+std::string ClusterTools::replication_report(const replication::ControlPlaneStatus& status) {
+  return replication::render_status(status);
+}
+
 }  // namespace rocks::tools

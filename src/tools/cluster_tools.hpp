@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "replication/control_plane.hpp"
+#include "sqldb/engine.hpp"
 
 namespace rocks::tools {
 
@@ -46,6 +48,16 @@ class ClusterTools {
   /// One-line-per-node status table (hostname, state, installs, packages,
   /// software fingerprint).
   [[nodiscard]] std::string status_report();
+
+  /// cluster-status --recovery: what the frontend's durable store did at
+  /// boot (snapshot chosen, corrupt ones skipped, WAL records replayed /
+  /// dropped, torn tail) — the operator's first stop after a crash.
+  [[nodiscard]] static std::string recovery_report(const sqldb::RecoveryReport& report);
+
+  /// cluster-status --replication: leader, epoch, commit mode, and each
+  /// follower's durable/acked LSN + lag (DESIGN.md §12).
+  [[nodiscard]] static std::string replication_report(
+      const replication::ControlPlaneStatus& status);
 
  private:
   cluster::Cluster& cluster_;

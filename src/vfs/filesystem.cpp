@@ -102,8 +102,27 @@ std::vector<std::string> FileSystem::list(std::string_view path) const {
   return names;
 }
 
+void FileSystem::arm_write_fault(std::string_view path_substring, std::uint64_t countdown) {
+  write_fault_substring_ = std::string(path_substring);
+  write_fault_countdown_ = countdown == 0 ? 1 : countdown;
+}
+
+void FileSystem::disarm_write_fault() {
+  write_fault_substring_.clear();
+  write_fault_countdown_ = 0;
+}
+
+void FileSystem::check_write_fault(std::string_view path) {
+  if (write_fault_substring_.empty()) return;
+  if (path.find(write_fault_substring_) == std::string_view::npos) return;
+  if (--write_fault_countdown_ > 0) return;
+  disarm_write_fault();
+  throw IoError(strings::cat("injected write fault: ", normalize(path)));
+}
+
 void FileSystem::write_file(std::string_view path, std::string content,
                             std::uint64_t payload_size, std::uint64_t content_hash_hint) {
+  check_write_fault(path);
   std::string leaf;
   Node* parent = parent_of(path, leaf);
   auto& slot = parent->entries[leaf];
@@ -121,6 +140,7 @@ void FileSystem::write_file(std::string_view path, std::string content,
 }
 
 void FileSystem::append_file(std::string_view path, std::string_view content) {
+  check_write_fault(path);
   Node* node = find_mutable(path, /*follow_final=*/true);
   if (node == nullptr) {
     write_file(path, std::string(content));

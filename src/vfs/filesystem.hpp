@@ -140,6 +140,17 @@ class FileSystem {
   /// recreated.
   void wipe_root_partition();
 
+  // --- fault injection ------------------------------------------------------
+  /// Arms a write fault: the `countdown`-th future write_file/append_file
+  /// whose path contains `path_substring` throws IoError before touching
+  /// any state, then the fault disarms itself (one failure per arm, like
+  /// one ENOSPC/EIO). Models a disk that fails a write — the durability
+  /// layer must surface the failure (with its LSN range) instead of
+  /// silently dropping the bytes, and retries must find the buffered data
+  /// intact.
+  void arm_write_fault(std::string_view path_substring, std::uint64_t countdown = 1);
+  void disarm_write_fault();
+
   // --- whole-tree copies -----------------------------------------------------
   /// Recursively copies `src` (in `from`) to `dst` in this filesystem.
   /// Symlinks are copied as symlinks with unchanged targets.
@@ -174,8 +185,16 @@ class FileSystem {
                  const std::function<void(const std::string&, const Stat&)>& visit) const;
   static void copy_node(const Node& src, Node& dst);
 
+  /// Throws IoError when an armed write fault matches `path` and its
+  /// countdown expires; called at the top of every mutating file write.
+  void check_write_fault(std::string_view path);
+
   std::unique_ptr<Node> root_;
   std::vector<std::string> partitions_;  // non-root mount points
+
+  // Armed write fault (empty substring = disarmed).
+  std::string write_fault_substring_;
+  std::uint64_t write_fault_countdown_ = 0;
 };
 
 }  // namespace rocks::vfs

@@ -709,5 +709,151 @@ TEST_F(DurabilityTest, FrontendCheckpointBoundsRecoveryAndStateMatches) {
             std::string::npos);
 }
 
+// --- WAL flush IO failures (§11 satellite) -----------------------------------
+
+TEST_F(DurabilityTest, WalFlushFailureNamesLsnRangeAndBufferSurvives) {
+  vfs::FileSystem disk;
+  Database db;
+  db.open_durable(disk, kDir);
+  db.set_wal_group_commit(100);  // buffer everything; flush is explicit
+  db.execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+  db.execute("INSERT INTO t (v) VALUES ('a')");
+  db.execute("INSERT INTO t (v) VALUES ('b')");
+
+  disk.arm_write_fault(sqldb::kWalFileName);
+  try {
+    db.wal_flush();
+    FAIL() << "flush over a failing disk must throw";
+  } catch (const IoError& error) {
+    // The error names exactly which LSNs did not become durable.
+    EXPECT_NE(std::string(error.what()).find("LSN range [1, 3]"), std::string::npos)
+        << error.what();
+  }
+  // Nothing reached the disk, nothing was dropped: the same buffer flushes
+  // intact once the disk heals (the fault is one-shot).
+  EXPECT_EQ(disk.is_file(vfs::join(kDir, sqldb::kWalFileName)), false);
+  db.wal_flush();
+  Database recovered;
+  recovered.open_durable(disk, kDir);
+  EXPECT_EQ(recovered.dump_state(), db.dump_state());
+}
+
+TEST_F(DurabilityTest, FrontendBarrierRefusesToAckOnFlushFailure) {
+  vfs::FileSystem state;
+  {
+    cluster::Cluster cluster(durable_config(state));
+    auto& frontend = cluster.frontend();
+    // The durability barrier runs inside flush_services: with the WAL
+    // append failing, the flush must surface the IoError — the caller's
+    // batch is never acknowledged, no config file moves.
+    const std::string hosts_before = frontend.fs().read_file("/etc/hosts");
+    state.arm_write_fault(sqldb::kWalFileName);
+    EXPECT_THROW(frontend.add_user("ghost", 600), IoError);
+    EXPECT_EQ(frontend.fs().read_file("/etc/hosts"), hosts_before);
+    EXPECT_EQ(frontend.nis_passwd_map().find("ghost"), std::string::npos);
+    // Disk heals: the retried barrier drains the same buffer and the
+    // pending row becomes durable and visible.
+    frontend.flush_services();
+    EXPECT_NE(frontend.nis_passwd_map().find("ghost"), std::string::npos);
+  }
+  cluster::Cluster cluster(durable_config(state));
+  EXPECT_NE(cluster.frontend().nis_passwd_map().find("ghost"), std::string::npos);
+}
+
+// --- snapshot-corruption fallback (§11 satellite) ----------------------------
+
+/// Builds a store with two retained snapshots and a WAL tail; returns the
+/// dump after each snapshot so per-slot corruption tests can assert exactly
+/// which state survives.
+struct TwoSnapshotStore {
+  std::string dump_snap1;
+  std::string dump_snap2;
+  std::string dump_final;
+};
+
+TwoSnapshotStore build_two_snapshot_store(vfs::FileSystem& disk) {
+  TwoSnapshotStore out;
+  Database db;
+  db.open_durable(disk, kDir);
+  db.execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+  db.execute("INSERT INTO t (v) VALUES ('a')");
+  out.dump_snap1 = db.dump_state();
+  EXPECT_EQ(db.snapshot(), 1u);
+  db.execute("INSERT INTO t (v) VALUES ('b')");
+  out.dump_snap2 = db.dump_state();
+  EXPECT_EQ(db.snapshot(), 2u);
+  db.execute("INSERT INTO t (v) VALUES ('c')");  // lives only in the WAL
+  out.dump_final = db.dump_state();
+  return out;
+}
+
+void flip_bit(vfs::FileSystem& disk, const std::string& path) {
+  std::string bytes = disk.read_file(path);
+  bytes[bytes.size() / 2] ^= 0x01;
+  disk.write_file(path, std::move(bytes));
+}
+
+TEST_F(DurabilityTest, CorruptOlderSnapshotSlotDoesNotAffectRecovery) {
+  vfs::FileSystem disk;
+  const TwoSnapshotStore store = build_two_snapshot_store(disk);
+  flip_bit(disk, vfs::join(kDir, sqldb::snapshot_file_name(1)));
+
+  Database recovered;
+  const RecoveryReport report = recovered.open_durable(disk, kDir);
+  // The newest slot is intact; the rotted older slot is never even read.
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_EQ(report.snapshot_seq, 2u);
+  EXPECT_EQ(report.snapshots_skipped, 0u);
+  EXPECT_EQ(report.wal_records_replayed, 1u);
+  EXPECT_EQ(recovered.dump_state(), store.dump_final);
+}
+
+TEST_F(DurabilityTest, BothSnapshotsCorruptReportsCleanlyAndStoreStaysUsable) {
+  vfs::FileSystem disk;
+  build_two_snapshot_store(disk);
+  flip_bit(disk, vfs::join(kDir, sqldb::snapshot_file_name(1)));
+  flip_bit(disk, vfs::join(kDir, sqldb::snapshot_file_name(2)));
+
+  Database recovered;
+  const RecoveryReport report = recovered.open_durable(disk, kDir);
+  // Every retained snapshot is gone; the report says so rather than
+  // guessing. The WAL tail presumed snapshot 2's state, so the LSN gap
+  // drops it — recovery lands on the empty store, never on garbage.
+  EXPECT_FALSE(report.snapshot_loaded);
+  EXPECT_EQ(report.snapshots_skipped, 2u);
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+  EXPECT_EQ(report.wal_records_dropped, 1u);
+  EXPECT_EQ(recovered.table_names().size(), 0u);
+
+  // The survivor is a fully working store: new history builds, checkpoints,
+  // and recovers from here (sequence numbers move past the corpses).
+  recovered.execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+  recovered.execute("INSERT INTO t (v) VALUES ('fresh')");
+  EXPECT_EQ(recovered.snapshot(), 3u);
+  Database again;
+  const RecoveryReport second = again.open_durable(disk, kDir);
+  EXPECT_TRUE(second.snapshot_loaded);
+  EXPECT_EQ(second.snapshot_seq, 3u);
+  EXPECT_EQ(again.dump_state(), recovered.dump_state());
+}
+
+TEST_F(DurabilityTest, WalOnlyStoreRecoversWithNoSnapshotEverWritten) {
+  vfs::FileSystem disk;
+  std::string expected;
+  {
+    Database db;
+    db.open_durable(disk, kDir);
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)");
+    for (int i = 0; i < 10; ++i) db.execute("INSERT INTO t (v) VALUES ('w')");
+    expected = db.dump_state();
+  }
+  Database recovered;
+  const RecoveryReport report = recovered.open_durable(disk, kDir);
+  EXPECT_FALSE(report.snapshot_loaded);
+  EXPECT_EQ(report.snapshots_skipped, 0u);
+  EXPECT_EQ(report.wal_records_replayed, 11u);
+  EXPECT_EQ(recovered.dump_state(), expected);
+}
+
 }  // namespace
 }  // namespace rocks

@@ -2,12 +2,14 @@
 // thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "support/backoff.hpp"
 #include "support/error.hpp"
 #include "support/ip.hpp"
 #include "support/rng.hpp"
@@ -249,6 +251,38 @@ TEST(ThreadPool, ParallelWallSecondsCeilModel) {
   EXPECT_DOUBLE_EQ(parallel_wall_seconds(9, 8, 2.0), 4.0);  // ceil(9/8) = 2
   EXPECT_DOUBLE_EQ(parallel_wall_seconds(0, 4, 2.0), 0.0);
   EXPECT_DOUBLE_EQ(parallel_wall_seconds(5, 0, 2.0), 10.0);  // 0 workers = 1
+}
+
+TEST(BackoffPolicy, FirstAttemptIsExactlyBaseWithNoRngDraw) {
+  const support::BackoffPolicy policy{5.0, 60.0, 0.25};
+  Rng rng(1);
+  Rng untouched(1);
+  EXPECT_DOUBLE_EQ(policy.delay(0, rng), 5.0);
+  EXPECT_DOUBLE_EQ(policy.delay(1, rng), 5.0);
+  // The fault-free path never consults the RNG (DESIGN.md §12.6 property 1).
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
+TEST(BackoffPolicy, DoublesUpToCapWithBoundedJitter) {
+  const support::BackoffPolicy policy{5.0, 60.0, 0.25};
+  Rng rng(42);
+  for (int attempt = 2; attempt <= 8; ++attempt) {
+    const double raw = std::min(5.0 * (1 << (attempt - 1)), 60.0);
+    const double delay = policy.delay(attempt, rng);
+    EXPECT_GE(delay, raw) << attempt;
+    EXPECT_LT(delay, raw * 1.25) << attempt;
+  }
+  // Far past the ceiling the delay stays bounded by cap * (1 + jitter).
+  EXPECT_LT(policy.delay(50, rng), 60.0 * 1.25);
+}
+
+TEST(BackoffPolicy, ZeroJitterIsFullyDeterministic) {
+  const support::BackoffPolicy policy{2.0, 16.0, 0.0};
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(policy.delay(2, rng), 4.0);
+  EXPECT_DOUBLE_EQ(policy.delay(3, rng), 8.0);
+  EXPECT_DOUBLE_EQ(policy.delay(4, rng), 16.0);
+  EXPECT_DOUBLE_EQ(policy.delay(5, rng), 16.0);  // capped
 }
 
 }  // namespace
