@@ -1,6 +1,7 @@
 // Concurrent-frontend benchmarks (google-benchmark): what the serving
 // stack sustains during a mass reinstall (paper Section 6.3), now that the
-// SQL engine locks reads shared and the profile cache is striped.
+// SQL engine serves reads from lock-free MVCC snapshots and the profile
+// cache is striped.
 //
 // Two families:
 //   - BM_HandleManyWorkers/W: a 256-node kickstart pulse fanned across a
@@ -10,8 +11,8 @@
 //     scaling number. `real_req_per_s` is the measured throughput on this
 //     machine (meaningful only with ≥ W cores).
 //   - BM_MixedReadWrite/W: insert-ethers appending nodes (exclusive lock)
-//     racing a kickstart read pulse (shared locks) — the Section 6.4
-//     "integrate while serving" scenario.
+//     racing a kickstart read pulse (pinned MVCC read views) — the Section
+//     6.4 "integrate while serving" scenario.
 //   - BM_RocksDistBuildWorkers/W: the symlink-tree build fanned across W
 //     lanes; reports the simulated build_seconds of the ~650-package tree.
 #include <benchmark/benchmark.h>
@@ -72,6 +73,9 @@ void BM_HandleManyWorkers(benchmark::State& state) {
   auto& f = fixture();
   const auto workers = static_cast<std::size_t>(state.range(0));
   support::ThreadPool pool(workers);
+  // Fresh engine counters per phase: each W measures only its own pulse,
+  // not the residue of earlier arguments sharing the static fixture.
+  f.db.reset_stats();
   double sim_seconds = 0.0;
   std::size_t batches = 0;
   for (auto _ : state) {
@@ -87,18 +91,20 @@ void BM_HandleManyWorkers(benchmark::State& state) {
       static_cast<double>(batches * kNodes) / sim_seconds;
   state.counters["real_req_per_s"] = benchmark::Counter(
       static_cast<double>(batches * kNodes), benchmark::Counter::kIsRate);
+  state.counters["read_views"] = static_cast<double>(f.db.read_views_opened());
 }
 BENCHMARK(BM_HandleManyWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 /// Insert-ethers integrating new nodes (exclusive writes) racing a
-/// kickstart read pulse (shared locks): the Section 6.4 "integrate while
-/// serving" scenario. The writer runs on its own thread so the pool's
-/// workers carry only the read pulse.
+/// kickstart read pulse (lock-free snapshot reads): the Section 6.4
+/// "integrate while serving" scenario. The writer runs on its own thread so
+/// the pool's workers carry only the read pulse.
 void BM_MixedReadWrite(benchmark::State& state) {
   auto& f = fixture();
   const auto workers = static_cast<std::size_t>(state.range(0));
   support::ThreadPool pool(workers);
+  f.db.reset_stats();
   std::uint64_t inserted = 0;
   std::size_t batches = 0;
   for (auto _ : state) {
@@ -124,6 +130,7 @@ void BM_MixedReadWrite(benchmark::State& state) {
   state.counters["req_per_s"] = benchmark::Counter(
       static_cast<double>(batches * kNodes), benchmark::Counter::kIsRate);
   state.counters["writes_per_batch"] = 8;
+  state.counters["excl_locks"] = static_cast<double>(f.db.exclusive_lock_acquisitions());
 }
 BENCHMARK(BM_MixedReadWrite)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);

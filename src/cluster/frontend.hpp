@@ -91,7 +91,11 @@ class Frontend {
   }
 
   /// Checkpoints the database (Database::snapshot()): bounds recovery time
-  /// and WAL growth. Returns the snapshot sequence number.
+  /// and WAL growth. Zero-pause for readers — the snapshot serializes from
+  /// a pinned MVCC read view, so kickstart resolves and report renders keep
+  /// running while the image is written; writers block only for the brief
+  /// capture and swap phases, never for serialization or file I/O. Returns
+  /// the snapshot sequence number.
   std::uint64_t checkpoint() { return db_.snapshot(); }
 
   [[nodiscard]] const FrontendConfig& config() const { return config_; }

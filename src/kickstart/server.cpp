@@ -61,7 +61,11 @@ KickstartServer::KickstartServer(sqldb::Database& db, const NodeFileSet& files,
       distribution_url_(std::move(distribution_url)) {}
 
 NodeConfig KickstartServer::resolve(Ipv4 requester) const {
-  const auto node = db_.execute(strings::cat(
+  // One pinned read view for both lookups: the node row and its membership
+  // resolve against the same committed state, so a concurrent re-membership
+  // (or insert-ethers burst) can never make the two queries disagree.
+  sqldb::ReadView view = db_.read_view();
+  const auto node = view.execute(strings::cat(
       "SELECT name, membership, arch FROM nodes WHERE ip = '", requester.to_string(), "'"));
   require_found(node.row_count() == 1,
                 strings::cat("kickstart request from unknown address ", requester.to_string()));
@@ -71,7 +75,7 @@ NodeConfig KickstartServer::resolve(Ipv4 requester) const {
   const sqldb::Value& name = node.at(0, 0);
   const sqldb::Value& membership = node.at(0, 1);
   const sqldb::Value& arch = node.at(0, 2);
-  const auto appliance = db_.execute(strings::cat(
+  const auto appliance = view.execute(strings::cat(
       "SELECT appliances.graph_root FROM appliances, memberships WHERE "
       "memberships.appliance = appliances.id AND memberships.id = ",
       membership.to_string()));

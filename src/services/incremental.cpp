@@ -34,7 +34,14 @@ std::string IncrementalReport::render(sqldb::Database& db) {
     rebuild(db);
     cursor_ = revision;
   } else {
-    for (const sqldb::ChangeRecord& record : delta.changes) apply_one(db, record);
+    // One pinned read view for the whole delta: every per-PK re-fetch
+    // resolves against the same committed state, so a writer landing
+    // mid-delta cannot make two re-fetched lines disagree. The view is
+    // pinned *after* since(), so it sees at least the delta's revision;
+    // anything newer it happens to observe is re-applied idempotently on
+    // the next render.
+    sqldb::ReadView view = db.read_view();
+    for (const sqldb::ChangeRecord& record : delta.changes) apply_one(view, record);
     if (!delta.changes.empty()) ++delta_applies_;
     cursor_ = delta.revision;
   }
@@ -62,14 +69,14 @@ void IncrementalReport::rebuild(sqldb::Database& db) {
   ++full_rebuilds_;
 }
 
-void IncrementalReport::apply_one(sqldb::Database& db, const sqldb::ChangeRecord& record) {
+void IncrementalReport::apply_one(sqldb::ReadView& view, const sqldb::ChangeRecord& record) {
   if (record.op == sqldb::ChangeOp::kDelete) {
     erase_pk(record.pk);
     return;
   }
-  // Insert or update: re-fetch the row's *current* state. A stale record
-  // (row since deleted, or filtered out of the report) yields zero rows.
-  const sqldb::ResultSet rows = db.execute(spec_.select_one(record.pk));
+  // Insert or update: re-fetch the row's state as of the pinned view. A
+  // stale record (row since deleted, or filtered out) yields zero rows.
+  const sqldb::ResultSet rows = view.execute(spec_.select_one(record.pk));
   if (rows.row_count() == 0) {
     erase_pk(record.pk);
     return;

@@ -77,7 +77,7 @@ class IncrementalReport {
 
   void rebuild(sqldb::Database& db);
   /// Re-fetches one primary key and inserts/replaces/removes its line.
-  void apply_one(sqldb::Database& db, const sqldb::ChangeRecord& record);
+  void apply_one(sqldb::ReadView& view, const sqldb::ChangeRecord& record);
   void upsert(const sqldb::Value& pk, sqldb::Row key, std::string line);
   void erase_pk(const sqldb::Value& pk);
 

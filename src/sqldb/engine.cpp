@@ -5,6 +5,7 @@
 #include <cctype>
 #include <chrono>
 #include <exception>
+#include <utility>
 #include <variant>
 
 #include "sqldb/snapshot.hpp"
@@ -21,7 +22,7 @@ namespace rocks::sqldb {
 /// The attached durable store: the WAL writer plus the two cursors that
 /// define its position — the next LSN to stamp and the next snapshot
 /// sequence number to publish. Lives behind table_lock_ (mutations write
-/// the WAL under the exclusive lock; snapshot() takes it too).
+/// the WAL under the writer lock; snapshot()'s brief holds take it too).
 struct Database::Durability {
   Durability(vfs::FileSystem& filesystem, std::string directory, std::string wal_path)
       : fs(&filesystem), dir(std::move(directory)), wal(filesystem, std::move(wal_path)) {}
@@ -33,8 +34,13 @@ struct Database::Durability {
   std::uint64_t next_snapshot_seq = 1;
 };
 
-Database::Database() = default;
+Database::Database() {
+  // Publish the empty catalog so readers never observe a null pointer.
+  catalog_storage_.push_back(std::make_unique<Catalog>());
+  catalog_.store(catalog_storage_.back().get(), std::memory_order_relaxed);
+}
 Database::~Database() = default;
+
 namespace {
 
 /// Lock acquisition timed into a wait-time counter: the cost of the two
@@ -201,6 +207,16 @@ std::optional<std::pair<std::size_t, std::size_t>> resolve_column(
   return found;
 }
 
+/// What snapshot()/snapshot_image() capture per table under their brief
+/// lock hold: the shared table (kept alive across a concurrent DROP), plus
+/// the schema-ish bits that belong to the checkpoint's commit timestamp
+/// rather than to whenever serialization happens to read them.
+struct CapturedTable {
+  std::shared_ptr<const Table> table;
+  std::vector<std::string> indexed;
+  std::int64_t next_auto = 0;
+};
+
 }  // namespace
 
 std::size_t ResultSet::column_index(std::string_view name) const {
@@ -290,17 +306,19 @@ ResultSet Database::execute(std::string_view sql) {
 }
 
 ResultSet Database::execute(const Statement& statement) {
-  // SELECT reads under a shared lock; everything else mutates table state
-  // and takes the lock exclusively. The lock is acquired here — run_* and
-  // table_locked() assume it is already held (shared_mutex is not
-  // recursive).
+  // SELECT never touches the writer lock: it pins the current commit
+  // timestamp (keeping reclamation at bay) and evaluates against the
+  // version chains and catalog visible at that timestamp. Everything else
+  // mutates table state and serializes on table_lock_ — run_* and
+  // table_locked() assume it is already held (the mutex is not recursive).
   if (std::holds_alternative<SelectStmt>(statement)) {
-    const auto lock = timed_lock<std::shared_lock<std::shared_mutex>>(
-        table_lock_, shared_acquisitions_, shared_wait_ns_);
-    return run_select(std::get<SelectStmt>(statement));
+    const ReaderRegistry::Pin pin = registry_.pin(commit_ts_);
+    read_views_opened_.fetch_add(1, std::memory_order_relaxed);
+    const Catalog* catalog = catalog_.load(std::memory_order_seq_cst);
+    return run_select(std::get<SelectStmt>(statement), *catalog, pin.ts());
   }
-  // Mutations: journal records are written by run_* under the exclusive
-  // lock, but subscriber notifications fire only after it is released so a
+  // Mutations: journal records are written by run_* under the writer lock,
+  // but subscriber notifications fire only after it is released so a
   // callback may issue its own statements without self-deadlocking.
   std::vector<std::string> touched;
   std::vector<WalRecord> wal_records;
@@ -309,7 +327,7 @@ ResultSet Database::execute(const Statement& statement) {
   ResultSet result;
   std::exception_ptr flush_error;
   {
-    const auto lock = timed_lock<std::unique_lock<std::shared_mutex>>(
+    const auto lock = timed_lock<std::unique_lock<std::mutex>>(
         table_lock_, exclusive_acquisitions_, exclusive_wait_ns_);
     // Follower fencing (DESIGN.md §12.3): DML/DDL on a read-only replica is
     // redirected to the leader before any state is touched.
@@ -318,7 +336,10 @@ ResultSet Database::execute(const Statement& statement) {
       result = std::visit(
           [this, &touched, wal](const auto& stmt) -> ResultSet {
             using T = std::decay_t<decltype(stmt)>;
-            if constexpr (std::is_same_v<T, SelectStmt>) return run_select(stmt);
+            if constexpr (std::is_same_v<T, SelectStmt>)
+              // Unreachable (dispatched above); kept for visit completeness.
+              return run_select(stmt, *catalog_.load(std::memory_order_seq_cst),
+                                commit_ts_.load(std::memory_order_seq_cst));
             else if constexpr (std::is_same_v<T, InsertStmt>) return run_insert(stmt, touched, wal);
             else if constexpr (std::is_same_v<T, UpdateStmt>) return run_update(stmt, touched, wal);
             else if constexpr (std::is_same_v<T, DeleteStmt>) return run_delete(stmt, touched, wal);
@@ -331,13 +352,14 @@ ResultSet Database::execute(const Statement& statement) {
           statement);
     } catch (...) {
       // A statement can fail midway with part of its work applied (this
-      // engine has no rollback). The WAL must mirror memory exactly, so the
-      // partial records are logged before the error propagates.
-      wal_append_locked(wal_records);
+      // engine has no rollback). The WAL must mirror memory exactly and
+      // readers must eventually see the partial versions, so the partial
+      // records are logged and stamped before the error propagates.
+      commit_locked(wal_records);
       throw;
     }
     try {
-      wal_append_locked(wal_records);
+      commit_locked(wal_records);
     } catch (...) {
       // The in-RAM commit happened; a WAL flush IO failure must not hide it
       // from subscribers. Notify, then surface the error — the caller's
@@ -350,19 +372,116 @@ ResultSet Database::execute(const Statement& statement) {
   return result;
 }
 
-void Database::wal_append_locked(std::vector<WalRecord>& records) {
-  if (!durability_ || records.empty()) return;
-  records.back().commit = true;  // statement boundary (see WalRecord::commit)
-  for (WalRecord& record : records) {
-    record.lsn = durability_->next_lsn++;
-    durability_->wal.append(record);
+void Database::commit_locked(std::vector<WalRecord>& records) {
+  const bool logging = durability_ != nullptr && !records.empty();
+  std::uint64_t ts = 0;
+  if (logging) {
+    records.back().commit = true;  // statement boundary (see WalRecord::commit)
+    for (WalRecord& record : records) {
+      record.lsn = durability_->next_lsn++;
+      durability_->wal.append(record);
+    }
+    // Ship before the local flush: a flush failure (disk refusing the bytes)
+    // must not open a gap in the ship stream — the group is already buffered
+    // by the leader's control plane, and remote durability can outrun a
+    // faulty local disk under quorum commit.
+    if (wal_sink_) wal_sink_(records);
+    // The commit timestamp IS the commit-marked record's LSN.
+    ts = durability_->next_lsn - 1;
+  } else if (durability_ != nullptr) {
+    ts = durability_->next_lsn - 1;  // no-op statement: cursor unmoved
+  } else {
+    // In-RAM engine: a private gapless sequence plays the LSN role.
+    ts = commit_ts_.load(std::memory_order_relaxed) + 1;
   }
-  // Ship before the local flush: a flush failure (disk refusing the bytes)
-  // must not open a gap in the ship stream — the group is already buffered
-  // by the leader's control plane, and remote durability can outrun a
-  // faulty local disk under quorum commit.
-  if (wal_sink_) wal_sink_(records);
-  durability_->wal.commit();
+  stamp_commit_locked(ts);
+  maybe_reclaim_locked();
+  // The (possibly throwing) group-commit flush runs strictly after the
+  // in-memory commit is published, so an IO failure never hides it.
+  if (logging) durability_->wal.commit();
+}
+
+void Database::stamp_commit_locked(std::uint64_t ts) {
+  for (const auto& [key, table] : tables_) table->commit_pending(ts);
+  for (const std::shared_ptr<Table>& dropped : pending_drops_) {
+    // A DROP's table may still carry this statement's earlier row changes
+    // (multi-statement replay groups); stamp them before the drop stamp.
+    dropped->commit_pending(ts);
+    dropped->stamp_dropped(ts);
+  }
+  pending_drops_.clear();
+  for (const std::shared_ptr<Table>& created : pending_creates_) created->stamp_created(ts);
+  pending_creates_.clear();
+  // Publish last: a reader that pins ts sees every stamp above.
+  commit_ts_.store(ts, std::memory_order_seq_cst);
+}
+
+void Database::maybe_reclaim_locked() {
+  if (++commits_since_reclaim_ < kReclaimInterval) return;
+  commits_since_reclaim_ = 0;
+  reclaim_locked();
+}
+
+std::size_t Database::reclaim_locked() {
+  const ReaderRegistry::Horizon horizon =
+      registry_.horizon(commit_ts_.load(std::memory_order_seq_cst));
+  if (horizon.ts == 0) return 0;  // a pin mid-registration: skip this round
+  std::size_t freed = 0;
+  for (const auto& [key, table] : tables_) freed += table->reclaim(horizon, registry_);
+  return freed;
+}
+
+std::size_t Database::reclaim() {
+  std::lock_guard<std::mutex> lock(table_lock_);
+  return reclaim_locked();
+}
+
+Table& Database::create_table_locked(const std::string& name,
+                                     const std::vector<ColumnDef>& columns) {
+  auto table = std::make_shared<Table>(name, columns);
+  Table& ref = *table;
+  tables_.emplace(name, table);
+  pending_creates_.push_back(table);
+  catalog_append_locked(std::move(table));
+  return ref;
+}
+
+void Database::drop_table_locked(std::string_view name) {
+  const auto it = tables_.find(name);
+  pending_drops_.push_back(it->second);
+  tables_.erase(it);
+}
+
+void Database::catalog_append_locked(std::shared_ptr<Table> table) {
+  auto next = std::make_unique<Catalog>();
+  next->entries = catalog_.load(std::memory_order_relaxed)->entries;
+  CatalogEntry entry{std::move(table), ++catalog_seq_};
+  const auto pos = std::upper_bound(
+      next->entries.begin(), next->entries.end(), entry,
+      [](const CatalogEntry& a, const CatalogEntry& b) {
+        const NameLess less;
+        if (less(a.table->name(), b.table->name())) return true;
+        if (less(b.table->name(), a.table->name())) return false;
+        return a.seq < b.seq;
+      });
+  next->entries.insert(pos, std::move(entry));
+  catalog_storage_.push_back(std::move(next));
+  catalog_.store(catalog_storage_.back().get(), std::memory_order_seq_cst);
+}
+
+const Table* Database::catalog_lookup(const Catalog& catalog, std::string_view name,
+                                      std::uint64_t ts) {
+  const NameLess less;
+  const Table* found = nullptr;
+  for (const CatalogEntry& entry : catalog.entries) {
+    const std::string& entry_name = entry.table->name();
+    if (less(entry_name, name)) continue;
+    if (less(name, entry_name)) break;  // entries are sorted: past the name run
+    // Within the run entries are seq-ascending; the last visible one wins
+    // (a recreated table supersedes its dropped predecessor).
+    if (entry.table->visible_at(ts)) found = entry.table.get();
+  }
+  return found;
 }
 
 std::vector<std::string> Database::query_column(std::string_view sql) {
@@ -377,43 +496,61 @@ std::vector<std::string> Database::query_column(std::string_view sql) {
 }
 
 bool Database::has_table(std::string_view name) const {
-  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   return tables_.contains(name);
 }
 
 const Table& Database::table(std::string_view name) const {
-  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   return table_locked(name);
 }
 
 const Table& Database::table_locked(std::string_view name) const {
   const auto it = tables_.find(name);
   require_found(it != tables_.end(), strings::cat("no such table: ", std::string(name)));
-  return it->second;
+  return *it->second;
 }
 
 Table& Database::table_mutable(std::string_view name) {
   const auto it = tables_.find(name);
   require_found(it != tables_.end(), strings::cat("no such table: ", std::string(name)));
-  return it->second;
+  return *it->second;
 }
 
 std::vector<std::string> Database::table_names() const {
-  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
-  for (const auto& [key, table] : tables_) out.push_back(table.name());
+  for (const auto& [key, table] : tables_) out.push_back(table->name());
   return out;
 }
 
-ResultSet Database::run_select(const SelectStmt& stmt) {
-  // Resolve FROM tables.
+ResultSet Database::run_select(const SelectStmt& stmt, const Catalog& catalog,
+                               std::uint64_t ts) {
+  // Resolve FROM tables against the catalog visible at the read timestamp.
   std::vector<const Table*> tables;
   std::vector<std::string> aliases;
+  std::vector<Table::Reader> readers;
   for (const auto& ref : stmt.from) {
-    tables.push_back(&table_locked(ref.table));
+    const Table* resolved = catalog_lookup(catalog, ref.table, ts);
+    require_found(resolved != nullptr, strings::cat("no such table: ", ref.table));
+    tables.push_back(resolved);
     aliases.push_back(ref.alias);
+    readers.push_back(resolved->reader(ts));
   }
+
+  // Visible-row materialization is lazy and per table: the probe plans
+  // never enumerate the probed side at all, and a join only pays for the
+  // sides it actually streams.
+  std::vector<std::vector<const Row*>> materialized(tables.size());
+  std::vector<bool> materialized_done(tables.size(), false);
+  const auto rows_of = [&](std::size_t i) -> const std::vector<const Row*>& {
+    if (!materialized_done[i]) {
+      materialized[i] = readers[i].visible_rows();
+      materialized_done[i] = true;
+    }
+    return materialized[i];
+  };
 
   // Expand the select list (stars become column references).
   struct OutputItem {
@@ -505,10 +642,16 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
   // 3. Two tables + a `a.x = b.y` conjunct -> hash join, built on the
   //    smaller side, matches re-sorted into nested-loop emission order.
   // 4. Anything else -> the original nested-loop scan (odometer).
+  //
+  // probe_rows() returns visible rows in slot (== scan) order, so pair
+  // indices sort back into exactly the combination order the nested loop
+  // would emit — plans stay bit-identical to the scan.
   enum class Plan { kScan, kIndexProbe, kIndexJoin, kHashJoin };
   Plan plan = Plan::kScan;
-  std::vector<std::size_t> probe_rows;                    // kIndexProbe
+  std::vector<const Row*> probe_hits;                     // kIndexProbe/kIndexJoin
   std::vector<std::array<std::size_t, 2>> join_pairs;     // kIndexJoin/kHashJoin
+  const std::vector<const Row*>* source0 = nullptr;       // join emission sides
+  const std::vector<const Row*>* source1 = nullptr;
 
   std::vector<const Expr*> conjuncts;
   if (planner_enabled_.load(std::memory_order_relaxed) && stmt.where)
@@ -520,7 +663,7 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
       if (!eq) continue;
       const auto resolved = resolve_column(eq->column, tables, aliases);
       if (!resolved || !tables[0]->has_index_on(resolved->second)) continue;
-      probe_rows = tables[0]->probe_index(resolved->second, eq->literal->literal_value());
+      probe_hits = readers[0].probe_rows(resolved->second, eq->literal->literal_value());
       plan = Plan::kIndexProbe;
       for (const Expr* other : conjuncts)
         if (other != conjunct) residual.push_back(other);
@@ -540,21 +683,26 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
       const auto resolved = resolve_column(eq->column, tables, aliases);
       if (!resolved || !tables[resolved->first]->has_index_on(resolved->second)) continue;
       const std::size_t side = resolved->first;
-      const Table& other = *tables[1 - side];
       const auto hits =
-          tables[side]->probe_index(resolved->second, eq->literal->literal_value());
+          readers[side].probe_rows(resolved->second, eq->literal->literal_value());
       // Only when pairing is cheaper than the hash join's pass over both
-      // tables; an unselective probe (or a big far side) stays hashed.
-      if (hits.size() * other.row_count() >
-          tables[0]->row_count() + tables[1]->row_count())
+      // tables; an unselective probe (or a big far side) stays hashed. The
+      // gate uses the lock-free live estimates — a heuristic, like every
+      // cost model.
+      if (hits.size() * tables[1 - side]->live_estimate() >
+          tables[0]->live_estimate() + tables[1]->live_estimate())
         continue;
-      for (const std::size_t hit : hits)
-        for (std::size_t o = 0; o < other.row_count(); ++o)
-          join_pairs.push_back(side == 0 ? std::array<std::size_t, 2>{hit, o}
-                                         : std::array<std::size_t, 2>{o, hit});
+      probe_hits = hits;
+      const std::vector<const Row*>& other = rows_of(1 - side);
+      for (std::size_t h = 0; h < probe_hits.size(); ++h)
+        for (std::size_t o = 0; o < other.size(); ++o)
+          join_pairs.push_back(side == 0 ? std::array<std::size_t, 2>{h, o}
+                                         : std::array<std::size_t, 2>{o, h});
       // Restore nested-loop (outer, inner) emission order for bit-identical
       // results either way.
       std::sort(join_pairs.begin(), join_pairs.end());
+      source0 = side == 0 ? &probe_hits : &other;
+      source1 = side == 0 ? &other : &probe_hits;
       plan = Plan::kIndexJoin;
       for (const Expr* other_conjunct : conjuncts)
         if (other_conjunct != conjunct) residual.push_back(other_conjunct);
@@ -576,19 +724,21 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
       const std::size_t col1 = a->first == 0 ? b->second : a->second;
 
       // Build the hash table on the smaller side, stream the other through.
-      const bool build_on_0 = tables[0]->row_count() <= tables[1]->row_count();
-      const Table& build_table = *tables[build_on_0 ? 0 : 1];
-      const Table& probe_table = *tables[build_on_0 ? 1 : 0];
+      const std::vector<const Row*>& rows0 = rows_of(0);
+      const std::vector<const Row*>& rows1 = rows_of(1);
+      const bool build_on_0 = rows0.size() <= rows1.size();
+      const std::vector<const Row*>& build_rows = build_on_0 ? rows0 : rows1;
+      const std::vector<const Row*>& probe_rows = build_on_0 ? rows1 : rows0;
       const std::size_t build_col = build_on_0 ? col0 : col1;
       const std::size_t probe_col = build_on_0 ? col1 : col0;
       std::unordered_map<Value, std::vector<std::size_t>, ValueHash, ValueEqual> built;
-      built.reserve(build_table.row_count());
-      for (std::size_t i = 0; i < build_table.row_count(); ++i) {
-        const Value& key = build_table.rows()[i][build_col];
+      built.reserve(build_rows.size());
+      for (std::size_t i = 0; i < build_rows.size(); ++i) {
+        const Value& key = (*build_rows[i])[build_col];
         if (!key.is_null()) built[key].push_back(i);  // NULL never joins
       }
-      for (std::size_t i = 0; i < probe_table.row_count(); ++i) {
-        const Value& key = probe_table.rows()[i][probe_col];
+      for (std::size_t i = 0; i < probe_rows.size(); ++i) {
+        const Value& key = (*probe_rows[i])[probe_col];
         if (key.is_null()) continue;
         const auto hit = built.find(key);
         if (hit == built.end()) continue;
@@ -599,6 +749,8 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
       // Matches surface in probe order; restore the (outer, inner) order the
       // nested loop would emit so results are bit-identical to the scan.
       std::sort(join_pairs.begin(), join_pairs.end());
+      source0 = &rows0;
+      source1 = &rows1;
       plan = Plan::kHashJoin;
       for (const Expr* other : conjuncts)
         if (other != conjunct) residual.push_back(other);
@@ -616,16 +768,16 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
 
   switch (plan) {
     case Plan::kIndexProbe:
-      for (const std::size_t row : probe_rows) {
-        ctx.set_row(0, &tables[0]->rows()[row]);
+      for (const Row* row : probe_hits) {
+        ctx.set_row(0, row);
         emit_current();
       }
       break;
     case Plan::kIndexJoin:
     case Plan::kHashJoin:
       for (const auto& pair : join_pairs) {
-        ctx.set_row(0, &tables[0]->rows()[pair[0]]);
-        ctx.set_row(1, &tables[1]->rows()[pair[1]]);
+        ctx.set_row(0, (*source0)[pair[0]]);
+        ctx.set_row(1, (*source1)[pair[1]]);
         emit_current();
       }
       break;
@@ -634,18 +786,18 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
       std::vector<std::size_t> cursor(tables.size(), 0);
       if (!tables.empty()) {
         bool any_empty = false;
-        for (const auto* t : tables)
-          if (t->rows().empty()) any_empty = true;
+        for (std::size_t i = 0; i < tables.size(); ++i)
+          if (rows_of(i).empty()) any_empty = true;
         if (!any_empty) {
           while (true) {
             for (std::size_t i = 0; i < tables.size(); ++i)
-              ctx.set_row(i, &tables[i]->rows()[cursor[i]]);
+              ctx.set_row(i, rows_of(i)[cursor[i]]);
             emit_current();
             std::size_t level = tables.size();
             bool wrapped = false;
             while (level > 0) {
               --level;
-              if (++cursor[level] < tables[level]->rows().size()) break;
+              if (++cursor[level] < rows_of(level).size()) break;
               cursor[level] = 0;
               if (level == 0) wrapped = true;
             }
@@ -708,12 +860,12 @@ ResultSet Database::run_insert(const InsertStmt& stmt, std::vector<std::string>&
     // carry their assigned value.
     const std::size_t inserted = target.insert(std::move(row));
     journal_.record(target.name(), ChangeOp::kInsert,
-                    journal_pk(target, target.rows()[inserted]));
+                    journal_pk(target, target.live_row(inserted)));
     if (wal != nullptr) {
       WalRecord record;
       record.op = WalOp::kInsert;
       record.table = target.name();
-      record.row = target.rows()[inserted];
+      record.row = target.live_row(inserted);
       wal->push_back(std::move(record));
     }
     ++result.affected_rows;
@@ -734,31 +886,28 @@ ResultSet Database::run_update(const UpdateStmt& stmt, std::vector<std::string>&
   }
   ResultSet result;
   SingleTableContext ctx(target);
-  for (std::size_t r = 0; r < target.row_count(); ++r) {
-    ctx.set_row(&target.rows()[r]);
+  for (std::size_t r = 0; r < target.live_size(); ++r) {
+    ctx.set_row(&target.live_row(r));
     if (stmt.where) {
       const Value keep = stmt.where->evaluate(ctx);
       if (keep.is_null() || !keep.truthy()) continue;
     }
-    // Evaluate all RHS against the pre-update row, then assign through
-    // set_cell so hash indexes track the changed values.
-    Row updates;
-    updates.reserve(assignments.size());
-    for (const auto& [index, expr] : assignments) updates.push_back(expr->evaluate(ctx));
-    const Value old_pk = journal_pk(target, target.rows()[r]);
+    // Evaluate all RHS against the pre-update row, then publish one new
+    // version carrying the changed cells (hash indexes track the new keys).
+    std::vector<std::pair<std::size_t, Value>> cells;
+    cells.reserve(assignments.size());
+    for (const auto& [index, expr] : assignments) cells.emplace_back(index, expr->evaluate(ctx));
+    const Value old_pk = journal_pk(target, target.live_row(r));
     if (wal != nullptr) {
       WalRecord record;
       record.op = WalOp::kUpdate;
       record.table = target.name();
       record.row_index = r;
-      record.cells.reserve(assignments.size());
-      for (std::size_t i = 0; i < assignments.size(); ++i)
-        record.cells.emplace_back(assignments[i].first, updates[i]);
+      record.cells = cells;
       wal->push_back(std::move(record));
     }
-    for (std::size_t i = 0; i < assignments.size(); ++i)
-      target.set_cell(r, assignments[i].first, std::move(updates[i]));
-    const Value new_pk = journal_pk(target, target.rows()[r]);
+    target.update_row(r, cells);
+    const Value new_pk = journal_pk(target, target.live_row(r));
     // An UPDATE that reassigns the key is a delete of the old identity plus
     // an insert of the new one — consumers keyed by PK cannot see it as an
     // in-place change.
@@ -779,17 +928,17 @@ ResultSet Database::run_delete(const DeleteStmt& stmt, std::vector<std::string>&
   Table& target = table_mutable(stmt.table);
   std::vector<std::size_t> doomed;
   SingleTableContext ctx(target);
-  for (std::size_t i = 0; i < target.rows().size(); ++i) {
-    ctx.set_row(&target.rows()[i]);
+  for (std::size_t i = 0; i < target.live_size(); ++i) {
+    ctx.set_row(&target.live_row(i));
     if (stmt.where) {
       const Value keep = stmt.where->evaluate(ctx);
       if (keep.is_null() || !keep.truthy()) continue;
     }
     doomed.push_back(i);
   }
-  // Journal identities before erase_rows invalidates the row indexes.
+  // Journal identities before erase_rows invalidates the row positions.
   for (const std::size_t i : doomed)
-    journal_.record(target.name(), ChangeOp::kDelete, journal_pk(target, target.rows()[i]));
+    journal_.record(target.name(), ChangeOp::kDelete, journal_pk(target, target.live_row(i)));
   if (wal != nullptr && !doomed.empty()) {
     WalRecord record;
     record.op = WalOp::kDelete;
@@ -810,7 +959,7 @@ ResultSet Database::run_create(const CreateTableStmt& stmt, std::vector<std::str
     if (stmt.if_not_exists) return {};
     throw StateError(strings::cat("table already exists: ", stmt.table));
   }
-  tables_.emplace(stmt.table, Table(stmt.table, stmt.columns));
+  create_table_locked(stmt.table, stmt.columns);
   // DDL has no row identity: truncate (revision bump, rescan-on-read) now,
   // notify after the lock drops like any other mutation.
   journal_.truncate(stmt.table);
@@ -841,12 +990,11 @@ ResultSet Database::run_create_index(const CreateIndexStmt& stmt, std::vector<Wa
 
 ResultSet Database::run_drop(const DropTableStmt& stmt, std::vector<std::string>& touched,
                              std::vector<WalRecord>* wal) {
-  const auto it = tables_.find(stmt.table);
-  if (it == tables_.end()) {
+  if (!tables_.contains(stmt.table)) {
     if (stmt.if_exists) return {};
     throw LookupError(strings::cat("no such table: ", stmt.table));
   }
-  tables_.erase(it);
+  drop_table_locked(stmt.table);
   journal_.truncate(stmt.table);
   touched.push_back(strings::to_lower(stmt.table));
   if (wal != nullptr) {
@@ -869,17 +1017,16 @@ void Database::apply_wal_record(const WalRecord& record) {
       // the original insert left it.
       const std::size_t inserted = target.insert(record.row);
       journal_.record(target.name(), ChangeOp::kInsert,
-                      journal_pk(target, target.rows()[inserted]));
+                      journal_pk(target, target.live_row(inserted)));
       break;
     }
     case WalOp::kUpdate: {
       Table& target = table_mutable(record.table);
-      require_state(record.row_index < target.row_count(),
+      require_state(record.row_index < target.live_size(),
                     strings::cat("wal replay: row index out of range in ", record.table));
-      const Value old_pk = journal_pk(target, target.rows()[record.row_index]);
-      for (const auto& [column, value] : record.cells)
-        target.set_cell(record.row_index, column, value);
-      const Value new_pk = journal_pk(target, target.rows()[record.row_index]);
+      const Value old_pk = journal_pk(target, target.live_row(record.row_index));
+      target.update_row(record.row_index, record.cells);
+      const Value new_pk = journal_pk(target, target.live_row(record.row_index));
       // Same journal semantics as run_update: a key reassignment is a
       // delete + insert, anything else an in-place update.
       if (!old_pk.is_null() && !new_pk.is_null() && old_pk.compare(new_pk) == 0) {
@@ -893,10 +1040,10 @@ void Database::apply_wal_record(const WalRecord& record) {
     case WalOp::kDelete: {
       Table& target = table_mutable(record.table);
       for (const std::size_t index : record.row_indexes) {
-        require_state(index < target.row_count(),
+        require_state(index < target.live_size(),
                       strings::cat("wal replay: row index out of range in ", record.table));
         journal_.record(target.name(), ChangeOp::kDelete,
-                        journal_pk(target, target.rows()[index]));
+                        journal_pk(target, target.live_row(index)));
       }
       target.erase_rows(record.row_indexes);
       break;
@@ -904,14 +1051,13 @@ void Database::apply_wal_record(const WalRecord& record) {
     case WalOp::kCreateTable:
       require_state(!tables_.contains(record.table),
                     strings::cat("wal replay: table already exists: ", record.table));
-      tables_.emplace(record.table, Table(record.table, record.schema));
+      create_table_locked(record.table, record.schema);
       journal_.truncate(record.table);
       break;
     case WalOp::kDropTable: {
-      const auto it = tables_.find(record.table);
-      require_state(it != tables_.end(),
+      require_state(tables_.contains(record.table),
                     strings::cat("wal replay: no such table: ", record.table));
-      tables_.erase(it);
+      drop_table_locked(record.table);
       journal_.truncate(record.table);
       break;
     }
@@ -922,9 +1068,14 @@ void Database::apply_wal_record(const WalRecord& record) {
 }
 
 RecoveryReport Database::open_durable(vfs::FileSystem& fs, std::string_view dir) {
-  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  std::unique_lock<std::mutex> lock(table_lock_);
   require_state(durability_ == nullptr, "durable store already open");
   require_state(tables_.empty(), "open_durable() requires an empty database");
+  // A pre-durable CREATE+DROP history leaves dropped catalog entries whose
+  // stamps came from the in-RAM timestamp sequence; LSN timestamps start a
+  // fresh domain, so force those entries invisible to every future reader.
+  for (const CatalogEntry& entry : catalog_.load(std::memory_order_relaxed)->entries)
+    entry.table->stamp_dropped(0);
   const std::string root = vfs::normalize(dir);
   fs.mkdir_p(root);
   durability_ = std::make_unique<Durability>(fs, root, vfs::join(root, kWalFileName));
@@ -942,12 +1093,15 @@ RecoveryReport Database::open_durable(vfs::FileSystem& fs, std::string_view dir)
   }
   if (snapshot) {
     for (TableState& state : snapshot->tables) {
-      Table table(state.name, state.columns);
+      Table& table = create_table_locked(state.name, state.columns);
       for (Row& row : state.rows) table.restore_row(std::move(row));
       table.set_next_auto(state.next_auto);
       for (const std::string& column : state.indexed) table.create_index(column);
-      tables_.emplace(state.name, std::move(table));
     }
+    // Snapshot state is the base every read timestamp sees: rows restore
+    // with begin_ts 0, tables stamp created at 0.
+    for (const std::shared_ptr<Table>& created : pending_creates_) created->stamp_created(0);
+    pending_creates_.clear();
     for (const auto& [channel, revision] : snapshot->channels)
       journal_.restore_channel(channel, revision);
     durability_->next_lsn = snapshot->last_lsn + 1;
@@ -969,9 +1123,11 @@ RecoveryReport Database::open_durable(vfs::FileSystem& fs, std::string_view dir)
     const WalReadResult wal = read_wal(bytes);
     report.wal_torn = wal.torn;
     // Records apply in whole statements: buffer until a commit-marked
-    // record closes the group, then apply all of it. A trailing group with
-    // no commit marker is a statement whose flush was cut short — dropped,
-    // exactly as if it never ran (it was never acknowledged).
+    // record closes the group, then apply all of it and stamp its versions
+    // with the commit record's LSN — reconstructing the original commit
+    // timestamps exactly. A trailing group with no commit marker is a
+    // statement whose flush was cut short — dropped, exactly as if it never
+    // ran (it was never acknowledged).
     std::size_t consumed = 0;
     std::size_t group_start = 0;  // index of the open group's first record
     std::uint64_t expected = durability_->next_lsn;
@@ -990,6 +1146,7 @@ RecoveryReport Database::open_durable(vfs::FileSystem& fs, std::string_view dir)
         ++durability_->next_lsn;
         ++report.wal_records_replayed;
       }
+      stamp_commit_locked(wal.records[i].lsn);
       consumed = group_start = i + 1;
     }
     report.wal_records_dropped = wal.records.size() - consumed;
@@ -1003,63 +1160,91 @@ RecoveryReport Database::open_durable(vfs::FileSystem& fs, std::string_view dir)
       fs.write_file(wal_path, std::move(surviving));
     }
   }
+  // Recovery's position is the commit cursor: pins taken from here on see
+  // everything replayed (and nothing a dropped tail half-applied).
+  commit_ts_.store(durability_->next_lsn - 1, std::memory_order_seq_cst);
   report.last_lsn = durability_->next_lsn - 1;
   return report;
 }
 
 std::uint64_t Database::snapshot() {
-  std::unique_lock<std::shared_mutex> lock(table_lock_);
-  require_state(durability_ != nullptr, "snapshot() requires a durable store (open_durable)");
-  // Everything committed must be on disk before the snapshot claims to
-  // absorb it (a group-commit tail could otherwise be lost twice over).
-  durability_->wal.flush();
+  // One checkpoint at a time: the serialization window runs unlocked, so a
+  // second snapshot() must not interleave with this one's publish phase.
+  // Lock order: snapshot_mutex_ -> table_lock_.
+  std::lock_guard<std::mutex> checkpoint_guard(snapshot_mutex_);
 
   SnapshotData data;
-  data.last_lsn = durability_->next_lsn - 1;
-  data.seq = durability_->next_snapshot_seq;
-  for (const auto& [key, table] : tables_) {
+  std::vector<CapturedTable> captured;
+  ReaderRegistry::Pin pin;
+  {
+    // Phase 1 (brief exclusive hold): fix the checkpoint's commit timestamp,
+    // flush what it absorbs, pin a read view at it, and capture the bits
+    // that belong to that timestamp rather than to serialization time.
+    std::lock_guard<std::mutex> lock(table_lock_);
+    require_state(durability_ != nullptr, "snapshot() requires a durable store (open_durable)");
+    // Everything committed must be on disk before the snapshot claims to
+    // absorb it (a group-commit tail could otherwise be lost twice over).
+    durability_->wal.flush();
+    data.last_lsn = commit_ts_.load(std::memory_order_seq_cst);
+    data.seq = durability_->next_snapshot_seq;
+    for (const auto& [key, table] : tables_)
+      captured.push_back({table, table->indexed_columns(), table->next_auto()});
+    data.channels = journal_.channel_states();
+    pin = registry_.pin(commit_ts_);
+  }
+
+  // Phase 2 (no locks): serialize the pinned view while DML proceeds.
+  // pin.ts() == last_lsn — both were read under the same hold.
+  for (const CapturedTable& cap : captured) {
     TableState state;
-    state.name = table.name();
-    state.columns = table.columns();
-    state.indexed = table.indexed_columns();
-    state.next_auto = table.next_auto();
-    state.rows = table.rows();
+    state.name = cap.table->name();
+    state.columns = cap.table->columns();
+    state.indexed = cap.indexed;
+    state.next_auto = cap.next_auto;
+    const Table::Reader reader = cap.table->reader(pin.ts());
+    for (const Row* row : reader.visible_rows()) state.rows.push_back(*row);
     data.tables.push_back(std::move(state));
   }
-  data.channels = journal_.channel_states();
   std::string bytes = encode_snapshot(data);
+  pin.release();
 
-  vfs::FileSystem& fs = *durability_->fs;
-  const std::string tmp_path = vfs::join(durability_->dir, kSnapshotTmpName);
-  const std::string final_path = vfs::join(durability_->dir, snapshot_file_name(data.seq));
-  support::crash_point("snapshot.write.before");
-  fs.write_file(tmp_path, std::move(bytes));
-  // Crash here: an orphaned tmp file recovery never reads. Publication is
-  // the rename — atomic, so readers see the old snapshot set or the new
-  // one, never a partial file under the real name.
-  support::crash_point("snapshot.write.after");
-  fs.rename(tmp_path, final_path);
-  // Crash here: the snapshot is live but the WAL still holds records it
-  // absorbed — replay skips them by LSN, so recovery is exact either way.
-  support::crash_point("snapshot.rename.after");
-  durability_->wal.reset();
-  ++durability_->next_snapshot_seq;
-  support::crash_point("snapshot.retire.before");
-  // Retention: keep the newest two, so a corrupt newest falls back one step
-  // instead of losing the store.
-  const std::vector<std::uint64_t> seqs = list_snapshots(fs, durability_->dir);
-  for (std::size_t i = 0; i + 2 < seqs.size(); ++i)
-    fs.remove(vfs::join(durability_->dir, snapshot_file_name(seqs[i])));
+  {
+    // Phase 3 (brief exclusive hold): publish and truncate.
+    std::lock_guard<std::mutex> lock(table_lock_);
+    vfs::FileSystem& fs = *durability_->fs;
+    const std::string tmp_path = vfs::join(durability_->dir, kSnapshotTmpName);
+    const std::string final_path = vfs::join(durability_->dir, snapshot_file_name(data.seq));
+    support::crash_point("snapshot.write.before");
+    fs.write_file(tmp_path, std::move(bytes));
+    // Crash here: an orphaned tmp file recovery never reads. Publication is
+    // the rename — atomic, so readers see the old snapshot set or the new
+    // one, never a partial file under the real name.
+    support::crash_point("snapshot.write.after");
+    fs.rename(tmp_path, final_path);
+    // Crash here: the snapshot is live but the WAL still holds records it
+    // absorbed — replay skips them by LSN, so recovery is exact either way.
+    support::crash_point("snapshot.rename.after");
+    // Drop only what the snapshot absorbed: statements that committed while
+    // serialization ran stay in the WAL for the next recovery to replay.
+    durability_->wal.reset_through(data.last_lsn);
+    ++durability_->next_snapshot_seq;
+    support::crash_point("snapshot.retire.before");
+    // Retention: keep the newest two, so a corrupt newest falls back one
+    // step instead of losing the store.
+    const std::vector<std::uint64_t> seqs = list_snapshots(fs, durability_->dir);
+    for (std::size_t i = 0; i + 2 < seqs.size(); ++i)
+      fs.remove(vfs::join(durability_->dir, snapshot_file_name(seqs[i])));
+  }
   return data.seq;
 }
 
 void Database::wal_flush() {
-  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   if (durability_) durability_->wal.flush();
 }
 
 void Database::set_wal_group_commit(std::size_t batch) {
-  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   require_state(durability_ != nullptr, "set_wal_group_commit() requires a durable store");
   durability_->wal.set_group_commit(batch);
 }
@@ -1067,14 +1252,14 @@ void Database::set_wal_group_commit(std::size_t batch) {
 // --- replication surface (DESIGN.md §12) -------------------------------------
 
 void Database::set_wal_sink(WalSink sink) {
-  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   require_state(sink == nullptr || durability_ != nullptr,
                 "set_wal_sink() requires a durable store (open_durable)");
   wal_sink_ = std::move(sink);
 }
 
 void Database::set_read_only(bool read_only, std::string leader_hint) {
-  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   read_only_error_ =
       leader_hint.empty()
           ? std::string("read-only replica: writes must go to the leader")
@@ -1088,7 +1273,7 @@ std::uint64_t Database::replicate_apply(const std::vector<WalRecord>& group) {
   std::vector<std::string> touched;
   std::uint64_t position = 0;
   {
-    const auto lock = timed_lock<std::unique_lock<std::shared_mutex>>(
+    const auto lock = timed_lock<std::unique_lock<std::mutex>>(
         table_lock_, exclusive_acquisitions_, exclusive_wait_ns_);
     require_state(durability_ != nullptr, "replicate_apply() requires a durable store");
     for (const WalRecord& record : group) {
@@ -1104,6 +1289,9 @@ std::uint64_t Database::replicate_apply(const std::vector<WalRecord>& group) {
       // WAL, so a crashed follower recovers to the same gapless history.
       durability_->wal.append(record);
       ++durability_->next_lsn;
+      // Commit-marked record: stamp the group's versions with its LSN —
+      // the leader's commit timestamps, reproduced exactly.
+      if (record.commit) stamp_commit_locked(record.lsn);
       // Mirror the run_* dirty-channel semantics: every mutation marks its
       // table; CREATE INDEX changes no rows and notifies nobody.
       if (record.op != WalOp::kCreateIndex) {
@@ -1112,6 +1300,7 @@ std::uint64_t Database::replicate_apply(const std::vector<WalRecord>& group) {
           touched.push_back(std::move(channel));
       }
     }
+    maybe_reclaim_locked();
     durability_->wal.commit();
     position = durability_->next_lsn - 1;
   }
@@ -1120,43 +1309,69 @@ std::uint64_t Database::replicate_apply(const std::vector<WalRecord>& group) {
 }
 
 std::string Database::snapshot_image() const {
-  std::shared_lock<std::shared_mutex> lock(table_lock_);
-  require_state(durability_ != nullptr, "snapshot_image() requires a durable store");
   SnapshotData data;
-  data.last_lsn = durability_->next_lsn - 1;
-  data.seq = durability_->next_snapshot_seq;
-  for (const auto& [key, table] : tables_) {
+  std::vector<CapturedTable> captured;
+  ReaderRegistry::Pin pin;
+  {
+    std::lock_guard<std::mutex> lock(table_lock_);
+    require_state(durability_ != nullptr, "snapshot_image() requires a durable store");
+    // The commit cursor, not next_lsn - 1: under the lock they agree, and
+    // the cursor is what the pinned view actually serializes.
+    data.last_lsn = commit_ts_.load(std::memory_order_seq_cst);
+    data.seq = durability_->next_snapshot_seq;
+    for (const auto& [key, table] : tables_)
+      captured.push_back({table, table->indexed_columns(), table->next_auto()});
+    data.channels = journal_.channel_states();
+    pin = registry_.pin(commit_ts_);
+  }
+  // Serialize the pinned view with the lock released — a leader keeps
+  // committing while it builds a follower's bootstrap image.
+  for (const CapturedTable& cap : captured) {
     TableState state;
-    state.name = table.name();
-    state.columns = table.columns();
-    state.indexed = table.indexed_columns();
-    state.next_auto = table.next_auto();
-    state.rows = table.rows();
+    state.name = cap.table->name();
+    state.columns = cap.table->columns();
+    state.indexed = cap.indexed;
+    state.next_auto = cap.next_auto;
+    const Table::Reader reader = cap.table->reader(pin.ts());
+    for (const Row* row : reader.visible_rows()) state.rows.push_back(*row);
     data.tables.push_back(std::move(state));
   }
-  data.channels = journal_.channel_states();
   return encode_snapshot(data);
 }
 
 std::uint64_t Database::install_replica_snapshot(std::string_view image) {
-  std::unique_lock<std::shared_mutex> lock(table_lock_);
+  // Not zero-pause: a wholesale state replacement has no meaningful
+  // concurrent-writer story. Holds both locks like snapshot()'s publish.
+  std::lock_guard<std::mutex> checkpoint_guard(snapshot_mutex_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   require_state(durability_ != nullptr,
                 "install_replica_snapshot() requires a durable store");
   const std::optional<SnapshotData> snapshot = decode_snapshot(image);
   require_state(snapshot.has_value(), "install_replica_snapshot: corrupt snapshot image");
-  // Re-bootstrap replaces everything: drop current tables, restore the
-  // image's, and adopt its channel revisions and LSN cursor wholesale.
+  const std::uint64_t boundary = snapshot->last_lsn;
+  // Re-bootstrap replaces everything: the current tables are stamped
+  // dropped at the image boundary (readers pinned before the install keep
+  // resolving them through the catalog), the image's tables restore as the
+  // new visible set, and its channel revisions and LSN cursor are adopted
+  // wholesale.
+  for (const auto& [key, table] : tables_) {
+    table->commit_pending(boundary);  // no rollback: stamp any strays
+    table->stamp_dropped(boundary);
+  }
   tables_.clear();
+  pending_drops_.clear();
   for (const TableState& state : snapshot->tables) {
-    Table table(state.name, state.columns);
+    Table& table = create_table_locked(state.name, state.columns);
     for (const Row& row : state.rows) table.restore_row(Row(row));
     table.set_next_auto(state.next_auto);
     for (const std::string& column : state.indexed) table.create_index(column);
-    tables_.emplace(state.name, std::move(table));
   }
+  for (const std::shared_ptr<Table>& created : pending_creates_) created->stamp_created(boundary);
+  pending_creates_.clear();
   for (const auto& [channel, revision] : snapshot->channels)
     journal_.restore_channel(channel, revision);
-  durability_->next_lsn = snapshot->last_lsn + 1;
+  durability_->next_lsn = boundary + 1;
+  commit_ts_.store(boundary, std::memory_order_seq_cst);
   // Persist the image as this replica's own snapshot (temp + atomic rename,
   // same publication protocol as snapshot()) and truncate the WAL: an
   // independent crash recovery of this store now starts from the image.
@@ -1171,20 +1386,27 @@ std::uint64_t Database::install_replica_snapshot(std::string_view image) {
   const std::vector<std::uint64_t> seqs = list_snapshots(fs, durability_->dir);
   for (std::size_t i = 0; i + 2 < seqs.size(); ++i)
     fs.remove(vfs::join(durability_->dir, snapshot_file_name(seqs[i])));
-  return snapshot->last_lsn;
+  return boundary;
 }
 
 std::string Database::wal_image() const {
-  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   require_state(durability_ != nullptr, "wal_image() requires a durable store");
   const std::string& path = durability_->wal.path();
   return durability_->fs->is_file(path) ? durability_->fs->read_file(path) : std::string();
 }
 
 std::string Database::dump_state() const {
-  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  // A pinned view, like any SELECT: dump_state on a live database races
+  // nothing and blocks nothing. Catalog entries are (name, seq)-sorted and
+  // at most one entry per name is visible at any ts, so iteration order
+  // matches the old name-keyed map exactly.
+  const ReaderRegistry::Pin pin = registry_.pin(commit_ts_);
+  const Catalog* catalog = catalog_.load(std::memory_order_seq_cst);
   std::string out;
-  for (const auto& [key, table] : tables_) {
+  for (const CatalogEntry& entry : catalog->entries) {
+    const Table& table = *entry.table;
+    if (!table.visible_at(pin.ts())) continue;
     out += strings::cat("table ", table.name(), "\n");
     for (const ColumnDef& column : table.columns())
       out += strings::cat("  column ", column.name, " type=",
@@ -1193,9 +1415,9 @@ std::string Database::dump_state() const {
     for (const std::string& column : table.indexed_columns())
       out += strings::cat("  index ", column, "\n");
     out += strings::cat("  next_auto ", table.next_auto(), "\n");
-    for (const Row& row : table.rows()) {
+    for (const Row* row : table.reader(pin.ts()).visible_rows()) {
       out += "  row";
-      for (const Value& value : row) out += strings::cat(" |", value.to_string());
+      for (const Value& value : *row) out += strings::cat(" |", value.to_string());
       out += "\n";
     }
   }
@@ -1205,23 +1427,93 @@ std::string Database::dump_state() const {
 }
 
 std::uint64_t Database::last_lsn() const {
-  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   return durability_ ? durability_->next_lsn - 1 : 0;
 }
 
 std::uint64_t Database::wal_records_appended() const {
-  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   return durability_ ? durability_->wal.records_appended() : 0;
 }
 
 std::uint64_t Database::wal_flushes() const {
-  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   return durability_ ? durability_->wal.flushes() : 0;
 }
 
 std::uint64_t Database::wal_bytes_written() const {
-  std::shared_lock<std::shared_mutex> lock(table_lock_);
+  std::lock_guard<std::mutex> lock(table_lock_);
   return durability_ ? durability_->wal.bytes_written() : 0;
+}
+
+// --- MVCC observability & read views (DESIGN.md §13) -------------------------
+
+MvccStatus Database::mvcc_status() const {
+  std::lock_guard<std::mutex> lock(table_lock_);
+  MvccStatus status;
+  status.commit_ts = commit_ts_.load(std::memory_order_seq_cst);
+  const ReaderRegistry::Horizon horizon = registry_.horizon(status.commit_ts);
+  status.min_active_ts = horizon.ts;
+  status.active_read_views = registry_.active_views();
+  status.read_views_opened = read_views_opened_.load(std::memory_order_relaxed);
+  for (const auto& [key, table] : tables_) {
+    const Table::Stats stats = table->stats();
+    status.versions_reclaimed += stats.reclaimed;
+    status.versions_live += stats.versions;
+    status.retired_pending += stats.retired_pending;
+    status.limbo_versions += stats.limbo_versions;
+    status.max_chain = std::max(status.max_chain, stats.max_chain);
+    for (std::size_t i = 0; i < status.chain_histogram.size(); ++i)
+      status.chain_histogram[i] += stats.chain_histogram[i];
+    status.tables.push_back({table->name(), stats});
+  }
+  return status;
+}
+
+ReadView Database::read_view() {
+  ReadView view;
+  view.db_ = this;
+  view.pin_ = registry_.pin(commit_ts_);
+  read_views_opened_.fetch_add(1, std::memory_order_relaxed);
+  view.catalog_ = catalog_.load(std::memory_order_seq_cst);
+  return view;
+}
+
+void Database::reset_stats() {
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  plans_index_probe_.store(0, std::memory_order_relaxed);
+  plans_index_join_.store(0, std::memory_order_relaxed);
+  plans_hash_join_.store(0, std::memory_order_relaxed);
+  plans_scan_.store(0, std::memory_order_relaxed);
+  shared_acquisitions_.store(0, std::memory_order_relaxed);
+  exclusive_acquisitions_.store(0, std::memory_order_relaxed);
+  shared_wait_ns_.store(0, std::memory_order_relaxed);
+  exclusive_wait_ns_.store(0, std::memory_order_relaxed);
+  read_views_opened_.store(0, std::memory_order_relaxed);
+}
+
+ResultSet ReadView::execute(std::string_view sql) {
+  require_state(db_ != nullptr, "ReadView: not attached to a database");
+  return execute(*db_->prepare(sql));
+}
+
+ResultSet ReadView::execute(const Statement& statement) {
+  require_state(db_ != nullptr, "ReadView: not attached to a database");
+  require_state(std::holds_alternative<SelectStmt>(statement),
+                "ReadView accepts SELECT statements only");
+  return db_->run_select(std::get<SelectStmt>(statement), *catalog_, pin_.ts());
+}
+
+std::vector<std::string> ReadView::query_column(std::string_view sql) {
+  const ResultSet result = execute(sql);
+  require_state(result.columns.size() == 1,
+                strings::cat("query_column expects exactly one output column, got ",
+                             result.columns.size()));
+  std::vector<std::string> out;
+  out.reserve(result.rows.size());
+  for (const auto& row : result.rows) out.push_back(row[0].to_string());
+  return out;
 }
 
 }  // namespace rocks::sqldb

@@ -12,14 +12,22 @@
 // equality predicates and hash-joins two-table equi-joins, falling back to
 // the nested-loop scan whenever a query doesn't fit those shapes.
 //
-// Concurrency (see DESIGN.md §9): the engine is safe for concurrent use.
-// SELECTs run under a shared lock so a mass reinstall's kickstart reads
-// proceed in parallel; DML/DDL take the lock exclusively. The prepared-
-// statement LRU has its own internal mutex, so cache hits never serialize
-// behind the table lock. table() references remain valid under concurrent
-// DML, but only external quiescence protects them across a DROP TABLE.
+// Concurrency (DESIGN.md §13): multi-version concurrency control. Writers
+// (DML/DDL) serialize on one mutex — WAL order is commit order — but
+// readers never touch it: every SELECT pins the current commit timestamp
+// in a ReaderRegistry and evaluates against the version chains visible at
+// that timestamp, so an insert-ethers burst can no longer stall kickstart
+// generation. Commit timestamps are WAL LSNs (the commit-marked record's),
+// making "the state at ts" and "the state after replaying LSNs <= ts"
+// identical by construction; recovery, replication apply, and snapshot
+// restore all reconstruct the same timestamps. ReadView exposes a pinned
+// multi-statement view (consistent kickstart resolution); snapshot() and
+// snapshot_image() serialize from a pinned view while DML proceeds —
+// checkpoints are zero-pause. Superseded row versions are reclaimed once
+// no live view can reach them (Table::reclaim, every 64 commits).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -28,13 +36,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "sqldb/journal.hpp"
+#include "sqldb/mvcc.hpp"
 #include "sqldb/parser.hpp"
 #include "sqldb/table.hpp"
 
@@ -45,6 +53,7 @@ class FileSystem;
 namespace rocks::sqldb {
 
 struct WalRecord;
+class ReadView;
 
 /// What open_durable() found and did while bringing the store back up.
 struct RecoveryReport {
@@ -85,6 +94,43 @@ class ResultSet {
   mutable std::unordered_map<std::string, std::size_t> column_cache_;  // lowered name
 };
 
+/// One table the catalog has ever known. Entries are append-only: DROP
+/// TABLE stamps the table's dropped_ts instead of removing the entry, so a
+/// reader whose pin predates the drop still resolves it. `seq` orders
+/// entries sharing a (recreated) name — the latest visible entry wins.
+struct CatalogEntry {
+  std::shared_ptr<Table> table;
+  std::uint64_t seq = 0;
+};
+
+/// An immutable published table set, sorted by (lowered name, seq).
+/// Readers load the current catalog once per view; superseded catalogs are
+/// retained for the Database's lifetime (bounded by DDL count), which is
+/// why a raw atomic pointer suffices.
+struct Catalog {
+  std::vector<CatalogEntry> entries;
+};
+
+/// MVCC observability (cluster-status --engine, bench_mvcc): the commit
+/// cursor, the active read-view horizon, and version-chain shape.
+struct MvccStatus {
+  std::uint64_t commit_ts = 0;        // newest committed timestamp (== last LSN when durable)
+  std::uint64_t min_active_ts = 0;    // oldest pinned read ts (commit_ts when idle)
+  std::size_t active_read_views = 0;  // pins live right now
+  std::uint64_t read_views_opened = 0;
+  std::uint64_t versions_reclaimed = 0;  // freed over the engine's life
+  std::size_t versions_live = 0;         // version nodes currently linked
+  std::size_t retired_pending = 0;       // superseded, awaiting the ts horizon
+  std::size_t limbo_versions = 0;        // unlinked, awaiting walker drain
+  std::size_t max_chain = 0;
+  std::array<std::size_t, 9> chain_histogram{};  // [i] = chains of length i+1; [8] = >8
+  struct TableStatus {
+    std::string table;
+    Table::Stats stats;
+  };
+  std::vector<TableStatus> tables;
+};
+
 class Database {
  public:
   Database();
@@ -99,7 +145,8 @@ class Database {
   [[nodiscard]] PreparedStatement prepare(std::string_view sql);
 
   /// Parses (through the statement cache) and executes one SQL statement.
-  /// Throws ParseError / LookupError.
+  /// Throws ParseError / LookupError. SELECTs run lock-free against a
+  /// snapshot-isolation view pinned at the current commit timestamp.
   ResultSet execute(std::string_view sql);
   /// Executes a pre-parsed statement.
   ResultSet execute(const Statement& statement);
@@ -107,9 +154,17 @@ class Database {
   /// Convenience: run a SELECT and return the single-column results as text.
   [[nodiscard]] std::vector<std::string> query_column(std::string_view sql);
 
+  /// Opens a pinned read view at the current commit timestamp: every SELECT
+  /// executed through it sees the same committed state, however many
+  /// writers commit in between — the kickstart resolve path uses one view
+  /// for its node + membership lookups so they can never disagree. Holding
+  /// a view defers version reclamation past its timestamp; release (destroy)
+  /// views promptly.
+  [[nodiscard]] ReadView read_view();
+
   // --- change-propagation bus (DESIGN.md §10) ------------------------------
   // Every INSERT/UPDATE/DELETE records (op, PK, revision) into the journal
-  // under the exclusive table lock; subscribers are notified once per
+  // under the exclusive writer lock; subscribers are notified once per
   // committed statement, after the lock is released, so callbacks may
   // re-enter the Database. CREATE/DROP TABLE truncate the table's channel
   // (full rescan). Channel names are the (case-insensitive) table names.
@@ -139,15 +194,20 @@ class Database {
 
   /// Attaches the store rooted at `dir` (created if absent) and recovers:
   /// loads the newest valid snapshot (skipping corrupt ones), truncates a
-  /// torn WAL tail, and replays the remaining records. Must be called on a
-  /// Database with no tables; throws StateError otherwise. The store stays
-  /// attached — subsequent mutations are logged.
+  /// torn WAL tail, and replays the remaining records — reconstructing each
+  /// statement's commit timestamp from its commit-marked record's LSN. Must
+  /// be called on a Database with no tables; throws StateError otherwise.
+  /// The store stays attached — subsequent mutations are logged.
   RecoveryReport open_durable(vfs::FileSystem& fs, std::string_view dir);
   [[nodiscard]] bool durable() const { return durability_ != nullptr; }
 
-  /// Checkpoints: flushes the WAL, serializes everything to a new snapshot
-  /// (temp file + atomic rename), truncates the WAL, and retires snapshots
-  /// older than the newest two. Returns the new snapshot's sequence number.
+  /// Checkpoints with zero reader/writer pause: flushes the WAL and pins a
+  /// read view under a brief exclusive hold, serializes the pinned state
+  /// with the lock released (DML proceeds), then republishes under another
+  /// brief hold — temp file + atomic rename, WAL truncated up to the
+  /// absorbed LSN (records committed during serialization survive), and
+  /// snapshots older than the newest two retired. Returns the new
+  /// snapshot's sequence number.
   /// Crash points: "snapshot.write.before", "snapshot.write.after",
   /// "snapshot.rename.after", "snapshot.retire.before".
   std::uint64_t snapshot();
@@ -169,7 +229,7 @@ class Database {
   // statement groups (replicate_apply), installs bootstrap images
   // (install_replica_snapshot), and fences local writes (set_read_only).
 
-  /// Commit hook for WAL shipping: invoked under the exclusive table lock
+  /// Commit hook for WAL shipping: invoked under the exclusive writer lock
   /// with each statement's LSN-stamped records, in commit order (WAL order
   /// == commit order == sink order), right before the local group-commit
   /// flush. The sink must not call back into this Database. Requires a
@@ -185,9 +245,11 @@ class Database {
   /// means shipping skipped something and the follower must be caught up
   /// from the leader's WAL cursor or re-bootstrapped. Applied records are
   /// appended verbatim to the replica's own WAL (leader LSNs preserved), so
-  /// the replica's independent crash recovery replays the same history.
-  /// Touched journal channels are notified after the lock drops, exactly
-  /// like local commits. Returns the replica's LSN after the group.
+  /// the replica's independent crash recovery replays the same history —
+  /// and the leader's commit timestamps are reproduced exactly (ts == the
+  /// commit record's LSN). Touched journal channels are notified after the
+  /// lock drops, exactly like local commits. Returns the replica's LSN
+  /// after the group.
   std::uint64_t replicate_apply(const std::vector<WalRecord>& group);
 
   /// Write fencing for the follower role: while read-only, every non-SELECT
@@ -200,9 +262,9 @@ class Database {
   }
 
   /// Serializes current committed state as a snapshot image — the leader
-  /// side of follower bootstrap. Pure serialization under the shared lock:
-  /// no file I/O, no sequence-number bump. Requires a durable store (the
-  /// image carries the LSN position).
+  /// side of follower bootstrap. Zero-pause like snapshot(): the LSN
+  /// position and a read view are captured under a brief lock hold, the
+  /// serialization itself runs against the pinned view while DML proceeds.
   [[nodiscard]] std::string snapshot_image() const;
 
   /// Follower bootstrap: replaces this durable replica's state with
@@ -210,7 +272,9 @@ class Database {
   /// persists the image as the replica's own snapshot (plus a WAL reset) so
   /// its independent crash recovery starts from it. Accepts a non-empty
   /// database: re-bootstrap is the catch-up path for a follower that fell
-  /// behind the leader's retained WAL. Throws StateError on a corrupt
+  /// behind the leader's retained WAL. Readers pinned before the install
+  /// keep the pre-install tables (stamped dropped at the image's LSN);
+  /// views opened after see the image. Throws StateError on a corrupt
   /// image. Returns the image's last LSN.
   std::uint64_t install_replica_snapshot(std::string_view image);
 
@@ -222,7 +286,8 @@ class Database {
   /// Deterministic dump of committed state: every table's schema, index
   /// definitions, AUTO_INCREMENT cursor and rows, plus journal channel
   /// revisions. Two Databases with equal dumps are observably identical —
-  /// the crash-recovery tests compare these byte-for-byte.
+  /// the crash-recovery tests compare these byte-for-byte. Reads from a
+  /// pinned view, so it never blocks (or is blocked by) writers.
   [[nodiscard]] std::string dump_state() const;
 
   // Durability observability (tests, bench_durability). Zero when no store
@@ -235,6 +300,15 @@ class Database {
   [[nodiscard]] bool has_table(std::string_view name) const;
   [[nodiscard]] const Table& table(std::string_view name) const;
   [[nodiscard]] std::vector<std::string> table_names() const;
+
+  // --- MVCC observability & maintenance (DESIGN.md §13) --------------------
+  /// Point-in-time engine status: commit cursor, read-view horizon,
+  /// version-chain histogram, reclamation counters.
+  [[nodiscard]] MvccStatus mvcc_status() const;
+  /// Forces a reclamation pass (normally one runs every 64 commits).
+  /// Returns the number of versions freed; 0 when a pinned view (or a pin
+  /// mid-registration) blocks the horizon.
+  std::size_t reclaim();
 
   // Statement-cache observability (tests, tuning).
   [[nodiscard]] std::size_t statement_cache_size() const;
@@ -259,10 +333,11 @@ class Database {
     return plans_scan_.load(std::memory_order_relaxed);
   }
 
-  // Lock-contention observability (DESIGN.md §9): how many statements ran
-  // under each lock mode, and the cumulative time spent waiting to acquire
-  // the table lock (nanoseconds). Sits alongside the plan counters so a
-  // bench can tell "slow because scanning" from "slow because serialized".
+  // Lock-contention observability (DESIGN.md §9/§13): writer-lock
+  // acquisitions and cumulative wait (nanoseconds). Under MVCC the read
+  // path takes no lock at all — shared_lock_acquisitions() stays 0 and is
+  // kept for API continuity; read_views_opened() counts the pinned views
+  // that replaced it.
   [[nodiscard]] std::uint64_t shared_lock_acquisitions() const {
     return shared_acquisitions_.load(std::memory_order_relaxed);
   }
@@ -275,6 +350,14 @@ class Database {
   [[nodiscard]] std::uint64_t exclusive_lock_wait_ns() const {
     return exclusive_wait_ns_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t read_views_opened() const {
+    return read_views_opened_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes the statement-cache, planner, lock, and read-view counters so
+  /// bench harnesses get per-phase numbers instead of cumulative ones.
+  /// Engine state (commit timestamps, reclamation totals) is untouched.
+  void reset_stats();
 
   /// Testing/debug knob: with the planner off every SELECT takes the
   /// nested-loop scan. Index and hash-join plans must produce identical
@@ -284,6 +367,7 @@ class Database {
   }
 
  private:
+  friend class ReadView;
   struct Durability;  // WAL writer + LSN/seq cursors; engine.cpp only
 
   // Mutating statements append the channels they changed to `touched` and,
@@ -292,7 +376,7 @@ class Database {
   // so replay reproduces both; execute() dispatches one journal
   // notification per channel after the exclusive lock is released
   // (callbacks may re-enter the Database).
-  ResultSet run_select(const SelectStmt& stmt);
+  ResultSet run_select(const SelectStmt& stmt, const Catalog& catalog, std::uint64_t ts);
   ResultSet run_insert(const InsertStmt& stmt, std::vector<std::string>& touched,
                        std::vector<WalRecord>* wal);
   ResultSet run_update(const UpdateStmt& stmt, std::vector<std::string>& touched,
@@ -310,15 +394,39 @@ class Database {
   /// never notifying — recovery runs before any subscriber exists.
   void apply_wal_record(const WalRecord& record);
 
-  /// Stamps LSNs onto `records`, appends them, and marks one statement
-  /// committed (group-commit accounting). Caller holds the exclusive lock;
-  /// no-op without a durable store.
-  void wal_append_locked(std::vector<WalRecord>& records);
+  /// Commits one statement under the writer lock: stages `records` into the
+  /// WAL (LSN stamping, ship to the sink), stamps every version the
+  /// statement created or superseded with the commit timestamp (the commit
+  /// record's LSN when durable, commit_ts + 1 otherwise), publishes the
+  /// catalog if DDL changed it, advances commit_ts_, and only then issues
+  /// the (possibly throwing) WAL group-commit flush — an IO failure never
+  /// hides the in-RAM commit. Also runs on the partial-failure path, since
+  /// this engine has no rollback.
+  void commit_locked(std::vector<WalRecord>& records);
+  /// The stamping half of commit_locked (shared with replay/replicate):
+  /// commit_pending on every table, created/dropped stamps for DDL,
+  /// commit_ts_ advance, periodic reclamation.
+  void stamp_commit_locked(std::uint64_t ts);
+  void maybe_reclaim_locked();
+  std::size_t reclaim_locked();
 
-  // Table lookups used while the caller already holds table_lock_
-  // (std::shared_mutex is not recursive, so run_* must never re-lock).
+  /// Creates a table in both the writer map and the reader catalog; the
+  /// created_ts stamp waits for commit (readers can't see it earlier).
+  Table& create_table_locked(const std::string& name, const std::vector<ColumnDef>& columns);
+  /// Removes a table from the writer map; the catalog entry stays and is
+  /// stamped dropped at commit.
+  void drop_table_locked(std::string_view name);
+  /// Publishes a new catalog with `table` appended (keep-forever storage).
+  void catalog_append_locked(std::shared_ptr<Table> table);
+
+  // Table lookups used while the caller already holds table_lock_ (the
+  // writer mutex is not recursive, so run_* must never re-lock).
   [[nodiscard]] const Table& table_locked(std::string_view name) const;
   [[nodiscard]] Table& table_mutable(std::string_view name);
+  /// Reader-side lookup: the table named `name` visible at `ts` in a loaded
+  /// catalog (latest visible entry wins across recreations), or null.
+  [[nodiscard]] static const Table* catalog_lookup(const Catalog& catalog,
+                                                   std::string_view name, std::uint64_t ts);
 
   /// Case-insensitive, allocation-free table-name ordering (heterogeneous
   /// lookup: find(string_view) never builds a lowered temporary).
@@ -327,7 +435,27 @@ class Database {
     bool operator()(std::string_view a, std::string_view b) const;
   };
 
-  std::map<std::string, Table, NameLess> tables_;  // keyed by name, case-insensitive
+  // The writer's current tables, keyed by name (case-insensitive) — the
+  // same shape the run_* statement handlers always worked against. The
+  // shared_ptrs are co-owned by catalog entries, so a DROP removes the
+  // table here while pinned readers keep resolving it through the catalog.
+  std::map<std::string, std::shared_ptr<Table>, NameLess> tables_;
+
+  // The reader-facing catalog, published via an atomic pointer; superseded
+  // catalogs are kept until destruction (count bounded by DDL statements).
+  std::vector<std::unique_ptr<const Catalog>> catalog_storage_;
+  std::atomic<const Catalog*> catalog_{nullptr};
+  std::uint64_t catalog_seq_ = 0;
+
+  // MVCC commit cursor: the newest committed timestamp (== last LSN when
+  // durable). Readers pin it; writers advance it after stamping, so a pin
+  // taken at ts T always observes every version of every statement <= T.
+  std::atomic<std::uint64_t> commit_ts_{0};
+  mutable ReaderRegistry registry_;
+  std::vector<std::shared_ptr<Table>> pending_creates_;  // stamped at commit
+  std::vector<std::shared_ptr<Table>> pending_drops_;
+  std::uint64_t commits_since_reclaim_ = 0;
+  static constexpr std::uint64_t kReclaimInterval = 64;
 
   // Commit-time change journal. Internally synchronized with its own leaf
   // mutexes, so run_* may record into it while holding table_lock_ without
@@ -335,25 +463,28 @@ class Database {
   ChangeJournal journal_;
 
   // Durable store; null until open_durable(). Guarded by table_lock_ (the
-  // WAL is written under the exclusive lock, so WAL order is commit order).
+  // WAL is written under the writer lock, so WAL order is commit order).
   std::unique_ptr<Durability> durability_;
 
   // Replication state (DESIGN.md §12). The sink and the fencing message are
-  // written under the exclusive lock and read there too; read_only_ is
+  // written under the writer lock and read there too; read_only_ is
   // additionally readable without the lock (generators probe it).
   WalSink wal_sink_;
   std::atomic<bool> read_only_{false};
   std::string read_only_error_;
 
-  // --- table reader-writer lock (DESIGN.md §9) -----------------------------
-  // Guards tables_ and every Table inside it. SELECT paths lock shared,
-  // DML/DDL exclusive. Never held while calling prepare() — the statement
-  // cache has its own mutex and the two never nest in that order.
-  mutable std::shared_mutex table_lock_;
-  mutable std::atomic<std::uint64_t> shared_acquisitions_{0};
+  // --- writer lock (DESIGN.md §13) -----------------------------------------
+  // Serializes DML/DDL, WAL appends, and durability file IO. SELECTs never
+  // take it — they pin a read timestamp instead. snapshot() releases it
+  // during serialization (zero-pause checkpoint); snapshot_mutex_ keeps
+  // two checkpoints from interleaving across that window.
+  mutable std::mutex table_lock_;
+  mutable std::mutex snapshot_mutex_;
+  mutable std::atomic<std::uint64_t> shared_acquisitions_{0};  // always 0 under MVCC
   mutable std::atomic<std::uint64_t> exclusive_acquisitions_{0};
   mutable std::atomic<std::uint64_t> shared_wait_ns_{0};
   mutable std::atomic<std::uint64_t> exclusive_wait_ns_{0};
+  mutable std::atomic<std::uint64_t> read_views_opened_{0};
 
   // --- prepared-statement LRU cache ---------------------------------------
   static constexpr std::size_t kStatementCacheCapacity = 256;
@@ -374,6 +505,35 @@ class Database {
   std::atomic<std::uint64_t> plans_hash_join_{0};
   std::atomic<std::uint64_t> plans_scan_{0};
   std::atomic<bool> planner_enabled_{true};
+};
+
+/// A pinned snapshot-isolation read view over a Database: every SELECT
+/// executed through it evaluates against the same commit timestamp, no
+/// matter how many writers commit in between. Move-only; the pin releases
+/// (and reclamation may proceed past its timestamp) on destruction.
+/// SELECT-only by construction — mutations go through Database::execute.
+class ReadView {
+ public:
+  ReadView() = default;
+  ReadView(ReadView&&) noexcept = default;
+  ReadView& operator=(ReadView&&) noexcept = default;
+
+  /// The view's commit timestamp (== the last LSN it observes when durable).
+  [[nodiscard]] std::uint64_t ts() const { return pin_.ts(); }
+  [[nodiscard]] explicit operator bool() const { return db_ != nullptr; }
+
+  /// Executes a SELECT (through the Database's statement cache) against the
+  /// pinned view. Throws StateError for non-SELECT statements.
+  ResultSet execute(std::string_view sql);
+  ResultSet execute(const Statement& statement);
+  /// Convenience mirror of Database::query_column against the pinned view.
+  [[nodiscard]] std::vector<std::string> query_column(std::string_view sql);
+
+ private:
+  friend class Database;
+  Database* db_ = nullptr;
+  ReaderRegistry::Pin pin_;
+  const Catalog* catalog_ = nullptr;
 };
 
 }  // namespace rocks::sqldb

@@ -1,0 +1,75 @@
+#include "sqldb/mvcc.hpp"
+
+namespace rocks::sqldb {
+
+void ReaderRegistry::Pin::release() {
+  if (registry_ == nullptr) return;
+  if (slot_ >= 0) {
+    registry_->slots_[static_cast<std::size_t>(slot_)].ts.store(kFree,
+                                                                std::memory_order_seq_cst);
+  } else {
+    std::lock_guard<std::mutex> lock(registry_->overflow_mutex_);
+    registry_->overflow_.erase(reg_);
+  }
+  registry_ = nullptr;
+}
+
+ReaderRegistry::Pin ReaderRegistry::pin(const std::atomic<std::uint64_t>& commit_ts) {
+  Pin out;
+  out.registry_ = this;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    std::uint64_t expected = kFree;
+    // Claim first, then read the commit ts: reclamation that scans the
+    // registry between the claim and the final publish sees kRegistering
+    // and backs off, so the window where our ts is undeclared is safe.
+    if (slots_[i].ts.compare_exchange_strong(expected, kRegistering,
+                                             std::memory_order_seq_cst)) {
+      out.slot_ = static_cast<int>(i);
+      out.reg_ = reg_counter_.fetch_add(1, std::memory_order_seq_cst);
+      slots_[i].reg.store(out.reg_, std::memory_order_seq_cst);
+      out.ts_ = commit_ts.load(std::memory_order_seq_cst);
+      slots_[i].ts.store(out.ts_, std::memory_order_seq_cst);
+      return out;
+    }
+  }
+  // Every slot taken: fall back to the mutexed overflow map. The horizon
+  // scan takes the same mutex, so a pin is either fully registered before
+  // the scan or takes its registration number after it — both safe.
+  std::lock_guard<std::mutex> lock(overflow_mutex_);
+  out.slot_ = -1;
+  out.reg_ = reg_counter_.fetch_add(1, std::memory_order_seq_cst);
+  out.ts_ = commit_ts.load(std::memory_order_seq_cst);
+  overflow_.emplace(out.reg_, out.ts_);
+  return out;
+}
+
+ReaderRegistry::Horizon ReaderRegistry::horizon(std::uint64_t fallback_ts) const {
+  Horizon h;
+  h.ts = fallback_ts;
+  h.reg = reg_counter_.load(std::memory_order_seq_cst);
+  for (const Slot& slot : slots_) {
+    const std::uint64_t ts = slot.ts.load(std::memory_order_seq_cst);
+    if (ts == kFree) continue;
+    if (ts == kRegistering) return {0, 0, h.active + 1};  // back off this round
+    h.ts = std::min(h.ts, ts);
+    h.reg = std::min(h.reg, slot.reg.load(std::memory_order_seq_cst));
+    ++h.active;
+  }
+  std::lock_guard<std::mutex> lock(overflow_mutex_);
+  for (const auto& [reg, ts] : overflow_) {
+    h.ts = std::min(h.ts, ts);
+    h.reg = std::min(h.reg, reg);
+    ++h.active;
+  }
+  return h;
+}
+
+std::size_t ReaderRegistry::active_views() const {
+  std::size_t active = 0;
+  for (const Slot& slot : slots_)
+    if (slot.ts.load(std::memory_order_relaxed) != kFree) ++active;
+  std::lock_guard<std::mutex> lock(overflow_mutex_);
+  return active + overflow_.size();
+}
+
+}  // namespace rocks::sqldb

@@ -239,4 +239,18 @@ void WalWriter::reset() {
   fs_->write_file(path_, "");
 }
 
+void WalWriter::reset_through(std::uint64_t floor) {
+  const std::string bytes = fs_->is_file(path_) ? fs_->read_file(path_) : std::string();
+  // Re-encoding a decoded record is byte-identical to its original frame,
+  // so the surviving suffix is exactly the bytes it had before.
+  const WalReadResult wal = read_wal(bytes);
+  std::string surviving;
+  for (const WalRecord& record : wal.records)
+    if (record.lsn > floor) surviving += encode_wal_record(record);
+  if (surviving.size() == bytes.size()) return;  // nothing absorbed
+  const std::string tmp = path_ + ".tmp";
+  fs_->write_file(tmp, std::move(surviving));
+  fs_->rename(tmp, path_);
+}
+
 }  // namespace rocks::sqldb

@@ -143,6 +143,14 @@ class WalWriter {
   /// Empties the buffer and truncates the file (snapshot just absorbed it).
   void reset();
 
+  /// Truncates only what a snapshot absorbed: rewrites the file keeping the
+  /// records with lsn > `floor` (statements that committed while the
+  /// zero-pause checkpoint was serializing). Publication is temp file +
+  /// atomic rename, so a crash mid-rewrite leaves the old file intact. The
+  /// unflushed buffer is untouched — its records are all above the floor by
+  /// construction (the checkpoint flushed before fixing it).
+  void reset_through(std::uint64_t floor);
+
   [[nodiscard]] const std::string& path() const { return path_; }
 
   // Observability (tests, bench_durability).

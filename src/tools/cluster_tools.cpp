@@ -86,4 +86,34 @@ std::string ClusterTools::replication_report(const replication::ControlPlaneStat
   return replication::render_status(status);
 }
 
+std::string ClusterTools::engine_status_report(sqldb::Database& db) {
+  const sqldb::MvccStatus status = db.mvcc_status();
+  std::string out = "mvcc engine:\n";
+  out += cat("  commit ts: ", status.commit_ts, "\n");
+  out += cat("  read views: ", status.active_read_views, " active (horizon ts ",
+             status.min_active_ts, "), ", status.read_views_opened, " opened\n");
+  out += cat("  versions: ", status.versions_live, " live, ", status.retired_pending,
+             " retired pending, ", status.limbo_versions, " in limbo, ",
+             status.versions_reclaimed, " reclaimed\n");
+  std::string histogram;
+  for (std::size_t i = 0; i < status.chain_histogram.size(); ++i) {
+    if (status.chain_histogram[i] == 0) continue;
+    histogram += cat(histogram.empty() ? "" : ", ", i + 1,
+                     i + 1 == status.chain_histogram.size() ? "+" : "", ": ",
+                     status.chain_histogram[i]);
+  }
+  out += cat("  chains: max ", status.max_chain, " (",
+             histogram.empty() ? "empty" : histogram, ")\n");
+  AsciiTable table({"Table", "Live", "Versions", "Retired", "Limbo", "Reclaimed", "MaxChain"});
+  for (const auto& entry : status.tables)
+    table.add_row({entry.table, std::to_string(entry.stats.live_rows),
+                   std::to_string(entry.stats.versions),
+                   std::to_string(entry.stats.retired_pending),
+                   std::to_string(entry.stats.limbo_versions),
+                   std::to_string(entry.stats.reclaimed),
+                   std::to_string(entry.stats.max_chain)});
+  out += table.render();
+  return out;
+}
+
 }  // namespace rocks::tools

@@ -59,6 +59,12 @@ class ClusterTools {
   [[nodiscard]] static std::string replication_report(
       const replication::ControlPlaneStatus& status);
 
+  /// cluster-status --engine: the MVCC engine's vitals — commit timestamp,
+  /// active read views and the reclamation horizon they pin, version-chain
+  /// shape (live/retired/limbo, chain-length histogram), and how many
+  /// superseded versions have been reclaimed (DESIGN.md §13).
+  [[nodiscard]] static std::string engine_status_report(sqldb::Database& db);
+
  private:
   cluster::Cluster& cluster_;
 };

@@ -9,6 +9,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -19,6 +20,7 @@
 #include "support/crashpoint.hpp"
 #include "support/crc.hpp"
 #include "support/error.hpp"
+#include "support/strings.hpp"
 #include "vfs/filesystem.hpp"
 #include "vfs/path.hpp"
 
@@ -707,6 +709,48 @@ TEST_F(DurabilityTest, FrontendCheckpointBoundsRecoveryAndStateMatches) {
   EXPECT_NE(cluster.frontend().nis_passwd_map().find("mjk"), std::string::npos);
   EXPECT_NE(cluster.frontend().fs().read_file("/etc/hosts").find("compute-0-5"),
             std::string::npos);
+}
+
+/// Regression: checkpoints racing a registration burst. Each snapshot
+/// captures a commit boundary (last_lsn = the capture-time commit
+/// timestamp) and truncates exactly the WAL prefix it absorbed, so no
+/// interleaving of snapshot() against committing INSERTs can lose a
+/// statement or replay one twice. Recovery from the final disk image must
+/// be byte-identical to the store that wrote it, wherever the checkpoints
+/// happened to land inside the burst.
+TEST_F(DurabilityTest, CheckpointDuringRegistrationBurstRecoversByteIdentical) {
+  constexpr std::size_t kBurst = 200;
+  vfs::FileSystem disk;
+  std::string expected;
+  std::uint64_t snapshots_taken = 0;
+  {
+    Database db;
+    db.open_durable(disk, kDir);
+    db.set_wal_group_commit(8);  // insert-ethers' amortization knob
+    db.execute(
+        "CREATE TABLE nodes (id INT PRIMARY KEY AUTO_INCREMENT, mac TEXT, name TEXT)");
+    db.execute("CREATE INDEX nodes_mac ON nodes (mac)");
+
+    std::thread burst([&db] {
+      for (std::size_t i = 0; i < kBurst; ++i)
+        db.execute(strings::cat("INSERT INTO nodes (mac, name) VALUES ('",
+                                Mac(0x00508BE00000ULL + i).to_string(), "', 'compute-0-", i,
+                                "')"));
+    });
+    // Checkpoints fired blind into the middle of the burst: each one
+    // serializes from a pinned read view while the writer keeps committing.
+    for (int i = 0; i < 5; ++i) snapshots_taken = db.snapshot();
+    burst.join();
+    db.wal_flush();  // the barrier a real batch ends with
+    expected = db.dump_state();
+    EXPECT_EQ(db.execute("SELECT id FROM nodes").row_count(), kBurst);
+  }
+  EXPECT_GE(snapshots_taken, 5u);
+
+  Database recovered;
+  const RecoveryReport report = recovered.open_durable(disk, kDir);
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_EQ(recovered.dump_state(), expected);
 }
 
 // --- WAL flush IO failures (§11 satellite) -----------------------------------

@@ -483,11 +483,13 @@ TEST_F(DbTest, TableIndexUnitBehaviour) {
   const auto cols = nodes.indexed_columns();
   EXPECT_NE(std::find(cols.begin(), cols.end(), "id"), cols.end());
   EXPECT_NE(std::find(cols.begin(), cols.end(), "ip"), cols.end());
-  const auto hits = nodes.probe_index(*nodes.column_index("ip"), Value("10.1.1.1"));
+  // Readers probe through a point-in-time view pinned at a commit ts.
+  const auto reader = nodes.reader(db.mvcc_status().commit_ts);
+  const auto hits = reader.probe_rows(*nodes.column_index("ip"), Value("10.1.1.1"));
   ASSERT_EQ(hits.size(), 1u);
-  EXPECT_EQ(nodes.rows()[hits[0]][2].as_text(), "frontend-0");
+  EXPECT_EQ((*hits[0])[2].as_text(), "frontend-0");
   // Probing a column with no index is a caller bug.
-  EXPECT_THROW((void)nodes.probe_index(*nodes.column_index("comment"), Value("x")), StateError);
+  EXPECT_THROW((void)reader.probe_rows(*nodes.column_index("comment"), Value("x")), StateError);
 }
 
 // --- prepared statements and the LRU cache ----------------------------------

@@ -89,5 +89,30 @@ TEST_F(ToolsTest, LaunchProcessRequiresRunningNode) {
   EXPECT_THROW(bare.launch_process("x"), StateError);
 }
 
+TEST_F(ToolsTest, EngineStatusReportShowsMvccVitals) {
+  sqldb::Database& db = cluster_->frontend().db();
+  // Supersede some versions and leave one view pinned, so every section of
+  // the report has something real to show.
+  db.execute("UPDATE nodes SET rack = rack WHERE rack >= 0");
+  sqldb::ReadView view = db.read_view();
+  db.execute("UPDATE nodes SET rack = rack WHERE rack >= 0");
+
+  const std::string report = ClusterTools::engine_status_report(db);
+  EXPECT_NE(report.find("mvcc engine:"), std::string::npos);
+  EXPECT_NE(report.find("commit ts: "), std::string::npos);
+  EXPECT_NE(report.find("1 active"), std::string::npos);  // the pinned view
+  EXPECT_NE(report.find("retired pending"), std::string::npos);
+  EXPECT_NE(report.find("chains: max "), std::string::npos);
+  // The per-table section lists the cluster schema's tables.
+  EXPECT_NE(report.find("nodes"), std::string::npos);
+  EXPECT_NE(report.find("memberships"), std::string::npos);
+
+  const sqldb::MvccStatus status = db.mvcc_status();
+  EXPECT_EQ(status.active_read_views, 1u);
+  // The second UPDATE's superseded versions are pinned behind the view.
+  EXPECT_GT(status.retired_pending, 0u);
+  EXPECT_GT(status.max_chain, 1u);
+}
+
 }  // namespace
 }  // namespace rocks::tools
