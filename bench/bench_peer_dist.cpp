@@ -1,0 +1,177 @@
+// Peer-assisted install distribution at scale (DESIGN.md §14).
+//
+// Table I's install times grow linearly with cluster size because every
+// byte crosses the frontend NIC; Section 6.3's remedy (replicate the web
+// server) only divides the slope. This harness plots the install-time
+// curve for four distribution strategies at 1k / 10k / 100k nodes:
+//
+//   single-server   the paper baseline (one 7 MB/s frontend)
+//   multi-server    Section 6.3: four load-balanced replicas
+//   cascade         installed nodes relay the whole payload (tree)
+//   swarm           chunked pipelined relay over the rack fabric
+//
+// The 100k-node full reinstall must simulate in single-digit wall-clock
+// seconds — that is the netsim fast path's acceptance bar — and before any
+// curve is trusted, a 1k-node divergence tripwire replays the same swarm
+// wave under Allocator::kReference and aborts unless makespan and event
+// counts match the incremental allocator exactly.
+//
+//   bench_peer_dist [--json <file>]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "netsim/peer.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace rocks;
+using namespace rocks::bench;
+using netsim::Allocator;
+using netsim::DistMode;
+using netsim::InstallWaveParams;
+using netsim::InstallWaveResult;
+
+namespace {
+
+InstallWaveParams wave_params(DistMode mode, std::size_t nodes, Allocator allocator) {
+  InstallWaveParams params;
+  params.nodes = nodes;
+  params.payload_bytes = 225.0 * kMB;  // the Table I install payload
+  params.demand_cap = 1.0 * kMB;       // install-pipeline consume rate
+  params.seed_capacity = kPaperModel.aggregate_Bps;
+  params.peer.mode = mode;
+  params.peer.seed_fanout = mode == DistMode::kSingleServer ? 0 : 8;
+  params.topology.nodes_per_rack = 32;
+  params.topology.rack_capacity = 12.0 * kMB;
+  params.topology.uplink_capacity = 12.0 * kMB;
+  params.allocator = allocator;
+  return params;
+}
+
+struct CurvePoint {
+  const char* mode;
+  std::size_t nodes;
+  InstallWaveResult result;
+};
+
+double peer_share(const InstallWaveResult& result) {
+  const double total = result.peer_stats.peer_bytes + result.peer_stats.seed_bytes;
+  return total > 0.0 ? 100.0 * result.peer_stats.peer_bytes / total : 0.0;
+}
+
+/// Replays a 1k swarm wave under both allocators; any divergence in the
+/// simulated outcome means the incremental fast path is broken, and every
+/// number this binary prints would be garbage — so die loudly.
+void divergence_tripwire() {
+  const auto fast =
+      netsim::run_install_wave(wave_params(DistMode::kSwarm, 1000, Allocator::kIncremental));
+  const auto reference =
+      netsim::run_install_wave(wave_params(DistMode::kSwarm, 1000, Allocator::kReference));
+  if (fast.makespan != reference.makespan || fast.completed != reference.completed ||
+      fast.events_fired != reference.events_fired) {
+    std::fprintf(stderr,
+                 "DIVERGENCE: incremental vs reference allocator disagree at 1k nodes\n"
+                 "  makespan  %.9f vs %.9f\n  completed %zu vs %zu\n  events    %llu vs %llu\n",
+                 fast.makespan, reference.makespan, fast.completed, reference.completed,
+                 static_cast<unsigned long long>(fast.events_fired),
+                 static_cast<unsigned long long>(reference.events_fired));
+    std::exit(1);
+  }
+  std::printf("tripwire: 1k-node swarm identical under kIncremental and kReference\n"
+              "  (makespan %.1f s, %llu events) — fast path verified against the oracle\n",
+              fast.makespan, static_cast<unsigned long long>(fast.events_fired));
+}
+
+void write_json(const std::string& path, const std::vector<CurvePoint>& points) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_peer_dist: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"bench_peer_dist\",\n  \"curves\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CurvePoint& p = points[i];
+    const double events_per_sec =
+        p.result.wall_seconds > 0.0
+            ? static_cast<double>(p.result.events_fired) / p.result.wall_seconds
+            : 0.0;
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"nodes\": %zu, \"makespan_seconds\": %.3f, "
+                 "\"completed\": %zu, \"events\": %llu, \"wall_seconds\": %.4f, "
+                 "\"events_per_second\": %.0f, \"peer_share_percent\": %.1f}%s\n",
+                 p.mode, p.nodes, p.result.makespan, p.result.completed,
+                 static_cast<unsigned long long>(p.result.events_fired),
+                 p.result.wall_seconds, events_per_sec, peer_share(p.result),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("json written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+
+  print_header("bench_peer_dist",
+               "Table I scaling, fixed: peer-assisted distribution (DESIGN.md sec. 14)");
+  divergence_tripwire();
+
+  struct ModeSpec {
+    const char* name;
+    DistMode mode;
+    std::size_t replicas;
+  };
+  const ModeSpec modes[] = {
+      {"single-server", DistMode::kSingleServer, 1},
+      {"multi-server x4", DistMode::kSingleServer, 4},
+      {"cascade", DistMode::kCascade, 1},
+      {"swarm", DistMode::kSwarm, 1},
+  };
+  const std::size_t scales[] = {1000, 10000, 100000};
+
+  std::vector<CurvePoint> points;
+  AsciiTable table({"Distribution", "Nodes", "Makespan (min)", "Peer share", "Events",
+                    "Wall (s)"});
+  for (const ModeSpec& spec : modes) {
+    for (const std::size_t nodes : scales) {
+      InstallWaveParams params = wave_params(spec.mode, nodes, Allocator::kIncremental);
+      params.seed_replicas = spec.replicas;
+      const InstallWaveResult result = netsim::run_install_wave(params);
+      if (result.completed != nodes) {
+        std::fprintf(stderr, "bench_peer_dist: %s/%zu finished only %zu installs\n",
+                     spec.name, nodes, result.completed);
+        return 1;
+      }
+      points.push_back({spec.name, nodes, result});
+      table.add_row({spec.name, std::to_string(nodes), fixed(result.makespan / 60.0, 1),
+                     strings::cat(fixed(peer_share(result), 0), "%"),
+                     std::to_string(result.events_fired), fixed(result.wall_seconds, 2)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  const CurvePoint& swarm_100k = points.back();
+  std::printf(
+      "\nsingle-server grows linearly with N (Table I's pathology); the swarm's\n"
+      "curve is near-flat — rack-local chunk relay scales serving capacity with\n"
+      "the cluster. 100k-node full reinstall simulated in %.2f wall seconds\n"
+      "(%.0f events/s).\n",
+      swarm_100k.result.wall_seconds,
+      static_cast<double>(swarm_100k.result.events_fired) / swarm_100k.result.wall_seconds);
+  if (swarm_100k.result.wall_seconds >= 10.0) {
+    std::fprintf(stderr, "bench_peer_dist: 100k swarm took %.2f s wall (budget: < 10 s)\n",
+                 swarm_100k.result.wall_seconds);
+    return 1;
+  }
+  if (!json_path.empty()) write_json(json_path, points);
+  return 0;
+}

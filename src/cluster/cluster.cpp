@@ -11,13 +11,32 @@ Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)), distro_(rpm::make_redhat_release(config_.synth)) {
   frontend_ = std::make_unique<Frontend>(sim_, syslog_, distro_, config_.frontend);
   insert_ethers_ = std::make_unique<InsertEthers>(*frontend_, syslog_);
+  if (config_.enable_peer_distribution) {
+    netsim::TopologyConfig topology = config_.topology;
+    if (topology.rack_capacity <= 0.0) {
+      topology.rack_capacity = 12.0 * 1024 * 1024;
+      topology.uplink_capacity = 12.0 * 1024 * 1024;
+    }
+    topology_ = std::make_unique<netsim::RackTopology>(sim_, topology);
+    peers_ = std::make_unique<netsim::PeerDistribution>(sim_, *topology_, frontend_->http(),
+                                                        config_.peer);
+  }
 }
 
 Node& Cluster::add_node(std::string arch) {
   // Locally administered MACs, deterministic per node index.
   const Mac mac(0x0250'8BE0'0000ULL + static_cast<std::uint64_t>(next_mac_suffix_++));
+  NodeEnvironment env = frontend_->environment();
+  env.peers = peers_.get();
   nodes_.push_back(
-      std::make_unique<Node>(frontend_->environment(), mac, std::move(arch), config_.timings));
+      std::make_unique<Node>(env, mac, std::move(arch), config_.timings));
+  if (peers_) {
+    // Endpoint ids follow add order, so racks fill bottom-up like a real
+    // integration pass.
+    const auto endpoint = static_cast<std::uint32_t>(nodes_.size() - 1);
+    peers_->register_endpoints(endpoint + 1);
+    nodes_.back()->join_peer_network(endpoint);
+  }
   return *nodes_.back();
 }
 

@@ -12,7 +12,9 @@
 #include "cluster/insert_ethers.hpp"
 #include "cluster/node.hpp"
 #include "netsim/fault.hpp"
+#include "netsim/peer.hpp"
 #include "netsim/power.hpp"
+#include "netsim/topology.hpp"
 #include "rpm/synth.hpp"
 
 namespace rocks::cluster {
@@ -24,6 +26,17 @@ struct ClusterConfig {
   /// Seconds between sequential node power-ons during integration
   /// (insert-ethers requires serial booting to bind rack/rank positions).
   double integration_stagger = 20.0;
+
+  /// Peer-assisted distribution (DESIGN.md §14). Off by default: installs
+  /// pull straight from the frontend HTTP group, exactly as before. When on,
+  /// nodes are placed on the rack topology in add_node order and downloads
+  /// go through the swarm.
+  bool enable_peer_distribution = false;
+  netsim::PeerConfig peer;
+  /// Rack fabric for the peer paths; rack_capacity <= 0 picks a default of
+  /// 12 MB/s leaf + 12 MB/s uplink (switched Fast Ethernet with a modest
+  /// oversubscribed gigabit-era uplink).
+  netsim::TopologyConfig topology;
 };
 
 class Cluster {
@@ -39,6 +52,9 @@ class Cluster {
   [[nodiscard]] netsim::PowerDistributionUnit& pdu() { return pdu_; }
   [[nodiscard]] const rpm::SynthDistro& distro() const { return distro_; }
   [[nodiscard]] InsertEthers& insert_ethers() { return *insert_ethers_; }
+  /// Peer distribution service; nullptr unless enable_peer_distribution.
+  [[nodiscard]] netsim::PeerDistribution* peers() { return peers_.get(); }
+  [[nodiscard]] netsim::RackTopology* topology() { return topology_.get(); }
 
   /// Adds a bare node (a machine racked and cabled, never booted).
   Node& add_node(std::string arch = "i386");
@@ -92,6 +108,8 @@ class Cluster {
   std::unique_ptr<Frontend> frontend_;
   std::unique_ptr<InsertEthers> insert_ethers_;
   netsim::PowerDistributionUnit pdu_;
+  std::unique_ptr<netsim::RackTopology> topology_;
+  std::unique_ptr<netsim::PeerDistribution> peers_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::string> ekv_captures_;
   std::unique_ptr<netsim::FaultInjector> faults_;

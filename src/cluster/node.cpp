@@ -62,6 +62,10 @@ void Node::power_on() {
       if (!epoch_valid(epoch)) return;
       state_ = NodeState::kRunning;
       log("boot complete");
+      // A normally-booted node holds the full distribution on disk: it can
+      // serve installing peers without having gone through fetch() itself.
+      if (peer_networked())
+        env_.peers->mark_seeded(static_cast<std::uint32_t>(peer_endpoint_));
       if (auto callback = on_running_) callback();  // copy: callback may reset itself
     });
   }
@@ -74,6 +78,11 @@ void Node::power_off() {
     download_->server->abort(download_->flow);
     download_.reset();
   }
+  // Dying mid-swarm: our own fetch is silently dropped, and every peer we
+  // were serving gets its abort callback (the churn path the retry/backoff
+  // machinery already handles).
+  if (peer_networked())
+    env_.peers->node_offline(static_cast<std::uint32_t>(peer_endpoint_));
   processes_.clear();
   state_ = NodeState::kOff;
 }
@@ -96,6 +105,8 @@ void Node::shoot() {
 
 void Node::enter_install() {
   state_ = NodeState::kInstallWait;
+  if (peer_networked())
+    env_.peers->begin_install(static_cast<std::uint32_t>(peer_endpoint_));
   install_started_ = env_.sim->now();
   dhcp_attempts_ = 0;
   kickstart_attempts_ = 0;
@@ -129,6 +140,7 @@ void Node::repoint(const NodeEnvironment& env) {
   if (env.kickstart != nullptr) env_.kickstart = env.kickstart;
   if (env.http != nullptr) env_.http = env.http;
   if (env.distribution != nullptr) env_.distribution = env.distribution;
+  if (env.peers != nullptr) env_.peers = env.peers;
 }
 
 void Node::request_dhcp() {
@@ -223,6 +235,25 @@ void Node::begin_download(const kickstart::KickstartFile& profile) {
 
 void Node::start_download() {
   const std::uint64_t epoch = epoch_;
+  if (peer_networked()) {
+    // The swarm resumes from its chunk cache, so every (re)request asks for
+    // the full payload; the abort callback reports total bytes held, from
+    // which the remainder is derived for the log and the failure ledger.
+    const auto total = static_cast<double>(job_->resolution.total_bytes());
+    env_.peers->fetch(
+        static_cast<std::uint32_t>(peer_endpoint_), total, timings_.install_demand,
+        [this, epoch] {
+          if (!epoch_valid(epoch)) return;
+          job_->bytes_remaining = 0.0;
+          finish_install();
+        },
+        [this, epoch, total](double delivered) {
+          if (!epoch_valid(epoch)) return;
+          job_->bytes_remaining = std::max(0.0, total - delivered);
+          retry_download("peer transfer aborted by source churn");
+        });
+    return;
+  }
   download_ = env_.http->serve(
       job_->bytes_remaining, timings_.install_demand,
       [this, epoch] {
@@ -267,6 +298,10 @@ void Node::fail_install(std::string reason) {
   disarm_watchdog();
   if (download_ && download_->server != nullptr) download_->server->abort(download_->flow);
   download_.reset();
+  // A failed installer stops fetching AND serving (its installer
+  // environment is wedged; peers fail over to other sources).
+  if (peer_networked())
+    env_.peers->node_offline(static_cast<std::uint32_t>(peer_endpoint_));
   job_.reset();
   ++install_failures_;
   ++epoch_;  // anything else still scheduled for this install is void

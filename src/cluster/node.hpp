@@ -29,6 +29,7 @@
 #include "netsim/dhcp.hpp"
 #include "netsim/engine.hpp"
 #include "netsim/http.hpp"
+#include "netsim/peer.hpp"
 #include "netsim/syslog.hpp"
 #include "rpm/rpmdb.hpp"
 #include "rpm/solver.hpp"
@@ -107,6 +108,10 @@ struct NodeEnvironment {
   kickstart::KickstartServer* kickstart = nullptr;
   netsim::HttpServerGroup* http = nullptr;
   const rpm::Repository* distribution = nullptr;  // what HTTP serves
+  /// Optional peer-assisted distribution (DESIGN.md §14). When wired — and
+  /// the node has joined via join_peer_network() — package downloads go
+  /// through the swarm instead of straight to the HTTP group.
+  netsim::PeerDistribution* peers = nullptr;
 };
 
 class Node {
@@ -177,6 +182,15 @@ class Node {
   /// Fires whenever the node reaches kRunning.
   void on_running(std::function<void()> callback) { on_running_ = std::move(callback); }
 
+  // --- peer-assisted distribution (DESIGN.md §14) ----------------------------
+  /// Assigns this node's endpoint id in the peer distribution network; the
+  /// cluster calls this right after add_node. Downloads use the swarm from
+  /// the next install on.
+  void join_peer_network(std::uint32_t endpoint) { peer_endpoint_ = endpoint; }
+  [[nodiscard]] bool peer_networked() const {
+    return env_.peers != nullptr && peer_endpoint_ >= 0;
+  }
+
   // --- control-plane failover (DESIGN.md §12.5) ------------------------------
   /// Re-points this node's services at a new provider (a promoted replica
   /// frontend). Only non-null fields of `env` replace the current wiring;
@@ -230,6 +244,7 @@ class Node {
 
   NodeState state_ = NodeState::kOff;
   bool reinstall_on_boot_ = true;  // blank disk: first boot always installs
+  std::int64_t peer_endpoint_ = -1;  // -1: not part of a peer network
   bool hardware_failed_ = false;
   std::string hostname_;
   Ipv4 ip_;

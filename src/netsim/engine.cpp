@@ -1,8 +1,35 @@
 #include "netsim/engine.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace rocks::netsim {
+namespace {
+
+// EventId = (seq << kSlotBits) | slot. 24 slot bits allow 16.7M events
+// pending at once; 40 seq bits allow ~10^12 events per simulator lifetime.
+constexpr std::uint32_t kSlotBits = 24;
+constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+
+}  // namespace
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  require_state(slots_.size() < kSlotMask, "Simulator: too many pending events");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  slots_[slot].fn = nullptr;
+  slots_[slot].live = false;
+  free_slots_.push_back(slot);
+}
 
 EventId Simulator::schedule(double delay, std::function<void()> fn) {
   require_state(delay >= 0.0, "Simulator::schedule: negative delay");
@@ -11,34 +38,72 @@ EventId Simulator::schedule(double delay, std::function<void()> fn) {
 
 EventId Simulator::schedule_at(double time, std::function<void()> fn) {
   require_state(time >= now_, "Simulator::schedule_at: time in the past");
-  const EventId id = next_id_++;
-  queue_.push(Event{time, id, std::move(fn)});
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t slot = acquire_slot();
+  const EventId id = (seq << kSlotBits) | slot;
+  slots_[slot].fn = std::move(fn);
+  slots_[slot].id = id;
+  slots_[slot].live = true;
+  heap_.push_back(HeapEntry{time, seq, slot});
+  std::push_heap(heap_.begin(), heap_.end(), later);
   return id;
 }
 
-void Simulator::cancel(EventId id) { cancelled_.insert(id); }
+void Simulator::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  if (slot >= slots_.size()) return;
+  Slot& entry = slots_[slot];
+  if (!entry.live || entry.id != id) return;  // already fired, or a stale id
+  entry.live = false;
+  entry.fn = nullptr;  // release the closure now; the heap entry is inert
+  ++dead_;
+  // Batched compaction: once dead entries outnumber the live ones (past a
+  // floor that spares micro-queues), one O(live) rebuild reclaims them all.
+  // Amortized O(1) per cancel: reaching the trigger again takes at least
+  // `live` further cancels.
+  if (dead_ > kCompactFloor && dead_ * 2 > heap_.size()) compact();
+}
 
-bool Simulator::consume_cancelled(EventId id) { return cancelled_.erase(id) > 0; }
-
-void Simulator::fire(Event& event) {
-  now_ = event.time;
-  ++fired_;
-  // Move out so the callback may schedule/cancel freely.
-  auto fn = std::move(event.fn);
-  fn();
+void Simulator::compact() {
+  // A slot is released exactly when its (single) heap entry leaves the heap,
+  // so an entry's slot cannot have been recycled under it: liveness alone
+  // decides.
+  std::size_t kept = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (slots_[entry.slot].live) {
+      heap_[kept++] = entry;
+    } else {
+      release_slot(entry.slot);
+    }
+  }
+  heap_.resize(kept);
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  dead_ = 0;
+  ++compactions_;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    if (consume_cancelled(event.id)) continue;
-    fire(event);
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+    Slot& entry = slots_[top.slot];
+    if (!entry.live) {
+      // Cancelled: reclaim the slot now that its heap entry is gone.
+      release_slot(top.slot);
+      if (dead_ > 0) --dead_;
+      continue;
+    }
+    now_ = top.time;
+    ++fired_;
+    // Move the callback out and free the slot first: the callback may
+    // schedule new events (reusing this slot) or cancel others.
+    auto fn = std::move(entry.fn);
+    release_slot(top.slot);
+    fn();
     return true;
   }
-  // Queue drained: any still-recorded cancellations reference ids that will
-  // never be popped (already fired, or never existed) — reclaim them all.
-  cancelled_.clear();
+  dead_ = 0;
   return false;
 }
 
@@ -50,17 +115,24 @@ double Simulator::run() {
 
 void Simulator::run_until(double deadline) {
   require_state(deadline >= now_, "Simulator::run_until: deadline in the past");
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    if (event.time > deadline) break;
-    queue_.pop();
-    if (consume_cancelled(event.id)) continue;
-    fire(event);
+  while (!heap_.empty() && heap_.front().time <= deadline) {
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+    Slot& entry = slots_[top.slot];
+    if (!entry.live) {
+      release_slot(top.slot);
+      if (dead_ > 0) --dead_;
+      continue;
+    }
+    now_ = top.time;
+    ++fired_;
+    auto fn = std::move(entry.fn);
+    release_slot(top.slot);
+    fn();
   }
-  if (queue_.empty()) cancelled_.clear();
+  if (heap_.empty()) dead_ = 0;
   now_ = deadline;
 }
-
-std::size_t Simulator::pending_events() const { return queue_.size(); }
 
 }  // namespace rocks::netsim

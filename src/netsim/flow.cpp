@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <vector>
 
 #include "support/error.hpp"
 
@@ -10,53 +9,142 @@ namespace rocks::netsim {
 namespace {
 
 /// Completion epsilon. Completions are scheduled at the full
-/// remaining/rate interval, so at the event `remaining` is zero up to
-/// floating-point error (absolute error stays far below a byte for MB-scale
-/// transfers); 1e-3 bytes absorbs that error with room to spare while being
-/// negligible against any real payload. A smaller epsilon (or scheduling at
-/// remaining-eps) risks a zero-length-event livelock.
+/// (target - service)/rate interval, so at the event the service integral
+/// reaches the target up to floating-point error (absolute error stays far
+/// below a byte for MB-scale transfers); 1e-3 bytes absorbs that error with
+/// room to spare while being negligible against any real payload. A smaller
+/// epsilon (or scheduling at target-eps) risks a zero-length-event livelock.
 constexpr double kEpsilonBytes = 1e-3;
+
+/// Freeze tolerance of the water-filling pass (caps equal to the fair share
+/// up to rounding are frozen at their cap, exactly as the old progressive
+/// filling did).
+constexpr double kFreezeTolerance = 1e-12;
+
+// FlowId = (seq << kSlotBits) | slot; 24 slot bits = 16.7M concurrent flows.
+constexpr std::uint32_t kSlotBits = 24;
+constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+
+constexpr double kUncapped = std::numeric_limits<double>::infinity();
 
 }  // namespace
 
-FairShareChannel::FairShareChannel(Simulator& sim, double capacity)
-    : sim_(sim), capacity_(capacity) {
+FairShareChannel::FairShareChannel(Simulator& sim, double capacity, Allocator allocator)
+    : sim_(sim), capacity_(capacity), allocator_(allocator) {
   require_state(capacity > 0.0, "FairShareChannel: capacity must be positive");
+}
+
+std::uint32_t FairShareChannel::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  require_state(slots_.size() < kSlotMask, "FairShareChannel: too many flows");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+const FairShareChannel::FlowSlot* FairShareChannel::find(FlowId id) const {
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  if (slot >= slots_.size()) return nullptr;
+  const FlowSlot& flow = slots_[slot];
+  if (!flow.live || flow.id != id) return nullptr;
+  return &flow;
+}
+
+double FairShareChannel::service_now(const CapClass& cls) const {
+  const double dt = sim_.now() - last_update_;
+  return dt > 0.0 ? cls.service + cls.rate * dt : cls.service;
 }
 
 FlowId FairShareChannel::start(double bytes, double demand_cap,
                                std::function<void()> on_complete, AbortCallback on_abort) {
   require_state(bytes >= 0.0, "FairShareChannel::start: negative size");
   advance_to_now();
-  const FlowId id = next_id_++;
-  Flow flow;
+  const std::uint32_t slot = acquire_slot();
+  const std::uint64_t seq = next_seq_++;
+  const FlowId id = (seq << kSlotBits) | slot;
+  const double cap_key = demand_cap > 0.0 ? demand_cap : kUncapped;
+
+  CapClass& cls = classes_[cap_key];  // created with service = 0 when new
+  FlowSlot& flow = slots_[slot];
   flow.total = bytes;
-  flow.remaining = bytes;
-  flow.cap = demand_cap > 0.0 ? demand_cap : std::numeric_limits<double>::infinity();
+  flow.start_service = cls.service;
+  flow.target = cls.service + bytes;
+  flow.cap_key = cap_key;
+  flow.seq = seq;
+  flow.id = id;
+  flow.live = true;
   flow.on_complete = std::move(on_complete);
   flow.on_abort = std::move(on_abort);
-  flows_.emplace(id, std::move(flow));
+
+  if (allocator_ == Allocator::kIncremental) {
+    ++cls.count;
+    cls.start_sum += flow.start_service;
+    cls.heap.push_back(TargetEntry{flow.target, seq, slot});
+    std::push_heap(cls.heap.begin(), cls.heap.end(), target_later);
+  }
+  ++live_count_;
+  ++stats_.flow_joins;
+  stats_.peak_active = std::max(stats_.peak_active, live_count_);
   rebalance();
   return id;
 }
 
+double FairShareChannel::remove_flow(std::uint32_t slot) {
+  FlowSlot& flow = slots_[slot];
+  const auto it = classes_.find(flow.cap_key);
+  require_state(it != classes_.end(), "FairShareChannel: flow without a class");
+  CapClass& cls = it->second;
+  const double delivered_bytes =
+      std::min(flow.total, std::max(0.0, cls.service - flow.start_service));
+  closed_delivered_ += delivered_bytes;
+
+  if (allocator_ == Allocator::kIncremental) {
+    --cls.count;
+    cls.start_sum -= flow.start_service;
+    // The flow's target entry stays in the class heap as a dead entry
+    // (recognized by its stale seq) until popped or compacted away.
+    ++cls.heap_dead;
+    if (cls.count == 0) {
+      classes_.erase(it);
+    } else if (cls.heap_dead > 64 && cls.heap_dead * 2 > cls.heap.size()) {
+      std::size_t kept = 0;
+      for (const TargetEntry& entry : cls.heap) {
+        const FlowSlot& other = slots_[entry.slot];
+        if (other.live && other.seq == entry.seq && entry.slot != slot)
+          cls.heap[kept++] = entry;
+      }
+      cls.heap.resize(kept);
+      std::make_heap(cls.heap.begin(), cls.heap.end(), target_later);
+      cls.heap_dead = 0;
+    }
+  }
+
+  flow.live = false;
+  flow.on_complete = nullptr;
+  flow.on_abort = nullptr;
+  free_slots_.push_back(slot);
+  --live_count_;
+  return delivered_bytes;
+}
+
 double FairShareChannel::abort(FlowId id) {
   advance_to_now();
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return 0.0;
-  const double delivered_bytes = it->second.total - it->second.remaining;
-  flows_.erase(it);
+  const FlowSlot* flow = find(id);
+  if (flow == nullptr) return 0.0;
+  const double delivered_bytes = remove_flow(static_cast<std::uint32_t>(id & kSlotMask));
   rebalance();
   return delivered_bytes;
 }
 
 void FairShareChannel::kill(FlowId id) {
   advance_to_now();
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  const double delivered_bytes = it->second.total - it->second.remaining;
-  AbortCallback callback = std::move(it->second.on_abort);
-  flows_.erase(it);
+  const FlowSlot* flow = find(id);
+  if (flow == nullptr) return;
+  AbortCallback callback = std::move(slots_[id & kSlotMask].on_abort);
+  const double delivered_bytes = remove_flow(static_cast<std::uint32_t>(id & kSlotMask));
   rebalance();
   if (callback) callback(delivered_bytes);
 }
@@ -65,45 +153,69 @@ std::size_t FairShareChannel::kill_all() {
   advance_to_now();
   // Collect callbacks first: a notified client may immediately start a new
   // flow (a retry against a replica sharing this simulator), so the channel
-  // must be consistent before any callback runs.
+  // must be consistent before any callback runs. Victims are notified in
+  // start order, as the old flow map iteration did.
+  std::vector<std::uint32_t> victims;
+  victims.reserve(live_count_);
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot)
+    if (slots_[slot].live) victims.push_back(slot);
+  std::sort(victims.begin(), victims.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return slots_[a].seq < slots_[b].seq;
+  });
   std::vector<std::pair<AbortCallback, double>> callbacks;
-  callbacks.reserve(flows_.size());
-  for (auto& [id, flow] : flows_)
-    callbacks.emplace_back(std::move(flow.on_abort), flow.total - flow.remaining);
-  const std::size_t killed = flows_.size();
-  flows_.clear();
+  callbacks.reserve(victims.size());
+  for (const std::uint32_t slot : victims) {
+    AbortCallback callback = std::move(slots_[slot].on_abort);
+    callbacks.emplace_back(std::move(callback), remove_flow(slot));
+  }
   rebalance();
   for (auto& [callback, delivered_bytes] : callbacks)
     if (callback) callback(delivered_bytes);
-  return killed;
+  return callbacks.size();
 }
 
 std::vector<FlowId> FairShareChannel::active_ids() const {
+  std::vector<const FlowSlot*> live;
+  live.reserve(live_count_);
+  for (const FlowSlot& flow : slots_)
+    if (flow.live) live.push_back(&flow);
+  std::sort(live.begin(), live.end(),
+            [](const FlowSlot* a, const FlowSlot* b) { return a->seq < b->seq; });
   std::vector<FlowId> ids;
-  ids.reserve(flows_.size());
-  for (const auto& [id, flow] : flows_) ids.push_back(id);
+  ids.reserve(live.size());
+  for (const FlowSlot* flow : live) ids.push_back(flow->id);
   return ids;
 }
 
 double FairShareChannel::rate_of(FlowId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  const FlowSlot* flow = find(id);
+  if (flow == nullptr) return 0.0;
+  const auto it = classes_.find(flow->cap_key);
+  return it == classes_.end() ? 0.0 : it->second.rate;
 }
 
-double FairShareChannel::delivered(FlowId id) {
-  advance_to_now();
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return 0.0;
-  return it->second.total - it->second.remaining;
+double FairShareChannel::delivered(FlowId id) const {
+  const FlowSlot* flow = find(id);
+  if (flow == nullptr) return 0.0;
+  const auto it = classes_.find(flow->cap_key);
+  if (it == classes_.end()) return 0.0;
+  return std::min(flow->total, std::max(0.0, service_now(it->second) - flow->start_service));
 }
 
-double FairShareChannel::remaining(FlowId id) {
-  advance_to_now();
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.remaining;
+double FairShareChannel::remaining(FlowId id) const {
+  const FlowSlot* flow = find(id);
+  if (flow == nullptr) return 0.0;
+  return flow->total - delivered(id);
 }
 
-double FairShareChannel::total_delivered() const { return total_delivered_; }
+double FairShareChannel::total_delivered() const {
+  double active = 0.0;
+  for (const auto& [cap, cls] : classes_) {
+    if (cls.count == 0) continue;
+    active += static_cast<double>(cls.count) * service_now(cls) - cls.start_sum;
+  }
+  return closed_delivered_ + active;
+}
 
 void FairShareChannel::set_capacity(double capacity) {
   require_state(capacity > 0.0, "FairShareChannel: capacity must be positive");
@@ -112,60 +224,101 @@ void FairShareChannel::set_capacity(double capacity) {
   rebalance();
 }
 
+void FairShareChannel::reset_stats() {
+  stats_ = ChannelStats{};
+  stats_.peak_active = live_count_;
+}
+
 void FairShareChannel::advance_to_now() {
   const double dt = sim_.now() - last_update_;
   if (dt > 0.0) {
-    for (auto& [id, flow] : flows_) {
-      const double moved = std::min(flow.remaining, flow.rate * dt);
-      flow.remaining -= moved;
-      total_delivered_ += moved;
-    }
+    for (auto& [cap, cls] : classes_) cls.service += cls.rate * dt;
   }
   last_update_ = sim_.now();
 }
 
-void FairShareChannel::rebalance() {
-  // Progressive filling: repeatedly grant every unfrozen flow an equal share
-  // of the residual capacity; freeze flows whose cap binds.
-  for (auto& [id, flow] : flows_) flow.rate = 0.0;
-  double residual = capacity_;
-  std::vector<Flow*> open;
-  open.reserve(flows_.size());
-  for (auto& [id, flow] : flows_) open.push_back(&flow);
-  while (!open.empty() && residual > 1e-12) {
-    const double share = residual / static_cast<double>(open.size());
-    bool froze_any = false;
-    std::vector<Flow*> still_open;
-    for (Flow* flow : open) {
-      if (flow->cap <= share + 1e-12) {
-        flow->rate = flow->cap;
-        residual -= flow->cap;
-        froze_any = true;
-      } else {
-        still_open.push_back(flow);
-      }
-    }
-    if (!froze_any) {
-      for (Flow* flow : still_open) flow->rate = share;
-      residual = 0.0;
-      still_open.clear();
-    }
-    open = std::move(still_open);
+void FairShareChannel::rebuild_classes_by_scan() {
+  // The reference allocator's whole point: every membership change pays a
+  // scan of all live flows. Service integrals persist (they are the flows'
+  // progress); counts and accounting sums are recomputed from scratch.
+  for (auto& [cap, cls] : classes_) {
+    cls.count = 0;
+    cls.start_sum = 0.0;
   }
+  for (const FlowSlot& flow : slots_) {
+    if (!flow.live) continue;
+    CapClass& cls = classes_[flow.cap_key];
+    ++cls.count;
+    cls.start_sum += flow.start_service;
+  }
+  for (auto it = classes_.begin(); it != classes_.end();) {
+    if (it->second.count == 0)
+      it = classes_.erase(it);
+    else
+      ++it;
+  }
+}
 
-  // Schedule the next completion.
+void FairShareChannel::allocate() {
+  // Water filling over cap classes, ascending: a class whose cap fits under
+  // the current fair share freezes at its cap (raising the share for the
+  // rest); the first class whose cap exceeds the share — and every class
+  // above it — runs at the share. One ascending pass is exact because the
+  // share is non-decreasing as classes freeze.
+  double residual = capacity_;
+  std::size_t open = live_count_;
+  double share = 0.0;
+  auto it = classes_.begin();
+  for (; it != classes_.end(); ++it) {
+    CapClass& cls = it->second;
+    share = residual > 0.0 ? residual / static_cast<double>(open) : 0.0;
+    if (it->first <= share + kFreezeTolerance) {
+      cls.rate = it->first;
+      residual -= it->first * static_cast<double>(cls.count);
+      open -= cls.count;
+    } else {
+      break;
+    }
+  }
+  for (; it != classes_.end(); ++it) it->second.rate = share;
+}
+
+void FairShareChannel::schedule_next_completion() {
   if (event_scheduled_) {
     sim_.cancel(pending_event_);
     event_scheduled_ = false;
   }
   double next = std::numeric_limits<double>::infinity();
-  for (const auto& [id, flow] : flows_) {
-    if (flow.remaining <= kEpsilonBytes) {
-      next = 0.0;
-      continue;
+  if (allocator_ == Allocator::kIncremental) {
+    for (auto& [cap, cls] : classes_) {
+      // Surface the earliest live target of this class (drop dead tops).
+      while (!cls.heap.empty()) {
+        const TargetEntry& top = cls.heap.front();
+        const FlowSlot& flow = slots_[top.slot];
+        if (flow.live && flow.seq == top.seq) break;
+        std::pop_heap(cls.heap.begin(), cls.heap.end(), target_later);
+        cls.heap.pop_back();
+        if (cls.heap_dead > 0) --cls.heap_dead;
+      }
+      if (cls.heap.empty()) continue;
+      const double to_go = cls.heap.front().target - cls.service;
+      if (to_go <= kEpsilonBytes) {
+        next = 0.0;
+      } else if (cls.rate > 0.0) {
+        next = std::min(next, to_go / cls.rate);
+      }  // starved: waits for a membership change
     }
-    if (flow.rate <= 0.0) continue;  // starved: waits for a membership change
-    next = std::min(next, flow.remaining / flow.rate);
+  } else {
+    for (const FlowSlot& flow : slots_) {
+      if (!flow.live) continue;
+      const CapClass& cls = classes_.at(flow.cap_key);
+      const double to_go = flow.target - cls.service;
+      if (to_go <= kEpsilonBytes) {
+        next = 0.0;
+      } else if (cls.rate > 0.0) {
+        next = std::min(next, to_go / cls.rate);
+      }
+    }
   }
   if (next != std::numeric_limits<double>::infinity()) {
     pending_event_ = sim_.schedule(next, [this] { on_next_completion(); });
@@ -173,19 +326,67 @@ void FairShareChannel::rebalance() {
   }
 }
 
+void FairShareChannel::rebalance() {
+  ++stats_.rebalances;
+  if (allocator_ == Allocator::kReference) rebuild_classes_by_scan();
+  if (live_count_ > 0) allocate();
+  schedule_next_completion();
+}
+
 void FairShareChannel::on_next_completion() {
   event_scheduled_ = false;
   advance_to_now();
-  // Collect all flows that are done (several can finish at the same instant).
-  std::vector<std::function<void()>> callbacks;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.remaining <= kEpsilonBytes) {
-      total_delivered_ += it->second.remaining;
-      callbacks.push_back(std::move(it->second.on_complete));
-      it = flows_.erase(it);
-    } else {
-      ++it;
+  // Collect all flows that are done (several can finish at the same
+  // instant), in start order — identical in both allocator modes.
+  std::vector<std::uint32_t> done;
+  if (allocator_ == Allocator::kIncremental) {
+    for (auto& [cap, cls] : classes_) {
+      while (!cls.heap.empty()) {
+        const TargetEntry top = cls.heap.front();
+        const FlowSlot& flow = slots_[top.slot];
+        const bool dead = !flow.live || flow.seq != top.seq;
+        if (!dead && top.target > cls.service + kEpsilonBytes) break;
+        std::pop_heap(cls.heap.begin(), cls.heap.end(), target_later);
+        cls.heap.pop_back();
+        if (dead) {
+          if (cls.heap_dead > 0) --cls.heap_dead;
+        } else {
+          done.push_back(top.slot);
+        }
+      }
     }
+  } else {
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      const FlowSlot& flow = slots_[slot];
+      if (!flow.live) continue;
+      if (flow.target <= classes_.at(flow.cap_key).service + kEpsilonBytes)
+        done.push_back(slot);
+    }
+  }
+  std::sort(done.begin(), done.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return slots_[a].seq < slots_[b].seq;
+  });
+  std::vector<std::function<void()>> callbacks;
+  callbacks.reserve(done.size());
+  for (const std::uint32_t slot : done) {
+    callbacks.push_back(std::move(slots_[slot].on_complete));
+    // Credit the full payload: the sub-epsilon shortfall at the completion
+    // event is delivered by definition (matches the old accounting).
+    closed_delivered_ += slots_[slot].total;
+    const auto it = classes_.find(slots_[slot].cap_key);
+    require_state(it != classes_.end(), "FairShareChannel: flow without a class");
+    CapClass& cls = it->second;
+    FlowSlot& flow = slots_[slot];
+    if (allocator_ == Allocator::kIncremental) {
+      --cls.count;
+      cls.start_sum -= flow.start_service;
+      if (cls.count == 0) classes_.erase(it);
+    }
+    flow.live = false;
+    flow.on_complete = nullptr;
+    flow.on_abort = nullptr;
+    free_slots_.push_back(slot);
+    --live_count_;
   }
   rebalance();
   for (auto& callback : callbacks) {

@@ -5,9 +5,24 @@
 // each node's install pipeline only consumes ~1 MB/s. This models such a
 // shared resource as a fluid: each flow has a demand cap (the client-side
 // rate limit), the server has a total capacity, and instantaneous rates are
-// the max-min fair allocation (progressive filling). Completions are exact:
-// on every membership change rates are recomputed and the next completion
-// event is rescheduled.
+// the max-min fair allocation. Completions are exact: on every membership
+// change rates are recomputed and the next completion event is rescheduled.
+//
+// The allocator is incremental (DESIGN.md §14.3). Flows are grouped into
+// *cap classes* — one per distinct demand cap, kept sorted by cap — and the
+// water level is found by a single ascending pass over the classes. Each
+// class carries a cumulative service integral S_c(t) = ∫ rate_c dt; a flow
+// joining at service S0 with B bytes completes exactly when S_c reaches
+// S0 + B, which a per-class min-heap of completion targets answers in
+// O(log n). A membership change therefore costs O(classes + log n) instead
+// of the former O(n) full recompute — and installs share one demand cap, so
+// classes ≈ 1 and the hot path is O(log n). The former full-recompute
+// behaviour is retained as Allocator::kReference: same arithmetic, but the
+// class table is rebuilt from a scan of every live flow on every membership
+// change, and completions are found by scanning. Both modes produce
+// bit-identical rates and completion times (the property suite and the
+// bench tripwire enforce this), so the reference is both the correctness
+// oracle and the perf baseline.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +37,19 @@ namespace rocks::netsim {
 
 using FlowId = std::uint64_t;
 
+/// Which rate allocator a channel runs (see file comment).
+enum class Allocator {
+  kIncremental,  // persistent cap-class table, O(classes + log n) per change
+  kReference,    // full O(n) rebuild + scan per change; correctness oracle
+};
+
+/// Counter block for bench phase accounting (reset_stats mirrors sqldb's).
+struct ChannelStats {
+  std::uint64_t rebalances = 0;   // rate recomputations (membership changes)
+  std::uint64_t flow_joins = 0;   // start() calls
+  std::size_t peak_active = 0;    // high-water concurrent flows
+};
+
 class FairShareChannel {
  public:
   /// Receives the bytes that had been delivered when the server side killed
@@ -30,7 +58,8 @@ class FairShareChannel {
   using AbortCallback = std::function<void(double delivered)>;
 
   /// `capacity` in bytes/second; must be > 0.
-  FairShareChannel(Simulator& sim, double capacity);
+  FairShareChannel(Simulator& sim, double capacity,
+                   Allocator allocator = Allocator::kIncremental);
 
   /// Starts a flow of `bytes` capped at `demand_cap` bytes/s (<=0 means
   /// uncapped). `on_complete` fires exactly when the last byte arrives;
@@ -52,42 +81,94 @@ class FairShareChannel {
   /// Active flow ids in start order (deterministic).
   [[nodiscard]] std::vector<FlowId> active_ids() const;
 
-  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t active_flows() const { return live_count_; }
   /// Instantaneous max-min rate of one flow (bytes/s).
   [[nodiscard]] double rate_of(FlowId id) const;
-  /// Bytes delivered so far on one flow.
-  [[nodiscard]] double delivered(FlowId id);
+  /// Bytes delivered so far on one flow. Pure read: the flow's progress is
+  /// evaluated at now() without mutating the channel.
+  [[nodiscard]] double delivered(FlowId id) const;
   /// Bytes still to deliver on one flow (0 for unknown/finished flows).
-  [[nodiscard]] double remaining(FlowId id);
+  [[nodiscard]] double remaining(FlowId id) const;
   /// Total bytes delivered over all flows, completed ones included.
   [[nodiscard]] double total_delivered() const;
   [[nodiscard]] double capacity() const { return capacity_; }
   void set_capacity(double capacity);
 
+  [[nodiscard]] Allocator allocator() const { return allocator_; }
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  /// Zeroes the counter block (peak_active restarts from the current
+  /// membership) so benches can account per phase.
+  void reset_stats();
+
  private:
-  struct Flow {
-    double total;
-    double remaining;
-    double cap;
-    double rate = 0.0;
+  /// Completion-target heap entry: the flow at `slot` completes when its
+  /// class's service integral reaches `target`.
+  struct TargetEntry {
+    double target;
+    std::uint64_t seq;  // start order, deterministic tie-break
+    std::uint32_t slot;
+  };
+
+  /// One distinct demand cap. `service` integrates the per-flow rate of
+  /// this class; flow progress is measured as service deltas, so advancing
+  /// the clock costs O(classes), not O(flows).
+  struct CapClass {
+    double rate = 0.0;     // current per-flow rate (bytes/s)
+    double service = 0.0;  // ∫ rate dt since the class was created
+    std::size_t count = 0;
+    double start_sum = 0.0;  // Σ start_service of member flows (accounting)
+    std::vector<TargetEntry> heap;  // min-heap by (target, seq); lazy-dead
+    std::size_t heap_dead = 0;
+  };
+
+  struct FlowSlot {
+    double total = 0.0;
+    double start_service = 0.0;  // class service at join
+    double target = 0.0;         // start_service + total
+    double cap_key = 0.0;        // owning class key (cap; +inf = uncapped)
+    std::uint64_t seq = 0;       // start order
+    FlowId id = 0;               // staleness check
+    bool live = false;
     std::function<void()> on_complete;
     AbortCallback on_abort;
   };
 
-  /// Advances all flows to now(), recomputes max-min rates, and schedules
-  /// the next completion.
-  void rebalance();
+  [[nodiscard]] static bool target_later(const TargetEntry& a, const TargetEntry& b) {
+    if (a.target != b.target) return a.target > b.target;
+    return a.seq > b.seq;
+  }
+
+  /// Advances every class's service integral to now() (O(classes)).
   void advance_to_now();
+  /// Recomputes per-class rates and reschedules the next completion.
+  void rebalance();
+  /// Ascending water-filling pass over the (already correct) class table.
+  void allocate();
+  /// kReference: rebuild the class table by scanning every live flow.
+  void rebuild_classes_by_scan();
+  void schedule_next_completion();
   void on_next_completion();
+  /// Class service evaluated at now() without mutating (read path).
+  [[nodiscard]] double service_now(const CapClass& cls) const;
+  [[nodiscard]] const FlowSlot* find(FlowId id) const;
+  /// Detaches a live flow from its class (count, sums, heap bookkeeping)
+  /// and frees its slot. Returns bytes delivered. Caller rebalances.
+  double remove_flow(std::uint32_t slot);
+  std::uint32_t acquire_slot();
 
   Simulator& sim_;
   double capacity_;
-  std::map<FlowId, Flow> flows_;
-  FlowId next_id_ = 1;
+  Allocator allocator_;
+  std::map<double, CapClass> classes_;  // sorted by cap ascending
+  std::vector<FlowSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
+  std::uint64_t next_seq_ = 1;
   double last_update_ = 0.0;
-  double total_delivered_ = 0.0;
+  double closed_delivered_ = 0.0;  // bytes of completed/aborted/killed flows
   EventId pending_event_ = 0;
   bool event_scheduled_ = false;
+  ChannelStats stats_;
 };
 
 }  // namespace rocks::netsim

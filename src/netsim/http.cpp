@@ -7,8 +7,8 @@
 
 namespace rocks::netsim {
 
-HttpServer::HttpServer(Simulator& sim, std::string name, double capacity)
-    : name_(std::move(name)), channel_(sim, capacity) {}
+HttpServer::HttpServer(Simulator& sim, std::string name, double capacity, Allocator allocator)
+    : name_(std::move(name)), channel_(sim, capacity, allocator) {}
 
 FlowId HttpServer::serve(double bytes, double client_cap, std::function<void()> on_complete,
                          FairShareChannel::AbortCallback on_abort) {
@@ -49,11 +49,12 @@ bool HttpServer::kill_one_flow() {
   return true;
 }
 
-HttpServerGroup::HttpServerGroup(Simulator& sim, double capacity_each, std::size_t count) {
+HttpServerGroup::HttpServerGroup(Simulator& sim, double capacity_each, std::size_t count,
+                                 Allocator allocator) {
   require_state(count >= 1, "HttpServerGroup needs at least one server");
   for (std::size_t i = 0; i < count; ++i)
     servers_.push_back(
-        std::make_unique<HttpServer>(sim, strings::cat("web-", i), capacity_each));
+        std::make_unique<HttpServer>(sim, strings::cat("web-", i), capacity_each, allocator));
 }
 
 HttpServerGroup::Ticket HttpServerGroup::serve(double bytes, double client_cap,

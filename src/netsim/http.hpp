@@ -28,7 +28,8 @@ class HttpServer {
  public:
   /// `capacity` = sustained source rate of the server NIC in bytes/s (the
   /// paper measured 7-8 MB/s for the dual-PIII on Fast Ethernet).
-  HttpServer(Simulator& sim, std::string name, double capacity);
+  HttpServer(Simulator& sim, std::string name, double capacity,
+             Allocator allocator = Allocator::kIncremental);
 
   /// Serves a download of `bytes`; `client_cap` is the client-side consume
   /// rate (<= 0 for uncapped). Fires `on_complete` when done, or `on_abort`
@@ -79,7 +80,8 @@ class HttpServer {
 /// requests (and client retries of killed flows) over to the survivors.
 class HttpServerGroup {
  public:
-  HttpServerGroup(Simulator& sim, double capacity_each, std::size_t count = 1);
+  HttpServerGroup(Simulator& sim, double capacity_each, std::size_t count = 1,
+                  Allocator allocator = Allocator::kIncremental);
 
   struct Ticket {
     HttpServer* server = nullptr;

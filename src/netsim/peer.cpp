@@ -1,0 +1,508 @@
+#include "netsim/peer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace rocks::netsim {
+
+PeerDistribution::PeerDistribution(Simulator& sim, RackTopology& topology,
+                                   HttpServerGroup& seed, PeerConfig config)
+    : sim_(sim), topology_(topology), seed_(seed), config_(config) {
+  require_state(config_.max_upload_streams >= 1,
+                "PeerDistribution: max_upload_streams must be >= 1");
+  require_state(config_.rescue_poll_seconds > 0.0,
+                "PeerDistribution: rescue_poll_seconds must be positive");
+}
+
+std::size_t PeerDistribution::chunks_for_mode() const {
+  if (config_.mode != DistMode::kSwarm) return 1;
+  return std::max<std::size_t>(1, config_.chunk_count);
+}
+
+void PeerDistribution::register_endpoints(std::uint32_t count) {
+  topology_.ensure_endpoints(count);
+  if (endpoints_.size() < count) endpoints_.resize(count);
+  if (rack_waiters_.size() < topology_.rack_count())
+    rack_waiters_.resize(topology_.rack_count());
+}
+
+void PeerDistribution::begin_install(std::uint32_t endpoint) {
+  require_state(endpoint < endpoints_.size(), "PeerDistribution: unknown endpoint");
+  Endpoint& ep = endpoints_[endpoint];
+  if (ep.state != State::kOffline &&
+      (ep.fetching || ep.uploads > 0 || ep.state == State::kSeeded))
+    node_offline(endpoint);
+  ep.state = State::kInstalling;
+  ep.chunks_done = 0;
+}
+
+void PeerDistribution::mark_seeded(std::uint32_t endpoint) {
+  require_state(endpoint < endpoints_.size(), "PeerDistribution: unknown endpoint");
+  Endpoint& ep = endpoints_[endpoint];
+  if (ep.state == State::kSeeded) return;
+  if (ep.transfer_active) detach_transfer(endpoint);
+  ep.fetching = false;
+  ep.on_complete = nullptr;
+  ep.on_abort = nullptr;
+  ep.state = State::kSeeded;
+  ++seeded_count_;
+  if (ep.uploads < config_.max_upload_streams) {
+    seeded_stack_.push_back(endpoint);
+    wake_global();
+  }
+}
+
+bool PeerDistribution::is_seeded(std::uint32_t endpoint) const {
+  return endpoint < endpoints_.size() && endpoints_[endpoint].state == State::kSeeded;
+}
+
+double PeerDistribution::cached_bytes(std::uint32_t endpoint) const {
+  if (endpoint >= endpoints_.size()) return 0.0;
+  const Endpoint& ep = endpoints_[endpoint];
+  return static_cast<double>(ep.chunks_done) * ep.chunk_bytes;
+}
+
+void PeerDistribution::fetch(std::uint32_t endpoint, double bytes, double demand_cap,
+                             std::function<void()> on_complete,
+                             FairShareChannel::AbortCallback on_abort) {
+  require_state(endpoint < endpoints_.size(), "PeerDistribution: unknown endpoint");
+  Endpoint& ep = endpoints_[endpoint];
+  require_state(ep.state == State::kInstalling,
+                "PeerDistribution::fetch: endpoint is not installing");
+  require_state(!ep.fetching, "PeerDistribution::fetch: fetch already in flight");
+  require_state(bytes > 0.0, "PeerDistribution::fetch: empty payload");
+  const auto chunks = static_cast<std::uint32_t>(chunks_for_mode());
+  ep.fetching = true;
+  ep.chunk_count = chunks;
+  ep.chunk_bytes = bytes / static_cast<double>(chunks);
+  ep.demand_cap = demand_cap;
+  ep.on_complete = std::move(on_complete);
+  ep.on_abort = std::move(on_abort);
+  if (ep.chunks_done >= chunks) {
+    // The whole payload was already cached by a previous attempt; the
+    // completion still fires asynchronously, like a real (instant) transfer.
+    sim_.schedule(0.0, [this, endpoint] {
+      Endpoint& done = endpoints_[endpoint];
+      if (!done.fetching || done.state != State::kInstalling) return;
+      done.fetching = false;
+      done.state = State::kSeeded;
+      ++seeded_count_;
+      seeded_stack_.push_back(endpoint);
+      auto callback = std::move(done.on_complete);
+      done.on_abort = nullptr;
+      wake_global();
+      if (callback) callback();
+    });
+    return;
+  }
+  start_chunk(endpoint);
+}
+
+std::int64_t PeerDistribution::pick_rack_source(std::uint32_t endpoint,
+                                                std::uint32_t chunk) const {
+  const std::uint32_t rack = topology_.rack_of(endpoint);
+  const auto per_rack = static_cast<std::uint32_t>(topology_.config().nodes_per_rack);
+  const std::uint32_t base = rack * per_rack;
+  const auto end =
+      std::min<std::uint64_t>(std::uint64_t{base} + per_rack, endpoints_.size());
+  std::int64_t best = -1;
+  std::uint64_t best_progress = 0;
+  std::uint32_t best_uploads = 0;
+  for (std::uint32_t i = base; i < end; ++i) {
+    if (i == endpoint) continue;
+    const Endpoint& peer = endpoints_[i];
+    if (peer.uploads >= config_.max_upload_streams) continue;
+    std::uint64_t progress = 0;
+    if (peer.state == State::kSeeded) {
+      progress = std::numeric_limits<std::uint64_t>::max();
+    } else if (peer.state == State::kInstalling && peer.chunks_done > chunk) {
+      progress = peer.chunks_done;
+    } else {
+      continue;
+    }
+    // Furthest-ahead source first (it will stay eligible longest), least
+    // loaded on ties; index order makes the scan deterministic.
+    if (best < 0 || progress > best_progress ||
+        (progress == best_progress && peer.uploads < best_uploads)) {
+      best = i;
+      best_progress = progress;
+      best_uploads = peer.uploads;
+    }
+  }
+  return best;
+}
+
+std::int64_t PeerDistribution::pop_seeded_source() {
+  while (!seeded_stack_.empty()) {
+    const std::uint32_t candidate = seeded_stack_.back();
+    seeded_stack_.pop_back();
+    const Endpoint& ep = endpoints_[candidate];
+    if (ep.state == State::kSeeded && ep.uploads < config_.max_upload_streams)
+      return candidate;
+    // Stale entry (went offline or saturated since pushed): drop it.
+  }
+  return -1;
+}
+
+void PeerDistribution::start_chunk(std::uint32_t endpoint) {
+  Endpoint& ep = endpoints_[endpoint];
+  if (!ep.fetching || ep.transfer_active || ep.state != State::kInstalling) return;
+  const std::uint32_t chunk = ep.chunks_done;
+  double cap = ep.demand_cap;
+  if (config_.peer_stream_cap > 0.0)
+    cap = cap > 0.0 ? std::min(cap, config_.peer_stream_cap) : config_.peer_stream_cap;
+
+  std::int64_t source = -1;
+  if (config_.mode != DistMode::kSingleServer) {
+    if (config_.prefer_same_rack) source = pick_rack_source(endpoint, chunk);
+    if (source < 0) source = pop_seeded_source();
+  }
+  const std::uint64_t seq = next_transfer_seq_++;
+  if (source >= 0) {
+    const auto src = static_cast<std::uint32_t>(source);
+    Endpoint& server = endpoints_[src];
+    ++server.uploads;
+    server.serving.push_back(endpoint);
+    // A seeded source with slots to spare goes back on the stack.
+    if (server.state == State::kSeeded && server.uploads < config_.max_upload_streams)
+      seeded_stack_.push_back(src);
+    FairShareChannel& channel = topology_.path_channel(src, endpoint);
+    ep.transfer_active = true;
+    ep.transfer_seq = seq;
+    ep.source = Source::kPeer;
+    ep.source_endpoint = src;
+    ep.channel = &channel;
+    ep.seed_server = nullptr;
+    ++active_transfers_;
+    ep.flow = channel.start(
+        ep.chunk_bytes, cap, [this, endpoint, seq] { on_chunk_complete(endpoint, seq); },
+        [this, endpoint, seq](double delivered) {
+          on_transfer_killed(endpoint, seq, delivered);
+        });
+    return;
+  }
+
+  if (config_.seed_fanout == 0 || seed_active_ < config_.seed_fanout) {
+    // ep.flow must be valid before the serve() returns only if callbacks
+    // cannot fire synchronously — they cannot (completions are events).
+    auto ticket = seed_.serve(
+        ep.chunk_bytes, cap, [this, endpoint, seq] { on_chunk_complete(endpoint, seq); },
+        [this, endpoint, seq](double delivered) {
+          on_transfer_killed(endpoint, seq, delivered);
+        });
+    if (ticket.server != nullptr) {
+      ep.transfer_active = true;
+      ep.transfer_seq = seq;
+      ep.source = Source::kSeed;
+      ep.seed_server = ticket.server;
+      ep.channel = nullptr;
+      ep.flow = ticket.flow;
+      ++seed_active_;
+      ++active_transfers_;
+      return;
+    }
+    // Every seed replica is down; park and let the rescue poll retry.
+  }
+  enqueue_waiter(endpoint);
+}
+
+void PeerDistribution::release_upload(std::uint32_t source, std::uint32_t receiver) {
+  Endpoint& server = endpoints_[source];
+  if (server.uploads > 0) --server.uploads;
+  const auto it = std::find(server.serving.begin(), server.serving.end(), receiver);
+  if (it != server.serving.end()) server.serving.erase(it);
+  if (server.state == State::kSeeded) {
+    if (server.uploads < config_.max_upload_streams) {
+      seeded_stack_.push_back(source);
+      wake_global();
+    }
+  } else if (server.state == State::kInstalling) {
+    // An installing node serves same-rack requesters only.
+    wake_rack(topology_.rack_of(source));
+  }
+}
+
+void PeerDistribution::on_chunk_complete(std::uint32_t endpoint, std::uint64_t seq) {
+  Endpoint& ep = endpoints_[endpoint];
+  if (!ep.transfer_active || ep.transfer_seq != seq) return;  // superseded
+  const Source source = ep.source;
+  const std::uint32_t src_endpoint = ep.source_endpoint;
+  ep.transfer_active = false;
+  ep.source = Source::kNone;
+  --active_transfers_;
+  ++ep.chunks_done;
+  ++stats_.chunk_fetches;
+  // Release the source slot but do NOT wake waiters yet: the progressing
+  // installer continues its stream first and usually re-takes the very slot
+  // it just freed (a persistent connection, in effect). Waking first would
+  // hand the slot to a parked node wanting its own first chunk — at scale
+  // that round-robins the seed across the whole cluster, every node ends up
+  // with identical progress, and nobody can ever serve anybody (lockstep).
+  if (source == Source::kPeer) {
+    ++stats_.peer_serves;
+    stats_.peer_bytes += ep.chunk_bytes;
+    if (topology_.same_rack(src_endpoint, endpoint))
+      ++stats_.rack_local_serves;
+    else
+      ++stats_.cross_rack_serves;
+    Endpoint& server = endpoints_[src_endpoint];
+    if (server.uploads > 0) --server.uploads;
+    const auto it = std::find(server.serving.begin(), server.serving.end(), endpoint);
+    if (it != server.serving.end()) server.serving.erase(it);
+  } else {
+    ++stats_.seed_serves;
+    stats_.seed_bytes += ep.chunk_bytes;
+    if (seed_active_ > 0) --seed_active_;
+  }
+
+  const bool finished = ep.chunks_done >= ep.chunk_count;
+  std::function<void()> callback;
+  if (finished) {
+    ep.fetching = false;
+    ep.state = State::kSeeded;
+    ++seeded_count_;
+    if (ep.uploads < config_.max_upload_streams) seeded_stack_.push_back(endpoint);
+    callback = std::move(ep.on_complete);
+    ep.on_abort = nullptr;
+  } else {
+    start_chunk(endpoint);
+  }
+
+  // Now surface whatever capacity is left over to the parked installers.
+  if (source == Source::kPeer) {
+    Endpoint& server = endpoints_[src_endpoint];
+    if (server.state == State::kSeeded) {
+      if (server.uploads < config_.max_upload_streams) {
+        seeded_stack_.push_back(src_endpoint);
+        wake_global();
+      }
+    } else if (server.state == State::kInstalling) {
+      wake_rack(topology_.rack_of(src_endpoint));
+    }
+  } else {
+    wake_global();  // the seed slot, when the installer did not re-take it
+  }
+  // This endpoint's new chunk may unblock rack-mates parked on availability.
+  wake_rack(topology_.rack_of(endpoint));
+  if (finished) {
+    // A fresh seeded server: one wake per upload slot it can offer.
+    for (std::size_t i = 0; i < config_.max_upload_streams; ++i) wake_global();
+    if (callback) callback();
+  }
+  // If every wake failed and nothing is in flight any more, keep the clock
+  // alive for the parked installers.
+  if (waiter_count_ > 0 && active_transfers_ == 0) arm_rescue_poll();
+}
+
+void PeerDistribution::on_transfer_killed(std::uint32_t endpoint, std::uint64_t seq,
+                                          double delivered) {
+  Endpoint& ep = endpoints_[endpoint];
+  if (!ep.transfer_active || ep.transfer_seq != seq) return;  // superseded
+  const Source source = ep.source;
+  const std::uint32_t src_endpoint = ep.source_endpoint;
+  ep.transfer_active = false;
+  ep.source = Source::kNone;
+  --active_transfers_;
+  ++stats_.churn_aborts;
+  if (source == Source::kPeer) {
+    release_upload(src_endpoint, endpoint);
+  } else if (seed_active_ > 0) {
+    --seed_active_;
+  }
+  const double total = cached_bytes(endpoint) + delivered;
+  ep.fetching = false;
+  auto callback = std::move(ep.on_abort);
+  ep.on_complete = nullptr;
+  if (waiter_count_ > 0 && active_transfers_ == 0) arm_rescue_poll();
+  if (callback) callback(total);
+}
+
+double PeerDistribution::detach_transfer(std::uint32_t endpoint) {
+  Endpoint& ep = endpoints_[endpoint];
+  if (!ep.transfer_active) return 0.0;
+  double delivered = 0.0;
+  if (ep.source == Source::kPeer) {
+    delivered = ep.channel->abort(ep.flow);
+    release_upload(ep.source_endpoint, endpoint);
+  } else if (ep.source == Source::kSeed) {
+    delivered = ep.seed_server->abort(ep.flow);
+    if (seed_active_ > 0) --seed_active_;
+    wake_global();
+  }
+  ep.transfer_active = false;
+  ep.source = Source::kNone;
+  --active_transfers_;
+  return delivered;
+}
+
+double PeerDistribution::node_offline(std::uint32_t endpoint) {
+  require_state(endpoint < endpoints_.size(), "PeerDistribution: unknown endpoint");
+  Endpoint& ep = endpoints_[endpoint];
+  double own = cached_bytes(endpoint);
+  if (ep.transfer_active) own += detach_transfer(endpoint);
+  if (ep.waiting) {
+    ep.waiting = false;  // lazily discarded from its rack queue
+    if (waiter_count_ > 0) --waiter_count_;
+  }
+  ep.fetching = false;
+  ep.on_complete = nullptr;
+  ep.on_abort = nullptr;
+  if (ep.state == State::kSeeded && seeded_count_ > 0) --seeded_count_;
+  ep.state = State::kOffline;  // before failing uploads: retries must not pick us
+  ep.chunks_done = 0;
+
+  if (!ep.serving.empty()) {
+    // Fail every download this node was sourcing. Collect the notifications
+    // first: an installer's AbortCallback typically re-enters fetch().
+    const std::vector<std::uint32_t> receivers = std::move(ep.serving);
+    ep.serving.clear();
+    ep.uploads = 0;
+    std::vector<std::pair<FairShareChannel::AbortCallback, double>> callbacks;
+    callbacks.reserve(receivers.size());
+    for (const std::uint32_t r : receivers) {
+      Endpoint& rx = endpoints_[r];
+      if (!rx.transfer_active || rx.source != Source::kPeer ||
+          rx.source_endpoint != endpoint)
+        continue;  // the transfer already ended from the receiver's side
+      const double partial = rx.channel->abort(rx.flow);
+      rx.transfer_active = false;
+      rx.source = Source::kNone;
+      --active_transfers_;
+      ++stats_.churn_aborts;
+      rx.fetching = false;
+      auto callback = std::move(rx.on_abort);
+      rx.on_complete = nullptr;
+      callbacks.emplace_back(std::move(callback), cached_bytes(r) + partial);
+    }
+    for (auto& [callback, total] : callbacks)
+      if (callback) callback(total);
+  }
+  if (waiter_count_ > 0 && active_transfers_ == 0) arm_rescue_poll();
+  return own;
+}
+
+void PeerDistribution::enqueue_waiter(std::uint32_t endpoint) {
+  Endpoint& ep = endpoints_[endpoint];
+  if (ep.waiting) return;
+  ep.waiting = true;
+  ++waiter_count_;
+  ++stats_.waits;
+  const std::uint32_t rack = topology_.rack_of(endpoint);
+  if (rack_waiters_[rack].empty()) racks_with_waiters_.push_back(rack);
+  rack_waiters_[rack].push_back(endpoint);
+  if (active_transfers_ == 0) arm_rescue_poll();
+}
+
+void PeerDistribution::wake_rack(std::uint32_t rack) {
+  if (rack >= rack_waiters_.size()) return;
+  auto& queue = rack_waiters_[rack];
+  // One bounded pass: a waiter that still cannot start goes back to the
+  // tail (start_chunk re-enqueues it), so iterate at most the initial size.
+  for (std::size_t n = queue.size(); n > 0 && !queue.empty(); --n) {
+    const std::uint32_t candidate = queue.front();
+    queue.pop_front();
+    Endpoint& ep = endpoints_[candidate];
+    if (!ep.waiting) continue;  // stale (went offline or was woken already)
+    ep.waiting = false;
+    if (waiter_count_ > 0) --waiter_count_;
+    start_chunk(candidate);
+  }
+}
+
+void PeerDistribution::wake_global() {
+  // Wakes at most one waiter, round-robin over racks; lazy index entries
+  // are discarded as encountered.
+  std::size_t attempts = racks_with_waiters_.size();
+  while (waiter_count_ > 0 && attempts-- > 0 && !racks_with_waiters_.empty()) {
+    const std::uint32_t rack = racks_with_waiters_.front();
+    racks_with_waiters_.pop_front();
+    auto& queue = rack_waiters_[rack];
+    std::int64_t woken = -1;
+    while (!queue.empty()) {
+      const std::uint32_t candidate = queue.front();
+      queue.pop_front();
+      if (!endpoints_[candidate].waiting) continue;  // stale
+      woken = candidate;
+      break;
+    }
+    if (!queue.empty()) racks_with_waiters_.push_back(rack);
+    if (woken >= 0) {
+      Endpoint& ep = endpoints_[static_cast<std::uint32_t>(woken)];
+      ep.waiting = false;
+      if (waiter_count_ > 0) --waiter_count_;
+      start_chunk(static_cast<std::uint32_t>(woken));
+      return;
+    }
+  }
+}
+
+void PeerDistribution::arm_rescue_poll() {
+  if (rescue_armed_) return;
+  rescue_armed_ = true;
+  sim_.schedule(config_.rescue_poll_seconds, [this] {
+    rescue_armed_ = false;
+    if (waiter_count_ == 0) return;
+    // Wake until a round makes no progress (each wake can start a transfer
+    // or re-park the waiter).
+    std::size_t before = waiter_count_ + 1;
+    while (waiter_count_ < before && waiter_count_ > 0) {
+      before = waiter_count_;
+      wake_global();
+    }
+    if (waiter_count_ > 0 && active_transfers_ == 0) arm_rescue_poll();
+  });
+}
+
+InstallWaveResult run_install_wave(const InstallWaveParams& params) {
+  require_state(params.nodes >= 1, "run_install_wave: need at least one node");
+  require_state(params.payload_bytes > 0.0, "run_install_wave: payload required");
+  require_state(params.seed_capacity > 0.0, "run_install_wave: seed capacity required");
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  Simulator sim;
+  HttpServerGroup seed(sim, params.seed_capacity, params.seed_replicas, params.allocator);
+  TopologyConfig topology_config = params.topology;
+  topology_config.allocator = params.allocator;
+  RackTopology topology(sim, topology_config);
+  PeerDistribution peers(sim, topology, seed, params.peer);
+  peers.register_endpoints(static_cast<std::uint32_t>(params.nodes));
+
+  InstallWaveResult result;
+  // Retry cadence mirrors the cluster nodes' download backoff base.
+  constexpr double kRetrySeconds = 5.0;
+  auto start_fetch = std::make_shared<std::function<void(std::uint32_t)>>();
+  *start_fetch = [&, start_fetch](std::uint32_t node) {
+    peers.fetch(
+        node, params.payload_bytes, params.demand_cap,
+        [&, node] {
+          sim.schedule(params.post_seconds, [&] {
+            ++result.completed;
+            result.makespan = sim.now();
+          });
+        },
+        [&, start_fetch, node](double) {
+          sim.schedule(kRetrySeconds, [&, start_fetch, node] {
+            if (!peers.is_seeded(node)) (*start_fetch)(node);
+          });
+        });
+  };
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    const auto node = static_cast<std::uint32_t>(i);
+    sim.schedule(params.stagger_seconds * static_cast<double>(i), [&, node, start_fetch] {
+      peers.begin_install(node);
+      sim.schedule(params.pre_seconds, [&, node, start_fetch] { (*start_fetch)(node); });
+    });
+  }
+  sim.run();
+
+  result.events_fired = sim.events_fired();
+  result.peer_stats = peers.stats();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return result;
+}
+
+}  // namespace rocks::netsim

@@ -1,0 +1,211 @@
+// Peer-assisted package distribution.
+//
+// The paper scales installs by replicating the HTTP server ("downloading
+// RPMs is strictly read only", Section 6.3) — a linear remedy for Table I's
+// linear install-time growth. This module models the structural fix:
+// already-installed nodes serve the distribution to installing peers, so
+// serving capacity grows with the cluster itself.
+//
+// Two peer modes over the rack topology (netsim/topology.hpp):
+//
+//   kCascade  The payload moves as one piece; a node can serve only after
+//             it holds everything. Install waves form a cascade tree with
+//             fanout = max_upload_streams.
+//   kSwarm    The payload is split into chunk_count chunks fetched strictly
+//             in order, so "has chunk k" == "progress > k". A node serves
+//             its prefix while still downloading, which pipelines the
+//             cascade: rack-mates trail each other by one chunk instead of
+//             one full payload.
+//
+// Source selection per chunk: same-rack peer with the chunk and a free
+// upload slot (cheap leaf-switch path), else any fully-seeded peer (its
+// rack uplink), else the frontend seed — bounded by seed_fanout so the
+// frontend NIC is a bootstrap, not the bottleneck. When every path is
+// saturated the installer parks in a wait queue and is woken as slots free.
+//
+// Churn: a serving node that dies mid-transfer fails its downloads through
+// the installer's AbortCallback — the same path an HTTP server crash takes —
+// so the existing client-side retry/backoff machinery handles swarm churn
+// unchanged. Chunks already fetched persist across such retries within one
+// install (the cooperative cache), so a retry resumes, not restarts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "netsim/http.hpp"
+#include "netsim/topology.hpp"
+
+namespace rocks::netsim {
+
+enum class DistMode {
+  kSingleServer,  // every byte from the frontend seed (paper baseline)
+  kCascade,       // whole-payload peer relay
+  kSwarm,         // chunked pipelined peer relay
+};
+
+struct PeerConfig {
+  DistMode mode = DistMode::kSwarm;
+  /// Chunks per payload in kSwarm (kCascade and kSingleServer force 1).
+  std::size_t chunk_count = 16;
+  /// Concurrent uploads one node will source (installer NICs are also
+  /// receiving; a small number keeps the model honest).
+  std::size_t max_upload_streams = 4;
+  /// Per peer-transfer rate cap in bytes/s; 0 = installer demand only.
+  double peer_stream_cap = 0.0;
+  /// Concurrent installers allowed on the seed; 0 = unlimited (degrades to
+  /// the single-server behaviour when peers never become available).
+  std::size_t seed_fanout = 8;
+  bool prefer_same_rack = true;
+  /// Rescue poll period for the no-transfers-in-flight corner (seed down
+  /// with waiters parked); never fires in healthy runs.
+  double rescue_poll_seconds = 5.0;
+};
+
+struct PeerStats {
+  std::uint64_t chunk_fetches = 0;      // completed chunk transfers
+  std::uint64_t peer_serves = 0;        //   ... sourced from a peer
+  std::uint64_t seed_serves = 0;        //   ... sourced from the frontend
+  std::uint64_t rack_local_serves = 0;  //   ... peer in the same rack
+  std::uint64_t cross_rack_serves = 0;  //   ... peer across the uplink
+  std::uint64_t waits = 0;              // times an installer had to park
+  std::uint64_t churn_aborts = 0;       // transfers killed by source death
+  double peer_bytes = 0.0;              // bytes delivered by peers
+  double seed_bytes = 0.0;              // bytes delivered by the seed
+};
+
+class PeerDistribution {
+ public:
+  PeerDistribution(Simulator& sim, RackTopology& topology, HttpServerGroup& seed,
+                   PeerConfig config);
+
+  /// Sizes the endpoint table (and the underlying rack channels) for dense
+  /// endpoint ids [0, count). Callable repeatedly with growing counts.
+  void register_endpoints(std::uint32_t count);
+
+  /// The node enters (re)install: any cached chunks are gone (the disk is
+  /// being reformatted), any uploads it was sourcing are failed over.
+  void begin_install(std::uint32_t endpoint);
+
+  /// Fetches the full payload for an installing endpoint. Chunks already
+  /// held (a resumed install after an abort) are not re-fetched.
+  /// `on_complete` fires when the last chunk lands — the endpoint is then a
+  /// seeded server. `on_abort(bytes_delivered)` fires if the transfer dies
+  /// (source churn, seed crash); the chunk cache survives for the retry.
+  void fetch(std::uint32_t endpoint, double bytes, double demand_cap,
+             std::function<void()> on_complete,
+             FairShareChannel::AbortCallback on_abort = {});
+
+  /// The node died / was shot for reinstall: aborts its own fetch silently
+  /// (no on_abort), fails every download it was serving (their installers
+  /// get on_abort), forgets its chunks. Returns bytes its own fetch had
+  /// delivered, matching FairShareChannel::abort's contract.
+  double node_offline(std::uint32_t endpoint);
+
+  /// Declares an endpoint fully seeded without an install (nodes that were
+  /// already running when peer distribution switched on).
+  void mark_seeded(std::uint32_t endpoint);
+
+  [[nodiscard]] bool is_seeded(std::uint32_t endpoint) const;
+  /// Bytes of payload currently held by an installing endpoint's cache.
+  [[nodiscard]] double cached_bytes(std::uint32_t endpoint) const;
+  [[nodiscard]] std::size_t active_transfers() const { return active_transfers_; }
+  [[nodiscard]] std::size_t waiting() const { return waiter_count_; }
+  [[nodiscard]] std::size_t seeded_count() const { return seeded_count_; }
+  [[nodiscard]] const PeerConfig& config() const { return config_; }
+  [[nodiscard]] const PeerStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = PeerStats{}; }
+
+ private:
+  enum class State : std::uint8_t { kIdle, kInstalling, kSeeded, kOffline };
+  enum class Source : std::uint8_t { kNone, kPeer, kSeed };
+
+  struct Endpoint {
+    State state = State::kIdle;
+    bool waiting = false;
+    std::uint32_t chunks_done = 0;
+    std::uint32_t uploads = 0;
+    std::vector<std::uint32_t> serving;  // receivers of our active uploads
+    // Active fetch (valid while fetching):
+    bool fetching = false;
+    std::uint32_t chunk_count = 0;
+    double chunk_bytes = 0.0;
+    double demand_cap = 0.0;
+    std::function<void()> on_complete;
+    FairShareChannel::AbortCallback on_abort;
+    // Current chunk transfer (valid while transfer_active):
+    bool transfer_active = false;
+    std::uint64_t transfer_seq = 0;  // staleness check for channel callbacks
+    Source source = Source::kNone;
+    std::uint32_t source_endpoint = 0;   // when kPeer
+    FairShareChannel* channel = nullptr;  // when kPeer
+    HttpServer* seed_server = nullptr;    // when kSeed
+    FlowId flow = 0;
+  };
+
+  [[nodiscard]] std::size_t chunks_for_mode() const;
+  /// Tries to start the next chunk; parks the endpoint on failure.
+  void start_chunk(std::uint32_t endpoint);
+  /// Deterministic same-rack source scan (<= nodes_per_rack candidates).
+  [[nodiscard]] std::int64_t pick_rack_source(std::uint32_t endpoint,
+                                              std::uint32_t chunk) const;
+  [[nodiscard]] std::int64_t pop_seeded_source();
+  void on_chunk_complete(std::uint32_t endpoint, std::uint64_t seq);
+  void on_transfer_killed(std::uint32_t endpoint, std::uint64_t seq, double delivered);
+  /// Detaches the current transfer (abort on the channel, slot bookkeeping);
+  /// returns bytes the chunk had delivered. Does not notify the installer.
+  double detach_transfer(std::uint32_t endpoint);
+  void release_upload(std::uint32_t source, std::uint32_t receiver);
+  void enqueue_waiter(std::uint32_t endpoint);
+  void wake_rack(std::uint32_t rack);
+  void wake_global();
+  void arm_rescue_poll();
+
+  Simulator& sim_;
+  RackTopology& topology_;
+  HttpServerGroup& seed_;
+  PeerConfig config_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::deque<std::uint32_t>> rack_waiters_;
+  std::deque<std::uint32_t> racks_with_waiters_;  // lazy index into the above
+  std::vector<std::uint32_t> seeded_stack_;       // seeded ids w/ free slots (lazy)
+  std::size_t waiter_count_ = 0;
+  std::size_t active_transfers_ = 0;
+  std::size_t seed_active_ = 0;
+  std::size_t seeded_count_ = 0;
+  std::uint64_t next_transfer_seq_ = 1;
+  bool rescue_armed_ = false;
+  PeerStats stats_;
+};
+
+/// Lean install-wave driver for benches and scale tests. Runs `nodes`
+/// installers through boot -> fetch -> post-install against a fresh
+/// simulator, without the full cluster node machinery (at 100k nodes the
+/// per-node OS model would dwarf the distribution being measured).
+struct InstallWaveParams {
+  std::size_t nodes = 1000;
+  double payload_bytes = 0.0;        // required
+  double demand_cap = 0.0;           // installer consume rate, bytes/s
+  double seed_capacity = 0.0;        // frontend NIC, bytes/s (required)
+  std::size_t seed_replicas = 1;
+  double pre_seconds = 110.0;        // boot + dhcp + kickstart + format
+  double post_seconds = 165.0;       // post-config + final boot
+  double stagger_seconds = 0.0;      // power-on stagger between nodes
+  PeerConfig peer;
+  TopologyConfig topology;
+  Allocator allocator = Allocator::kIncremental;
+};
+
+struct InstallWaveResult {
+  double makespan = 0.0;  // sim seconds until the last node is running
+  std::size_t completed = 0;
+  std::uint64_t events_fired = 0;
+  double wall_seconds = 0.0;
+  PeerStats peer_stats;
+};
+
+InstallWaveResult run_install_wave(const InstallWaveParams& params);
+
+}  // namespace rocks::netsim

@@ -1,0 +1,46 @@
+#include "netsim/topology.hpp"
+
+#include "support/error.hpp"
+
+namespace rocks::netsim {
+
+RackTopology::RackTopology(Simulator& sim, TopologyConfig config)
+    : sim_(sim), config_(config) {
+  require_state(config_.nodes_per_rack >= 1, "RackTopology: nodes_per_rack must be >= 1");
+  require_state(config_.rack_capacity > 0.0, "RackTopology: rack_capacity must be positive");
+  require_state(config_.uplink_capacity >= 0.0, "RackTopology: negative uplink_capacity");
+}
+
+void RackTopology::ensure_endpoints(std::uint32_t count) {
+  if (count == 0) return;
+  const std::size_t racks_needed = rack_of(count - 1) + 1;
+  while (racks_.size() < racks_needed) {
+    auto rack = std::make_unique<Rack>();
+    rack->leaf = std::make_unique<FairShareChannel>(sim_, config_.rack_capacity,
+                                                    config_.allocator);
+    // uplink_capacity == 0 means "core is not a bottleneck": model it as a
+    // channel so wide it never binds (keeps the call sites uniform).
+    const double uplink = config_.uplink_capacity > 0.0
+                              ? config_.uplink_capacity
+                              : config_.rack_capacity * 1e6;
+    rack->uplink = std::make_unique<FairShareChannel>(sim_, uplink, config_.allocator);
+    racks_.push_back(std::move(rack));
+  }
+}
+
+FairShareChannel& RackTopology::path_channel(std::uint32_t src, std::uint32_t dst) {
+  const std::uint32_t src_rack = rack_of(src);
+  require_state(src_rack < racks_.size() && rack_of(dst) < racks_.size(),
+                "RackTopology: endpoint outside ensure_endpoints()");
+  if (src_rack == rack_of(dst)) return *racks_[src_rack]->leaf;
+  return *racks_[src_rack]->uplink;
+}
+
+FairShareChannel* RackTopology::seed_path_channel(std::uint32_t dst) {
+  const std::uint32_t rack = rack_of(dst);
+  require_state(rack < racks_.size(), "RackTopology: endpoint outside ensure_endpoints()");
+  if (config_.uplink_capacity <= 0.0) return nullptr;
+  return racks_[rack]->uplink.get();
+}
+
+}  // namespace rocks::netsim

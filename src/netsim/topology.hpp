@@ -1,0 +1,84 @@
+// Rack-aware network topology for peer-assisted installs.
+//
+// The paper's clusters are built from racks of nodes on Fast Ethernet
+// switches whose uplinks into the core are oversubscribed (Section 3:
+// 24-32 nodes per switch, one or two 100 Mbit uplinks). Peer-to-peer
+// package distribution lives or dies on that distinction: a same-rack
+// transfer rides the cheap leaf switch, a cross-rack transfer squeezes
+// through the shared uplink.
+//
+// The model is deliberately a single-bottleneck approximation: each rack
+// owns two FairShareChannels — the leaf switch fabric and the uplink — and
+// every transfer is charged to exactly one channel:
+//
+//   same rack            -> the rack's leaf channel
+//   cross rack / to seed -> the *source* rack's uplink (sender-side
+//                           oversubscription is what limits a peer serving
+//                           a distant installer)
+//
+// That keeps every transfer a single flow (no multi-channel min-rate
+// coupling) while still producing the behaviour that matters: swarm modes
+// that prefer same-rack sources scale with rack count, naive cross-rack
+// swarms collapse onto the uplinks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netsim/flow.hpp"
+
+namespace rocks::netsim {
+
+struct TopologyConfig {
+  std::size_t nodes_per_rack = 32;       // paper: 24-32 node racks
+  double rack_capacity = 0.0;            // leaf switch fabric, bytes/s
+  double uplink_capacity = 0.0;          // rack-to-core uplink, bytes/s
+  Allocator allocator = Allocator::kIncremental;
+};
+
+/// Endpoint ids are dense indices assigned by the owner (cluster or bench)
+/// in node order; rack = endpoint / nodes_per_rack.
+class RackTopology {
+ public:
+  RackTopology(Simulator& sim, TopologyConfig config);
+
+  /// Ensures channels exist for every rack housing endpoints [0, count).
+  void ensure_endpoints(std::uint32_t count);
+
+  [[nodiscard]] std::uint32_t rack_of(std::uint32_t endpoint) const {
+    return endpoint / static_cast<std::uint32_t>(config_.nodes_per_rack);
+  }
+  [[nodiscard]] bool same_rack(std::uint32_t a, std::uint32_t b) const {
+    return rack_of(a) == rack_of(b);
+  }
+
+  /// The single bottleneck channel a src->dst peer transfer is charged to
+  /// (see file comment). Both endpoints must be below ensure_endpoints().
+  [[nodiscard]] FairShareChannel& path_channel(std::uint32_t src, std::uint32_t dst);
+  /// Channel for a seed (frontend) -> dst transfer's last hop. The seed NIC
+  /// itself is modelled by HttpServer; this adds the installer rack's uplink
+  /// only when it is tighter than unconstrained (uplink_capacity > 0).
+  [[nodiscard]] FairShareChannel* seed_path_channel(std::uint32_t dst);
+
+  [[nodiscard]] std::size_t rack_count() const { return racks_.size(); }
+  [[nodiscard]] FairShareChannel& rack_channel(std::uint32_t rack) {
+    return *racks_[rack]->leaf;
+  }
+  [[nodiscard]] FairShareChannel& uplink_channel(std::uint32_t rack) {
+    return *racks_[rack]->uplink;
+  }
+  [[nodiscard]] const TopologyConfig& config() const { return config_; }
+
+ private:
+  struct Rack {
+    std::unique_ptr<FairShareChannel> leaf;
+    std::unique_ptr<FairShareChannel> uplink;
+  };
+
+  Simulator& sim_;
+  TopologyConfig config_;
+  std::vector<std::unique_ptr<Rack>> racks_;
+};
+
+}  // namespace rocks::netsim

@@ -86,6 +86,31 @@ std::string ClusterTools::replication_report(const replication::ControlPlaneStat
   return replication::render_status(status);
 }
 
+std::string ClusterTools::peer_distribution_report() {
+  netsim::PeerDistribution* peers = cluster_.peers();
+  if (peers == nullptr) return "peer distribution: disabled (all installs hit the seed)\n";
+  const netsim::PeerStats& stats = peers->stats();
+  const char* mode = "single-server";
+  if (peers->config().mode == netsim::DistMode::kCascade) mode = "cascade";
+  if (peers->config().mode == netsim::DistMode::kSwarm) mode = "swarm";
+  const double total_bytes = stats.peer_bytes + stats.seed_bytes;
+  const double peer_share = total_bytes > 0.0 ? 100.0 * stats.peer_bytes / total_bytes : 0.0;
+  std::string out = cat("peer distribution (", mode, "):\n");
+  out += cat("  chunks: ", stats.chunk_fetches, " fetched — ", stats.peer_serves,
+             " from peers (", stats.rack_local_serves, " rack-local, ",
+             stats.cross_rack_serves, " cross-rack), ", stats.seed_serves,
+             " from the seed\n");
+  out += cat("  bytes: ", fixed(stats.peer_bytes / (1024.0 * 1024.0), 0), " MB via peers (",
+             fixed(peer_share, 0), "%), ", fixed(stats.seed_bytes / (1024.0 * 1024.0), 0),
+             " MB via seed\n");
+  out += cat("  now: ", peers->seeded_count(), " seeded servers, ",
+             peers->active_transfers(), " transfers in flight, ", peers->waiting(),
+             " installers parked\n");
+  out += cat("  churn: ", stats.churn_aborts, " transfers aborted by source death, ",
+             stats.waits, " parks\n");
+  return out;
+}
+
 std::string ClusterTools::engine_status_report(sqldb::Database& db) {
   const sqldb::MvccStatus status = db.mvcc_status();
   std::string out = "mvcc engine:\n";

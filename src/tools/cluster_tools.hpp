@@ -65,6 +65,12 @@ class ClusterTools {
   /// superseded versions have been reclaimed (DESIGN.md §13).
   [[nodiscard]] static std::string engine_status_report(sqldb::Database& db);
 
+  /// cluster-status --peers: where install bytes actually came from — seed
+  /// vs peers, rack-local vs cross-rack, current seeded servers / transfers
+  /// / parked installers, and churn aborts (DESIGN.md §14). Reports "peer
+  /// distribution: disabled" when the cluster runs the plain HTTP path.
+  [[nodiscard]] std::string peer_distribution_report();
+
  private:
   cluster::Cluster& cluster_;
 };

@@ -453,6 +453,74 @@ TEST(HttpTest, GroupReturnsNullTicketWhenAllReplicasDown) {
   EXPECT_EQ(group.active_downloads(), 0u);
 }
 
+TEST(SimulatorTest, CancelHeavyBacklogCompactsEagerly) {
+  // Past the floor, dead entries exceeding half the heap trigger one O(live)
+  // compaction instead of lingering until the queue drains (a 100k-node
+  // swarm cancels retry timers by the thousands without popping them).
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 400; ++i) ids.push_back(sim.schedule(1000.0 + i, [] {}));
+  for (int i = 0; i < 300; ++i) sim.cancel(ids[i]);
+  // The trigger fires at dead * 2 > heap size (201 of 400); the stragglers
+  // cancelled after that stay lazy until the next trigger or pop.
+  EXPECT_GT(sim.compactions(), 0u);
+  EXPECT_LT(sim.cancelled_backlog(), 150u);
+  EXPECT_EQ(sim.pending_events(), 100u);
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 100u);
+}
+
+TEST(SimulatorTest, SmallCancelBurstsStayLazy) {
+  // Below the floor no compaction happens: micro-queues keep the original
+  // lazy-deletion behaviour (and its tests) byte for byte.
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 60; ++i) ids.push_back(sim.schedule(10.0, [] {}));
+  for (const EventId id : ids) sim.cancel(id);
+  EXPECT_EQ(sim.compactions(), 0u);
+  EXPECT_EQ(sim.cancelled_backlog(), 60u);
+  sim.run();
+  EXPECT_EQ(sim.cancelled_backlog(), 0u);
+  EXPECT_EQ(sim.events_fired(), 0u);
+}
+
+TEST(FlowTest, ChannelStatsCountJoinsRebalancesAndPeak) {
+  Simulator sim;
+  FairShareChannel channel(sim, 7.0 * kMB);
+  EXPECT_EQ(channel.stats().flow_joins, 0u);
+  channel.start(7.0 * kMB, 0.0, [] {});
+  channel.start(7.0 * kMB, 0.0, [] {});
+  const FlowId third = channel.start(7.0 * kMB, 0.0, [] {});
+  EXPECT_EQ(channel.stats().flow_joins, 3u);
+  EXPECT_EQ(channel.stats().peak_active, 3u);
+  EXPECT_GE(channel.stats().rebalances, 3u);
+  channel.abort(third);
+  EXPECT_EQ(channel.stats().peak_active, 3u);  // high-water, not current
+  channel.reset_stats();
+  EXPECT_EQ(channel.stats().flow_joins, 0u);
+  EXPECT_EQ(channel.stats().rebalances, 0u);
+  EXPECT_EQ(channel.stats().peak_active, 2u);  // restarts from live membership
+  sim.run();
+}
+
+TEST(FlowTest, DeliveredAndRemainingAreConstReads) {
+  // The read path must not mutate the channel: two queries at the same
+  // instant see the same value, and completions stay exact afterwards.
+  Simulator sim;
+  FairShareChannel channel(sim, 7.0 * kMB);
+  bool done = false;
+  const FlowId flow = channel.start(7.0 * kMB, 0.0, [&] { done = true; });
+  sim.run_until(0.5);
+  const FairShareChannel& read_only = channel;
+  const double first = read_only.delivered(flow);
+  EXPECT_NEAR(first, 3.5 * kMB, 1.0);
+  EXPECT_NEAR(read_only.remaining(flow), 3.5 * kMB, 1.0);
+  EXPECT_EQ(read_only.delivered(flow), first);
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
 TEST(PduTest, PowerCycleRunsAttachedAction) {
   PowerDistributionUnit pdu;
   int cycles = 0;

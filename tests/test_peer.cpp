@@ -1,0 +1,366 @@
+// Peer-assisted distribution and the incremental allocator (DESIGN.md §14).
+//
+// Two suites live here. AllocatorEquivalence is the correctness anchor for
+// the netsim fast path: the incremental cap-class allocator must produce
+// bit-identical completion times, kill refunds, and instantaneous rates to
+// the retained O(n) reference across long randomized traces — not "close",
+// identical, because both modes share the same arithmetic and differ only
+// in bookkeeping. The Peer* suites cover the swarm itself: cascade/swarm
+// convergence, the cooperative chunk cache, churn through the AbortCallback
+// retry path, and a full-cluster chaos run where serving peers lose power
+// mid-chunk.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "netsim/fault.hpp"
+#include "netsim/flow.hpp"
+#include "netsim/peer.hpp"
+#include "netsim/topology.hpp"
+#include "support/rng.hpp"
+#include "tools/cluster_tools.hpp"
+
+namespace rocks::netsim {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+// --- incremental vs reference allocator --------------------------------------
+
+struct TraceResult {
+  std::vector<std::pair<double, int>> completions;  // (sim time, flow tag)
+  std::vector<std::pair<double, double>> kills;     // (sim time, delivered)
+  std::vector<double> rate_samples;
+  double total_delivered = 0.0;
+  double end_time = 0.0;
+};
+
+/// Replays one pseudo-random join/leave/kill/set_capacity trace against a
+/// fresh channel. The Rng is consumed identically for both allocators, so
+/// the operation streams are the same by construction.
+TraceResult run_trace(Allocator allocator, std::uint64_t seed, int ops) {
+  Simulator sim;
+  FairShareChannel channel(sim, 10.0 * kMB, allocator);
+  Rng rng(seed);
+  TraceResult out;
+  std::vector<FlowId> flows;  // may contain already-finished ids: abort/kill
+                              // of a stale id is a no-op in both modes
+  int next_tag = 0;
+  // A few repeated caps (the homogeneous fast path) plus uncapped.
+  const double caps[] = {0.0, 1.0 * kMB, 1.0 * kMB, 2.5 * kMB};
+  for (int i = 0; i < ops; ++i) {
+    sim.run_until(sim.now() + rng.next_double() * 3.0);
+    const auto roll = rng.next_below(100);
+    if (roll < 55 || flows.empty()) {
+      const double bytes = (0.5 + rng.next_double() * 30.0) * kMB;
+      const double cap = caps[rng.next_below(4)];
+      const int tag = next_tag++;
+      flows.push_back(channel.start(
+          bytes, cap, [tag, &out, &sim] { out.completions.emplace_back(sim.now(), tag); },
+          [&out, &sim](double delivered) { out.kills.emplace_back(sim.now(), delivered); }));
+    } else if (roll < 75) {
+      const auto victim = rng.next_below(flows.size());
+      channel.abort(flows[victim]);
+      flows.erase(flows.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else if (roll < 90) {
+      const auto victim = rng.next_below(flows.size());
+      channel.kill(flows[victim]);
+      flows.erase(flows.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      channel.set_capacity((5.0 + rng.next_double() * 10.0) * kMB);
+    }
+    if (!flows.empty()) out.rate_samples.push_back(channel.rate_of(flows[flows.size() / 2]));
+  }
+  sim.run();
+  out.total_delivered = channel.total_delivered();
+  out.end_time = sim.now();
+  return out;
+}
+
+class AllocatorEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorEquivalence, TenThousandOpsBitIdentical) {
+  const TraceResult fast = run_trace(Allocator::kIncremental, GetParam(), 10000);
+  const TraceResult reference = run_trace(Allocator::kReference, GetParam(), 10000);
+  // Completion times and order, kill instants and refunded byte counts, and
+  // sampled instantaneous rates must match to the last bit.
+  EXPECT_EQ(fast.completions, reference.completions);
+  EXPECT_EQ(fast.kills, reference.kills);
+  EXPECT_EQ(fast.rate_samples, reference.rate_samples);
+  EXPECT_EQ(fast.end_time, reference.end_time);
+  // Aggregate accounting sums in different orders (persistent vs rebuilt
+  // class table), so it is near-equal, not bit-equal.
+  EXPECT_NEAR(fast.total_delivered, reference.total_delivered,
+              1e-6 * std::max(1.0, reference.total_delivered));
+  EXPECT_FALSE(fast.completions.empty());
+  EXPECT_FALSE(fast.kills.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorEquivalence,
+                         ::testing::Values(0xA11C01ull, 0xB22D02ull, 0xC33E03ull));
+
+// --- rack topology -----------------------------------------------------------
+
+TEST(TopologyTest, PathChannelPicksLeafOrSourceUplink) {
+  Simulator sim;
+  TopologyConfig config;
+  config.nodes_per_rack = 4;
+  config.rack_capacity = 12.0 * kMB;
+  config.uplink_capacity = 6.0 * kMB;
+  RackTopology topology(sim, config);
+  topology.ensure_endpoints(10);  // racks 0..2
+  EXPECT_EQ(topology.rack_count(), 3u);
+  EXPECT_EQ(topology.rack_of(3), 0u);
+  EXPECT_EQ(topology.rack_of(4), 1u);
+  EXPECT_TRUE(topology.same_rack(0, 3));
+  EXPECT_FALSE(topology.same_rack(3, 4));
+  // Same rack -> that rack's leaf; cross rack -> the SOURCE rack's uplink.
+  EXPECT_EQ(&topology.path_channel(0, 3), &topology.rack_channel(0));
+  EXPECT_EQ(&topology.path_channel(5, 1), &topology.uplink_channel(1));
+  EXPECT_EQ(topology.path_channel(5, 1).capacity(), 6.0 * kMB);
+  EXPECT_EQ(topology.seed_path_channel(9), &topology.uplink_channel(2));
+}
+
+// --- the swarm ---------------------------------------------------------------
+
+InstallWaveParams wave_params(DistMode mode, std::size_t nodes) {
+  InstallWaveParams params;
+  params.nodes = nodes;
+  params.payload_bytes = 225.0 * kMB;
+  params.demand_cap = 1.0 * kMB;
+  params.seed_capacity = 7.0 * kMB;
+  params.peer.mode = mode;
+  params.peer.seed_fanout = mode == DistMode::kSingleServer ? 0 : 8;
+  params.topology.nodes_per_rack = 32;
+  params.topology.rack_capacity = 12.0 * kMB;
+  params.topology.uplink_capacity = 12.0 * kMB;
+  return params;
+}
+
+TEST(PeerWave, SingleServerReproducesTableOneScaling) {
+  // The paper baseline: N nodes share one 7 MB/s NIC, so the download phase
+  // is N * payload / capacity once N * demand exceeds capacity.
+  const auto result = run_install_wave(wave_params(DistMode::kSingleServer, 100));
+  EXPECT_EQ(result.completed, 100u);
+  const double expected = 110.0 + 100.0 * 225.0 / 7.0 + 165.0;
+  EXPECT_NEAR(result.makespan, expected, 2.0);
+  EXPECT_EQ(result.peer_stats.peer_serves, 0u);
+  EXPECT_EQ(result.peer_stats.seed_serves, 100u);
+}
+
+TEST(PeerWave, CascadeBreaksTheLinearCurve) {
+  const auto baseline = run_install_wave(wave_params(DistMode::kSingleServer, 200));
+  const auto cascade = run_install_wave(wave_params(DistMode::kCascade, 200));
+  EXPECT_EQ(cascade.completed, 200u);
+  EXPECT_GT(cascade.peer_stats.peer_serves, 100u);  // most installs peer-fed
+  EXPECT_LT(cascade.makespan, baseline.makespan / 2.5);
+}
+
+TEST(PeerWave, SwarmPipelinesBetterThanCascade) {
+  const auto cascade = run_install_wave(wave_params(DistMode::kCascade, 320));
+  const auto swarm = run_install_wave(wave_params(DistMode::kSwarm, 320));
+  EXPECT_EQ(swarm.completed, 320u);
+  EXPECT_LT(swarm.makespan, cascade.makespan);
+  // Rack-aware selection keeps most peer traffic off the uplinks.
+  EXPECT_GT(swarm.peer_stats.rack_local_serves, swarm.peer_stats.cross_rack_serves);
+}
+
+TEST(PeerWave, SwarmScalesNearFlat) {
+  // Table I's curve is linear in N (8x the nodes -> ~8x the makespan); the
+  // swarm's must grow like the cascade depth instead.
+  const auto small = run_install_wave(wave_params(DistMode::kSwarm, 128));
+  const auto large = run_install_wave(wave_params(DistMode::kSwarm, 1024));
+  EXPECT_EQ(large.completed, 1024u);
+  EXPECT_LT(large.makespan, 2.5 * small.makespan);
+}
+
+// --- chunk cache + churn -----------------------------------------------------
+
+struct PeerRig {
+  Simulator sim;
+  HttpServerGroup seed{sim, 7.0 * kMB, 1};
+  RackTopology topology;
+  PeerDistribution peers;
+
+  explicit PeerRig(PeerConfig config, std::size_t endpoints = 8)
+      : topology(sim,
+                 TopologyConfig{/*nodes_per_rack=*/4, /*rack_capacity=*/12.0 * kMB,
+                                /*uplink_capacity=*/12.0 * kMB, Allocator::kIncremental}),
+        peers(sim, topology, seed, config) {
+    peers.register_endpoints(static_cast<std::uint32_t>(endpoints));
+  }
+};
+
+PeerConfig swarm_config() {
+  PeerConfig config;
+  config.mode = DistMode::kSwarm;
+  config.chunk_count = 8;
+  config.seed_fanout = 2;
+  return config;
+}
+
+TEST(PeerDistributionTest, FetchFallsBackToSeedWhenNoPeersExist) {
+  PeerRig rig(swarm_config());
+  bool done = false;
+  rig.peers.begin_install(0);
+  rig.peers.fetch(0, 80.0 * kMB, 1.0 * kMB, [&] { done = true; });
+  rig.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(rig.peers.is_seeded(0));
+  EXPECT_EQ(rig.peers.stats().seed_serves, 8u);  // every chunk from the seed
+  EXPECT_EQ(rig.peers.stats().peer_serves, 0u);
+  EXPECT_NEAR(rig.sim.now(), 80.0, 0.1);  // demand-capped at 1 MB/s
+}
+
+TEST(PeerDistributionTest, ChunkCacheSurvivesSourceChurn) {
+  PeerRig rig(swarm_config());
+  rig.peers.mark_seeded(0);  // endpoint 0 serves rack 0
+  double aborted_with = -1.0;
+  bool done = false;
+  rig.peers.begin_install(1);
+  rig.peers.fetch(
+      1, 80.0 * kMB, 1.0 * kMB, [&] { done = true; },
+      [&](double delivered) { aborted_with = delivered; });
+  // 10 MB chunks at 1 MB/s: kill the source 35 s in — endpoint 1 holds 3
+  // whole chunks plus half of the fourth.
+  rig.sim.run_until(35.0);
+  rig.peers.node_offline(0);
+  EXPECT_EQ(rig.peers.stats().churn_aborts, 1u);
+  EXPECT_NEAR(aborted_with, 35.0 * kMB, 0.1 * kMB);  // cache + partial chunk
+  EXPECT_NEAR(rig.peers.cached_bytes(1), 30.0 * kMB, 1e-6);  // whole chunks only
+  EXPECT_FALSE(done);
+  // The retry resumes from the cache: only the missing 50 MB move again
+  // (the half-fetched chunk is re-fetched — whole chunks are the cache unit).
+  rig.peers.fetch(1, 80.0 * kMB, 1.0 * kMB, [&] { done = true; });
+  rig.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(rig.peers.is_seeded(1));
+  EXPECT_NEAR(rig.sim.now(), 35.0 + 50.0, 0.5);
+  EXPECT_EQ(rig.peers.stats().seed_serves, 5u);  // chunks 3..7 from the seed
+}
+
+TEST(PeerDistributionTest, OfflineInstallerReleasesItsSourceSlot) {
+  PeerConfig config = swarm_config();
+  config.max_upload_streams = 1;
+  config.seed_fanout = 1;
+  PeerRig rig(config);
+  rig.peers.mark_seeded(0);
+  bool done1 = false;
+  bool done2 = false;
+  bool done3 = false;
+  for (std::uint32_t e : {1u, 2u, 3u}) rig.peers.begin_install(e);
+  rig.peers.fetch(1, 40.0 * kMB, 1.0 * kMB, [&] { done1 = true; });
+  rig.peers.fetch(2, 40.0 * kMB, 1.0 * kMB, [&] { done2 = true; });
+  // With one upload slot (taken by 1) and one seed slot (taken by 2), the
+  // third installer must park. Its retry path refetches after churn.
+  auto refetch = std::make_shared<std::function<void(double)>>();
+  *refetch = [&, refetch](double) {
+    rig.sim.schedule(1.0, [&, refetch] {
+      if (!rig.peers.is_seeded(3))
+        rig.peers.fetch(3, 40.0 * kMB, 1.0 * kMB, [&] { done3 = true; }, *refetch);
+    });
+  };
+  rig.peers.fetch(3, 40.0 * kMB, 1.0 * kMB, [&] { done3 = true; }, *refetch);
+  EXPECT_GT(rig.peers.stats().waits, 0u);
+  rig.sim.run_until(10.0);
+  // An installer holding peer 0's only upload slot dies mid-chunk: the slot
+  // must free up so the parked installer can be woken onto it.
+  rig.peers.node_offline(1);
+  rig.sim.run();
+  EXPECT_FALSE(done1);
+  EXPECT_TRUE(done2);
+  EXPECT_TRUE(done3);
+  EXPECT_TRUE(rig.peers.is_seeded(2));
+  EXPECT_TRUE(rig.peers.is_seeded(3));
+}
+
+}  // namespace
+}  // namespace rocks::netsim
+
+// --- full-cluster chaos ------------------------------------------------------
+
+namespace rocks::cluster {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+ClusterConfig peer_cluster_config() {
+  ClusterConfig config;
+  config.synth.filler_packages = 50;
+  config.enable_peer_distribution = true;
+  config.peer.mode = netsim::DistMode::kSwarm;
+  config.peer.chunk_count = 8;
+  config.peer.seed_fanout = 2;  // force real peer traffic even at 8 nodes
+  config.topology.nodes_per_rack = 4;
+  config.topology.rack_capacity = 12.0 * kMB;
+  config.topology.uplink_capacity = 12.0 * kMB;
+  return config;
+}
+
+TEST(PeerClusterTest, SwarmReinstallConvergesAndUsesPeers) {
+  Cluster cluster(peer_cluster_config());
+  for (int i = 0; i < 8; ++i) cluster.add_node();
+  cluster.integrate_all();
+  ASSERT_NE(cluster.peers(), nullptr);
+  cluster.peers()->reset_stats();
+  cluster.reinstall_all();
+  for (Node* node : cluster.nodes()) {
+    EXPECT_TRUE(node->is_running()) << node->hostname();
+    EXPECT_EQ(node->install_count(), 2) << node->hostname();
+  }
+  EXPECT_TRUE(cluster.consistent());
+  // With the seed fanned out at 2, most chunks must have come from peers.
+  const netsim::PeerStats& stats = cluster.peers()->stats();
+  EXPECT_GT(stats.peer_serves, stats.seed_serves);
+  tools::ClusterTools tools(cluster);
+  const std::string report = tools.peer_distribution_report();
+  EXPECT_NE(report.find("peer distribution (swarm)"), std::string::npos);
+  EXPECT_NE(report.find("rack-local"), std::string::npos);
+}
+
+TEST(PeerClusterTest, ServingPeersDyingMidChunkStillConverge) {
+  // The chaos case ISSUE.md names: swarm peers lose power while sourcing
+  // chunks; their receivers ride the AbortCallback retry path and the whole
+  // reinstall still converges to a consistent cluster.
+  Cluster cluster(peer_cluster_config());
+  for (int i = 0; i < 8; ++i) cluster.add_node();
+  cluster.integrate_all();
+  cluster.peers()->reset_stats();
+  netsim::FaultPlan plan;
+  // Downloads start ~115 s after the shoot; the early fetchers (the ones
+  // serving everyone else) lose power mid-transfer, twice.
+  plan.power_flaps = {{200.0, 0, 30.0}, {230.0, 1, 30.0}};
+  cluster.arm_faults(plan);
+  cluster.reinstall_all();
+  cluster.disarm_faults();
+  for (Node* node : cluster.nodes()) {
+    EXPECT_TRUE(node->is_running()) << node->hostname();
+    EXPECT_GE(node->install_count(), 2) << node->hostname();
+  }
+  EXPECT_TRUE(cluster.consistent());
+  EXPECT_GT(cluster.peers()->stats().churn_aborts, 0u);
+}
+
+TEST(PeerClusterTest, DisabledPeerDistributionKeepsLegacyPathAndReport) {
+  ClusterConfig config;
+  config.synth.filler_packages = 50;
+  Cluster cluster(config);
+  cluster.add_node();
+  cluster.integrate_all();
+  EXPECT_EQ(cluster.peers(), nullptr);
+  Node* node = cluster.node("compute-0-0");
+  node->shoot();
+  cluster.run_until_stable();
+  // Table I single-node calibration must be untouched by the peer plumbing.
+  EXPECT_NEAR(node->last_install_duration(), 618.0, 5.0);
+  tools::ClusterTools tools(cluster);
+  EXPECT_NE(tools.peer_distribution_report().find("disabled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rocks::cluster
