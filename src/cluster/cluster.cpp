@@ -11,6 +11,24 @@ Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)), distro_(rpm::make_redhat_release(config_.synth)) {
   frontend_ = std::make_unique<Frontend>(sim_, syslog_, distro_, config_.frontend);
   insert_ethers_ = std::make_unique<InsertEthers>(*frontend_, syslog_);
+
+  // The event spine (DESIGN.md §15): one bus clocked by the simulator, the
+  // frontend journal bridged onto kConfigChange, and the trigger engine's
+  // durable table living in the frontend database — so registered triggers
+  // and their firing accounting survive a frontend crash and replicate to
+  // follower frontends like every other table.
+  bus_ = std::make_unique<events::EventBus>([this] { return sim_.now(); });
+  bus_->bridge_journal(frontend_->db().journal());
+  frontend_->set_event_bus(bus_.get());
+  insert_ethers_->set_event_bus(bus_.get());
+  triggers_ = std::make_unique<events::TriggerEngine>(frontend_->db(), *bus_);
+  triggers_->register_action(
+      "reinstall", [this](const events::Event& event, const std::string&) {
+        schedule_auto_reinstall(event.subject);
+      });
+  triggers_->register_action("flush", [this](const events::Event&, const std::string&) {
+    sim_.schedule(0.0, [this] { frontend_->flush_services(); });
+  });
   if (config_.enable_peer_distribution) {
     netsim::TopologyConfig topology = config_.topology;
     if (topology.rack_capacity <= 0.0) {
@@ -23,6 +41,13 @@ Cluster::Cluster(ClusterConfig config)
   }
 }
 
+Cluster::~Cluster() {
+  // Re-point the service manager at the journal so nothing inside frontend_
+  // still references the bus when triggers_ and bus_ destroy first.
+  frontend_->set_event_bus(nullptr);
+  insert_ethers_->set_event_bus(nullptr);
+}
+
 Node& Cluster::add_node(std::string arch) {
   // Locally administered MACs, deterministic per node index.
   const Mac mac(0x0250'8BE0'0000ULL + static_cast<std::uint64_t>(next_mac_suffix_++));
@@ -30,6 +55,14 @@ Node& Cluster::add_node(std::string arch) {
   env.peers = peers_.get();
   nodes_.push_back(
       std::make_unique<Node>(env, mac, std::move(arch), config_.timings));
+  Node* raw = nodes_.back().get();
+  raw->set_state_observer([this, raw](NodeState state) {
+    bus_->publish(events::Event{
+        events::EventType::kNodeState,
+        raw->hostname().empty() ? raw->mac().to_string() : raw->hostname(),
+        std::string(node_state_name(state)), static_cast<double>(raw->install_count()),
+        0.0, 0});
+  });
   if (peers_) {
     // Endpoint ids follow add order, so racks fill bottom-up like a real
     // integration pass.
@@ -124,11 +157,38 @@ netsim::FaultInjector& Cluster::arm_faults(netsim::FaultPlan plan) {
         victim->hard_power_cycle();
     });
   });
+  faults_->set_observer([this](std::string_view kind, std::string_view detail) {
+    bus_->publish(events::Event{events::EventType::kFault, std::string(kind),
+                                std::string(detail), 0.0, 0.0, 0});
+  });
   frontend_->dhcp().set_fault_injector(faults_.get());
   frontend_->kickstart_server().set_availability_probe(
       [injector = faults_.get()] { return injector->kickstart_available(); });
   faults_->arm();
   return *faults_;
+}
+
+void Cluster::schedule_auto_reinstall(std::string hostname) {
+  // Zero-delay hop: the trigger fired on some publisher's stack (possibly a
+  // node's own state observer); the node is only driven once that stack
+  // unwinds and the simulator runs the event.
+  sim_.schedule(0.0, [this, hostname = std::move(hostname)] {
+    Node* target = node(hostname);
+    if (target == nullptr || target->hardware_failed()) return;
+    if (target->is_running()) {
+      target->shoot();
+    } else if (pdu_.has_outlet(hostname) &&
+               (target->failed() || target->state() == NodeState::kOff)) {
+      pdu_.power_cycle(hostname);
+    } else if (target->failed() || target->state() == NodeState::kOff) {
+      target->hard_power_cycle();
+    } else {
+      return;  // already mid-install; the ladder is running
+    }
+    ++auto_reinstalls_;
+    bus_->publish(events::Event{events::EventType::kRecovery, hostname, "auto-reinstall",
+                                static_cast<double>(auto_reinstalls_), 0.0, 0});
+  });
 }
 
 void Cluster::disarm_faults() {

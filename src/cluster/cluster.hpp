@@ -11,6 +11,8 @@
 #include "cluster/frontend.hpp"
 #include "cluster/insert_ethers.hpp"
 #include "cluster/node.hpp"
+#include "events/bus.hpp"
+#include "events/trigger.hpp"
 #include "netsim/fault.hpp"
 #include "netsim/peer.hpp"
 #include "netsim/power.hpp"
@@ -42,6 +44,7 @@ struct ClusterConfig {
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config = {});
+  ~Cluster();
   // Frontend and the nodes hold references into this object: not movable.
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -55,6 +58,24 @@ class Cluster {
   /// Peer distribution service; nullptr unless enable_peer_distribution.
   [[nodiscard]] netsim::PeerDistribution* peers() { return peers_.get(); }
   [[nodiscard]] netsim::RackTopology* topology() { return topology_.get(); }
+
+  // --- the event spine (DESIGN.md §15) ---------------------------------------
+  /// The cluster-wide event bus. Wired at construction: the frontend's
+  /// change journal is bridged onto kConfigChange, every node's installer
+  /// transitions publish kNodeState, armed faults publish kFault,
+  /// insert-ethers registrations publish kMembership, and service restarts
+  /// publish kServiceFlush. Clocked by sim().now().
+  [[nodiscard]] events::EventBus& events() { return *bus_; }
+  /// The durable trigger engine over the frontend database. Two actions are
+  /// pre-registered beyond the built-in "alert": "reinstall" (drive the
+  /// event's subject node back through the install path — shoot-node when
+  /// running, PDU/hard power cycle when failed or dark) and "flush"
+  /// (Frontend::flush_services). Both run via a zero-delay simulator event,
+  /// never re-entering the publisher's stack.
+  [[nodiscard]] events::TriggerEngine& triggers() { return *triggers_; }
+  /// Lifetime count of trigger-driven "reinstall" actions that actually
+  /// drove a node (the self-healing drill's zero-operator assertion).
+  [[nodiscard]] std::size_t auto_reinstalls() const { return auto_reinstalls_; }
 
   /// Adds a bare node (a machine racked and cabled, never booted).
   Node& add_node(std::string arch = "i386");
@@ -101,6 +122,10 @@ class Cluster {
   [[nodiscard]] const std::vector<std::string>& ekv_captures() const { return ekv_captures_; }
 
  private:
+  /// The "reinstall" trigger action: schedules a zero-delay event that
+  /// drives `hostname` back through the install path (see triggers()).
+  void schedule_auto_reinstall(std::string hostname);
+
   ClusterConfig config_;
   netsim::Simulator sim_;
   netsim::SyslogBus syslog_;
@@ -115,6 +140,13 @@ class Cluster {
   std::unique_ptr<netsim::FaultInjector> faults_;
   std::size_t pending_flap_restores_ = 0;
   int next_mac_suffix_ = 1;
+  std::size_t auto_reinstalls_ = 0;
+  // The spine's teardown is circular by reference (the bus bridges the
+  // frontend's journal; the frontend's service manager subscribes to the
+  // bus), so ~Cluster() breaks the frontend->bus edge explicitly before
+  // these run: triggers_, then bus_, then (by declaration order) frontend_.
+  std::unique_ptr<events::EventBus> bus_;
+  std::unique_ptr<events::TriggerEngine> triggers_;
 };
 
 }  // namespace rocks::cluster

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "events/bus.hpp"
 #include "kickstart/defaults.hpp"
 #include "kickstart/server.hpp"
 #include "netsim/dhcp.hpp"
@@ -123,6 +124,12 @@ class Frontend {
     commit_barrier_ = std::move(barrier);
   }
 
+  /// Attaches the frontend to the event spine (DESIGN.md §15): the service
+  /// manager re-subscribes through the bus's kConfigChange channel instead
+  /// of the raw journal, and flush_services() publishes one kServiceFlush
+  /// per restarted service. Null detaches (back to the raw journal).
+  void set_event_bus(events::EventBus* bus);
+
   /// Flushes the change bus: regenerates the config files whose source
   /// tables changed since the last flush (dirty services only), restarts
   /// the ones whose content moved, and re-pushes DHCP bindings when the
@@ -171,6 +178,7 @@ class Frontend {
   std::uint64_t dhcp_pushed_revision_ = kNeverPushed;
   sqldb::RecoveryReport recovery_;
   std::function<void()> commit_barrier_;  // replication quorum/ship hook
+  events::EventBus* bus_ = nullptr;       // the cluster's event spine
 };
 
 }  // namespace rocks::cluster

@@ -64,6 +64,9 @@ bool InsertEthers::insert_node(const Mac& mac) {
                              "Compute node");
   ++inserted_;
   log_.push_back(cat("inserted ", name, " (", mac.to_string(), " -> ", ip.to_string(), ")"));
+  if (bus_ != nullptr)
+    bus_->publish(events::Event{events::EventType::kMembership, name, mac.to_string(),
+                                static_cast<double>(inserted_), 0.0, 0});
   return true;
 }
 

@@ -62,6 +62,10 @@ class InsertEthers {
   /// Flushes pending changes to the services (used with auto_flush=false).
   void flush();
 
+  /// Event spine hookup: each successful registration publishes kMembership
+  /// (subject = new hostname, value = total inserted). Null detaches.
+  void set_event_bus(events::EventBus* bus) { bus_ = bus; }
+
   [[nodiscard]] int nodes_inserted() const { return inserted_; }
   [[nodiscard]] const std::vector<std::string>& insertion_log() const { return log_; }
 
@@ -76,6 +80,7 @@ class InsertEthers {
   Frontend& frontend_;
   netsim::SyslogBus& syslog_;
   InsertEthersOptions options_;
+  events::EventBus* bus_ = nullptr;
   std::size_t subscription_ = 0;
   bool active_ = false;
   int inserted_ = 0;

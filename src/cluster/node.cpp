@@ -38,6 +38,12 @@ Node::Node(NodeEnvironment env, Mac mac, std::string arch, NodeTimings timings)
   fs_.add_partition("/state/partition1");
 }
 
+void Node::set_state(NodeState state) {
+  if (state_ == state) return;
+  state_ = state;
+  if (auto observer = state_observer_) observer(state);  // copy: may reset itself
+}
+
 void Node::log(std::string text) {
   ekv_.write_line(env_.sim->now(), text);
   env_.syslog->publish({env_.sim->now(), "ekv",
@@ -56,11 +62,11 @@ void Node::power_on() {
   if (reinstall_on_boot_) {
     enter_install();
   } else {
-    state_ = NodeState::kRebooting;
+    set_state(NodeState::kRebooting);
     const std::uint64_t epoch = epoch_;
     env_.sim->schedule(timings_.final_boot, [this, epoch] {
       if (!epoch_valid(epoch)) return;
-      state_ = NodeState::kRunning;
+      set_state(NodeState::kRunning);
       log("boot complete");
       // A normally-booted node holds the full distribution on disk: it can
       // serve installing peers without having gone through fetch() itself.
@@ -84,7 +90,7 @@ void Node::power_off() {
   if (peer_networked())
     env_.peers->node_offline(static_cast<std::uint32_t>(peer_endpoint_));
   processes_.clear();
-  state_ = NodeState::kOff;
+  set_state(NodeState::kOff);
 }
 
 void Node::hard_power_cycle() {
@@ -104,7 +110,7 @@ void Node::shoot() {
 }
 
 void Node::enter_install() {
-  state_ = NodeState::kInstallWait;
+  set_state(NodeState::kInstallWait);
   if (peer_networked())
     env_.peers->begin_install(static_cast<std::uint32_t>(peer_endpoint_));
   install_started_ = env_.sim->now();
@@ -204,7 +210,7 @@ void Node::request_kickstart() {
 void Node::begin_download(const kickstart::KickstartFile& profile) {
   require_state(env_.http != nullptr && env_.distribution != nullptr,
                 "node has no HTTP distribution wired");
-  state_ = NodeState::kInstalling;
+  set_state(NodeState::kInstalling);
 
   const rpm::Resolution resolution =
       rpm::resolve(*env_.distribution, profile.packages(), arch_);
@@ -305,7 +311,7 @@ void Node::fail_install(std::string reason) {
   job_.reset();
   ++install_failures_;
   ++epoch_;  // anything else still scheduled for this install is void
-  state_ = NodeState::kFailed;
+  set_state(NodeState::kFailed);
   log(cat("install FAILED: ", reason, "; waiting for recovery escalation"));
 }
 
@@ -371,7 +377,7 @@ void Node::finish_install() {
   log("package installation complete, running %post");
 
   job_.reset();
-  state_ = NodeState::kPostConfig;
+  set_state(NodeState::kPostConfig);
   const std::uint64_t epoch = epoch_;
   env_.sim->schedule(
       timings_.post_config + driver_build_seconds, [this, epoch, driver_build_seconds] {
@@ -379,10 +385,10 @@ void Node::finish_install() {
         if (driver_build_seconds > 0.0)
           log(cat("rebuilt Myrinet driver from source in ", fixed(driver_build_seconds, 0),
                   " s"));
-        state_ = NodeState::kRebooting;
+        set_state(NodeState::kRebooting);
         env_.sim->schedule(timings_.final_boot, [this, epoch] {
           if (!epoch_valid(epoch)) return;
-          state_ = NodeState::kRunning;
+          set_state(NodeState::kRunning);
           disarm_watchdog();
           watchdog_cycles_ = 0;  // a full success resets the escalation ladder
           reinstall_on_boot_ = false;

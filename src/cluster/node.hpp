@@ -182,6 +182,13 @@ class Node {
   /// Fires whenever the node reaches kRunning.
   void on_running(std::function<void()> callback) { on_running_ = std::move(callback); }
 
+  /// Fires on every installer state-machine transition, after state() moved.
+  /// The cluster wires this to publish kNodeState onto the event spine; the
+  /// observer must not re-enter the node synchronously (schedule instead).
+  void set_state_observer(std::function<void(NodeState)> observer) {
+    state_observer_ = std::move(observer);
+  }
+
   // --- peer-assisted distribution (DESIGN.md §14) ----------------------------
   /// Assigns this node's endpoint id in the peer distribution network; the
   /// cluster calls this right after add_node. Downloads use the swarm from
@@ -220,6 +227,9 @@ class Node {
     int retries = 0;  // against NodeTimings::download_retry_budget
   };
 
+  /// The single write path for state_: every transition funnels through here
+  /// so the state observer sees all of them.
+  void set_state(NodeState state);
   void enter_install();
   void request_dhcp();
   void request_kickstart();
@@ -261,6 +271,7 @@ class Node {
   std::optional<netsim::HttpServerGroup::Ticket> download_;
   std::unique_ptr<InstallJob> job_;
   std::function<void()> on_running_;
+  std::function<void(NodeState)> state_observer_;
   std::multiset<std::string> processes_;
 
   // Robustness state. The jitter RNG is seeded from the MAC so every node

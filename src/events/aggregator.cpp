@@ -1,0 +1,167 @@
+#include "events/aggregator.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace rocks::events {
+
+HealthAggregator::HealthAggregator(AggregatorConfig config, EventBus* bus)
+    : config_(config), bus_(bus) {
+  config_.leaf_size = std::max<std::size_t>(config_.leaf_size, 1);
+  config_.fanout = std::max<std::size_t>(config_.fanout, 2);
+}
+
+void HealthAggregator::register_endpoints(std::size_t count) {
+  require_state(count >= endpoints_.size(),
+                "HealthAggregator: endpoint space only grows");
+  if (count == endpoints_.size()) return;
+  endpoints_.resize(count);
+  rebuild_tree();
+}
+
+void HealthAggregator::rebuild_tree() {
+  levels_.clear();
+  if (endpoints_.empty()) return;
+  std::size_t width = (endpoints_.size() + config_.leaf_size - 1) / config_.leaf_size;
+  levels_.emplace_back(width);  // leaves; all dirty, summaries re-derived
+  while (width > 1) {
+    width = (width + config_.fanout - 1) / config_.fanout;
+    levels_.emplace_back(width);
+  }
+}
+
+void HealthAggregator::set_name(std::size_t endpoint, std::string name) {
+  endpoints_.at(endpoint).name = std::move(name);
+}
+
+std::string HealthAggregator::endpoint_name(std::size_t endpoint) const {
+  const std::string& name = endpoints_[endpoint].name;
+  return name.empty() ? std::to_string(endpoint) : name;
+}
+
+void HealthAggregator::heartbeat(std::size_t endpoint, double now) {
+  Endpoint& ep = endpoints_.at(endpoint);
+  ep.last_seen = now;
+  levels_[0][endpoint / config_.leaf_size].dirty = true;
+}
+
+HealthSummary HealthAggregator::scan_leaf(std::size_t leaf, double now) {
+  TreeNode& node = levels_[0][leaf];
+  const std::size_t begin = leaf * config_.leaf_size;
+  const std::size_t end = std::min(endpoints_.size(), begin + config_.leaf_size);
+  HealthSummary summary;
+  summary.total = end - begin;
+  node.next_deadline = std::numeric_limits<double>::infinity();
+  for (std::size_t i = begin; i < end; ++i) {
+    Endpoint& ep = endpoints_[i];
+    const bool alive = ep.last_seen >= 0.0 && now - ep.last_seen <= config_.dead_after;
+    if (alive != ep.alive) {
+      ep.alive = alive;
+      if (bus_ != nullptr)
+        bus_->publish(Event{alive ? EventType::kNodeUp : EventType::kNodeDown,
+                            endpoint_name(i), alive ? "alive" : "silent",
+                            now - ep.last_seen, now, 0});
+    }
+    if (alive) {
+      ++summary.alive;
+      node.next_deadline =
+          std::min(node.next_deadline, ep.last_seen + config_.dead_after);
+    }
+  }
+  return summary;
+}
+
+std::size_t HealthAggregator::rollup_round(double now) {
+  if (levels_.empty()) return 0;
+  std::size_t work = 0;
+
+  // Phase A: recompute pending summaries against *published* child state.
+  // Leaves rescan when a heartbeat dirtied them or an alive endpoint's
+  // death deadline passed; untouched leaves cost nothing.
+  std::vector<TreeNode>& leaves = levels_[0];
+  for (std::size_t leaf = 0; leaf < leaves.size(); ++leaf) {
+    TreeNode& node = leaves[leaf];
+    if (!node.dirty && now <= node.next_deadline) continue;
+    node.dirty = false;
+    ++work;
+    const HealthSummary summary = scan_leaf(leaf, now);
+    if (!(summary == node.published)) {
+      node.pending = summary;
+      node.has_pending = true;
+    }
+  }
+  for (std::size_t level = 1; level < levels_.size(); ++level) {
+    std::vector<TreeNode>& row = levels_[level];
+    const std::vector<TreeNode>& children = levels_[level - 1];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      TreeNode& node = row[i];
+      if (!node.dirty) continue;
+      node.dirty = false;
+      ++work;
+      HealthSummary summary;
+      const std::size_t begin = i * config_.fanout;
+      const std::size_t end = std::min(children.size(), begin + config_.fanout);
+      for (std::size_t c = begin; c < end; ++c) {
+        summary.total += children[c].published.total;
+        summary.alive += children[c].published.alive;
+      }
+      if (!(summary == node.published)) {
+        node.pending = summary;
+        node.has_pending = true;
+      }
+    }
+  }
+
+  // Phase B: commit. Only now do parents see the new child summaries — next
+  // round they recompute, so information climbs one level per round.
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    std::vector<TreeNode>& row = levels_[level];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      TreeNode& node = row[i];
+      if (!node.has_pending) continue;
+      node.published = node.pending;
+      node.has_pending = false;
+      if (level + 1 < levels_.size()) {
+        levels_[level + 1][i / config_.fanout].dirty = true;
+      } else {
+        ++root_version_;
+        if (bus_ != nullptr)
+          bus_->publish(Event{EventType::kHealthSummary, "cluster",
+                              std::to_string(node.published.dead()) + " dead",
+                              static_cast<double>(node.published.alive), now, 0});
+      }
+    }
+  }
+
+  rollup_work_ += work;
+  return work;
+}
+
+std::size_t HealthAggregator::converge(double now) {
+  std::size_t rounds = 0;
+  while (rollup_round(now) > 0) ++rounds;
+  return rounds;
+}
+
+HealthSummary HealthAggregator::root() const {
+  return levels_.empty() ? HealthSummary{} : levels_.back().front().published;
+}
+
+std::vector<std::string> HealthAggregator::dead_endpoints() const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i)
+    if (!endpoints_[i].alive) out.push_back(endpoint_name(i));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool HealthAggregator::alive(std::size_t endpoint) const {
+  return endpoints_.at(endpoint).alive;
+}
+
+double HealthAggregator::last_seen(std::size_t endpoint) const {
+  return endpoints_.at(endpoint).last_seen;
+}
+
+}  // namespace rocks::events

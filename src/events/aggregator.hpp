@@ -1,0 +1,139 @@
+// Hierarchical health aggregation (DESIGN.md §15.4).
+//
+// The seed monitor kept one flat last-seen table and answered "who is dead?"
+// by scanning it — O(n) on the frontend per query, the exact pattern the
+// Brookhaven scalability paper says falls over past a few thousand nodes.
+// Real Ganglia never did that: gmond aggregates per multicast domain (a
+// rack), gmetad federates the domains into a tree. HealthAggregator is that
+// tree over the netsim rack topology.
+//
+// Shape: endpoints (nodes) group into leaves of `leaf_size` (one per rack —
+// the monitor wires leaf_size to the topology's nodes_per_rack), leaves
+// group under interior nodes of `fanout`, up to a single root. 100k nodes at
+// 32/32 is 3125 leaves -> 98 -> 4 -> 1: four levels.
+//
+// Rollup is round-based and synchronous, like a gmetad polling sweep: in one
+// rollup_round(), every dirty tree node recomputes its pending summary from
+// its children's *published* summaries, and only then does the whole level
+// set commit (pending -> published, parent marked dirty). Information moves
+// exactly one level per round, so a leaf change reaches the root in depth()
+// rounds — convergence is O(depth), never O(n), and the bench asserts it.
+// Work per round is proportional to *changed* subtrees: an idle leaf whose
+// earliest possible death (min last-seen + dead_after) lies in the future is
+// skipped without touching its endpoints, so a quiet 100k-node cluster rolls
+// up in O(1).
+//
+// Liveness matches the seed monitor exactly: an endpoint is alive iff it has
+// ever heartbeated and its last heartbeat is at most dead_after old.
+// Transitions publish kNodeUp / kNodeDown on the bus as the *leaf* discovers
+// them (round 1), root summary changes publish kHealthSummary — this is what
+// the trigger engine's self-healing predicates consume.
+//
+// Single-threaded by design: it lives on the simulation thread next to the
+// Simulator. (The bus it publishes into is thread-safe; the tree is not.)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "events/bus.hpp"
+
+namespace rocks::events {
+
+struct AggregatorConfig {
+  std::size_t leaf_size = 32;  // endpoints per leaf (rack)
+  std::size_t fanout = 32;     // children per interior node
+  double dead_after = 30.0;    // silence threshold, seconds
+};
+
+/// One subtree's rolled-up state.
+struct HealthSummary {
+  std::size_t total = 0;
+  std::size_t alive = 0;
+  [[nodiscard]] std::size_t dead() const { return total - alive; }
+  bool operator==(const HealthSummary& o) const {
+    return total == o.total && alive == o.alive;
+  }
+};
+
+class HealthAggregator {
+ public:
+  /// `bus` may be null (bench harnesses measure pure rollup).
+  explicit HealthAggregator(AggregatorConfig config = {}, EventBus* bus = nullptr);
+
+  /// Grows the endpoint space to `count` (monotonic; shrinking throws).
+  /// New endpoints have never heartbeated, i.e. start dead — matching the
+  /// seed monitor, where a node is not alive until its first beat lands.
+  /// Rebuilds the tree; cheap relative to the endpoints themselves.
+  void register_endpoints(std::size_t count);
+  [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
+
+  /// Display name used as the event subject ("compute-0-17"); defaults to
+  /// the endpoint index rendered as text.
+  void set_name(std::size_t endpoint, std::string name);
+
+  /// Records a heartbeat. O(1): stamps last-seen and dirties the leaf; the
+  /// liveness flip itself happens in the next rollup round.
+  void heartbeat(std::size_t endpoint, double now);
+
+  /// One synchronous rollup round at time `now`: dirty leaves rescan their
+  /// endpoints (publishing kNodeUp/kNodeDown transitions), dirty interior
+  /// nodes re-sum their children's published summaries, then every pending
+  /// summary commits and dirties its parent. Returns the number of tree
+  /// nodes that did work (0 = converged).
+  std::size_t rollup_round(double now);
+
+  /// Runs rollup rounds until one does no work; returns how many ran.
+  /// Bounded by depth() + 1 per disturbance batch — the O(depth) claim.
+  std::size_t converge(double now);
+
+  /// Tree levels, leaves included (the convergence bound).
+  [[nodiscard]] std::size_t depth() const { return levels_.size(); }
+  /// The root's committed summary (stale until converge()).
+  [[nodiscard]] HealthSummary root() const;
+  /// Names of endpoints the committed tree currently holds dead, sorted.
+  [[nodiscard]] std::vector<std::string> dead_endpoints() const;
+  /// Committed liveness of one endpoint.
+  [[nodiscard]] bool alive(std::size_t endpoint) const;
+  /// Last heartbeat time; < 0 = never.
+  [[nodiscard]] double last_seen(std::size_t endpoint) const;
+
+  // Observability (bench_events): cumulative tree-node recomputations and
+  // committed root versions.
+  [[nodiscard]] std::uint64_t rollup_work() const { return rollup_work_; }
+  [[nodiscard]] std::uint64_t root_version() const { return root_version_; }
+
+ private:
+  struct Endpoint {
+    double last_seen = -1.0;
+    bool alive = false;  // committed liveness (as of the leaf's last rescan)
+    std::string name;
+  };
+
+  struct TreeNode {
+    HealthSummary published;
+    HealthSummary pending;
+    bool has_pending = false;
+    bool dirty = true;  // needs recompute next round
+    // Leaves only: earliest time an alive endpoint can cross dead_after.
+    double next_deadline = std::numeric_limits<double>::infinity();
+  };
+
+  void rebuild_tree();
+  /// Rescans one leaf's endpoints at `now`, publishing transitions and
+  /// refreshing next_deadline; returns its new summary.
+  HealthSummary scan_leaf(std::size_t leaf, double now);
+  [[nodiscard]] std::string endpoint_name(std::size_t endpoint) const;
+
+  AggregatorConfig config_;
+  EventBus* bus_;
+  std::vector<Endpoint> endpoints_;
+  // levels_[0] = leaves, levels_.back() = single root.
+  std::vector<std::vector<TreeNode>> levels_;
+  std::uint64_t rollup_work_ = 0;
+  std::uint64_t root_version_ = 0;
+};
+
+}  // namespace rocks::events

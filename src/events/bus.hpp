@@ -1,0 +1,172 @@
+// The cluster-wide event spine (DESIGN.md §15).
+//
+// PR 4's ChangeJournal proved the shape — per-channel monotonic revisions, a
+// bounded retained log with a truncation floor, subscribers notified outside
+// all locks — but only configuration regeneration ever rode it. Meanwhile
+// every other signal in the system grew its own ad-hoc path: the health
+// monitor kept a private last-seen table, recovery swept the cluster for
+// failed installs, replication surfaced quorum loss only as a thrown
+// exception, fault injection counted silently into a stats struct. The CERN
+// and Brookhaven large-cluster reports (PAPERS.md) name exactly this —
+// per-subsystem monitoring that does not compose — as what breaks past a
+// thousand nodes.
+//
+// EventBus generalizes the journal's (channel, revision, record) model to
+// typed cluster events. A channel is an EventType; a revision is the
+// channel's monotonic sequence number; a record is the full Event. Producers
+// publish; consumers either subscribe (callbacks, for the trigger engine and
+// dirty tracking) or cursor-read with since() (for operator tools), with the
+// same truncation-floor contract the ChangeJournal gives IncrementalReport:
+// a cursor below the floor is told to rescan, never handed a gapped delta.
+//
+// Locking mirrors ChangeJournal: two leaf mutexes (channel state,
+// subscriber list), callbacks run on the publishing thread after both are
+// dropped. Publishers may be any committing thread (the journal bridge runs
+// from Database::execute's notify path), so subscribers must either do
+// thread-safe work or serialize internally (TriggerEngine does the latter).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rocks::sqldb {
+class ChangeJournal;
+}
+
+namespace rocks::events {
+
+enum class EventType : std::uint8_t {
+  kNodeState,         // installer state machine moved; subject=host, detail=state
+  kNodeDown,          // health aggregation declared a node dead; subject=host
+  kNodeUp,            // ... and alive again
+  kMembership,        // insert-ethers registered a node; subject=host
+  kHealthSummary,     // aggregation root changed; value=alive count
+  kReplicationEpoch,  // leadership change; subject=leader, value=epoch
+  kReplicationLag,    // follower lag/link transition; subject=follower
+  kQuorum,            // quorum lost/restored; value=acks
+  kServiceFlush,      // a service restarted on new config; subject=service
+  kConfigChange,      // bridged ChangeJournal channel; subject=channel
+  kFault,             // an injected fault landed; subject=fault kind
+  kRecovery,          // recovery ladder action; subject=host
+  kTrigger,           // a trigger fired; subject=trigger name
+};
+
+/// Number of channels (for dense per-type arrays).
+inline constexpr std::size_t kEventTypeCount =
+    static_cast<std::size_t>(EventType::kTrigger) + 1;
+
+[[nodiscard]] std::string_view event_type_name(EventType type);
+/// Inverse of event_type_name; returns false for unknown names.
+[[nodiscard]] bool parse_event_type(std::string_view name, EventType& out);
+
+struct Event {
+  EventType type = EventType::kNodeState;
+  std::string subject;  // who: host / service / follower / channel name
+  std::string detail;   // what: state name, "lost", "disconnected", ...
+  double value = 0.0;   // how much: epoch, lag, alive count, ...
+  double time = 0.0;    // simulation clock at publish (bus clock)
+  std::uint64_t seq = 0;  // per-channel monotonic, assigned by publish()
+};
+
+/// Cursor read result, mirroring sqldb::ChangeDelta: either the exact events
+/// moving the cursor to `seq`, or truncated == true with the floor below
+/// which the retained log no longer reaches.
+struct EventDelta {
+  bool truncated = false;
+  std::uint64_t seq = 0;
+  std::uint64_t floor = 0;
+  std::vector<Event> events;  // empty when truncated
+};
+
+class EventBus {
+ public:
+  using Callback = std::function<void(const Event&)>;
+  using Clock = std::function<double()>;
+
+  /// Per-channel retained-log bound. Sized like the ChangeJournal's: big
+  /// enough that an operator tool polling between flushes stays incremental,
+  /// small enough that an unconsumed channel cannot grow without bound.
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit EventBus(Clock clock = {}, std::size_t capacity = kDefaultCapacity);
+  ~EventBus();
+
+  // Subscriptions hand out ids; copying would fork the id space.
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// Publishes one event: stamps time (from the clock, unless the caller set
+  /// a nonzero time) and the channel's next sequence number, appends it to
+  /// the retained log, and notifies typed + wildcard subscribers after all
+  /// bus locks are dropped. Returns the assigned sequence number.
+  std::uint64_t publish(Event event);
+
+  /// Registers a callback for one channel. Safe to call concurrently with
+  /// publishes; the callback runs on publishing threads.
+  std::size_t subscribe(EventType type, Callback callback);
+  /// Registers a wildcard callback receiving every event on the bus.
+  std::size_t subscribe_all(Callback callback);
+  /// Does not wait for in-flight callbacks — quiesce publishers before
+  /// destroying a subscriber.
+  void unsubscribe(std::size_t id);
+
+  /// Newest sequence number of a channel; 0 when nothing was published.
+  [[nodiscard]] std::uint64_t seq(EventType type) const;
+  /// Every event after `seq`, or truncated == true when the retained log no
+  /// longer covers the range (cursor below the floor: rescan, then resume
+  /// from the returned seq).
+  [[nodiscard]] EventDelta since(EventType type, std::uint64_t seq) const;
+  /// The newest <= limit retained events of a channel, oldest first (the
+  /// cluster-status --events tail).
+  [[nodiscard]] std::vector<Event> recent(EventType type, std::size_t limit) const;
+
+  /// Bridges a ChangeJournal onto the spine: every journal notification
+  /// republishes as a kConfigChange event (subject = channel, value =
+  /// revision). This is how SQL commits, graph edits, and distribution
+  /// rebuilds reach bus consumers without a second subscription mechanism.
+  /// The journal must outlive the bus (or call unbridge_journal first).
+  void bridge_journal(sqldb::ChangeJournal& journal);
+  void unbridge_journal();
+
+  // Observability (cluster-status --events, tests).
+  [[nodiscard]] std::uint64_t published() const;
+  [[nodiscard]] std::uint64_t notifications_sent() const;
+  [[nodiscard]] double now() const { return clock_ ? clock_() : 0.0; }
+
+ private:
+  struct Channel {
+    std::uint64_t seq = 0;
+    std::uint64_t floor = 0;  // oldest seq the log can still serve + 1 below
+    std::deque<Event> log;
+  };
+
+  struct Subscriber {
+    int type = -1;  // -1 = wildcard
+    std::shared_ptr<Callback> callback;
+  };
+
+  Clock clock_;
+  std::size_t capacity_;
+
+  mutable std::mutex state_mutex_;  // guards channels_, published_
+  std::array<Channel, kEventTypeCount> channels_;
+  std::uint64_t published_ = 0;
+
+  mutable std::mutex subscriber_mutex_;  // guards subscribers_, counters
+  std::map<std::size_t, Subscriber> subscribers_;
+  std::size_t next_subscription_ = 1;
+  std::uint64_t notifications_sent_ = 0;
+
+  sqldb::ChangeJournal* bridged_ = nullptr;
+  std::size_t bridge_subscription_ = 0;
+};
+
+}  // namespace rocks::events

@@ -9,22 +9,50 @@ namespace rocks::monitor {
 
 using cluster::Node;
 
+namespace {
+
+events::AggregatorConfig tree_shape(const MonitorConfig& config) {
+  events::AggregatorConfig shape;
+  shape.leaf_size = config.leaf_size;
+  shape.fanout = config.fanout;
+  shape.dead_after = config.dead_after;
+  return shape;
+}
+
+}  // namespace
+
 GangliaMonitor::GangliaMonitor(cluster::Cluster& cluster, MonitorConfig config)
-    : cluster_(cluster), config_(config) {}
+    : cluster_(cluster),
+      config_(config),
+      aggregator_(tree_shape(config), &cluster.events()) {}
 
 void GangliaMonitor::start() {
   if (active_) return;
   active_ = true;
   ++generation_;
+  // One leaf per rack when the cluster has a topology: the rollup tree then
+  // mirrors the physical multicast domains, like gmond/gmetad.
+  if (cluster_.topology() != nullptr) {
+    config_.leaf_size = cluster_.topology()->config().nodes_per_rack;
+    aggregator_ = events::HealthAggregator(tree_shape(config_), &cluster_.events());
+    endpoint_of_.clear();
+  }
   double phase = 0.0;
   const double step = config_.heartbeat_interval /
                       std::max<std::size_t>(cluster_.nodes().size(), 1);
   for (Node* node : cluster_.nodes()) {
     if (node->hostname().empty()) continue;
     views_.emplace(node->hostname(), NodeView{node->hostname(), false, -1.0, {}});
+    if (!endpoint_of_.contains(node->hostname())) {
+      const std::size_t endpoint = endpoint_of_.size();
+      endpoint_of_.emplace(node->hostname(), endpoint);
+      aggregator_.register_endpoints(endpoint + 1);
+      aggregator_.set_name(endpoint, node->hostname());
+    }
     arm(node, phase);
     phase += step;
   }
+  arm_rollup();
 }
 
 void GangliaMonitor::stop() {
@@ -37,6 +65,18 @@ void GangliaMonitor::arm(Node* node, double phase) {
   cluster_.sim().schedule(phase, [this, node, generation] {
     if (generation != generation_) return;
     beat(node);
+  });
+}
+
+void GangliaMonitor::arm_rollup() {
+  // The scheduled sweep that replaces polling: one rollup round per
+  // heartbeat interval moves summaries one level and publishes any
+  // kNodeDown/kNodeUp/kHealthSummary transitions as a side effect.
+  const std::uint64_t generation = generation_;
+  cluster_.sim().schedule(config_.heartbeat_interval, [this, generation] {
+    if (generation != generation_) return;
+    aggregator_.rollup_round(cluster_.sim().now());
+    arm_rollup();
   });
 }
 
@@ -55,6 +95,9 @@ void GangliaMonitor::beat(Node* node) {
     std::uint64_t state_bytes = 0;
     if (node->fs().exists("/state")) state_bytes = node->fs().disk_usage("/state");
     view.metrics.disk_used = node->fs().disk_usage("/") - state_bytes;
+    const auto endpoint = endpoint_of_.find(node->hostname());
+    if (endpoint != endpoint_of_.end())
+      aggregator_.heartbeat(endpoint->second, cluster_.sim().now());
   }
   arm(node, config_.heartbeat_interval);
 }
@@ -72,10 +115,12 @@ std::vector<NodeView> GangliaMonitor::cluster_view() const {
 }
 
 std::vector<std::string> GangliaMonitor::dead_nodes() const {
-  std::vector<std::string> out;
-  for (const auto& view : cluster_view())
-    if (!view.alive) out.push_back(view.host);
-  return out;
+  // Converge the rollup tree to "now" and read the committed dead set —
+  // O(changed leaves × depth). Hosts watched before the aggregator existed
+  // (started without hostnames) fall back into no leaf and cannot appear;
+  // start() always maps every watched host, so the sets agree.
+  aggregator_.converge(cluster_.sim().now());
+  return aggregator_.dead_endpoints();
 }
 
 std::string GangliaMonitor::report() const {

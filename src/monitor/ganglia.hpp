@@ -8,6 +8,15 @@
 // flags nodes silent longer than the dead-after threshold. (The Rocks
 // group's collaborators at UC Berkeley — acknowledged in the paper — built
 // exactly this as Ganglia.)
+//
+// Liveness itself is tracked by the event spine's HealthAggregator
+// (DESIGN.md §15.4): heartbeats stamp O(1) leaf cells in a rollup tree
+// shaped like the rack topology, and dead_nodes() converges the tree in
+// O(depth) rounds instead of scanning every host. Leaf scans publish
+// kNodeDown/kNodeUp on the cluster bus, and root summary changes publish
+// kHealthSummary — the feed the trigger engine's auto-reinstall rules run
+// on. The per-host metric record stays here (the aggregator carries
+// counts, not load averages).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +25,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "events/aggregator.hpp"
 
 namespace rocks::monitor {
 
@@ -37,6 +47,11 @@ struct MonitorConfig {
   double heartbeat_interval = 10.0;
   /// A node silent for longer than this is declared dead.
   double dead_after = 30.0;
+  /// Rollup tree shape (§15.4). Defaults mirror a 32-node rack fanning into
+  /// 32-port aggregation switches; start() adopts the cluster's rack size
+  /// when a topology is configured.
+  std::size_t leaf_size = 32;
+  std::size_t fanout = 32;
 };
 
 class GangliaMonitor {
@@ -44,16 +59,23 @@ class GangliaMonitor {
   GangliaMonitor(cluster::Cluster& cluster, MonitorConfig config = {});
 
   /// Begins watching every current node (heartbeat emitters are armed on a
-  /// staggered phase so 32 heartbeats do not land on one instant).
+  /// staggered phase so 32 heartbeats do not land on one instant), and
+  /// schedules one aggregation rollup round per heartbeat interval so
+  /// kNodeDown/kHealthSummary events flow without anyone polling.
   void start();
   void stop();
 
   /// The last-known state of every watched node.
   [[nodiscard]] std::vector<NodeView> cluster_view() const;
   /// Hosts whose heartbeat is older than dead_after (or never arrived
-  /// though the node was seen before the cutoff).
+  /// though the node was seen before the cutoff). Converges the rollup
+  /// tree on demand: O(changed leaves × depth), not O(hosts).
   [[nodiscard]] std::vector<std::string> dead_nodes() const;
   [[nodiscard]] std::size_t heartbeats_received() const { return heartbeats_; }
+
+  /// The rollup tree behind dead_nodes(); converged state reflects the last
+  /// query or scheduled round, not necessarily "now".
+  [[nodiscard]] const events::HealthAggregator& aggregator() const { return aggregator_; }
 
   /// The web-page view (the paper's SCE comparison praises visualization;
   /// ours is an honest ASCII table).
@@ -62,12 +84,16 @@ class GangliaMonitor {
  private:
   void arm(cluster::Node* node, double phase);
   void beat(cluster::Node* node);
+  void arm_rollup();
 
   cluster::Cluster& cluster_;
   MonitorConfig config_;
   bool active_ = false;
   std::uint64_t generation_ = 0;  // invalidates armed emitters on stop()
   std::map<std::string, NodeView> views_;
+  std::map<std::string, std::size_t> endpoint_of_;  // hostname -> leaf cell
+  // Converged on demand in const queries (dead_nodes, report).
+  mutable events::HealthAggregator aggregator_;
   std::size_t heartbeats_ = 0;
 };
 

@@ -2,6 +2,41 @@
 
 namespace rocks::monitor {
 
+void RecoveryManager::attach(events::EventBus& bus) {
+  detach();
+  bus_ = &bus;
+  subscription_ = bus.subscribe(events::EventType::kNodeState,
+                                [this](const events::Event& event) {
+    if (event.detail != "failed") return;
+    // Zero-delay hop off the publisher's stack (the node's own state
+    // observer); the ladder runs when the simulator drains the event.
+    cluster_.sim().schedule(0.0, [this, hostname = event.subject] {
+      cluster::Node* node = cluster_.node(hostname);
+      if (node == nullptr || !node->failed() || node->hardware_failed()) return;
+      escalate(hostname);
+    });
+  });
+}
+
+void RecoveryManager::detach() {
+  if (bus_ == nullptr) return;
+  bus_->unsubscribe(subscription_);
+  bus_ = nullptr;
+}
+
+void RecoveryManager::escalate(const std::string& hostname) {
+  ++escalations_;
+  if (cluster_.pdu().has_outlet(hostname)) {
+    cluster_.pdu().power_cycle(hostname);
+  } else {
+    cluster::Node* node = cluster_.node(hostname);
+    if (node != nullptr) node->hard_power_cycle();
+  }
+  if (bus_ != nullptr)
+    bus_->publish(events::Event{events::EventType::kRecovery, hostname, "escalation",
+                                static_cast<double>(escalations_), 0.0, 0});
+}
+
 RecoveryReport RecoveryManager::recover(const std::vector<std::string>& dead) {
   RecoveryReport report;
   for (const auto& hostname : dead) {
@@ -26,13 +61,8 @@ std::vector<std::string> RecoveryManager::sweep_failed() {
   std::vector<std::string> swept;
   for (cluster::Node* node : cluster_.nodes()) {
     if (!node->failed() || node->hardware_failed()) continue;
-    ++escalations_;
     swept.push_back(node->hostname());
-    if (cluster_.pdu().has_outlet(node->hostname())) {
-      cluster_.pdu().power_cycle(node->hostname());
-    } else {
-      node->hard_power_cycle();
-    }
+    escalate(node->hostname());
   }
   if (swept.empty()) return swept;
   cluster_.run_until_stable();

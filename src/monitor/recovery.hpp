@@ -9,11 +9,18 @@
 // RecoveryManager takes the monitor's dead list, power-cycles each outlet
 // (which on a Rocks node means a full reinstall), and reports which nodes
 // came back versus which need the crash cart.
+//
+// With attach(), the same escalation ladder runs off the event spine
+// (DESIGN.md §15) instead of a periodic sweep: a kNodeState event whose
+// detail is "failed" schedules the power-cycle escalation directly, so a
+// node that exhausts its install retry budget is recycled the moment it
+// gives up — no operator cron job scanning for kFailed.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "events/bus.hpp"
 #include "monitor/ganglia.hpp"
 
 namespace rocks::monitor {
@@ -27,6 +34,16 @@ struct RecoveryReport {
 class RecoveryManager {
  public:
   explicit RecoveryManager(cluster::Cluster& cluster) : cluster_(cluster) {}
+  ~RecoveryManager() { detach(); }
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Bus-driven escalation: subscribes to kNodeState and, when a node
+  /// reports "failed", schedules the same PDU/hard power-cycle ladder
+  /// sweep_failed() applies — via a zero-delay simulator event, never on
+  /// the publisher's stack. Each escalation publishes kRecovery.
+  void attach(events::EventBus& bus);
+  void detach();
 
   /// Power-cycles every host in `dead`, waits for the cluster to settle,
   /// and classifies the outcomes. Hosts whose hardware is known-failed are
@@ -51,7 +68,13 @@ class RecoveryManager {
   [[nodiscard]] std::size_t escalations() const { return escalations_; }
 
  private:
+  /// The shared ladder rung: PDU power-cycle when the host has an outlet,
+  /// hard cycle otherwise. Counts the escalation.
+  void escalate(const std::string& hostname);
+
   cluster::Cluster& cluster_;
+  events::EventBus* bus_ = nullptr;
+  std::size_t subscription_ = 0;
   std::size_t crash_cart_trips_ = 0;
   std::size_t escalations_ = 0;
 };

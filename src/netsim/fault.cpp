@@ -1,5 +1,7 @@
 #include "netsim/fault.hpp"
 
+#include <string>
+
 #include "netsim/http.hpp"
 #include "netsim/link.hpp"
 
@@ -7,6 +9,10 @@ namespace rocks::netsim {
 
 FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan)
     : sim_(sim), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultInjector::observe(std::string_view kind, std::string_view detail) {
+  if (auto observer = observer_) observer(kind, detail);  // copy: may reset itself
+}
 
 void FaultInjector::arm() {
   if (armed_) return;
@@ -20,11 +26,13 @@ void FaultInjector::arm() {
       http_->crash_replica(event.replica);
       stats_.flows_killed += http_->server(event.replica).stats().flows_killed - killed_before;
       ++stats_.http_crashes;
+      observe("http-crash", std::to_string(event.replica));
       if (event.restart_after > 0.0) {
         scheduled_.push_back(sim_.schedule(event.restart_after, [this, event] {
           if (!armed_ || http_ == nullptr) return;
           http_->restart_replica(event.replica);
           ++stats_.http_restarts;
+          observe("http-restart", std::to_string(event.replica));
         }));
       }
     }));
@@ -32,13 +40,17 @@ void FaultInjector::arm() {
   for (const FlowKillEvent event : plan_.flow_kills) {
     scheduled_.push_back(sim_.schedule(event.at, [this, event] {
       if (!armed_ || http_ == nullptr) return;
-      if (http_->kill_flow_on(event.replica)) ++stats_.flows_killed;
+      if (http_->kill_flow_on(event.replica)) {
+        ++stats_.flows_killed;
+        observe("flow-kill", std::to_string(event.replica));
+      }
     }));
   }
   for (const PowerFlapEvent event : plan_.power_flaps) {
     scheduled_.push_back(sim_.schedule(event.at, [this, event] {
       if (!armed_ || !power_flap_) return;
       ++stats_.power_flaps;
+      observe("power-flap", std::to_string(event.target));
       power_flap_(event.target, event.restore_after);
     }));
   }
@@ -47,11 +59,13 @@ void FaultInjector::arm() {
       if (!armed_ || event.link >= links_.size()) return;
       links_[event.link]->sever();
       ++stats_.link_cuts;
+      observe("link-cut", std::to_string(event.link));
       if (event.restore_after > 0.0) {
         scheduled_.push_back(sim_.schedule(event.restore_after, [this, event] {
           if (!armed_ || event.link >= links_.size()) return;
           links_[event.link]->restore();
           ++stats_.link_restores;
+          observe("link-restore", std::to_string(event.link));
         }));
       }
     }));
@@ -75,10 +89,12 @@ bool FaultInjector::drop_discover() {
   if (!armed_) return false;
   if (in_window(plan_.dhcp_blackouts)) {
     ++stats_.discovers_dropped;
+    observe("discover-drop", "blackout");
     return true;
   }
   if (plan_.dhcp_loss > 0.0 && rng_.chance(plan_.dhcp_loss)) {
     ++stats_.discovers_dropped;
+    observe("discover-drop", "wire-loss");
     return true;
   }
   return false;
@@ -88,6 +104,7 @@ bool FaultInjector::kickstart_available() {
   if (!armed_) return true;
   if (!in_window(plan_.kickstart_outages)) return true;
   ++stats_.kickstart_refusals;
+  observe("kickstart-refusal", "outage-window");
   return false;
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "netsim/engine.hpp"
@@ -95,8 +96,17 @@ class ReplicationLink;
 class FaultInjector {
  public:
   using PowerFlapAction = std::function<void(std::size_t target, double restore_after)>;
+  /// Fault-landing hook: (kind, detail) per injected fault — "http-crash",
+  /// "flow-kill", "power-flap", "link-cut", "link-restore", "http-restart",
+  /// "discover-drop", "kickstart-refusal". netsim stays below the event
+  /// spine in the dependency order, so this is a plain callback; the cluster
+  /// layer converts it to kFault bus events.
+  using Observer = std::function<void(std::string_view kind, std::string_view detail)>;
 
   FaultInjector(Simulator& sim, FaultPlan plan);
+
+  /// Installs (or clears) the fault-landing observer.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
 
   // --- wiring (before arm) --------------------------------------------------
   /// The server group crash/kill events act on.
@@ -125,12 +135,14 @@ class FaultInjector {
 
  private:
   [[nodiscard]] bool in_window(const std::vector<TimeWindow>& windows) const;
+  void observe(std::string_view kind, std::string_view detail);
 
   Simulator& sim_;
   FaultPlan plan_;
   Rng rng_;
   HttpServerGroup* http_ = nullptr;
   PowerFlapAction power_flap_;
+  Observer observer_;
   std::vector<ReplicationLink*> links_;
   bool armed_ = false;
   double armed_at_ = 0.0;

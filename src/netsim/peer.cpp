@@ -10,11 +10,12 @@ namespace rocks::netsim {
 
 PeerDistribution::PeerDistribution(Simulator& sim, RackTopology& topology,
                                    HttpServerGroup& seed, PeerConfig config)
-    : sim_(sim), topology_(topology), seed_(seed), config_(config) {
+    : sim_(sim), topology_(topology), seed_(seed), config_(config),
+      rescue_rng_(config.rescue_seed) {
   require_state(config_.max_upload_streams >= 1,
                 "PeerDistribution: max_upload_streams must be >= 1");
-  require_state(config_.rescue_poll_seconds > 0.0,
-                "PeerDistribution: rescue_poll_seconds must be positive");
+  require_state(config_.rescue.base > 0.0,
+                "PeerDistribution: rescue backoff base must be positive");
 }
 
 std::size_t PeerDistribution::chunks_for_mode() const {
@@ -442,16 +443,29 @@ void PeerDistribution::wake_global() {
 void PeerDistribution::arm_rescue_poll() {
   if (rescue_armed_) return;
   rescue_armed_ = true;
-  sim_.schedule(config_.rescue_poll_seconds, [this] {
+  // Shared capped-exponential schedule (support::BackoffPolicy): the first
+  // poll fires after exactly `base` seconds — the healthy-path timing the
+  // old fixed cadence gave — and consecutive no-progress polls back off
+  // with jitter instead of hammering a dead seed every 5 s forever.
+  const double delay = config_.rescue.delay(rescue_attempts_ + 1, rescue_rng_);
+  sim_.schedule(delay, [this] {
     rescue_armed_ = false;
-    if (waiter_count_ == 0) return;
+    if (waiter_count_ == 0) {
+      rescue_attempts_ = 0;
+      return;
+    }
     // Wake until a round makes no progress (each wake can start a transfer
     // or re-park the waiter).
+    const std::size_t parked = waiter_count_;
     std::size_t before = waiter_count_ + 1;
     while (waiter_count_ < before && waiter_count_ > 0) {
       before = waiter_count_;
       wake_global();
     }
+    if (waiter_count_ < parked || active_transfers_ > 0)
+      rescue_attempts_ = 0;  // progress: the next park starts at base again
+    else
+      ++rescue_attempts_;
     if (waiter_count_ > 0 && active_transfers_ == 0) arm_rescue_poll();
   });
 }
@@ -471,20 +485,26 @@ InstallWaveResult run_install_wave(const InstallWaveParams& params) {
   peers.register_endpoints(static_cast<std::uint32_t>(params.nodes));
 
   InstallWaveResult result;
-  // Retry cadence mirrors the cluster nodes' download backoff base.
-  constexpr double kRetrySeconds = 5.0;
+  // Retry schedule mirrors the cluster nodes' download backoff: the shared
+  // policy, per-node attempt counters, reset once the fetch lands (the
+  // chunk cache makes each retry a resume, so landing is the progress).
+  auto retry_attempts = std::make_shared<std::vector<int>>(params.nodes, 0);
+  auto retry_rng = std::make_shared<Rng>(params.peer.rescue_seed);
   auto start_fetch = std::make_shared<std::function<void(std::uint32_t)>>();
-  *start_fetch = [&, start_fetch](std::uint32_t node) {
+  *start_fetch = [&, start_fetch, retry_attempts, retry_rng](std::uint32_t node) {
     peers.fetch(
         node, params.payload_bytes, params.demand_cap,
-        [&, node] {
+        [&, retry_attempts, node] {
+          (*retry_attempts)[node] = 0;
           sim.schedule(params.post_seconds, [&] {
             ++result.completed;
             result.makespan = sim.now();
           });
         },
-        [&, start_fetch, node](double) {
-          sim.schedule(kRetrySeconds, [&, start_fetch, node] {
+        [&, start_fetch, retry_attempts, retry_rng, node](double) {
+          const double delay =
+              params.peer.rescue.delay(++(*retry_attempts)[node], *retry_rng);
+          sim.schedule(delay, [&, start_fetch, node] {
             if (!peers.is_seeded(node)) (*start_fetch)(node);
           });
         });

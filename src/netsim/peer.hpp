@@ -37,6 +37,8 @@
 
 #include "netsim/http.hpp"
 #include "netsim/topology.hpp"
+#include "support/backoff.hpp"
+#include "support/rng.hpp"
 
 namespace rocks::netsim {
 
@@ -59,9 +61,14 @@ struct PeerConfig {
   /// the single-server behaviour when peers never become available).
   std::size_t seed_fanout = 8;
   bool prefer_same_rack = true;
-  /// Rescue poll period for the no-transfers-in-flight corner (seed down
-  /// with waiters parked); never fires in healthy runs.
-  double rescue_poll_seconds = 5.0;
+  /// Rescue retry schedule for the no-transfers-in-flight corner (seed down
+  /// with waiters parked); never fires in healthy runs. The shared policy
+  /// (DESIGN.md §12.6): attempt 1 waits exactly `base`, then capped
+  /// doubling with jitter so parked installers stop hammering a dead seed
+  /// in lockstep. Resets to `base` whenever a poll makes progress.
+  support::BackoffPolicy rescue{5.0, 60.0, 0.25};
+  /// Seed for the rescue/retry jitter draws; fixed seed => identical runs.
+  std::uint64_t rescue_seed = 0xBACC0FF;
 };
 
 struct PeerStats {
@@ -177,6 +184,8 @@ class PeerDistribution {
   std::size_t seeded_count_ = 0;
   std::uint64_t next_transfer_seq_ = 1;
   bool rescue_armed_ = false;
+  int rescue_attempts_ = 0;  // consecutive polls without progress
+  Rng rescue_rng_{0};
   PeerStats stats_;
 };
 

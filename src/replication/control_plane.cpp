@@ -18,6 +18,12 @@ std::string_view commit_mode_name(CommitMode mode) {
 ControlPlane::ControlPlane(netsim::Simulator& sim, ControlPlaneConfig config)
     : sim_(sim), config_(config), rng_(config.seed) {}
 
+void ControlPlane::publish(events::EventType type, std::string subject,
+                           std::string detail, double value) {
+  if (bus_ == nullptr) return;
+  bus_->publish(events::Event{type, std::move(subject), std::move(detail), value, 0.0, 0});
+}
+
 ControlPlane::~ControlPlane() {
   stop_pump_timer();
   if (leader_db_ != nullptr) leader_db_->set_wal_sink(nullptr);
@@ -97,6 +103,8 @@ void ControlPlane::ship_to(Slot& slot, const std::vector<sqldb::WalGroup>& log,
     slot.acked_lsn = ack.last_lsn;
     ++slot.bootstraps;
     ++bootstraps_;
+    publish(events::EventType::kReplicationLag, slot.follower->name(), "bootstrap",
+            static_cast<double>(slot.bootstraps));
   }
   Shipment shipment;
   shipment.epoch = epoch_;
@@ -153,10 +161,17 @@ void ControlPlane::pump() {
       ship_to(slot, log, floor);
       slot.connected = true;
       slot.attempts = 0;
-      if (was_disconnected) ++slot.reconnects;
+      if (was_disconnected) {
+        ++slot.reconnects;
+        publish(events::EventType::kReplicationLag, slot.follower->name(), "reconnected",
+                static_cast<double>(leader_db_->last_lsn() - slot.acked_lsn));
+      }
     } catch (const UnavailableError&) {
       // Severed link or dead peer: back off (capped exponential + jitter,
       // §12.6) and try again at retry_at.
+      if (slot.connected)
+        publish(events::EventType::kReplicationLag, slot.follower->name(), "disconnected",
+                static_cast<double>(leader_db_->last_lsn() - slot.acked_lsn));
       slot.connected = false;
       ++slot.attempts;
       slot.retry_at = sim_.now() + config_.reconnect.delay(slot.attempts, rng_);
@@ -177,8 +192,19 @@ void ControlPlane::commit_barrier() {
     ++voters;
     if (slot->connected && slot->acked_lsn >= target) ++votes;
   }
-  if (votes * 2 > voters) return;
+  if (votes * 2 > voters) {
+    if (quorum_lost_) {
+      quorum_lost_ = false;
+      publish(events::EventType::kQuorum, leader_name_, "restored",
+              static_cast<double>(votes));
+    }
+    return;
+  }
   ++quorum_failures_;
+  if (!quorum_lost_) {
+    quorum_lost_ = true;
+    publish(events::EventType::kQuorum, leader_name_, "lost", static_cast<double>(votes));
+  }
   throw UnavailableError(cat("quorum-ack failed at LSN ", target, ": ", votes, " of ",
                              voters, " voters acknowledged"));
 }
@@ -209,6 +235,8 @@ void ControlPlane::kill_leader() {
   leader_db_->set_wal_sink(nullptr);
   for (const auto& slot : slots_)
     if (slot->is_leader && &slot->follower->db() == leader_db_) slot->dead = true;
+  publish(events::EventType::kReplicationEpoch, leader_name_, "leader-killed",
+          static_cast<double>(epoch_));
   leader_db_ = nullptr;
   leader_name_.clear();
 }
@@ -256,6 +284,8 @@ std::string ControlPlane::promote() {
       // It will learn the epoch when its link heals and pump() reaches it.
     }
   }
+  publish(events::EventType::kReplicationEpoch, leader_name_, "promoted",
+          static_cast<double>(epoch_));
   return leader_name_;
 }
 

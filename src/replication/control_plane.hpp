@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "events/bus.hpp"
 #include "netsim/engine.hpp"
 #include "netsim/link.hpp"
 #include "replication/follower.hpp"
@@ -154,6 +155,11 @@ class ControlPlane {
   std::vector<Ack> broadcast(const Shipment& shipment);
 
   // --- observability -----------------------------------------------------------
+  /// Event spine hookup (DESIGN.md §15): epoch transitions publish
+  /// kReplicationEpoch (promotion and leader death), per-follower
+  /// disconnect/reconnect/bootstrap publish kReplicationLag, and quorum
+  /// lost/restored transitions publish kQuorum. Null detaches.
+  void set_event_bus(events::EventBus* bus) { bus_ = bus; }
   [[nodiscard]] ControlPlaneStatus status() const;
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
   [[nodiscard]] bool has_leader() const { return leader_db_ != nullptr; }
@@ -190,6 +196,8 @@ class ControlPlane {
   /// link refuses; the caller owns retry bookkeeping.
   void ship_to(Slot& slot, const std::vector<sqldb::WalGroup>& log, std::uint64_t floor);
   void schedule_next_pump();
+  void publish(events::EventType type, std::string subject, std::string detail,
+               double value);
 
   netsim::Simulator& sim_;
   ControlPlaneConfig config_;
@@ -212,6 +220,9 @@ class ControlPlane {
   std::uint64_t shipped_bytes_ = 0;
   std::uint64_t bootstraps_ = 0;
   std::uint64_t quorum_failures_ = 0;
+
+  events::EventBus* bus_ = nullptr;
+  bool quorum_lost_ = false;  // edge-detect: publish lost/restored once each
 
   bool pump_timer_armed_ = false;
   double pump_interval_ = 0.0;

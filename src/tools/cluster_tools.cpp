@@ -111,6 +111,43 @@ std::string ClusterTools::peer_distribution_report() {
   return out;
 }
 
+std::string ClusterTools::trigger_report() {
+  events::TriggerEngine& engine = cluster_.triggers();
+  AsciiTable table({"Id", "Name", "Event", "Subject", "Action", "Rate limit",
+                    "Fired", "Suppressed", "Last fired"});
+  for (const events::TriggerStatus& status : engine.list()) {
+    table.add_row({std::to_string(status.id), status.spec.name,
+                   std::string(events::event_type_name(status.spec.event)),
+                   status.spec.subject, status.spec.action,
+                   status.spec.rate_limit > 0.0 ? cat(fixed(status.spec.rate_limit, 0), "s")
+                                                : "-",
+                   std::to_string(status.fired), std::to_string(status.suppressed),
+                   status.last_fired < 0 ? "never" : fixed(status.last_fired, 1)});
+  }
+  std::string out = table.render();
+  out += cat("engine: ", engine.events_seen(), " events seen, ", engine.firings(),
+             " firings, ", engine.suppressions(), " suppressed, ",
+             cluster_.auto_reinstalls(), " auto-reinstalls\n");
+  return out;
+}
+
+std::string ClusterTools::events_report(std::size_t limit) {
+  events::EventBus& bus = cluster_.events();
+  std::string out = cat("event spine: ", bus.published(), " published, ",
+                        bus.notifications_sent(), " notifications\n");
+  for (std::size_t i = 0; i < events::kEventTypeCount; ++i) {
+    const auto type = static_cast<events::EventType>(i);
+    if (bus.seq(type) == 0) continue;
+    out += cat("  [", events::event_type_name(type), "] seq ", bus.seq(type), ":\n");
+    for (const events::Event& event : bus.recent(type, limit)) {
+      out += cat("    #", event.seq, " t=", fixed(event.time, 1), " ", event.subject,
+                 event.detail.empty() ? "" : " ", event.detail,
+                 event.value != 0.0 ? cat(" (", fixed(event.value, 0), ")") : "", "\n");
+    }
+  }
+  return out;
+}
+
 std::string ClusterTools::engine_status_report(sqldb::Database& db) {
   const sqldb::MvccStatus status = db.mvcc_status();
   std::string out = "mvcc engine:\n";

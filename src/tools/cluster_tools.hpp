@@ -71,6 +71,16 @@ class ClusterTools {
   /// distribution: disabled" when the cluster runs the plain HTTP path.
   [[nodiscard]] std::string peer_distribution_report();
 
+  /// cluster-status --triggers: the durable trigger table plus firing
+  /// accounting — one row per registered trigger (id, name, event, subject
+  /// glob, action, rate limit, fired/suppressed counts, last fired), then
+  /// the engine totals (DESIGN.md §15.3). Mirrors SLURM's `strigger --get`.
+  [[nodiscard]] std::string trigger_report();
+
+  /// cluster-status --events: the newest <= `limit` retained events per
+  /// non-empty bus channel, oldest first within a channel (DESIGN.md §15).
+  [[nodiscard]] std::string events_report(std::size_t limit = 10);
+
  private:
   cluster::Cluster& cluster_;
 };
