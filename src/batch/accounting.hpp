@@ -1,0 +1,81 @@
+// Durable job accounting (DESIGN.md §16.3) — the sacct of the batch layer.
+//
+// SLURM separates the live scheduler state (squeue) from the accounting
+// store (sacct): jobs leave the queue, but their outcome is appended to a
+// durable record that survives controller restarts and answers "did my job
+// run, where, and how many times was it retried?". This module is that
+// store for the Scheduler: an append-only `sched_accounting` table in the
+// frontend database, keyed by job id, riding the WAL/snapshot/replication
+// machinery like every other table.
+//
+// Exactly-once contract: a job's terminal transition writes its accounting
+// row FIRST and deletes its live `sched_jobs` row second. A crash between
+// the two statements leaves a live row whose id already has an accounting
+// row; recovery (Scheduler::resume) treats the accounting table as the
+// truth and deletes the stale live row instead of finishing the job again.
+// The id is the table's PRIMARY KEY, so "ended exactly once" is checkable
+// by scanning for duplicate ids — the chaos drill does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "batch/job.hpp"
+#include "sqldb/engine.hpp"
+
+namespace rocks::batch {
+
+/// One finished job, as durably recorded.
+struct AccountingRecord {
+  JobId id = 0;
+  std::string name;
+  JobState state = JobState::kComplete;  // kComplete or kCancelled only
+  std::string reason;                    // "", "qdel", "retry budget exhausted", ...
+  double submitted = 0.0;
+  double started = -1.0;  // <0 = never ran (cancelled while queued)
+  double ended = 0.0;
+  std::size_t nodes_used = 0;
+  int retries = 0;
+};
+
+/// Aggregate view over the accounting table (cluster-status --jobs, bench).
+struct AccountingTotals {
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t duplicate_ids = 0;  // must stay 0: the exactly-once tripwire
+  double node_seconds = 0.0;        // sum of (ended - started) * nodes_used
+  double total_wait = 0.0;          // sum of (started - submitted) over ran jobs
+  std::uint64_t ran = 0;            // records with started >= 0
+};
+
+class Accounting {
+ public:
+  /// Creates the `sched_accounting` table when absent; idempotent. Followers
+  /// receive the table via replication, so they never create it themselves.
+  static void ensure_schema(sqldb::Database& db);
+
+  /// Appends one terminal record. The caller owns the exactly-once ordering
+  /// (append, then delete the live row).
+  static void append(sqldb::Database& db, const AccountingRecord& record);
+
+  /// True when `id` already has a terminal record — the recovery-repair
+  /// probe (one indexed SELECT).
+  [[nodiscard]] static bool has(sqldb::Database& db, JobId id);
+
+  [[nodiscard]] static std::optional<AccountingRecord> lookup(sqldb::Database& db, JobId id);
+
+  /// Full-table aggregate; O(records). Duplicate ids are counted, not
+  /// thrown — the chaos drill asserts the count is zero.
+  [[nodiscard]] static AccountingTotals totals(sqldb::Database& db);
+
+  /// Largest job id ever recorded (0 when empty) — recovery's id-cursor
+  /// floor, since finished jobs have left the live table.
+  [[nodiscard]] static JobId max_id(sqldb::Database& db);
+
+  /// sacct-style report of the newest <= `limit` records.
+  [[nodiscard]] static std::string report(sqldb::Database& db, std::size_t limit = 20);
+};
+
+}  // namespace rocks::batch

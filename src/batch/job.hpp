@@ -23,7 +23,12 @@ enum class JobKind {
   kReinstall,  // shoots each assigned node; completes when all are back
 };
 
-enum class JobState { kQueued, kRunning, kComplete };
+enum class JobState {
+  kQueued,
+  kRunning,
+  kComplete,   // ran to completion
+  kCancelled,  // qdel'd, or requeue retry budget exhausted
+};
 
 [[nodiscard]] std::string_view job_state_name(JobState state);
 
@@ -34,6 +39,13 @@ struct JobSpec {
   std::size_t nodes = 1;
   /// User jobs: execution time once started.
   double walltime_seconds = 60.0;
+  /// Graceful degradation floor (Scheduler only): a job whose head-of-queue
+  /// wait exceeds the shrink threshold may start on fewer nodes, down to
+  /// this many, instead of blocking the queue. 0 = rigid (min == nodes).
+  std::size_t min_nodes = 0;
+  /// Requeue budget (Scheduler only): how many times the job may be
+  /// requeued after losing a node before it ends kCancelled.
+  int max_retries = 3;
 };
 
 struct JobRecord {

@@ -16,6 +16,7 @@ std::string_view job_state_name(JobState state) {
     case JobState::kQueued: return "Q";
     case JobState::kRunning: return "R";
     case JobState::kComplete: return "C";
+    case JobState::kCancelled: return "X";
   }
   return "?";
 }
@@ -35,10 +36,26 @@ JobId PbsServer::submit(JobSpec spec) {
 
 bool PbsServer::cancel(JobId id) {
   const auto it = std::find(queue_.begin(), queue_.end(), id);
-  if (it == queue_.end()) return false;
-  queue_.erase(it);
-  jobs_.at(id).state = JobState::kComplete;
-  jobs_.at(id).completed_at = cluster_.sim().now();
+  if (it != queue_.end()) {
+    queue_.erase(it);
+    jobs_.at(id).state = JobState::kCancelled;
+    jobs_.at(id).completed_at = cluster_.sim().now();
+    return true;
+  }
+  // qdel of a running user job: kill its processes, free its nodes, and let
+  // the (now stale) walltime event find a non-running job and do nothing.
+  const auto jit = jobs_.find(id);
+  if (jit == jobs_.end()) return false;
+  JobRecord& record = jit->second;
+  if (record.state != JobState::kRunning || record.spec.kind != JobKind::kUser) return false;
+  for (const auto& hostname : record.assigned_nodes) {
+    Node* node = cluster_.node(hostname);
+    if (node != nullptr && node->is_running()) node->kill_processes(cat("job:", id));
+    busy_nodes_.erase(hostname);
+  }
+  record.state = JobState::kCancelled;
+  record.completed_at = cluster_.sim().now();
+  schedule();
   return true;
 }
 
@@ -68,6 +85,7 @@ void PbsServer::start_user_job(JobRecord& record, std::vector<Node*> nodes) {
   const JobId id = record.id;
   cluster_.sim().schedule(record.spec.walltime_seconds, [this, id] {
     JobRecord& job = jobs_.at(id);
+    if (job.state != JobState::kRunning) return;  // cancelled mid-run
     for (const auto& hostname : job.assigned_nodes) {
       Node* node = cluster_.node(hostname);
       if (node != nullptr && node->is_running()) node->kill_processes(cat("job:", id));
@@ -156,15 +174,61 @@ void PbsServer::schedule() {
   }
 }
 
+bool PbsServer::reap_vanished_nodes() {
+  // Only callable with the simulator idle: a reinstall-job node that is not
+  // running now has no event pending that could ever bring it back (failed
+  // installer, hardware death, external power-off), so drop it from the job
+  // instead of waiting forever.
+  bool reaped = false;
+  std::vector<JobId> ids;
+  for (const auto& [id, remaining] : reinstall_remaining_) ids.push_back(id);
+  for (JobId id : ids) {
+    JobRecord& record = jobs_.at(id);
+    const std::vector<std::string> assigned = record.assigned_nodes;
+    for (const auto& hostname : assigned) {
+      Node* node = cluster_.node(hostname);
+      if (node != nullptr && node->is_running()) continue;
+      bool outstanding = reinstall_pending_.at(id).erase(hostname) > 0;  // never shot
+      if (!outstanding && busy_nodes_.contains(hostname)) {
+        outstanding = true;  // shot, never came back
+        busy_nodes_.erase(hostname);
+        if (node != nullptr) node->on_running(nullptr);
+      }
+      if (!outstanding) continue;
+      reaped = true;
+      if (--reinstall_remaining_.at(id) == 0) {
+        finish_job(record);  // erases this job's reinstall bookkeeping
+        break;
+      }
+    }
+  }
+  return reaped;
+}
+
 void PbsServer::drain() {
   schedule();
   while (true) {
     bool outstanding = false;
     for (const auto& [id, record] : jobs_)
-      if (record.state != JobState::kComplete) outstanding = true;
+      if (record.state == JobState::kQueued || record.state == JobState::kRunning)
+        outstanding = true;
     if (!outstanding) return;
-    if (!cluster_.sim().step())
-      throw StateError("PBS drain: jobs outstanding but no pending events");
+    if (cluster_.sim().step()) continue;
+    // Simulator idle with work outstanding: nodes vanished mid-job. Reap
+    // them and reschedule; if nothing was reapable, the remaining queued
+    // jobs can never start — cancel them rather than abort the simulation.
+    if (!reap_vanished_nodes()) {
+      bool cancelled_any = false;
+      for (auto it = queue_.begin(); it != queue_.end(); it = queue_.erase(it)) {
+        JobRecord& record = jobs_.at(*it);
+        record.state = JobState::kCancelled;
+        record.completed_at = cluster_.sim().now();
+        cancelled_any = true;
+      }
+      if (!cancelled_any)
+        throw StateError("PBS drain: jobs outstanding but no pending events");
+    }
+    schedule();
   }
 }
 

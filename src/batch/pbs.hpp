@@ -26,14 +26,20 @@ class PbsServer {
   /// qsub. Returns the job id; scheduling happens on the next cycle.
   JobId submit(JobSpec spec);
 
-  /// qdel for queued jobs (running jobs cannot be deleted in this model).
+  /// qdel: a queued job leaves the queue; a running user job has its
+  /// processes killed and its nodes freed. Both end kCancelled. False for
+  /// unknown/terminal jobs and for running reinstall jobs (a reinstall
+  /// cannot be un-shot).
   bool cancel(JobId id);
 
   /// One Maui scheduling cycle: starts every job that fits. Called
   /// automatically when jobs complete; call manually after submits.
   void schedule();
 
-  /// Runs the simulator until every submitted job completes.
+  /// Runs the simulator until every submitted job reaches a terminal state.
+  /// A node that vanishes mid-reinstall (failed installer, hardware death)
+  /// is reaped from its job instead of stranding the drain; queued jobs
+  /// that can never start are cancelled.
   void drain();
 
   [[nodiscard]] const JobRecord& job(JobId id) const;
@@ -52,6 +58,9 @@ class PbsServer {
   void start_user_job(JobRecord& record, std::vector<cluster::Node*> nodes);
   void start_reinstall_on(JobRecord& record, cluster::Node* node);
   void finish_job(JobRecord& record);
+  /// Drops dead nodes from running reinstall jobs (see drain()). Returns
+  /// whether anything was reaped. Only valid while the simulator is idle.
+  bool reap_vanished_nodes();
   [[nodiscard]] bool node_busy(const std::string& hostname) const;
 
   cluster::Cluster& cluster_;

@@ -92,6 +92,13 @@ class Cluster {
   /// shoot-node for one host: sends the reinstall message and (optionally)
   /// attaches an eKV watcher that mirrors install output.
   void shoot_node(std::string_view hostname, bool watch_ekv = false);
+  /// Public face of the trigger engine's "reinstall" ladder: on the next
+  /// simulator step, drives `hostname` back through the install path —
+  /// shoot when running, power cycle when failed or dark. The batch
+  /// scheduler's drain -> reinstall hook lands here.
+  void request_reinstall(std::string hostname) {
+    schedule_auto_reinstall(std::move(hostname));
+  }
   /// Reinstall every compute node concurrently (the "reinstall cluster"
   /// job of Section 5) and run until all are back. Returns the makespan in
   /// seconds.

@@ -22,6 +22,8 @@ constexpr std::string_view kTypeNames[kEventTypeCount] = {
     "config-change",     // kConfigChange
     "fault",             // kFault
     "recovery",          // kRecovery
+    "job",               // kJob
+    "node-alloc",        // kNodeAlloc
     "trigger",           // kTrigger
 };
 

@@ -56,6 +56,10 @@ enum class EventType : std::uint8_t {
   kConfigChange,      // bridged ChangeJournal channel; subject=channel
   kFault,             // an injected fault landed; subject=fault kind
   kRecovery,          // recovery ladder action; subject=host
+  kJob,               // batch job transition; subject=job name,
+                      // detail=queued/start/end/cancel/requeue, value=job id
+  kNodeAlloc,         // batch node lifecycle; subject=host,
+                      // detail=drain/down/reinstall/rejoin/pending
   kTrigger,           // a trigger fired; subject=trigger name
 };
 

@@ -207,6 +207,35 @@ std::optional<std::pair<std::size_t, std::size_t>> resolve_column(
   return found;
 }
 
+/// UPDATE/DELETE share SELECT's plan 1: when one WHERE conjunct is an
+/// indexed `col = literal`, probe the writer-side index for candidate
+/// positions instead of scanning every live row. Fills `positions`
+/// (ascending — the scan's visit order) and `residual` (the conjuncts the
+/// probe did not consume) and returns true when a probe applies. Point
+/// mutations against a big live set — the batch scheduler's one-row
+/// transition per job while thousands of rows stay live — go from O(live)
+/// to O(hits) per statement.
+bool plan_write_probe(const Table& target, const Expr* where,
+                      std::vector<std::size_t>& positions,
+                      std::vector<const Expr*>& residual) {
+  if (where == nullptr) return false;
+  std::vector<const Expr*> conjuncts;
+  collect_conjuncts(where, conjuncts);
+  const std::vector<const Table*> tables{&target};
+  const std::vector<std::string> aliases{target.name()};
+  for (const Expr* conjunct : conjuncts) {
+    const auto eq = match_eq_column_literal(conjunct);
+    if (!eq) continue;
+    const auto resolved = resolve_column(eq->column, tables, aliases);
+    if (!resolved || !target.has_index_on(resolved->second)) continue;
+    positions = target.probe_positions(resolved->second, eq->literal->literal_value());
+    for (const Expr* other : conjuncts)
+      if (other != conjunct) residual.push_back(other);
+    return true;
+  }
+  return false;
+}
+
 /// What snapshot()/snapshot_image() capture per table under their brief
 /// lock hold: the shared table (kept alive across a concurrent DROP), plus
 /// the schema-ish bits that belong to the checkpoint's commit timestamp
@@ -886,9 +915,26 @@ ResultSet Database::run_update(const UpdateStmt& stmt, std::vector<std::string>&
   }
   ResultSet result;
   SingleTableContext ctx(target);
-  for (std::size_t r = 0; r < target.live_size(); ++r) {
+  std::vector<std::size_t> probe;
+  std::vector<const Expr*> residual;
+  const bool probed = planner_enabled_.load(std::memory_order_relaxed) &&
+                      plan_write_probe(target, stmt.where.get(), probe, residual);
+  if (probed) plans_index_probe_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t candidates = probed ? probe.size() : target.live_size();
+  for (std::size_t c = 0; c < candidates; ++c) {
+    const std::size_t r = probed ? probe[c] : c;
     ctx.set_row(&target.live_row(r));
-    if (stmt.where) {
+    if (probed) {
+      bool pass = true;
+      for (const Expr* conjunct : residual) {
+        const Value keep = conjunct->evaluate(ctx);
+        if (keep.is_null() || !keep.truthy()) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+    } else if (stmt.where) {
       const Value keep = stmt.where->evaluate(ctx);
       if (keep.is_null() || !keep.truthy()) continue;
     }
@@ -928,9 +974,26 @@ ResultSet Database::run_delete(const DeleteStmt& stmt, std::vector<std::string>&
   Table& target = table_mutable(stmt.table);
   std::vector<std::size_t> doomed;
   SingleTableContext ctx(target);
-  for (std::size_t i = 0; i < target.live_size(); ++i) {
+  std::vector<std::size_t> probe;
+  std::vector<const Expr*> residual;
+  const bool probed = planner_enabled_.load(std::memory_order_relaxed) &&
+                      plan_write_probe(target, stmt.where.get(), probe, residual);
+  if (probed) plans_index_probe_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t candidates = probed ? probe.size() : target.live_size();
+  for (std::size_t c = 0; c < candidates; ++c) {
+    const std::size_t i = probed ? probe[c] : c;
     ctx.set_row(&target.live_row(i));
-    if (stmt.where) {
+    if (probed) {
+      bool pass = true;
+      for (const Expr* conjunct : residual) {
+        const Value keep = conjunct->evaluate(ctx);
+        if (keep.is_null() || !keep.truthy()) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+    } else if (stmt.where) {
       const Value keep = stmt.where->evaluate(ctx);
       if (keep.is_null() || !keep.truthy()) continue;
     }

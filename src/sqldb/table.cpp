@@ -100,6 +100,8 @@ std::size_t Table::insert(Row row) {
   ++versions_;
   live_.push_back(slot);
   live_count_.store(live_.size(), std::memory_order_relaxed);
+  slot_position_.resize(slots_used_, kNoPosition);
+  slot_position_[slot] = live_.size() - 1;
   for (std::size_t col = 0; col < indexes_.size(); ++col) {
     if (indexes_[col].current == nullptr) continue;
     const Value& key = version->data[col];
@@ -120,6 +122,8 @@ std::size_t Table::restore_row(Row row) {
   ++versions_;
   live_.push_back(slot);
   live_count_.store(live_.size(), std::memory_order_relaxed);
+  slot_position_.resize(slots_used_, kNoPosition);
+  slot_position_[slot] = live_.size() - 1;
   for (std::size_t col = 0; col < indexes_.size(); ++col) {
     if (indexes_[col].current == nullptr) continue;
     const Value& key = version->data[col];
@@ -170,13 +174,42 @@ void Table::erase_rows(const std::vector<std::size_t>& sorted_positions) {
   std::size_t out = 0;
   for (std::size_t i = 0; i < live_.size(); ++i) {
     if (next_doomed < sorted_positions.size() && sorted_positions[next_doomed] == i) {
+      slot_position_[live_[i]] = kNoPosition;
       ++next_doomed;
       continue;
     }
+    slot_position_[live_[i]] = out;  // survivors shift left past the gaps
     live_[out++] = live_[i];
   }
   live_.resize(out);
   live_count_.store(live_.size(), std::memory_order_relaxed);
+}
+
+std::vector<std::size_t> Table::probe_positions(std::size_t column, const Value& key) const {
+  const IndexArray* array =
+      column < indexes_.size() ? indexes_[column].current : nullptr;
+  if (array == nullptr)
+    throw StateError(strings::cat("probe_positions: column ", column, " of ", name_,
+                                  " has no hash index"));
+  std::vector<std::size_t> positions;
+  if (key.is_null()) return positions;  // '=' never matches NULL
+  const std::size_t mask = array->buckets.size() - 1;
+  for (const IndexEntry* entry =
+           array->buckets[key.hash() & mask].load(std::memory_order_relaxed);
+       entry != nullptr; entry = entry->next) {
+    if (!ValueEqual{}(entry->key, key)) continue;
+    if (entry->slot >= slot_position_.size()) continue;
+    const std::size_t position = slot_position_[entry->slot];
+    if (position == kNoPosition) continue;  // the slot's row left the live set
+    // Entries may be stale (a superseded version's key): the current row
+    // must actually carry the key for the probe to consume the conjunct.
+    const Value& current = live_row(position)[column];
+    if (current.is_null() || !ValueEqual{}(current, key)) continue;
+    positions.push_back(position);
+  }
+  std::sort(positions.begin(), positions.end());  // restore scan order
+  positions.erase(std::unique(positions.begin(), positions.end()), positions.end());
+  return positions;
 }
 
 const Row& Table::live_row(std::size_t position) const {

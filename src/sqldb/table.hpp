@@ -103,6 +103,15 @@ class Table {
   /// Writer-exact live row count.
   [[nodiscard]] std::size_t live_size() const { return live_.size(); }
 
+  /// Writer-side index probe: the live positions whose *current* row has
+  /// `column` == `key`, ascending — exactly the rows the UPDATE/DELETE scan
+  /// with `column = key` would visit, in the same order. Stale entries
+  /// (superseded keys, dead slots) are filtered by re-checking the current
+  /// row, like Reader::probe_rows. Requires an index on the column
+  /// (StateError otherwise); a NULL key matches nothing.
+  [[nodiscard]] std::vector<std::size_t> probe_positions(std::size_t column,
+                                                         const Value& key) const;
+
   /// Stamps every version this statement created (begin_ts) or superseded
   /// (end_ts) with the statement's commit timestamp and queues superseded
   /// versions for reclamation. Called once per committed statement — also
@@ -245,6 +254,10 @@ class Table {
 
   std::vector<std::uint32_t> live_;  // position -> slot, writer-side
   std::atomic<std::size_t> live_count_{0};
+  /// slot -> live position (kNoPosition when the slot's row left the live
+  /// set) — what lets probe_positions answer in O(hits) instead of O(live).
+  static constexpr std::size_t kNoPosition = ~std::size_t{0};
+  std::vector<std::size_t> slot_position_;
 
   std::vector<ColumnIndex> indexes_;  // per column; sized once, never grown
   std::vector<std::unique_ptr<IndexArray>> index_storage_;  // kept until death

@@ -178,4 +178,24 @@ std::string ClusterTools::engine_status_report(sqldb::Database& db) {
   return out;
 }
 
+std::string ClusterTools::jobs_report(batch::Scheduler& scheduler) {
+  std::string out =
+      cat("batch queue: ", scheduler.queued_count(), " queued, ",
+          scheduler.running_count(), " running, ", scheduler.idle_nodes(), " of ",
+          scheduler.registered_nodes(), " nodes idle\n");
+  out += scheduler.qstat();
+  const batch::SchedulerStats& stats = scheduler.stats();
+  out += cat("scheduler: ", stats.started, " starts (", stats.backfilled,
+             " backfilled, ", stats.shrunk, " shrunk), ", stats.requeued,
+             " requeues, ", stats.drains_started, " drains, ",
+             stats.reinstalls_started, " reinstalls (", stats.reinstalls_finished,
+             " done)\n");
+  const batch::AccountingTotals totals = batch::Accounting::totals(scheduler.db());
+  out += cat("accounting: ", totals.completed, " completed, ", totals.cancelled,
+             " cancelled, ", totals.duplicate_ids, " duplicate ids, ",
+             fixed(totals.node_seconds, 0), " node-seconds\n");
+  out += batch::Accounting::report(scheduler.db(), 10);
+  return out;
+}
+
 }  // namespace rocks::tools

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "batch/scheduler.hpp"
 #include "cluster/cluster.hpp"
 #include "replication/control_plane.hpp"
 #include "sqldb/engine.hpp"
@@ -80,6 +81,11 @@ class ClusterTools {
   /// cluster-status --events: the newest <= `limit` retained events per
   /// non-empty bus channel, oldest first within a channel (DESIGN.md §15).
   [[nodiscard]] std::string events_report(std::size_t limit = 10);
+
+  /// cluster-status --jobs: the batch scheduler's live queue (qstat), its
+  /// start/requeue/drain counters, and the durable accounting ledger — the
+  /// exactly-once totals plus an sacct-style tail (DESIGN.md §16).
+  [[nodiscard]] static std::string jobs_report(batch::Scheduler& scheduler);
 
  private:
   cluster::Cluster& cluster_;

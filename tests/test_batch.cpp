@@ -71,7 +71,7 @@ TEST_F(BatchTest, CancelQueuedJob) {
   EXPECT_TRUE(pbs_->cancel(waiting));
   EXPECT_FALSE(pbs_->cancel(waiting));  // no longer queued
   pbs_->drain();
-  EXPECT_EQ(pbs_->job(waiting).state, JobState::kComplete);
+  EXPECT_EQ(pbs_->job(waiting).state, JobState::kCancelled);
   EXPECT_LT(pbs_->job(waiting).started_at, 0.0);  // never ran
 }
 

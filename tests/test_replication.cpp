@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "batch/accounting.hpp"
+#include "batch/scheduler.hpp"
 #include "cluster/cluster.hpp"
 #include "kickstart/server.hpp"
 #include "netsim/fault.hpp"
@@ -501,6 +503,74 @@ TEST_F(ReplicationTest, PromotedFollowerServesKickstartAndInstallsFinish) {
     // exactly what the dead one would have.
     EXPECT_EQ(node->software_fingerprint(), fingerprint);
   }
+}
+
+// --- scheduler failover ------------------------------------------------------
+
+TEST_F(ReplicationTest, PromotedFollowerResumesSchedulerWithoutLosingOrDoublingJobs) {
+  // The batch queue lives in frontend tables, so it rides the same WAL
+  // shipping as everything else: kill the leader mid-workload, promote, and
+  // a scheduler over the promoted database resumes the exact committed
+  // queue — the running job keeps its original start (never started twice),
+  // every queued job eventually runs, and the ledger stays exactly-once.
+  netsim::Simulator sim;
+  BareLeader leader;
+  ControlPlane cp(sim, ControlPlaneConfig{.mode = CommitMode::kQuorum});
+  cp.lead(leader.db, "frontend-0");
+  cp.add_follower(FollowerConfig{.name = "frontend-1"});
+  cp.pump();
+
+  auto hostname = [](std::size_t i) { return strings::cat("n0", i); };
+  auto sched = std::make_unique<batch::Scheduler>(leader.db, sim);
+  for (std::size_t i = 0; i < 4; ++i) sched->register_node(hostname(i));
+  sched->resume();
+
+  batch::JobSpec wide;
+  wide.name = "resident";
+  wide.nodes = 4;
+  wide.walltime_seconds = 120.0;
+  const batch::JobId resident = sched->submit(wide);
+  std::vector<batch::JobId> queued;
+  for (int i = 0; i < 4; ++i) {
+    batch::JobSpec spec;
+    spec.name = strings::cat("q", i);
+    spec.nodes = 2;
+    spec.walltime_seconds = 30.0;
+    queued.push_back(sched->submit(spec));
+  }
+  sim.run_until(50.0);
+  ASSERT_EQ(sched->job(resident)->state, batch::JobState::kRunning);
+  const double original_start = sched->job(resident)->started;
+  cp.pump();  // the committed queue is on the follower
+
+  // The frontend process dies mid-run: its pending completion events die
+  // with it, and the follower takes over.
+  cp.kill_leader();
+  sched.reset();
+  const std::string promoted = cp.promote();
+  EXPECT_EQ(promoted, "frontend-1");
+  Database& pdb = cp.follower(0).db();
+  EXPECT_EQ(pdb.execute("SELECT id FROM sched_jobs").row_count(), 5u);
+
+  batch::Scheduler sched2(pdb, sim);
+  EXPECT_EQ(sched2.live_count(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) sched2.register_node(hostname(i));
+  sched2.resume();
+  // Resumed, not restarted: same run, same original start timestamp.
+  EXPECT_EQ(sched2.job(resident)->state, batch::JobState::kRunning);
+  EXPECT_DOUBLE_EQ(sched2.job(resident)->started, original_start);
+  EXPECT_EQ(sched2.stats().started, 0u);
+
+  sched2.drain();
+  const batch::AccountingTotals totals = batch::Accounting::totals(pdb);
+  EXPECT_EQ(totals.completed, 5u);
+  EXPECT_EQ(totals.cancelled, 0u);
+  EXPECT_EQ(totals.duplicate_ids, 0u);
+  const auto record = batch::Accounting::lookup(pdb, resident);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_DOUBLE_EQ(record->started, original_start);
+  EXPECT_DOUBLE_EQ(record->ended, 120.0);  // the original deadline held
+  for (batch::JobId id : queued) EXPECT_TRUE(batch::Accounting::has(pdb, id));
 }
 
 // --- concurrency (TSan) ------------------------------------------------------
